@@ -1,0 +1,99 @@
+// Ablation for paper §IV-C.2 (index management design choices): the 72 h
+// TTL and the user-preference (pinning) interface. Queries are replayed at
+// their trace timestamps over a two-week span so TTLs actually expire.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "client/client.h"
+
+using namespace feisu;
+using namespace feisu::bench;
+
+namespace {
+
+double RunWithTtl(SimTime ttl, const std::vector<TraceQuery>& trace,
+                  bool pin_hot_predicate) {
+  DeploymentSpec spec;
+  EngineConfig config;
+  config.num_leaf_nodes = spec.num_leaf_nodes;
+  config.rows_per_block = spec.rows_per_block;
+  config.leaf.enable_smart_index = true;
+  config.leaf.index_cache.ttl = ttl;
+  config.leaf.index_cache.capacity_bytes = spec.index_cache_capacity;
+  config.leaf.sim_data_scale = spec.sim_data_scale;
+  config.master.enable_task_result_reuse = false;
+  auto engine = std::make_unique<FeisuEngine>(config);
+  engine->AddStorage("/hdfs", MakeHdfs(), true);
+  engine->GrantAllDomains("bench");
+  Schema schema = MakeLogSchema(spec.num_fields);
+  if (!engine->CreateTable("t1", schema, "/hdfs/t1").ok()) std::abort();
+  Rng rng(spec.seed);
+  for (size_t b = 0; b < spec.num_blocks; ++b) {
+    if (!engine->Ingest("t1", GenerateRows(schema, spec.rows_per_block,
+                                           &rng))
+             .ok()) {
+      std::abort();
+    }
+  }
+  (void)engine->Flush("t1");
+  if (pin_hot_predicate) {
+    // Pin the workload's hottest predicates via the client-side history
+    // mechanism after a short warmup.
+    FeisuClient client(engine.get(), "bench");
+    for (size_t i = 0; i < 50 && i < trace.size(); ++i) {
+      (void)client.Query(trace[i].sql);
+    }
+    client.PinFrequentPredicates(5);
+  }
+  std::vector<double> response_ms =
+      ReplayTrace(engine.get(), trace, /*at_trace_time=*/true);
+  ResolverStats stats = engine->AggregateResolverStats();
+  return static_cast<double>(stats.TotalHits()) /
+         static_cast<double>(stats.TotalHits() + stats.misses);
+}
+
+}  // namespace
+
+int main() {
+  Schema schema = MakeLogSchema(24);
+  TraceConfig trace_config;
+  trace_config.table = "t1";
+  trace_config.num_queries = 1500;
+  trace_config.duration = 14LL * 24 * kSimHour;  // two weeks
+  trace_config.predicate_reuse_prob = 0.7;
+  trace_config.value_domain = 30;
+  std::vector<TraceQuery> trace = GenerateTrace(trace_config, schema);
+
+  std::printf(
+      "=== §IV-C.2 ablation: SmartIndex TTL and preference pinning ===\n\n");
+  std::printf("%-22s %-18s\n", "TTL", "Resolver hit rate");
+  struct TtlPoint {
+    const char* label;
+    SimTime ttl;
+  } points[] = {
+      {"6 hours", 6 * kSimHour},
+      {"24 hours", 24 * kSimHour},
+      {"72 hours (paper)", 72 * kSimHour},
+      {"1000 hours (~inf)", 1000 * kSimHour},
+  };
+  double hit_6h = 0;
+  double hit_72h = 0;
+  double hit_inf = 0;
+  for (const auto& point : points) {
+    double hit = RunWithTtl(point.ttl, trace, false);
+    std::printf("%-22s %.3f\n", point.label, hit);
+    if (point.ttl == 6 * kSimHour) hit_6h = hit;
+    if (point.ttl == 72 * kSimHour) hit_72h = hit;
+    if (point.ttl == 1000 * kSimHour) hit_inf = hit;
+  }
+  double hit_pinned = RunWithTtl(6 * kSimHour, trace, true);
+  std::printf("%-22s %.3f\n", "6 hours + pinning", hit_pinned);
+  std::printf(
+      "\nShape: hit rate grows monotonically with TTL (%.3f @6h, %.3f "
+      "@72h, %.3f with no expiry) — the paper's 72h default trades index "
+      "memory for hits. Pinning hot predicates claws back part of a short "
+      "TTL's loss (%.3f @6h+pinning).\n",
+      hit_6h, hit_72h, hit_inf, hit_pinned);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation for paper §VII (online service evolution): the monolithic
+// master saturates as internal control traffic grows with the worker
+// count — "when the worker number reaches eight thousand, the network
+// overhead of internal communication began affecting external user
+// experience" — which is why production Feisu separated the job manager
+// and then the scheduler + cluster manager into horizontally scalable
+// services. This bench evaluates the analytical master-load model across
+// those deployment layouts.
+
+#include <cstdio>
+
+#include "cluster/master_load.h"
+
+using namespace feisu;
+
+namespace {
+
+void PrintRow(const char* label, const MasterLoadModel& model,
+              size_t workers, double qps) {
+  double util = model.BottleneckUtilization(workers, qps);
+  SimTime overhead = model.ExternalRequestOverhead(
+      workers, qps, /*inter_service_rtt=*/300 * kSimMicrosecond);
+  if (overhead < 0) {
+    std::printf("%-26s %-10zu %-12.2f %-16s\n", label, workers, util,
+                "SATURATED");
+  } else {
+    std::printf("%-26s %-10zu %-12.2f %-16.2f\n", label, workers, util,
+                static_cast<double>(overhead) / kSimMillisecond);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Production numbers from the paper: ~6,000 queries/day is tiny traffic;
+  // the interactive load (submission + monitoring polls) is what the entry
+  // point serves. Use 50 external requests/s.
+  const double kExternalQps = 50.0;
+  const size_t kWorkerCounts[] = {1000, 5000, 8000, 15000};
+
+  std::printf(
+      "=== §VII ablation: master service layouts vs. worker count ===\n\n");
+  std::printf("%-26s %-10s %-12s %-16s\n", "Layout", "Workers",
+              "Bottleneck", "Ext. overhead (ms)");
+
+  MasterLoadModel monolithic(MasterServiceLayout::Monolithic());
+  MasterLoadModel job_split(MasterServiceLayout::JobManagerSplit());
+  MasterLoadModel separated(MasterServiceLayout::FullySeparated(1));
+  MasterLoadModel scaled(MasterServiceLayout::FullySeparated(4));
+  for (size_t workers : kWorkerCounts) {
+    PrintRow("monolithic", monolithic, workers, kExternalQps);
+  }
+  std::printf("\n");
+  for (size_t workers : kWorkerCounts) {
+    PrintRow("job manager split", job_split, workers, kExternalQps);
+  }
+  std::printf("\n");
+  for (size_t workers : kWorkerCounts) {
+    PrintRow("fully separated", separated, workers, kExternalQps);
+  }
+  std::printf("\n");
+  for (size_t workers : kWorkerCounts) {
+    PrintRow("fully separated x4", scaled, workers, kExternalQps);
+  }
+
+  bool ok_8k = monolithic.ExternalServiceUtilization(8000, kExternalQps) >
+                   0.7 &&
+               separated.ExternalServiceUtilization(8000, kExternalQps) < 0.3;
+  std::printf(
+      "\nPaper narrative: around 8,000 workers the monolithic master's "
+      "internal traffic degrades external user experience, and separating "
+      "scheduler + cluster manager fixes it -> %s\n",
+      ok_8k ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Ablation for paper §IV-B (data cache): under Baidu's ad-hoc query mix,
+// automatic SSD cache policies exceed 80% miss rate, which is why
+// production Feisu only caches manually marked business-critical data.
+//
+// We replay an ad-hoc trace (no predicate reuse, broad column spread) with
+// an SSD cache sized well below the touched-column working set and compare
+// LRU / LFU / manual-preference admission.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace feisu;
+using namespace feisu::bench;
+
+namespace {
+
+struct PolicyOutcome {
+  double miss_rate = 0;
+  double avg_ms = 0;
+};
+
+PolicyOutcome RunPolicy(CachePolicy policy,
+                        const std::vector<TraceQuery>& trace,
+                        bool mark_preferences) {
+  DeploymentSpec spec;
+  spec.enable_smart_index = false;  // isolate the data cache
+  spec.num_blocks = 48;
+  spec.num_fields = 48;
+  auto make = [&]() {
+    EngineConfig config;
+    config.num_leaf_nodes = spec.num_leaf_nodes;
+    config.rows_per_block = spec.rows_per_block;
+    config.leaf.enable_smart_index = false;
+    config.leaf.sim_data_scale = spec.sim_data_scale;
+    // Paper-scale capacities: charged bytes are raw x sim_data_scale
+    // (x selectivity for late-materialized data columns), so the cache
+    // budget must sit at the same scale. ~24 MB per leaf holds a handful
+    // of column chunks out of a working set an order of magnitude larger.
+    config.leaf.ssd_capacity_bytes = 24ULL * 1024 * 1024;
+    config.leaf.ssd_policy = policy;
+    config.master.enable_task_result_reuse = false;
+    auto engine = std::make_unique<FeisuEngine>(config);
+    engine->AddStorage("/hdfs", MakeHdfs(), true);
+    engine->GrantAllDomains("bench");
+    Schema schema = MakeLogSchema(spec.num_fields);
+    if (!engine->CreateTable("t1", schema, "/hdfs/t1").ok()) std::abort();
+    Rng rng(spec.seed);
+    for (size_t b = 0; b < spec.num_blocks; ++b) {
+      if (!engine->Ingest("t1", GenerateRows(schema, spec.rows_per_block,
+                                             &rng))
+               .ok()) {
+        std::abort();
+      }
+    }
+    (void)engine->Flush("t1");
+    return engine;
+  };
+  auto engine = make();
+  if (mark_preferences) {
+    // Business-critical columns are known in advance; mark their cache
+    // keys preferred on every leaf for every block.
+    const TableMeta* meta = engine->catalog().Find("t1");
+    for (const auto& block : meta->blocks()) {
+      for (const char* column : {"c0", "c1", "c2"}) {
+        for (size_t i = 0; i < engine->num_leaves(); ++i) {
+          if (engine->leaf(i).ssd_cache() != nullptr) {
+            engine->leaf(i).ssd_cache()->SetPreference(
+                block.path + "#" + column, true);
+          }
+        }
+      }
+    }
+  }
+  std::vector<double> response_ms = ReplayTrace(engine.get(), trace);
+  PolicyOutcome out;
+  out.avg_ms = Mean(response_ms, 0, response_ms.size());
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (size_t i = 0; i < engine->num_leaves(); ++i) {
+    SsdCache* cache = engine->leaf(i).ssd_cache();
+    if (cache == nullptr) continue;
+    hits += cache->hits();
+    misses += cache->misses();
+  }
+  out.miss_rate = static_cast<double>(misses) /
+                  static_cast<double>(hits + misses);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Schema schema = MakeLogSchema(48);
+  TraceConfig trace_config;
+  trace_config.table = "t1";
+  trace_config.num_queries = 1200;
+  trace_config.predicate_reuse_prob = 0.05;  // ad hoc
+  trace_config.column_zipf = 0.4;            // wide column spread
+  std::vector<TraceQuery> trace = GenerateTrace(trace_config, schema);
+
+  std::printf(
+      "=== §IV-B ablation: SSD data-cache policies under ad-hoc load "
+      "===\n\n");
+  std::printf("%-18s %-14s %-16s\n", "Policy", "Miss rate", "Avg resp (ms)");
+  PolicyOutcome lru = RunPolicy(CachePolicy::kLru, trace, false);
+  std::printf("%-18s %-14.3f %-16.2f\n", "LRU (automatic)", lru.miss_rate,
+              lru.avg_ms);
+  PolicyOutcome lfu = RunPolicy(CachePolicy::kLfu, trace, false);
+  std::printf("%-18s %-14.3f %-16.2f\n", "LFU (automatic)", lfu.miss_rate,
+              lfu.avg_ms);
+  PolicyOutcome manual = RunPolicy(CachePolicy::kManual, trace, true);
+  std::printf("%-18s %-14.3f %-16.2f\n", "Manual preference",
+              manual.miss_rate, manual.avg_ms);
+  bool reproduced = lru.miss_rate > 0.8 && lfu.miss_rate > 0.8;
+  std::printf(
+      "\nPaper finding: automatic policies exceed 80%% misses under ad-hoc "
+      "load -> %s. Manual admission protects the SSD for business-critical "
+      "columns instead of churning it.\n",
+      reproduced ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

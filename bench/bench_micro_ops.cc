@@ -1,0 +1,151 @@
+// Google-benchmark microbenchmarks for Feisu's hot primitives: SmartIndex
+// bitmap algebra, RLE (de)compression, column encodings, B+-tree probes and
+// SQL parsing. These are the operations whose costs the cluster simulator
+// charges; the microbenches document their real magnitudes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "columnar/encoding.h"
+#include "exec/operators.h"
+#include "index/btree.h"
+#include "sql/parser.h"
+
+namespace feisu {
+namespace {
+
+BitVector RandomBits(size_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n, false);
+  for (size_t i = 0; i < n; ++i) bits.Set(i, rng.NextBool(density));
+  return bits;
+}
+
+void BM_BitVectorAnd(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BitVector a = RandomBits(n, 0.3, 1);
+  BitVector b = RandomBits(n, 0.3, 2);
+  for (auto _ : state) {
+    BitVector c = BitVector::And(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitVectorAnd)->Arg(4096)->Arg(65536);
+
+void BM_BitVectorRleRoundTrip(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  BitVector bits = RandomBits(n, 0.05, 3);
+  for (auto _ : state) {
+    std::string payload = bits.SerializeRle();
+    BitVector decoded;
+    BitVector::DeserializeRle(payload, &decoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_BitVectorRleRoundTrip)->Arg(4096)->Arg(65536);
+
+void BM_EncodeInt64Column(benchmark::State& state) {
+  Rng rng(4);
+  ColumnVector col(DataType::kInt64);
+  for (int i = 0; i < 4096; ++i) {
+    col.AppendInt64(static_cast<int64_t>(rng.NextZipf(4, 2.0)));
+  }
+  for (auto _ : state) {
+    EncodedColumn encoded = EncodeColumn(col);
+    benchmark::DoNotOptimize(encoded);
+  }
+}
+BENCHMARK(BM_EncodeInt64Column);
+
+void BM_DecodeInt64Column(benchmark::State& state) {
+  Rng rng(5);
+  ColumnVector col(DataType::kInt64);
+  for (int i = 0; i < 4096; ++i) {
+    col.AppendInt64(rng.NextInt64(0, 100));
+  }
+  EncodedColumn encoded = EncodeColumn(col);
+  for (auto _ : state) {
+    auto decoded = DecodeColumn(DataType::kInt64, encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeInt64Column);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    BPlusTree<double> tree;
+    for (uint32_t i = 0; i < 4096; ++i) {
+      tree.Insert(static_cast<double>(rng.NextInt64(0, 1000)), i);
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  Rng rng(7);
+  BPlusTree<double> tree;
+  for (uint32_t i = 0; i < 65536; ++i) {
+    tree.Insert(static_cast<double>(rng.NextInt64(0, 1000)), i);
+  }
+  for (auto _ : state) {
+    size_t count = 0;
+    tree.ScanRange(100.0, true, 200.0, true,
+                   [&count](uint32_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BTreeRangeScan);
+
+RecordBatch MakeWideBatch(size_t n) {
+  Schema schema({{"k", DataType::kInt64, true}});
+  RecordBatch batch(schema);
+  Rng rng(8);
+  for (size_t i = 0; i < n; ++i) {
+    batch.AppendRow({Value::Int64(rng.NextInt64(0, 1 << 20))}).ok();
+  }
+  return batch;
+}
+
+void BM_SortPlusLimit(benchmark::State& state) {
+  RecordBatch batch = MakeWideBatch(static_cast<size_t>(state.range(0)));
+  OrderByItem item{Expr::ColumnRef("k"), false};
+  for (auto _ : state) {
+    auto sorted = SortBatch(batch, {item});
+    RecordBatch out = LimitBatch(*sorted, 10);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SortPlusLimit)->Arg(4096)->Arg(65536);
+
+void BM_TopN(benchmark::State& state) {
+  RecordBatch batch = MakeWideBatch(static_cast<size_t>(state.range(0)));
+  OrderByItem item{Expr::ColumnRef("k"), false};
+  for (auto _ : state) {
+    auto out = TopNBatch(batch, {item}, 10);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TopN)->Arg(4096)->Arg(65536);
+
+void BM_ParseSql(benchmark::State& state) {
+  const std::string sql =
+      "SELECT c0, COUNT(*) AS n FROM t1 WHERE c2 > 0 AND (c2 <= 5 OR "
+      "c7 CONTAINS 'kw_1') GROUP BY c0 HAVING COUNT(*) > 10 "
+      "ORDER BY n DESC LIMIT 100";
+  for (auto _ : state) {
+    auto stmt = ParseSql(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseSql);
+
+}  // namespace
+}  // namespace feisu
+
+BENCHMARK_MAIN();

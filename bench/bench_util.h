@@ -1,0 +1,104 @@
+#ifndef FEISU_BENCH_BENCH_UTIL_H_
+#define FEISU_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "storage/storage_factory.h"
+#include "workload/datagen.h"
+#include "workload/tracegen.h"
+
+namespace feisu::bench {
+
+/// Parameters of a benchmark deployment, scaled so every harness finishes
+/// in seconds on one core while the simulated-cost model reports
+/// cluster-scale numbers.
+struct DeploymentSpec {
+  size_t num_leaf_nodes = 16;
+  uint32_t rows_per_block = 2048;
+  size_t num_blocks = 32;
+  size_t num_fields = 24;
+  bool enable_smart_index = true;
+  bool enable_btree_index = false;
+  bool enable_task_result_reuse = false;  ///< isolate SmartIndex effects
+  uint64_t index_cache_capacity = 512ULL * 1024 * 1024;
+  /// Each synthetic row stands for this many production rows; scales the
+  /// simulated I/O and per-row CPU charges to the paper's data regime.
+  double sim_data_scale = 512.0;
+  uint64_t seed = 42;
+};
+
+/// Builds an engine with one HDFS system and a T1-like table named "t1".
+inline std::unique_ptr<FeisuEngine> MakeDeployment(
+    const DeploymentSpec& spec) {
+  EngineConfig config;
+  config.num_leaf_nodes = spec.num_leaf_nodes;
+  config.rows_per_block = spec.rows_per_block;
+  config.leaf.enable_smart_index = spec.enable_smart_index;
+  config.leaf.enable_btree_index = spec.enable_btree_index;
+  config.leaf.index_cache.capacity_bytes = spec.index_cache_capacity;
+  config.leaf.sim_data_scale = spec.sim_data_scale;
+  config.master.enable_task_result_reuse = spec.enable_task_result_reuse;
+  config.master.seed = spec.seed;
+  auto engine = std::make_unique<FeisuEngine>(config);
+  engine->AddStorage("/hdfs", MakeHdfs(), /*is_default=*/true);
+  engine->GrantAllDomains("bench");
+
+  Schema schema = MakeLogSchema(spec.num_fields);
+  Status status = engine->CreateTable("t1", schema, "/hdfs/t1");
+  if (!status.ok()) {
+    std::fprintf(stderr, "CreateTable failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  Rng rng(spec.seed);
+  for (size_t b = 0; b < spec.num_blocks; ++b) {
+    status = engine->Ingest(
+        "t1", GenerateRows(schema, spec.rows_per_block, &rng));
+    if (!status.ok()) {
+      std::fprintf(stderr, "Ingest failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+  status = engine->Flush("t1");
+  if (!status.ok()) std::abort();
+  return engine;
+}
+
+/// Replays a trace; returns per-query simulated response times (ms).
+/// Queries are replayed back to back (engine clock), not at trace
+/// timestamps, so index TTLs don't expire mid-experiment unless desired.
+inline std::vector<double> ReplayTrace(FeisuEngine* engine,
+                                       const std::vector<TraceQuery>& trace,
+                                       bool at_trace_time = false) {
+  std::vector<double> response_ms;
+  response_ms.reserve(trace.size());
+  for (const auto& q : trace) {
+    Result<QueryResult> result =
+        at_trace_time ? engine->QueryAt("bench", q.sql, q.timestamp)
+                      : engine->Query("bench", q.sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  %s\n",
+                   result.status().ToString().c_str(), q.sql.c_str());
+      continue;
+    }
+    response_ms.push_back(
+        static_cast<double>(result->stats.response_time) / kSimMillisecond);
+  }
+  return response_ms;
+}
+
+inline double Mean(const std::vector<double>& values, size_t from,
+                   size_t to) {
+  if (from >= to || to > values.size()) return 0.0;
+  double sum = 0;
+  for (size_t i = from; i < to; ++i) sum += values[i];
+  return sum / static_cast<double>(to - from);
+}
+
+}  // namespace feisu::bench
+
+#endif  // FEISU_BENCH_BENCH_UTIL_H_

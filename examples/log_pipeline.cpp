@@ -1,0 +1,106 @@
+// The paper's §III-B ingestion path end to end: a light-weight monitor
+// process on each online service machine watches newly generated log
+// lines, converts them into Feisu's columnar format in place (pinned to
+// the generating node, never replicated off it), and the data becomes
+// queryable within the freshness window — no central collection, which is
+// exactly why Baidu couldn't just funnel everything into one global HDFS.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "ingest/log_monitor.h"
+#include "storage/storage_factory.h"
+
+using namespace feisu;
+
+int main() {
+  EngineConfig config;
+  config.num_leaf_nodes = 4;
+  FeisuEngine engine(config);
+  StorageSystem* local = engine.AddStorage("", MakeLocalFs(), true);
+  engine.GrantAllDomains("ops");
+
+  Schema schema({{"ts", DataType::kInt64, true},
+                 {"latency_ms", DataType::kDouble, true},
+                 {"status", DataType::kInt64, true},
+                 {"endpoint", DataType::kString, true}});
+  if (!engine.CreateTable("svc_log", schema, "/log/svc").ok()) return 1;
+
+  // One monitor per online machine — the "light-weight process" of §III-B.
+  std::vector<std::unique_ptr<LogMonitor>> monitors;
+  LogMonitorConfig monitor_config;
+  monitor_config.rows_per_block = 256;
+  monitor_config.max_buffer_age = kSimMinute;
+  for (uint32_t node = 0; node < engine.num_leaves(); ++node) {
+    monitors.push_back(std::make_unique<LogMonitor>(
+        node, local, &engine.catalog(), "svc_log", "/log/svc",
+        monitor_config));
+  }
+
+  // Simulate an hour of service traffic: each node emits mixed TSV/JSON
+  // lines (with the occasional corrupt one, as real logs have).
+  Rng rng(5);
+  for (int second = 0; second < 3600; ++second) {
+    SimTime now = static_cast<SimTime>(second) * kSimSecond;
+    for (uint32_t node = 0; node < monitors.size(); ++node) {
+      int64_t status = rng.NextBool(0.02) ? 500 : 200;
+      double latency = status == 500 ? 900.0 + rng.NextDouble() * 300
+                                     : 15.0 + rng.NextDouble() * 40;
+      std::string line;
+      if (rng.NextBool(0.3)) {
+        line = "{\"ts\": " + std::to_string(second) +
+               ", \"latency_ms\": " + std::to_string(latency) +
+               ", \"status\": " + std::to_string(status) +
+               ", \"endpoint\": \"/search\"}";
+      } else {
+        line = std::to_string(second) + "\t" + std::to_string(latency) +
+               "\t" + std::to_string(status) + "\t/suggest";
+      }
+      if (rng.NextBool(0.001)) line = "corrupted ###";
+      (void)monitors[node]->OnLogLine(line, now);
+      (void)monitors[node]->Tick(now);
+    }
+  }
+  for (auto& monitor : monitors) (void)monitor->Flush(3600 * kSimSecond);
+
+  uint64_t blocks = 0;
+  uint64_t rejected = 0;
+  for (const auto& monitor : monitors) {
+    blocks += monitor->stats().blocks_written;
+    rejected += monitor->stats().lines_rejected;
+  }
+  const TableMeta* meta = engine.catalog().Find("svc_log");
+  std::printf(
+      "Ingested %llu rows into %llu node-local blocks (%llu dirty lines "
+      "dropped); every block pinned to its generating machine.\n",
+      static_cast<unsigned long long>(meta->TotalRows()),
+      static_cast<unsigned long long>(blocks),
+      static_cast<unsigned long long>(rejected));
+
+  // Fresh data is immediately queryable.
+  auto errors = engine.Query(
+      "ops",
+      "SELECT COUNT(*) AS errors, AVG(latency_ms) AS avg_latency "
+      "FROM svc_log WHERE status = 500");
+  if (!errors.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 errors.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nError-rate check over the live hour:\n%s",
+              errors->batch.ToString().c_str());
+  std::printf("[%.2f ms simulated]\n",
+              static_cast<double>(errors->stats.response_time) /
+                  kSimMillisecond);
+
+  auto recent = engine.Query(
+      "ops",
+      "SELECT endpoint, COUNT(*) AS hits FROM svc_log WHERE ts >= 3540 "
+      "GROUP BY endpoint ORDER BY hits DESC");
+  if (!recent.ok()) return 1;
+  std::printf("\nLast minute of traffic (freshness window = 1 min):\n%s",
+              recent->batch.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "expr/normalize.h"
+#include "plan/optimizer.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace feisu {
+
+Status FeisuClient::CheckSyntax(const std::string& sql) const {
+  Result<SelectStatement> parsed = ParseSql(sql);
+  return parsed.ok() ? Status::OK() : parsed.status();
+}
+
+Status FeisuClient::Verify(const std::string& sql) const {
+  FEISU_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  std::vector<std::string> tables;
+  for (const auto& ref : stmt.from) tables.push_back(ref.name);
+  for (const auto& join : stmt.joins) tables.push_back(join.table.name);
+  for (const auto& table : tables) {
+    const TableMeta* meta = engine_->catalog().Find(table);
+    if (meta == nullptr) return Status::NotFound("table " + table);
+    if (!meta->UserMayRead(user_)) {
+      return Status::PermissionDenied("user " + user_ +
+                                      " may not read table " + table);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> FeisuClient::Explain(const std::string& sql) const {
+  FEISU_RETURN_IF_ERROR(Verify(sql));
+  FEISU_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  FEISU_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt, engine_->catalog()));
+  plan = OptimizePlan(std::move(plan), engine_->catalog());
+  return plan->ToString();
+}
+
+Result<QueryResult> FeisuClient::Query(const std::string& sql) {
+  HistoryEntry entry;
+  entry.timestamp = engine_->clock().Now();
+  entry.sql = sql;
+  FEISU_RETURN_IF_ERROR(Verify(sql));
+  Result<QueryResult> result = engine_->Query(user_, sql);
+  entry.succeeded = result.ok();
+  if (result.ok()) entry.response_time = result->stats.response_time;
+  history_.push_back(std::move(entry));
+  return result;
+}
+
+std::vector<std::pair<std::string, size_t>> FeisuClient::FrequentPredicates(
+    size_t top_k) const {
+  std::map<std::string, size_t> counts;
+  for (const auto& entry : history_) {
+    Result<SelectStatement> parsed = ParseSql(entry.sql);
+    if (!parsed.ok() || parsed->where == nullptr) continue;
+    for (const auto& conjunct : NormalizePredicate(parsed->where)) {
+      ++counts[PredicateKey(conjunct)];
+    }
+  }
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
+                                                     counts.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (sorted.size() > top_k) sorted.resize(top_k);
+  return sorted;
+}
+
+void FeisuClient::PinFrequentPredicates(size_t top_k) {
+  for (const auto& [predicate, count] : FrequentPredicates(top_k)) {
+    for (size_t i = 0; i < engine_->num_leaves(); ++i) {
+      engine_->leaf(i).index_cache().SetPreference(predicate, true);
+    }
+  }
+}
+
+}  // namespace feisu

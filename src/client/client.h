@@ -1,0 +1,65 @@
+#ifndef FEISU_CLIENT_CLIENT_H_
+#define FEISU_CLIENT_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace feisu {
+
+/// One entry of the client-side query history (paper §III-C: "The
+/// client-end also collects user query histories to personalize data
+/// indexing and caching").
+struct HistoryEntry {
+  SimTime timestamp = 0;
+  std::string sql;
+  bool succeeded = false;
+  SimTime response_time = 0;
+};
+
+/// The versatile client end: query syntax checking, access-right
+/// verification before submission, and query-history collection that feeds
+/// SmartIndex personalization (pinning a user's hottest predicates).
+class FeisuClient {
+ public:
+  FeisuClient(FeisuEngine* engine, std::string user)
+      : engine_(engine), user_(std::move(user)) {}
+
+  const std::string& user() const { return user_; }
+
+  /// Syntax check only — does not touch the servers. Returns the parse
+  /// error, if any, so the client can guide the user.
+  Status CheckSyntax(const std::string& sql) const;
+
+  /// Pre-submission verification: syntax plus access rights on every
+  /// referenced table (saving a master round trip on doomed queries).
+  Status Verify(const std::string& sql) const;
+
+  /// Verifies, submits, records history.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// EXPLAIN-style helper: plans and optimizes the query without executing
+  /// it, returning the rendered physical plan tree.
+  Result<std::string> Explain(const std::string& sql) const;
+
+  const std::vector<HistoryEntry>& history() const { return history_; }
+
+  /// The user's most frequent normalized predicates (descending count).
+  std::vector<std::pair<std::string, size_t>> FrequentPredicates(
+      size_t top_k) const;
+
+  /// SmartIndex personalization: marks the user's `top_k` hottest
+  /// predicates as preferred in every leaf index cache, so their indices
+  /// outlive the TTL under low memory pressure.
+  void PinFrequentPredicates(size_t top_k);
+
+ private:
+  FeisuEngine* engine_;
+  std::string user_;
+  std::vector<HistoryEntry> history_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLIENT_CLIENT_H_

@@ -1,0 +1,80 @@
+#include "cluster/cluster_manager.h"
+
+namespace feisu {
+
+ClusterManager::ClusterManager(SimTime heartbeat_interval, SimTime dead_after)
+    : heartbeat_interval_(heartbeat_interval), dead_after_(dead_after) {}
+
+uint32_t ClusterManager::AddNode(bool is_stem, int cores, int task_slots) {
+  NodeInfo node;
+  node.node_id = static_cast<uint32_t>(nodes_.size());
+  node.is_stem = is_stem;
+  node.cores = cores;
+  node.task_slots = task_slots;
+  nodes_.push_back(node);
+  return node.node_id;
+}
+
+NodeInfo* ClusterManager::Node(uint32_t node_id) {
+  if (node_id >= nodes_.size()) return nullptr;
+  return &nodes_[node_id];
+}
+
+const NodeInfo* ClusterManager::Node(uint32_t node_id) const {
+  if (node_id >= nodes_.size()) return nullptr;
+  return &nodes_[node_id];
+}
+
+void ClusterManager::Heartbeat(uint32_t node_id, SimTime now) {
+  NodeInfo* node = Node(node_id);
+  if (node == nullptr) return;
+  node->last_heartbeat = now;
+  node->alive = true;
+}
+
+size_t ClusterManager::SweepLiveness(SimTime now) {
+  size_t died = 0;
+  for (NodeInfo& node : nodes_) {
+    if (node.alive && now - node.last_heartbeat > dead_after_) {
+      node.alive = false;
+      ++died;
+    }
+  }
+  return died;
+}
+
+void ClusterManager::MarkDead(uint32_t node_id) {
+  NodeInfo* node = Node(node_id);
+  if (node != nullptr) node->alive = false;
+}
+
+void ClusterManager::MarkAlive(uint32_t node_id, SimTime now) {
+  NodeInfo* node = Node(node_id);
+  if (node != nullptr) {
+    node->alive = true;
+    node->last_heartbeat = now;
+  }
+}
+
+void ClusterManager::SetSlowdown(uint32_t node_id, double factor) {
+  NodeInfo* node = Node(node_id);
+  if (node != nullptr) node->slowdown_factor = factor;
+}
+
+std::vector<uint32_t> ClusterManager::AliveLeafNodes() const {
+  std::vector<uint32_t> out;
+  for (const NodeInfo& node : nodes_) {
+    if (node.alive && !node.is_stem) out.push_back(node.node_id);
+  }
+  return out;
+}
+
+size_t ClusterManager::AliveCount() const {
+  size_t count = 0;
+  for (const NodeInfo& node : nodes_) {
+    if (node.alive) ++count;
+  }
+  return count;
+}
+
+}  // namespace feisu

@@ -1,0 +1,70 @@
+#ifndef FEISU_CLUSTER_CLUSTER_MANAGER_H_
+#define FEISU_CLUSTER_CLUSTER_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+/// Per-node runtime information tracked by the cluster manager.
+struct NodeInfo {
+  uint32_t node_id = 0;
+  bool is_stem = false;
+  bool alive = true;
+  int cores = 4;
+  int task_slots = 4;             ///< concurrent Feisu tasks allowed
+  double slowdown_factor = 1.0;   ///< >1 models a degraded/contended node
+  SimTime last_heartbeat = 0;
+  uint64_t tasks_executed = 0;
+};
+
+/// Manages worker runtime state (paper §III-C "Cluster manager"). Feisu
+/// deliberately does not use ZooKeeper — workers are too many and
+/// geo-distributed — so liveness comes from periodic heartbeats over the
+/// control traffic class and nodes missing `dead_after` are treated as
+/// crashed until they report again.
+class ClusterManager {
+ public:
+  explicit ClusterManager(SimTime heartbeat_interval = 5 * kSimSecond,
+                          SimTime dead_after = 30 * kSimSecond);
+
+  uint32_t AddNode(bool is_stem, int cores = 4, int task_slots = 4);
+  size_t NumNodes() const { return nodes_.size(); }
+
+  NodeInfo* Node(uint32_t node_id);
+  const NodeInfo* Node(uint32_t node_id) const;
+
+  /// Processes one heartbeat from a node.
+  void Heartbeat(uint32_t node_id, SimTime now);
+
+  /// Sweeps liveness: nodes silent past `dead_after` are marked dead.
+  /// Returns how many nodes changed to dead.
+  size_t SweepLiveness(SimTime now);
+
+  /// Fault injection for tests and ablations.
+  void MarkDead(uint32_t node_id);
+  void MarkAlive(uint32_t node_id, SimTime now);
+  void SetSlowdown(uint32_t node_id, double factor);
+
+  std::vector<uint32_t> AliveLeafNodes() const;
+  size_t AliveCount() const;
+
+  SimTime heartbeat_interval() const { return heartbeat_interval_; }
+
+  /// Simulated control-plane load of one heartbeat sweep: one control
+  /// round trip per alive node. The master scalability discussion in paper
+  /// §VII is driven by this growing with the worker count.
+  uint64_t HeartbeatMessagesPerSweep() const { return AliveCount(); }
+
+ private:
+  SimTime heartbeat_interval_;
+  SimTime dead_after_;
+  std::vector<NodeInfo> nodes_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_CLUSTER_MANAGER_H_

@@ -1,0 +1,50 @@
+#include "cluster/entry_guard.h"
+
+namespace feisu {
+
+EntryGuard::EntryGuard(SsoAuthenticator* sso, const Catalog* catalog,
+                       uint64_t daily_query_quota)
+    : sso_(sso), catalog_(catalog), daily_query_quota_(daily_query_quota) {}
+
+Result<JobCredential> EntryGuard::Admit(const std::string& user,
+                                        const std::string& table,
+                                        SimTime now) {
+  // Quota: count queries per simulated day.
+  int64_t day = now / (24 * kSimHour);
+  auto& [last_day, count] = usage_[user];
+  if (last_day != day) {
+    last_day = day;
+    count = 0;
+  }
+  if (count >= daily_query_quota_) {
+    ++rejected_;
+    return Status::ResourceExhausted("user " + user +
+                                     " exceeded daily query quota");
+  }
+
+  const TableMeta* meta = catalog_->Find(table);
+  if (meta == nullptr) {
+    ++rejected_;
+    return Status::NotFound("table " + table + " not found");
+  }
+  if (!meta->UserMayRead(user)) {
+    ++rejected_;
+    return Status::PermissionDenied("user " + user +
+                                    " may not read table " + table);
+  }
+  Result<JobCredential> credential = sso_->Authenticate(user);
+  if (!credential.ok()) {
+    ++rejected_;
+    return credential.status();
+  }
+  ++count;
+  ++admitted_;
+  return credential;
+}
+
+bool EntryGuard::AuthorizeDomain(const JobCredential& credential,
+                                 const std::string& domain) const {
+  return sso_->Authorize(credential, domain);
+}
+
+}  // namespace feisu

@@ -1,0 +1,47 @@
+#ifndef FEISU_CLUSTER_ENTRY_GUARD_H_
+#define FEISU_CLUSTER_ENTRY_GUARD_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "plan/catalog.h"
+#include "storage/sso.h"
+
+namespace feisu {
+
+/// The entry point of the system (paper §III-C): security checking of
+/// access flows, dispatch of incoming traffic, and capability protection
+/// against malicious/runaway clients via per-user daily query quotas.
+class EntryGuard {
+ public:
+  EntryGuard(SsoAuthenticator* sso, const Catalog* catalog,
+             uint64_t daily_query_quota = 10'000);
+
+  /// Admits a query: authenticates the user (minting a job credential),
+  /// verifies the user may read `table`, and enforces the quota. Returns
+  /// the credential attached to the job on success.
+  Result<JobCredential> Admit(const std::string& user,
+                              const std::string& table, SimTime now);
+
+  /// Authorizes a job credential against the storage domain owning `path`
+  /// (called per-task by workers).
+  bool AuthorizeDomain(const JobCredential& credential,
+                       const std::string& domain) const;
+
+  uint64_t rejected_count() const { return rejected_; }
+  uint64_t admitted_count() const { return admitted_; }
+
+ private:
+  SsoAuthenticator* sso_;
+  const Catalog* catalog_;
+  uint64_t daily_query_quota_;
+  std::map<std::string, std::pair<int64_t, uint64_t>> usage_;  // user -> (day, count)
+  uint64_t rejected_ = 0;
+  uint64_t admitted_ = 0;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_ENTRY_GUARD_H_

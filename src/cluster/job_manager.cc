@@ -1,0 +1,79 @@
+#include "cluster/job_manager.h"
+
+namespace feisu {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kFinished:
+      return "FINISHED";
+    case JobState::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+int64_t JobManager::CreateJob(const std::string& user, const std::string& sql,
+                              SimTime now) {
+  JobInfo job;
+  job.job_id = next_job_id_++;
+  job.user = user;
+  job.sql = sql;
+  job.submit_time = now;
+  jobs_.emplace(job.job_id, job);
+  return job.job_id;
+}
+
+void JobManager::SetState(int64_t job_id, JobState state, SimTime now,
+                          const std::string& error) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  it->second.state = state;
+  if (state == JobState::kFinished || state == JobState::kFailed) {
+    it->second.finish_time = now;
+  }
+  it->second.error = error;
+}
+
+const JobInfo* JobManager::Find(int64_t job_id) const {
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+bool JobManager::TryReuse(const std::string& signature, TaskResult* out) {
+  auto it = reuse_cache_.find(signature);
+  if (it == reuse_cache_.end()) {
+    ++reuse_misses_;
+    return false;
+  }
+  ++reuse_hits_;
+  reuse_lru_.erase(it->second.lru_it);
+  reuse_lru_.push_front(signature);
+  it->second.lru_it = reuse_lru_.begin();
+  *out = it->second.result;
+  // A reused result costs nothing to recompute; the stats of the original
+  // execution must not be double counted.
+  out->stats = TaskStats();
+  return true;
+}
+
+void JobManager::CacheResult(const std::string& signature,
+                             const TaskResult& result) {
+  if (reuse_capacity_ == 0) return;
+  auto it = reuse_cache_.find(signature);
+  if (it != reuse_cache_.end()) {
+    reuse_lru_.erase(it->second.lru_it);
+    reuse_cache_.erase(it);
+  }
+  while (reuse_cache_.size() >= reuse_capacity_) {
+    reuse_cache_.erase(reuse_lru_.back());
+    reuse_lru_.pop_back();
+  }
+  reuse_lru_.push_front(signature);
+  reuse_cache_.emplace(signature, ReuseEntry{result, reuse_lru_.begin()});
+}
+
+}  // namespace feisu

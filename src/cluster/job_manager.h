@@ -1,0 +1,71 @@
+#ifndef FEISU_CLUSTER_JOB_MANAGER_H_
+#define FEISU_CLUSTER_JOB_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/task.h"
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+enum class JobState { kQueued, kRunning, kFinished, kFailed };
+
+const char* JobStateName(JobState state);
+
+struct JobInfo {
+  int64_t job_id = 0;
+  std::string user;
+  std::string sql;
+  JobState state = JobState::kQueued;
+  SimTime submit_time = 0;
+  SimTime finish_time = 0;
+  std::string error;
+};
+
+/// Maintains running job information (paper §III-C "Job manager") and the
+/// identical-task result-reuse cache: before a new job's tasks enter the
+/// candidate queue, tasks whose signature matches a recently computed task
+/// reuse that result instead of executing.
+class JobManager {
+ public:
+  explicit JobManager(size_t reuse_cache_capacity = 4096)
+      : reuse_capacity_(reuse_cache_capacity) {}
+
+  int64_t CreateJob(const std::string& user, const std::string& sql,
+                    SimTime now);
+  void SetState(int64_t job_id, JobState state, SimTime now,
+                const std::string& error = "");
+  const JobInfo* Find(int64_t job_id) const;
+  size_t NumJobs() const { return jobs_.size(); }
+
+  /// Task-result reuse. TryReuse copies a cached result for an identical
+  /// task; CacheResult publishes a fresh one (LRU-bounded).
+  bool TryReuse(const std::string& signature, TaskResult* out);
+  void CacheResult(const std::string& signature, const TaskResult& result);
+  void InvalidateReuseCache() { reuse_cache_.clear(); reuse_lru_.clear(); }
+
+  uint64_t reuse_hits() const { return reuse_hits_; }
+  uint64_t reuse_misses() const { return reuse_misses_; }
+
+ private:
+  std::map<int64_t, JobInfo> jobs_;
+  int64_t next_job_id_ = 1;
+
+  size_t reuse_capacity_;
+  struct ReuseEntry {
+    TaskResult result;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, ReuseEntry> reuse_cache_;
+  std::list<std::string> reuse_lru_;
+  uint64_t reuse_hits_ = 0;
+  uint64_t reuse_misses_ = 0;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_JOB_MANAGER_H_

@@ -1,0 +1,362 @@
+#include "cluster/leaf_server.h"
+
+#include <algorithm>
+#include <set>
+
+#include "exec/aggregate.h"
+#include "exec/operators.h"
+#include "expr/evaluator.h"
+#include "expr/normalize.h"
+#include "storage/storage_factory.h"
+
+namespace feisu {
+
+namespace {
+
+/// True for an atom of the form <column> OP <literal> (the shape zone maps
+/// and B-tree probes can serve); extracts the pieces.
+bool MatchColumnOpLiteral(const Expr& expr, std::string* column,
+                          CompareOp* op, const Value** literal) {
+  if (expr.kind() != ExprKind::kComparison) return false;
+  const ExprPtr& l = expr.child(0);
+  const ExprPtr& r = expr.child(1);
+  if (l->kind() != ExprKind::kColumnRef || r->kind() != ExprKind::kLiteral) {
+    return false;
+  }
+  *column = l->column();
+  *op = expr.compare_op();
+  *literal = &r->value();
+  return true;
+}
+
+std::vector<std::string> ExprColumns(const ExprPtr& expr) {
+  std::vector<std::string> cols;
+  if (expr != nullptr) expr->CollectColumns(&cols);
+  return cols;
+}
+
+/// Decodes the task's data columns. When the task needs no data columns
+/// (e.g. `SELECT 1 FROM t WHERE ...`), a synthetic row-id column keeps the
+/// row count flowing through downstream operators.
+Result<RecordBatch> DecodeDataBatch(const ColumnarBlock& block,
+                                    const std::vector<std::string>& columns) {
+  if (!columns.empty()) return block.DecodeBatch(columns);
+  ColumnVector rowid(DataType::kInt64);
+  rowid.Reserve(block.num_rows());
+  for (uint32_t i = 0; i < block.num_rows(); ++i) {
+    rowid.AppendInt64(static_cast<int64_t>(i));
+  }
+  std::vector<ColumnVector> cols;
+  cols.push_back(std::move(rowid));
+  return RecordBatch(Schema({{"__rowid", DataType::kInt64, false}}),
+                     std::move(cols));
+}
+
+}  // namespace
+
+LeafServer::LeafServer(uint32_t node_id, PathRouter* router,
+                       LeafServerConfig config)
+    : node_id_(node_id),
+      router_(router),
+      config_(config),
+      index_cache_(config.index_cache),
+      resolver_(&index_cache_) {
+  if (config_.ssd_capacity_bytes > 0) {
+    ssd_cache_ = std::make_unique<SsdCache>(config_.ssd_capacity_bytes,
+                                            config_.ssd_policy,
+                                            SsdCostModel());
+  }
+}
+
+Result<const ColumnarBlock*> LeafServer::LoadBlock(
+    const TableBlockMeta& meta) {
+  auto it = decoded_blocks_.find(meta.path);
+  if (it != decoded_blocks_.end()) return &it->second;
+  FEISU_ASSIGN_OR_RETURN(const std::string* payload, router_->Get(meta.path));
+  FEISU_ASSIGN_OR_RETURN(ColumnarBlock block,
+                         ColumnarBlock::Deserialize(*payload));
+  auto [inserted, ok] = decoded_blocks_.emplace(meta.path, std::move(block));
+  return &inserted->second;
+}
+
+SimTime LeafServer::ChargeColumnRead(const ColumnarBlock& block,
+                                     const TableBlockMeta& meta,
+                                     const std::vector<std::string>& columns,
+                                     double fraction, TaskStats* stats) {
+  if (fraction < config_.min_read_fraction) {
+    fraction = config_.min_read_fraction;
+  }
+  if (fraction > 1.0) fraction = 1.0;
+  SimTime io = 0;
+  auto storage = router_->Resolve(meta.path);
+  for (const auto& column : columns) {
+    int idx = block.schema().FieldIndex(column);
+    if (idx < 0) continue;
+    uint64_t bytes = static_cast<uint64_t>(
+        static_cast<double>(block.ColumnByteSize(static_cast<size_t>(idx))) *
+        config_.sim_data_scale * fraction);
+    stats->bytes_read += bytes;
+    std::string ssd_key = meta.path + "#" + column;
+    if (ssd_cache_ != nullptr && ssd_cache_->Lookup(ssd_key)) {
+      io += ssd_cache_->ReadCost(bytes);
+      continue;
+    }
+    io += storage.ok() ? (*storage)->ReadCost(bytes)
+                       : kSimMillisecond;  // unroutable: nominal charge
+    if (ssd_cache_ != nullptr) ssd_cache_->Admit(ssd_key, bytes);
+  }
+  return io;
+}
+
+Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
+  TaskResult result;
+  TaskStats& stats = result.stats;
+  // Every task pays a fixed dispatch/metadata overhead regardless of how
+  // much it ends up reading.
+  stats.cpu_time += config_.cpu_task_fixed;
+  const uint32_t num_rows = task.block.num_rows;
+
+  std::vector<ExprPtr> conjuncts = NormalizePredicate(task.predicate);
+
+  // --- 1. Zone-map pruning over catalog block statistics. A conjunct of
+  // the form <column> OP <literal> whose min/max excludes any match lets
+  // the whole block be skipped without touching data. ---
+  bool zone_prunable = false;
+  if (config_.enable_zone_maps && !task.block.stats.empty() &&
+      !conjuncts.empty()) {
+    for (const auto& conjunct : conjuncts) {
+      std::string column;
+      CompareOp op;
+      const Value* literal = nullptr;
+      if (!MatchColumnOpLiteral(*conjunct, &column, &op, &literal)) continue;
+      int idx = -1;
+      for (size_t i = 0; i < task.block.stats_columns.size(); ++i) {
+        if (task.block.stats_columns[i] == column) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx < 0 || static_cast<size_t>(idx) >= task.block.stats.size()) {
+        continue;
+      }
+      stats.cpu_time += config_.cpu_per_bitmap_word;
+      if (!StatsMayMatch(op, task.block.stats[idx], *literal)) {
+        zone_prunable = true;
+        break;
+      }
+    }
+  }
+
+  auto empty_output = [&]() -> Result<TaskResult> {
+    FEISU_ASSIGN_OR_RETURN(const ColumnarBlock* block, LoadBlock(task.block));
+    if (task.has_aggregate) {
+      // Empty partial state: an Aggregator with no consumed rows.
+      FEISU_ASSIGN_OR_RETURN(
+          Aggregator agg,
+          Aggregator::Make(task.group_by, task.aggregates, block->schema()));
+      FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());
+      return result;
+    }
+    FEISU_ASSIGN_OR_RETURN(RecordBatch batch,
+                           DecodeDataBatch(*block, task.columns));
+    result.batch = batch.Filter(BitVector(batch.num_rows(), false));
+    return result;
+  };
+
+  if (zone_prunable) {
+    stats.block_skipped = true;
+    return empty_output();
+  }
+
+  // --- 2. Resolve conjuncts: SmartIndex -> B-tree -> evaluation. ---
+  std::vector<BitVector> bitmaps;
+  std::vector<ExprPtr> missing;
+  std::set<std::string> charged_columns;
+
+  for (const auto& conjunct : conjuncts) {
+    if (config_.enable_smart_index) {
+      ResolverStats before = resolver_.stats();
+      std::optional<BitVector> bits =
+          resolver_.Resolve(task.block.block_id, conjunct, now);
+      const ResolverStats& after = resolver_.stats();
+      stats.index_direct_hits += after.direct_hits - before.direct_hits;
+      stats.index_composed_hits +=
+          after.composed_hits - before.composed_hits;
+      stats.index_misses += after.misses - before.misses;
+      stats.cpu_time += static_cast<SimTime>(
+          static_cast<double>(after.bitmap_words - before.bitmap_words) *
+          config_.sim_data_scale *
+          static_cast<double>(config_.cpu_per_bitmap_word));
+      if (bits.has_value()) {
+        bitmaps.push_back(std::move(*bits));
+        continue;
+      }
+    }
+    if (config_.enable_btree_index) {
+      std::string column;
+      CompareOp op;
+      const Value* literal = nullptr;
+      if (MatchColumnOpLiteral(*conjunct, &column, &op, &literal)) {
+        const ColumnBTreeIndex* index =
+            btree_manager_.Find(task.block.block_id, column);
+        if (index == nullptr) {
+          // Build once: read the column and insert all rows.
+          FEISU_ASSIGN_OR_RETURN(const ColumnarBlock* block,
+                                 LoadBlock(task.block));
+          stats.io_time +=
+              ChargeColumnRead(*block, task.block, {column}, 1.0, &stats);
+          charged_columns.insert(column);
+          FEISU_ASSIGN_OR_RETURN(ColumnVector values,
+                                 block->DecodeColumnByName(column));
+          stats.cpu_time += RowCost(values.size(),
+                                    config_.cpu_per_row_btree_build);
+          index = btree_manager_.BuildAndStore(task.block.block_id, column,
+                                               values);
+          ++stats.btree_builds;
+        }
+        std::optional<BitVector> bits = index->Query(op, *literal);
+        if (bits.has_value()) {
+          ++stats.btree_probes;
+          stats.cpu_time += config_.cpu_per_btree_probe;
+          stats.cpu_time += RowCost(bits->CountOnes(),
+                                    config_.cpu_per_row_btree_emit);
+          bitmaps.push_back(std::move(*bits));
+          continue;
+        }
+      }
+    }
+    missing.push_back(conjunct);
+  }
+
+  // --- 3. Evaluate unresolved conjuncts by scanning their columns. ---
+  if (!missing.empty()) {
+    std::set<std::string> needed;
+    for (const auto& conjunct : missing) {
+      for (const auto& col : ExprColumns(conjunct)) needed.insert(col);
+    }
+    std::vector<std::string> to_charge;
+    for (const auto& col : needed) {
+      if (charged_columns.insert(col).second) to_charge.push_back(col);
+    }
+    FEISU_ASSIGN_OR_RETURN(const ColumnarBlock* block, LoadBlock(task.block));
+    stats.io_time +=
+        ChargeColumnRead(*block, task.block, to_charge, 1.0, &stats);
+    FEISU_ASSIGN_OR_RETURN(
+        RecordBatch pred_batch,
+        block->DecodeBatch(std::vector<std::string>(needed.begin(),
+                                                    needed.end())));
+    for (const auto& conjunct : missing) {
+      FEISU_ASSIGN_OR_RETURN(TriStateVector tri,
+                             EvaluatePredicate3VL(*conjunct, pred_batch));
+      stats.rows_scanned += pred_batch.num_rows();
+      stats.cpu_time +=
+          RowCost(pred_batch.num_rows(), config_.cpu_per_row_predicate);
+      if (config_.enable_smart_index) {
+        index_cache_.Insert({task.block.block_id, PredicateKey(conjunct)},
+                            tri.is_true, now);
+        // Materialize the negation's bitmap under the negated predicate's
+        // key (paper Fig. 7: `!(c2 > 5)` reuses the work done for
+        // `c2 <= 5`). Under three-valued logic the negation's TRUE set is
+        // the original's FALSE set — NOT of the TRUE bitmap would wrongly
+        // include rows with NULL operands. Only atoms get duals; a
+        // disjunction's negation never matches a normalized lookup key.
+        if (conjunct->kind() == ExprKind::kComparison ||
+            (conjunct->kind() == ExprKind::kLogical &&
+             conjunct->logical_op() == LogicalOp::kNot)) {
+          ExprPtr dual = CanonicalizeAtoms(PushDownNot(Expr::Not(conjunct)));
+          index_cache_.Insert({task.block.block_id, PredicateKey(dual)},
+                              tri.is_false, now);
+        }
+      }
+      bitmaps.push_back(std::move(tri.is_true));
+    }
+  }
+
+  // --- 4. Combine into the selection vector. ---
+  BitVector selection(num_rows, true);
+  for (const auto& bits : bitmaps) {
+    selection.And(bits);
+    stats.cpu_time += static_cast<SimTime>(
+        static_cast<double>((num_rows + 63) / 64) * config_.sim_data_scale *
+        static_cast<double>(config_.cpu_per_bitmap_word));
+  }
+  stats.rows_matched = selection.CountOnes();
+
+  if (stats.rows_matched == 0 && !conjuncts.empty()) {
+    return empty_output();
+  }
+
+  // --- 5. Produce output: partial aggregation or filtered projection. ---
+  // Pure COUNT(*) with no grouping needs no data columns at all — the
+  // paper's Fig. 7 case where everything happens in memory.
+  bool pure_count_star =
+      task.has_aggregate && task.group_by.empty() &&
+      std::all_of(task.aggregates.begin(), task.aggregates.end(),
+                  [](const AggSpec& s) {
+                    return s.func == AggFunc::kCount && s.arg == nullptr;
+                  });
+  if (pure_count_star) {
+    FEISU_ASSIGN_OR_RETURN(const ColumnarBlock* block, LoadBlock(task.block));
+    FEISU_ASSIGN_OR_RETURN(
+        Aggregator agg,
+        Aggregator::Make(task.group_by, task.aggregates, block->schema()));
+    FEISU_RETURN_IF_ERROR(agg.ConsumeCount(stats.rows_matched));
+    FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());
+    return result;
+  }
+
+  std::vector<std::string> to_charge;
+  for (const auto& col : task.columns) {
+    if (charged_columns.insert(col).second) to_charge.push_back(col);
+  }
+  FEISU_ASSIGN_OR_RETURN(const ColumnarBlock* block, LoadBlock(task.block));
+  // Late materialization: only the selected fraction of each data column
+  // is actually fetched.
+  double selectivity =
+      conjuncts.empty()
+          ? 1.0
+          : static_cast<double>(stats.rows_matched) /
+                static_cast<double>(num_rows == 0 ? 1 : num_rows);
+  stats.io_time +=
+      ChargeColumnRead(*block, task.block, to_charge, selectivity, &stats);
+  FEISU_ASSIGN_OR_RETURN(RecordBatch data,
+                         DecodeDataBatch(*block, task.columns));
+  RecordBatch filtered =
+      conjuncts.empty() ? data : data.Filter(selection);
+  stats.cpu_time +=
+      RowCost(filtered.num_rows(), config_.cpu_per_row_materialize);
+
+  if (!task.has_aggregate && task.limit >= 0 &&
+      filtered.num_rows() > static_cast<size_t>(task.limit)) {
+    // Distributed LIMIT: this leaf's contribution is capped; the master
+    // trims the union to the global limit. With an order hint the cap is
+    // the local top-k under that ordering (bounded heap).
+    if (!task.order_by.empty()) {
+      FEISU_ASSIGN_OR_RETURN(filtered,
+                             TopNBatch(filtered, task.order_by, task.limit));
+      stats.cpu_time +=
+          RowCost(filtered.num_rows(), config_.cpu_per_row_materialize);
+    } else {
+      BitVector head(filtered.num_rows(), false);
+      for (int64_t i = 0; i < task.limit; ++i) {
+        head.Set(static_cast<size_t>(i), true);
+      }
+      filtered = filtered.Filter(head);
+    }
+  }
+
+  if (task.has_aggregate) {
+    FEISU_ASSIGN_OR_RETURN(
+        Aggregator agg,
+        Aggregator::Make(task.group_by, task.aggregates, block->schema()));
+    FEISU_RETURN_IF_ERROR(agg.Consume(filtered));
+    stats.cpu_time +=
+        RowCost(filtered.num_rows(), config_.cpu_per_row_aggregate);
+    FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());
+  } else {
+    result.batch = std::move(filtered);
+  }
+  return result;
+}
+
+}  // namespace feisu

@@ -1,0 +1,110 @@
+#ifndef FEISU_CLUSTER_LEAF_SERVER_H_
+#define FEISU_CLUSTER_LEAF_SERVER_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "cluster/task.h"
+#include "common/result.h"
+#include "index/btree_index.h"
+#include "index/index_cache.h"
+#include "index/index_resolver.h"
+#include "storage/path_router.h"
+#include "storage/ssd_cache.h"
+
+namespace feisu {
+
+/// Execution-mode and cost knobs for one leaf server.
+struct LeafServerConfig {
+  IndexCacheConfig index_cache;
+  bool enable_smart_index = true;
+  bool enable_btree_index = false;  ///< Fig. 9b baseline mode
+  bool enable_zone_maps = true;     ///< min/max block skipping
+
+  /// Optional SSD column cache; 0 disables it.
+  uint64_t ssd_capacity_bytes = 0;
+  CachePolicy ssd_policy = CachePolicy::kManual;
+
+  /// Paper-scale multiplier: every synthetic row stands for this many
+  /// production rows. Scales simulated I/O bytes and per-row CPU charges
+  /// (not results), so laptop-sized blocks exercise the cost regime of the
+  /// paper's terabyte tables. 1.0 = charge exactly what is stored.
+  double sim_data_scale = 1.0;
+
+  /// Floor on the fraction of a data column charged after bitmap
+  /// filtering (late materialization reads whole pages, not single rows).
+  double min_read_fraction = 1.0 / 64.0;
+
+  // CPU cost constants (per-row / per-word simulated charges).
+  SimTime cpu_task_fixed = 20 * kSimMicrosecond;  ///< per-task overhead
+  SimTime cpu_per_row_predicate = 12;   ///< evaluate one predicate on one row
+  SimTime cpu_per_row_aggregate = 8;
+  SimTime cpu_per_row_materialize = 6;
+  SimTime cpu_per_bitmap_word = 1;      ///< SmartIndex combine cost
+  SimTime cpu_per_byte_decode = 0;      ///< charged per 16 bytes below
+  SimTime cpu_per_btree_probe = 250;    ///< one tree descent
+  SimTime cpu_per_row_btree_build = 40;
+  SimTime cpu_per_row_btree_emit = 2;   ///< materializing matching row ids
+};
+
+/// A leaf server: the light-weight Feisu process deployed on each storage
+/// node. It executes scan sub-plans over local blocks, maintains the
+/// SmartIndex cache (and optionally the B-tree baseline), and charges all
+/// I/O and CPU against simulated time.
+class LeafServer {
+ public:
+  LeafServer(uint32_t node_id, PathRouter* router, LeafServerConfig config);
+
+  LeafServer(const LeafServer&) = delete;
+  LeafServer& operator=(const LeafServer&) = delete;
+
+  uint32_t node_id() const { return node_id_; }
+  const LeafServerConfig& config() const { return config_; }
+
+  /// Executes one task at simulated time `now`. The returned stats carry
+  /// the simulated io/cpu cost of the task; the caller (scheduler) turns
+  /// that into completion times.
+  Result<TaskResult> Execute(const LeafTask& task, SimTime now);
+
+  IndexCache& index_cache() { return index_cache_; }
+  const ResolverStats& resolver_stats() const { return resolver_.stats(); }
+  BTreeIndexManager& btree_manager() { return btree_manager_; }
+  SsdCache* ssd_cache() { return ssd_cache_.get(); }
+
+  /// Drops cached decoded blocks (host-memory optimization, not simulated
+  /// state).
+  void DropDecodedBlocks() { decoded_blocks_.clear(); }
+
+ private:
+  /// Loads + decodes a block, charging `io` for the given columns only
+  /// (columnar read). The decoded block is memoized in host memory to keep
+  /// wall-clock benches fast; simulated I/O is charged on every call.
+  Result<const ColumnarBlock*> LoadBlock(const TableBlockMeta& meta);
+
+  /// Charges the I/O for reading a `fraction` of each of `columns` of
+  /// `block` (late materialization), via the SSD cache when enabled.
+  SimTime ChargeColumnRead(const ColumnarBlock& block,
+                           const TableBlockMeta& meta,
+                           const std::vector<std::string>& columns,
+                           double fraction, TaskStats* stats);
+
+  /// Per-row CPU charge helper honoring sim_data_scale.
+  SimTime RowCost(uint64_t rows, SimTime per_row) const {
+    return static_cast<SimTime>(static_cast<double>(rows) *
+                                config_.sim_data_scale *
+                                static_cast<double>(per_row));
+  }
+
+  uint32_t node_id_;
+  PathRouter* router_;
+  LeafServerConfig config_;
+  IndexCache index_cache_;
+  IndexResolver resolver_;
+  BTreeIndexManager btree_manager_;
+  std::unique_ptr<SsdCache> ssd_cache_;
+  std::unordered_map<std::string, ColumnarBlock> decoded_blocks_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_LEAF_SERVER_H_

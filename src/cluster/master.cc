@@ -1,0 +1,520 @@
+#include "cluster/master.h"
+
+#include <algorithm>
+#include <sstream>
+#include <set>
+
+#include "exec/operators.h"
+#include "plan/optimizer.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace feisu {
+
+namespace {
+
+/// Collects the alias of the single scan under a subtree (for join column
+/// qualification); empty when the subtree has several scans.
+std::string SubtreeAlias(const PlanPtr& node) {
+  if (node->kind == PlanKind::kScan) {
+    return node->table_alias.empty() ? node->table : node->table_alias;
+  }
+  if (node->children.size() == 1) return SubtreeAlias(node->children[0]);
+  return "";
+}
+
+}  // namespace
+
+std::string FormatQueryStats(const QueryStats& stats) {
+  std::ostringstream os;
+  os << "response time: "
+     << static_cast<double>(stats.response_time) / kSimMillisecond
+     << " ms (leaves "
+     << static_cast<double>(stats.leaf_finish_time) / kSimMillisecond
+     << " ms, stems "
+     << static_cast<double>(stats.stem_finish_time) / kSimMillisecond
+     << " ms)\n";
+  os << "tasks: " << stats.total_tasks << " total, " << stats.reused_tasks
+     << " reused, " << stats.skipped_blocks << " zone-map skipped, "
+     << stats.abandoned_tasks << " abandoned, " << stats.backup_tasks
+     << " backup, " << stats.remote_tasks << " remote\n";
+  os << "leaf I/O: " << stats.leaf.bytes_read << " bytes read, "
+     << stats.leaf.rows_scanned << " rows scanned, " << stats.leaf.rows_matched
+     << " matched\n";
+  os << "SmartIndex: " << stats.leaf.index_direct_hits << " direct + "
+     << stats.leaf.index_composed_hits << " composed hits, "
+     << stats.leaf.index_misses << " misses\n";
+  os << "shuffle: " << stats.bytes_shuffled << " bytes ("
+     << stats.spilled_results << " results spilled, " << stats.spilled_bytes
+     << " bytes via global storage)\n";
+  os << "plan:\n" << stats.plan_text;
+  return os.str();
+}
+
+MasterServer::MasterServer(Catalog* catalog, PathRouter* router,
+                           ClusterManager* cluster, SsoAuthenticator* sso,
+                           std::vector<std::unique_ptr<LeafServer>>* leaves,
+                           MasterConfig config)
+    : catalog_(catalog),
+      router_(router),
+      cluster_(cluster),
+      leaves_(leaves),
+      config_(config),
+      job_manager_(config.task_result_cache_capacity),
+      entry_guard_(sso, catalog, config.daily_query_quota),
+      scheduler_(cluster, router, config.network, config.schedule,
+                 config.seed) {}
+
+Result<QueryResult> MasterServer::ExecuteQuery(const std::string& user,
+                                               const std::string& sql,
+                                               SimTime now) {
+  FEISU_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+
+  // Admission: authenticate once, verify ACL on every referenced table.
+  std::vector<std::string> tables;
+  for (const auto& ref : stmt.from) tables.push_back(ref.name);
+  for (const auto& join : stmt.joins) tables.push_back(join.table.name);
+  if (tables.empty()) return Status::InvalidArgument("no tables referenced");
+  JobCredential credential;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    FEISU_ASSIGN_OR_RETURN(JobCredential c,
+                           entry_guard_.Admit(user, tables[i], now));
+    if (i == 0) credential = c;
+  }
+  // Cross-domain authorization: the job credential must cover the storage
+  // domain of every block it will read.
+  for (const auto& table : tables) {
+    FEISU_ASSIGN_OR_RETURN(const TableMeta* meta, catalog_->Get(table));
+    for (const auto& block : meta->blocks()) {
+      auto storage = router_->Resolve(block.path);
+      if (storage.ok() &&
+          !entry_guard_.AuthorizeDomain(credential, (*storage)->domain())) {
+        return Status::PermissionDenied("user " + user + " lacks domain " +
+                                        (*storage)->domain());
+      }
+      break;  // all blocks of a table share one storage system
+    }
+  }
+
+  int64_t job_id = job_manager_.CreateJob(user, sql, now);
+  job_manager_.SetState(job_id, JobState::kRunning, now);
+
+  FEISU_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt, *catalog_));
+  // The standard rule pipeline, with per-rule ablation toggles.
+  plan = FoldConstants(std::move(plan));
+  if (config_.enable_predicate_pushdown) {
+    plan = PushDownPredicates(std::move(plan));
+  }
+  if (config_.enable_limit_pushdown) {
+    plan = PushDownLimits(std::move(plan), *catalog_);
+  }
+  plan = ReorderJoins(std::move(plan), *catalog_);
+  plan = PruneColumns(std::move(plan), *catalog_);
+
+  QueryStats stats;
+  stats.plan_text = plan->ToString();
+
+  Result<Staged> staged = ExecutePlanNode(plan, job_id, now, &stats);
+  if (!staged.ok()) {
+    job_manager_.SetState(job_id, JobState::kFailed, now,
+                          staged.status().ToString());
+    return staged.status();
+  }
+  stats.response_time = staged->finish_time - now;
+  job_manager_.SetState(job_id, JobState::kFinished, staged->finish_time);
+
+  QueryResult result;
+  result.batch = std::move(staged->batch);
+  result.stats = std::move(stats);
+  return result;
+}
+
+Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
+    const PlanPtr& node, int64_t job_id, SimTime now, QueryStats* stats) {
+  switch (node->kind) {
+    case PlanKind::kScan:
+      return RunDistributedScan(*node, nullptr, job_id, now, stats);
+
+    case PlanKind::kAggregate:
+      if (node->children[0]->kind == PlanKind::kScan) {
+        return RunDistributedScan(*node->children[0], node.get(), job_id,
+                                  now, stats);
+      } else {
+        FEISU_ASSIGN_OR_RETURN(
+            Staged input,
+            ExecutePlanNode(node->children[0], job_id, now, stats));
+        FEISU_ASSIGN_OR_RETURN(
+            Aggregator agg,
+            Aggregator::Make(node->group_by, node->aggregates,
+                             input.batch.schema()));
+        FEISU_RETURN_IF_ERROR(agg.Consume(input.batch));
+        FEISU_ASSIGN_OR_RETURN(RecordBatch out, agg.FinalResult());
+        input.finish_time += ChargeMasterRows(input.batch.num_rows());
+        return Staged{std::move(out), input.finish_time};
+      }
+
+    case PlanKind::kFilter: {
+      FEISU_ASSIGN_OR_RETURN(
+          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+                                        stats));
+      FEISU_ASSIGN_OR_RETURN(RecordBatch out,
+                             FilterBatch(input.batch, node->predicate));
+      input.finish_time += ChargeMasterRows(input.batch.num_rows());
+      return Staged{std::move(out), input.finish_time};
+    }
+
+    case PlanKind::kProject: {
+      FEISU_ASSIGN_OR_RETURN(
+          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+                                        stats));
+      FEISU_ASSIGN_OR_RETURN(RecordBatch out,
+                             ProjectBatch(input.batch, node->projections));
+      input.finish_time += ChargeMasterRows(input.batch.num_rows());
+      return Staged{std::move(out), input.finish_time};
+    }
+
+    case PlanKind::kSort: {
+      FEISU_ASSIGN_OR_RETURN(
+          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+                                        stats));
+      FEISU_ASSIGN_OR_RETURN(RecordBatch out,
+                             SortBatch(input.batch, node->order_by));
+      input.finish_time += ChargeMasterRows(input.batch.num_rows() * 2);
+      return Staged{std::move(out), input.finish_time};
+    }
+
+    case PlanKind::kLimit: {
+      // Fuse Limit(Sort(x)) into a bounded-heap TopN: O(n log k) and no
+      // full materialized ordering.
+      if (node->children[0]->kind == PlanKind::kSort && node->limit >= 0) {
+        const PlanPtr& sort = node->children[0];
+        FEISU_ASSIGN_OR_RETURN(
+            Staged input,
+            ExecutePlanNode(sort->children[0], job_id, now, stats));
+        FEISU_ASSIGN_OR_RETURN(
+            RecordBatch out,
+            TopNBatch(input.batch, sort->order_by, node->limit));
+        input.finish_time += ChargeMasterRows(input.batch.num_rows());
+        return Staged{std::move(out), input.finish_time};
+      }
+      FEISU_ASSIGN_OR_RETURN(
+          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+                                        stats));
+      RecordBatch out = LimitBatch(input.batch, node->limit);
+      return Staged{std::move(out), input.finish_time};
+    }
+
+    case PlanKind::kJoin: {
+      FEISU_ASSIGN_OR_RETURN(
+          Staged left, ExecutePlanNode(node->children[0], job_id, now,
+                                       stats));
+      FEISU_ASSIGN_OR_RETURN(
+          Staged right, ExecutePlanNode(node->children[1], job_id, now,
+                                        stats));
+      HashJoinOptions options;
+      options.type = node->join_type;
+      options.condition = node->join_condition;
+      options.left_prefix = SubtreeAlias(node->children[0]);
+      options.right_prefix = SubtreeAlias(node->children[1]);
+      FEISU_ASSIGN_OR_RETURN(RecordBatch out,
+                             HashJoinBatches(left.batch, right.batch,
+                                             options));
+      SimTime finish = std::max(left.finish_time, right.finish_time);
+      finish += ChargeMasterRows(left.batch.num_rows() +
+                                 right.batch.num_rows() + out.num_rows());
+      return Staged{std::move(out), finish};
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+Result<MasterServer::Staged> MasterServer::RunDistributedScan(
+    const PlanNode& scan, const PlanNode* agg, int64_t job_id, SimTime now,
+    QueryStats* stats) {
+  FEISU_ASSIGN_OR_RETURN(const TableMeta* meta, catalog_->Get(scan.table));
+  const std::vector<TableBlockMeta>& blocks = meta->blocks();
+
+  // Column set: scan.columns already pruned by the optimizer; when the
+  // aggregation is pushed down, restrict further to group keys + agg args.
+  std::vector<std::string> columns = scan.columns;
+  bool has_aggregate = agg != nullptr;
+  std::vector<ExprPtr> group_by;
+  std::vector<AggSpec> aggregates;
+  if (has_aggregate) {
+    group_by = agg->group_by;
+    aggregates = agg->aggregates;
+    std::set<std::string> needed;
+    for (const auto& g : group_by) {
+      std::vector<std::string> cols;
+      g->CollectColumns(&cols);
+      needed.insert(cols.begin(), cols.end());
+    }
+    for (const auto& spec : aggregates) {
+      if (spec.arg != nullptr) {
+        std::vector<std::string> cols;
+        spec.arg->CollectColumns(&cols);
+        needed.insert(cols.begin(), cols.end());
+      }
+    }
+    columns.assign(needed.begin(), needed.end());
+  }
+
+  // Storage agreement of the system holding this table's blocks.
+  int max_tasks_per_node = 4;
+  if (!blocks.empty()) {
+    auto storage = router_->Resolve(blocks[0].path);
+    if (storage.ok()) {
+      max_tasks_per_node = (*storage)->agreement().max_concurrent_tasks;
+    }
+  }
+
+  // --- Create, reuse, place and execute leaf tasks. ---
+  struct PendingTask {
+    TaskResult result;
+    Placement placement;
+    std::vector<uint32_t> replicas;
+    SimTime duration = 0;
+    bool reused = false;
+  };
+  std::vector<PendingTask> pending;
+  pending.reserve(blocks.size());
+
+  int64_t task_id = 0;
+  for (const auto& block : blocks) {
+    LeafTask task;
+    task.job_id = job_id;
+    task.task_id = task_id++;
+    task.table = scan.table;
+    task.block = block;
+    task.columns = columns;
+    task.predicate = scan.scan_predicate;
+    task.has_aggregate = has_aggregate;
+    task.group_by = group_by;
+    task.aggregates = aggregates;
+    if (!has_aggregate) {
+      task.limit = scan.limit_hint;
+      task.order_by = scan.order_hint;
+    }
+    ++stats->total_tasks;
+
+    PendingTask p;
+    p.replicas = router_->ReplicaNodes(block.path);
+
+    std::string signature = task.Signature();
+    if (config_.enable_task_result_reuse &&
+        job_manager_.TryReuse(signature, &p.result)) {
+      p.reused = true;
+      ++stats->reused_tasks;
+      p.placement.start_time = now;
+      p.placement.finish_time = now + config_.network.ControlRoundTrip();
+      pending.push_back(std::move(p));
+      continue;
+    }
+
+    p.placement = scheduler_.PlaceTask(p.replicas, max_tasks_per_node, now);
+    const NodeInfo* node = cluster_->Node(p.placement.node_id);
+    if (p.placement.node_id >= leaves_->size() || node == nullptr ||
+        !node->alive) {
+      return Status::Unavailable("no alive leaf server for task");
+    }
+    LeafServer* leaf = (*leaves_)[p.placement.node_id].get();
+    FEISU_ASSIGN_OR_RETURN(p.result, leaf->Execute(task, now));
+    p.duration = p.result.stats.TotalTime();
+    if (!p.placement.local) {
+      // Remote read: the block bytes cross the network on the read flow.
+      p.duration += config_.network.Transfer(p.result.stats.bytes_read,
+                                             TrafficClass::kRead);
+      ++stats->remote_tasks;
+    }
+    scheduler_.CommitTask(&p.placement, p.duration, max_tasks_per_node, now);
+    if (p.placement.straggled) ++stats->straggler_tasks;
+    if (p.result.stats.block_skipped) ++stats->skipped_blocks;
+    stats->leaf.Accumulate(p.result.stats);
+    if (config_.enable_task_result_reuse) {
+      job_manager_.CacheResult(signature, p.result);
+    }
+    pending.push_back(std::move(p));
+  }
+
+  // --- Speculative backup tasks for stragglers. ---
+  {
+    std::vector<Placement> placements;
+    std::vector<SimTime> durations;
+    std::vector<std::vector<uint32_t>> replicas;
+    for (const auto& p : pending) {
+      placements.push_back(p.placement);
+      durations.push_back(p.duration);
+      replicas.push_back(p.replicas);
+    }
+    size_t backups =
+        scheduler_.ApplyBackupTasks(&placements, durations, replicas, now);
+    stats->backup_tasks += backups;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      pending[i].placement = placements[i];
+    }
+  }
+
+  // --- Early termination: processed-ratio / deadline knobs. ---
+  std::vector<SimTime> finishes;
+  for (const auto& p : pending) finishes.push_back(p.placement.finish_time);
+  std::vector<SimTime> sorted = finishes;
+  std::sort(sorted.begin(), sorted.end());
+  SimTime cutoff = sorted.empty() ? now : sorted.back();
+  if (config_.processed_ratio < 1.0 && !sorted.empty()) {
+    size_t keep = static_cast<size_t>(
+        std::max(1.0, config_.processed_ratio *
+                          static_cast<double>(sorted.size())));
+    keep = std::min(keep, sorted.size());
+    cutoff = sorted[keep - 1];
+  }
+  if (config_.response_deadline > 0) {
+    cutoff = std::min(cutoff, now + config_.response_deadline);
+  }
+
+  // --- Stem merge. Leaves are grouped into stems by node id. ---
+  std::map<uint32_t, std::vector<size_t>> by_stem;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].placement.finish_time > cutoff) {
+      ++stats->abandoned_tasks;
+      continue;
+    }
+    uint32_t stem_id = static_cast<uint32_t>(
+        pending[i].placement.node_id / std::max<size_t>(1,
+                                                        config_.stem_fanout));
+    by_stem[stem_id].push_back(i);
+  }
+
+  std::vector<RecordBatch> stem_batches;
+  std::vector<SimTime> stem_finishes;
+  for (const auto& [stem_id, task_indices] : by_stem) {
+    std::vector<RecordBatch> batches;
+    std::vector<SimTime> times;
+    for (size_t idx : task_indices) {
+      batches.push_back(pending[idx].result.batch);
+      times.push_back(pending[idx].placement.finish_time);
+    }
+    StemServer stem(stem_id, config_.network);
+    std::unique_ptr<Aggregator> stem_agg;
+    if (has_aggregate) {
+      FEISU_ASSIGN_OR_RETURN(
+          Aggregator a,
+          Aggregator::Make(group_by, aggregates, meta->schema()));
+      stem_agg = std::make_unique<Aggregator>(std::move(a));
+    }
+    FEISU_ASSIGN_OR_RETURN(StemResult merged,
+                           stem.Merge(batches, times, stem_agg.get()));
+    stats->bytes_shuffled += merged.bytes_received;
+    stem_batches.push_back(std::move(merged.batch));
+    stem_finishes.push_back(merged.finish_time);
+  }
+
+  // Very large clusters need more than one stem level: keep collapsing
+  // groups of `stem_fanout` stems into higher-level stems until the root
+  // fan-in is manageable (paper Fig. 3's tree generalizes to any depth).
+  uint32_t next_stem_id = 1u << 20;  // distinct ids for upper levels
+  // A collapse fan-in below 2 would never converge.
+  const size_t collapse_fanout = std::max<size_t>(2, config_.stem_fanout);
+  while (stem_batches.size() > collapse_fanout) {
+    std::vector<RecordBatch> upper_batches;
+    std::vector<SimTime> upper_finishes;
+    for (size_t start = 0; start < stem_batches.size();
+         start += collapse_fanout) {
+      size_t stop = std::min(stem_batches.size(),
+                             start + collapse_fanout);
+      std::vector<RecordBatch> batches(
+          stem_batches.begin() + static_cast<long>(start),
+          stem_batches.begin() + static_cast<long>(stop));
+      std::vector<SimTime> times(
+          stem_finishes.begin() + static_cast<long>(start),
+          stem_finishes.begin() + static_cast<long>(stop));
+      StemServer stem(next_stem_id++, config_.network);
+      std::unique_ptr<Aggregator> stem_agg;
+      if (has_aggregate) {
+        FEISU_ASSIGN_OR_RETURN(
+            Aggregator a,
+            Aggregator::Make(group_by, aggregates, meta->schema()));
+        stem_agg = std::make_unique<Aggregator>(std::move(a));
+      }
+      FEISU_ASSIGN_OR_RETURN(StemResult merged,
+                             stem.Merge(batches, times, stem_agg.get()));
+      stats->bytes_shuffled += merged.bytes_received;
+      upper_batches.push_back(std::move(merged.batch));
+      upper_finishes.push_back(merged.finish_time);
+    }
+    stem_batches = std::move(upper_batches);
+    stem_finishes = std::move(upper_finishes);
+  }
+
+  // --- Master-level final merge. ---
+  Staged staged;
+  SimTime ready = now;
+  uint64_t rows = 0;
+  for (size_t i = 0; i < stem_batches.size(); ++i) {
+    uint64_t bytes = stem_batches[i].ByteSize();
+    stats->bytes_shuffled += bytes;
+    SimTime transfer;
+    if (config_.result_spill_threshold_bytes > 0 &&
+        bytes > config_.result_spill_threshold_bytes) {
+      // §V-C: too big to stream to the caller — the stem dumps the result
+      // to global storage on the (bypass) write flow and passes only the
+      // location; the master pulls it on the read flow.
+      transfer = config_.network.Transfer(bytes, TrafficClass::kWrite) +
+                 config_.network.ControlRoundTrip() +
+                 config_.network.Transfer(bytes, TrafficClass::kRead);
+      ++stats->spilled_results;
+      stats->spilled_bytes += bytes;
+    } else {
+      transfer = config_.network.Transfer(bytes, TrafficClass::kRead);
+    }
+    ready = std::max(ready, stem_finishes[i] + transfer);
+    rows += stem_batches[i].num_rows();
+  }
+  stats->leaf_finish_time = sorted.empty() ? now : std::min(cutoff,
+                                                            sorted.back());
+  stats->stem_finish_time = ready;
+
+  if (has_aggregate) {
+    FEISU_ASSIGN_OR_RETURN(
+        Aggregator final_agg,
+        Aggregator::Make(group_by, aggregates, meta->schema()));
+    for (const auto& batch : stem_batches) {
+      FEISU_RETURN_IF_ERROR(final_agg.ConsumePartial(batch));
+    }
+    FEISU_ASSIGN_OR_RETURN(staged.batch, final_agg.FinalResult());
+  } else {
+    if (stem_batches.empty()) {
+      // All tasks abandoned or table empty: synthesize an empty batch with
+      // the pruned scan schema.
+      Schema schema = meta->schema().Select(columns);
+      staged.batch = RecordBatch(schema);
+    } else {
+      RecordBatch merged(stem_batches[0].schema());
+      for (const auto& batch : stem_batches) {
+        FEISU_RETURN_IF_ERROR(merged.Append(batch));
+      }
+      staged.batch = std::move(merged);
+    }
+  }
+  staged.finish_time = ready + ChargeMasterRows(rows);
+  return staged;
+}
+
+MasterCheckpoint MasterServer::Checkpoint() const {
+  MasterCheckpoint checkpoint;
+  checkpoint.tables = catalog_->TableNames();
+  checkpoint.jobs_created = static_cast<int64_t>(job_manager_.NumJobs());
+  return checkpoint;
+}
+
+Status MasterServer::RestoreFromCheckpoint(const MasterCheckpoint& checkpoint,
+                                           const Catalog& catalog) {
+  for (const auto& table : checkpoint.tables) {
+    if (catalog.Find(table) == nullptr) {
+      return Status::Corruption("checkpoint references missing table " +
+                                table);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace feisu

@@ -1,0 +1,153 @@
+#ifndef FEISU_CLUSTER_MASTER_H_
+#define FEISU_CLUSTER_MASTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/entry_guard.h"
+#include "cluster/job_manager.h"
+#include "cluster/leaf_server.h"
+#include "cluster/network.h"
+#include "cluster/scheduler.h"
+#include "cluster/stem_server.h"
+#include "common/result.h"
+#include "plan/catalog.h"
+#include "plan/logical_plan.h"
+#include "storage/path_router.h"
+#include "storage/sso.h"
+
+namespace feisu {
+
+/// Master-level configuration.
+struct MasterConfig {
+  size_t stem_fanout = 50;  ///< leaf servers per stem server
+  NetworkModel network;
+  ScheduleConfig schedule;
+  /// Interactive-response knobs (paper §III-C): return once this fraction
+  /// of tasks has finished (1.0 = all), and/or once the deadline elapses
+  /// (0 = none). Unfinished tasks are abandoned.
+  double processed_ratio = 1.0;
+  SimTime response_deadline = 0;
+  bool enable_task_result_reuse = true;
+  size_t task_result_cache_capacity = 4096;
+  /// Read-data-flow management (paper §V-C): an intermediate result larger
+  /// than this is dumped to global storage over the write flow and only
+  /// its location travels up the tree; the consumer then fetches it over
+  /// the read flow at global-storage bandwidth. 0 disables spilling.
+  uint64_t result_spill_threshold_bytes = 4ULL * 1024 * 1024;
+  /// Optimizer-rule toggles (design-choice ablations; production = on).
+  bool enable_predicate_pushdown = true;
+  bool enable_limit_pushdown = true;
+  uint64_t daily_query_quota = 10'000;
+  SimTime cpu_per_row_master = 8;  ///< final-operator per-row cost
+  uint64_t seed = 42;
+};
+
+/// End-to-end accounting for one query.
+struct QueryStats {
+  SimTime response_time = 0;
+  SimTime leaf_finish_time = 0;
+  SimTime stem_finish_time = 0;
+  uint64_t total_tasks = 0;
+  uint64_t reused_tasks = 0;
+  uint64_t backup_tasks = 0;
+  uint64_t straggler_tasks = 0;
+  uint64_t abandoned_tasks = 0;
+  uint64_t skipped_blocks = 0;
+  uint64_t remote_tasks = 0;
+  uint64_t bytes_shuffled = 0;
+  uint64_t spilled_results = 0;   ///< oversized results routed via global storage
+  uint64_t spilled_bytes = 0;
+  TaskStats leaf;  ///< accumulated leaf-side stats
+  std::string plan_text;
+
+  double ResponseSeconds() const {
+    return static_cast<double>(response_time) / kSimSecond;
+  }
+};
+
+struct QueryResult {
+  RecordBatch batch;
+  QueryStats stats;
+};
+
+/// Renders QueryStats as a human-readable EXPLAIN ANALYZE-style report
+/// (used by the client tooling and examples).
+std::string FormatQueryStats(const QueryStats& stats);
+
+/// Snapshot shipped to the backup master (checkpoint + operations log in
+/// the paper's primary/backup design); enough to resume service.
+struct MasterCheckpoint {
+  std::vector<std::string> tables;
+  int64_t jobs_created = 0;
+};
+
+/// The root of Feisu's execution tree. Hosts the separated services (job
+/// manager, cluster manager via pointer, job scheduler, entry guard),
+/// creates execution plans from ad-hoc queries, dissects them into leaf
+/// tasks, schedules them with locality/load awareness, and merges results
+/// bottom-up through simulated stem servers.
+class MasterServer {
+ public:
+  MasterServer(Catalog* catalog, PathRouter* router, ClusterManager* cluster,
+               SsoAuthenticator* sso,
+               std::vector<std::unique_ptr<LeafServer>>* leaves,
+               MasterConfig config);
+
+  MasterServer(const MasterServer&) = delete;
+  MasterServer& operator=(const MasterServer&) = delete;
+
+  /// Parses, admits, plans, optimizes, schedules and executes one query at
+  /// simulated time `now`.
+  Result<QueryResult> ExecuteQuery(const std::string& user,
+                                   const std::string& sql, SimTime now);
+
+  JobManager& job_manager() { return job_manager_; }
+  EntryGuard& entry_guard() { return entry_guard_; }
+  JobScheduler& scheduler() { return scheduler_; }
+  const MasterConfig& config() const { return config_; }
+  MasterConfig& mutable_config() { return config_; }
+
+  /// Primary/backup support: the primary periodically checkpoints; a
+  /// promoted backup restores and continues serving.
+  MasterCheckpoint Checkpoint() const;
+  static Status RestoreFromCheckpoint(const MasterCheckpoint& checkpoint,
+                                      const Catalog& catalog);
+
+ private:
+  struct Staged {
+    RecordBatch batch;
+    SimTime finish_time = 0;
+  };
+
+  /// Recursively executes a plan subtree, distributing scan/aggregate
+  /// frontiers across leaf and stem servers and applying the remaining
+  /// operators at the master.
+  Result<Staged> ExecutePlanNode(const PlanPtr& node, int64_t job_id,
+                                 SimTime now, QueryStats* stats);
+
+  /// Distributed scan (optionally with partial-aggregation pushdown).
+  /// `agg` == nullptr => plain filtered scan returning concatenated rows.
+  Result<Staged> RunDistributedScan(const PlanNode& scan,
+                                    const PlanNode* agg, int64_t job_id,
+                                    SimTime now, QueryStats* stats);
+
+  SimTime ChargeMasterRows(uint64_t rows) const {
+    return static_cast<SimTime>(rows) * config_.cpu_per_row_master;
+  }
+
+  Catalog* catalog_;
+  PathRouter* router_;
+  ClusterManager* cluster_;
+  std::vector<std::unique_ptr<LeafServer>>* leaves_;
+  MasterConfig config_;
+  JobManager job_manager_;
+  EntryGuard entry_guard_;
+  JobScheduler scheduler_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_MASTER_H_

@@ -1,0 +1,80 @@
+#ifndef FEISU_CLUSTER_MASTER_LOAD_H_
+#define FEISU_CLUSTER_MASTER_LOAD_H_
+
+#include <cstddef>
+
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+/// How the master's components are deployed (paper §VII). Production Feisu
+/// evolved through exactly these steps as worker counts grew:
+///  1. monolithic master;
+///  2. job manager separated once ~5,000 workers starved it of memory;
+///  3. scheduler + cluster manager separated once ~8,000 workers' internal
+///     traffic (heartbeats, task dispatch) began hurting external user
+///     experience (job submission, monitoring);
+///  4. horizontal scaling of the separated services.
+struct MasterServiceLayout {
+  bool separate_job_manager = false;
+  bool separate_cluster_manager = false;  ///< includes the scheduler
+  int instances_per_service = 1;
+
+  static MasterServiceLayout Monolithic() { return {}; }
+  static MasterServiceLayout JobManagerSplit() {
+    return {true, false, 1};
+  }
+  static MasterServiceLayout FullySeparated(int instances = 1) {
+    return {true, true, instances};
+  }
+};
+
+/// Control-plane cost parameters.
+struct MasterLoadParams {
+  SimTime heartbeat_interval = 5 * kSimSecond;
+  /// Internal messages per worker per heartbeat period beyond the
+  /// heartbeat itself (task dispatch acks, monitoring, state sync).
+  double internal_messages_per_worker = 3.0;
+  /// Service time per internal control message.
+  SimTime cost_per_internal_message = 120 * kSimMicrosecond;
+  /// Service time per external request (job submission, monitoring query).
+  SimTime cost_per_external_request = 2 * kSimMillisecond;
+};
+
+/// An analytical queueing model of the master stack: predicts the
+/// bottleneck utilization and the latency overhead external requests see,
+/// for a given worker count, external request rate and service layout.
+/// Used by the §VII ablation benchmark; not on the query hot path.
+class MasterLoadModel {
+ public:
+  MasterLoadModel(MasterServiceLayout layout, MasterLoadParams params = {})
+      : layout_(layout), params_(params) {}
+
+  const MasterServiceLayout& layout() const { return layout_; }
+
+  /// Internal control messages per simulated second for `workers` workers.
+  double InternalMessageRate(size_t workers) const;
+
+  /// Utilization (0..1+) of the service that handles external requests.
+  /// In the monolithic layout internal traffic shares that service; in
+  /// separated layouts it doesn't. >= 1 means saturation.
+  double ExternalServiceUtilization(size_t workers,
+                                    double external_qps) const;
+
+  /// Utilization of the busiest service in the stack.
+  double BottleneckUtilization(size_t workers, double external_qps) const;
+
+  /// Mean added latency for one external request (M/M/1 waiting + service
+  /// + one extra control RTT per separated service hop). Returns -1 when
+  /// the serving component is saturated.
+  SimTime ExternalRequestOverhead(size_t workers, double external_qps,
+                                  SimTime inter_service_rtt) const;
+
+ private:
+  MasterServiceLayout layout_;
+  MasterLoadParams params_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_MASTER_LOAD_H_

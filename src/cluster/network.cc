@@ -1,0 +1,37 @@
+#include "cluster/network.h"
+
+namespace feisu {
+
+const char* TrafficClassName(TrafficClass traffic_class) {
+  switch (traffic_class) {
+    case TrafficClass::kControl:
+      return "control";
+    case TrafficClass::kWrite:
+      return "write";
+    case TrafficClass::kRead:
+      return "read";
+  }
+  return "?";
+}
+
+SimTime NetworkModel::Transfer(uint64_t bytes,
+                               TrafficClass traffic_class) const {
+  double fraction = 1.0;
+  switch (traffic_class) {
+    case TrafficClass::kControl:
+      fraction = control_fraction;
+      break;
+    case TrafficClass::kWrite:
+      fraction = write_fraction;
+      break;
+    case TrafficClass::kRead:
+      fraction = read_fraction;
+      break;
+  }
+  if (fraction <= 0.0) fraction = 0.05;
+  return rtt + static_cast<SimTime>(
+                   static_cast<double>(bytes) /
+                   (bandwidth_bytes_per_sec * fraction) * kSimSecond);
+}
+
+}  // namespace feisu

@@ -1,0 +1,39 @@
+#ifndef FEISU_CLUSTER_NETWORK_H_
+#define FEISU_CLUSTER_NETWORK_H_
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+/// Feisu's three traffic classes, in descending priority (paper §V-C):
+/// control/state flow (cluster commands, heartbeats) reserves bandwidth via
+/// switch TOS flags; write data flow (intermediate results to global
+/// storage) travels a bypass channel; read data flow (collecting analyzed
+/// data) has the lowest priority and tolerates retries.
+enum class TrafficClass { kControl, kWrite, kRead };
+
+const char* TrafficClassName(TrafficClass traffic_class);
+
+/// Cost model of the cluster fabric (defaults: 1 Gbps full-duplex Ethernet
+/// as in the paper's testbed).
+struct NetworkModel {
+  SimTime rtt = 300 * kSimMicrosecond;
+  double bandwidth_bytes_per_sec = 125.0 * 1024 * 1024;  // 1 Gbps
+  /// Effective bandwidth fraction per class; control is reserved and always
+  /// gets its share, read competes with business traffic.
+  double control_fraction = 1.0;
+  double write_fraction = 0.8;
+  double read_fraction = 0.6;
+
+  /// Simulated time for one `bytes`-sized transfer of the given class.
+  SimTime Transfer(uint64_t bytes, TrafficClass traffic_class) const;
+
+  /// One control round trip (heartbeat, task dispatch ack).
+  SimTime ControlRoundTrip() const { return rtt; }
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_NETWORK_H_

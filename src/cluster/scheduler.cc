@@ -1,0 +1,167 @@
+#include "cluster/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace feisu {
+
+JobScheduler::JobScheduler(ClusterManager* cluster, PathRouter* router,
+                           NetworkModel network, ScheduleConfig config,
+                           uint64_t seed)
+    : cluster_(cluster),
+      router_(router),
+      network_(network),
+      config_(config),
+      rng_(seed) {}
+
+SimTime JobScheduler::EarliestSlot(uint32_t node_id, int slots,
+                                   SimTime now) const {
+  auto it = node_slots_.find(node_id);
+  if (it == node_slots_.end()) return now;
+  const std::vector<SimTime>& booked = it->second;
+  if (booked.size() < static_cast<size_t>(slots)) return now;
+  // With all slots busy, the earliest start is the smallest of the `slots`
+  // latest finish times; keep it simple: sort a copy of the tail.
+  std::vector<SimTime> copy = booked;
+  std::sort(copy.begin(), copy.end());
+  // Occupancy at time t = number of bookings finishing after t. A new task
+  // can start when occupancy < slots, i.e. after the (n - slots)-th finish.
+  size_t idx = copy.size() - static_cast<size_t>(slots);
+  return std::max(now, copy[idx]);
+}
+
+void JobScheduler::BookSlot(uint32_t node_id, int slots, SimTime start,
+                            SimTime finish) {
+  (void)slots;
+  (void)start;
+  std::vector<SimTime>& booked = node_slots_[node_id];
+  booked.push_back(finish);
+  // Bound growth: drop bookings that can no longer constrain anything
+  // (older than the 64 most recent).
+  if (booked.size() > 256) {
+    std::sort(booked.begin(), booked.end());
+    booked.erase(booked.begin(), booked.end() - 64);
+  }
+}
+
+Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
+                                  int max_tasks_per_node, SimTime now) {
+  Placement placement;
+  // 1. Prefer the replica whose slots free up earliest.
+  if (config_.prefer_data_locality) {
+    uint32_t best_node = 0;
+    SimTime best_start = 0;
+    bool found = false;
+    for (uint32_t node_id : replicas) {
+      const NodeInfo* node = cluster_->Node(node_id);
+      if (node == nullptr || !node->alive) continue;
+      int slots = std::min(node->task_slots, max_tasks_per_node);
+      SimTime start = EarliestSlot(node_id, slots, now);
+      if (!found || start < best_start) {
+        found = true;
+        best_node = node_id;
+        best_start = start;
+      }
+    }
+    if (found) {
+      placement.node_id = best_node;
+      placement.local = true;
+      placement.start_time = best_start;
+      return placement;
+    }
+  }
+  // 2. Fall back: least-loaded alive leaf (remote read).
+  uint32_t best_node = 0;
+  SimTime best_start = 0;
+  bool found = false;
+  for (uint32_t node_id : cluster_->AliveLeafNodes()) {
+    const NodeInfo* node = cluster_->Node(node_id);
+    int slots = std::min(node->task_slots, max_tasks_per_node);
+    SimTime start = EarliestSlot(node_id, slots, now);
+    if (!found || start < best_start) {
+      found = true;
+      best_node = node_id;
+      best_start = start;
+    }
+  }
+  placement.node_id = found ? best_node : 0;
+  placement.local = false;
+  placement.start_time = best_start;
+  return placement;
+}
+
+void JobScheduler::CommitTask(Placement* placement, SimTime duration,
+                              int max_tasks_per_node, SimTime now) {
+  const NodeInfo* node = cluster_->Node(placement->node_id);
+  double factor = node != nullptr ? node->slowdown_factor : 1.0;
+  if (config_.straggler_probability > 0 &&
+      rng_.NextBool(config_.straggler_probability)) {
+    factor *= config_.straggler_slowdown;
+    placement->straggled = true;
+  }
+  SimTime effective =
+      static_cast<SimTime>(static_cast<double>(duration) * factor);
+  // Dispatch costs one control round trip.
+  SimTime start =
+      std::max(placement->start_time, now + network_.ControlRoundTrip());
+  placement->start_time = start;
+  placement->finish_time = start + effective;
+  int slots = node != nullptr
+                  ? std::min(node->task_slots, max_tasks_per_node)
+                  : max_tasks_per_node;
+  BookSlot(placement->node_id, slots, start, placement->finish_time);
+}
+
+size_t JobScheduler::ApplyBackupTasks(
+    std::vector<Placement>* placements, const std::vector<SimTime>& durations,
+    const std::vector<std::vector<uint32_t>>& replicas, SimTime now) {
+  if (!config_.enable_backup_tasks || placements->empty()) return 0;
+  // Mean *intended* duration defines the straggler detection horizon.
+  double mean = 0;
+  for (SimTime d : durations) mean += static_cast<double>(d);
+  mean /= static_cast<double>(durations.size());
+  SimTime detect_after =
+      static_cast<SimTime>(mean * config_.backup_threshold);
+  size_t backups = 0;
+  for (size_t i = 0; i < placements->size(); ++i) {
+    Placement& p = (*placements)[i];
+    SimTime elapsed = p.finish_time - p.start_time;
+    if (elapsed <= detect_after) continue;
+    // Find an alternative alive replica.
+    uint32_t alt = p.node_id;
+    bool found = false;
+    for (uint32_t node_id : replicas[i]) {
+      const NodeInfo* node = cluster_->Node(node_id);
+      if (node_id != p.node_id && node != nullptr && node->alive) {
+        alt = node_id;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Any alive leaf will do (remote read implied).
+      for (uint32_t node_id : cluster_->AliveLeafNodes()) {
+        if (node_id != p.node_id) {
+          alt = node_id;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) continue;
+    const NodeInfo* alt_node = cluster_->Node(alt);
+    double alt_factor = alt_node != nullptr ? alt_node->slowdown_factor : 1.0;
+    SimTime backup_start = std::max(p.start_time + detect_after, now);
+    SimTime backup_finish =
+        backup_start + static_cast<SimTime>(
+                           static_cast<double>(durations[i]) * alt_factor);
+    if (backup_finish < p.finish_time) {
+      p.finish_time = backup_finish;
+      p.backup_launched = true;
+      ++backups;
+    }
+  }
+  return backups;
+}
+
+}  // namespace feisu

@@ -1,0 +1,90 @@
+#ifndef FEISU_CLUSTER_SCHEDULER_H_
+#define FEISU_CLUSTER_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/network.h"
+#include "common/rng.h"
+#include "storage/path_router.h"
+
+namespace feisu {
+
+/// Scheduling policy knobs.
+struct ScheduleConfig {
+  bool prefer_data_locality = true;
+  bool enable_backup_tasks = true;
+  /// A task slower than `backup_threshold` x the job's mean task time gets
+  /// a speculative copy on another replica.
+  double backup_threshold = 2.0;
+  /// Fault/performance injection: fraction of task executions hit by a
+  /// transient slowdown of `straggler_slowdown`.
+  double straggler_probability = 0.0;
+  double straggler_slowdown = 5.0;
+};
+
+/// Where and when one task runs.
+struct Placement {
+  uint32_t node_id = 0;
+  bool local = true;        ///< node holds a replica of the block
+  SimTime start_time = 0;
+  SimTime finish_time = 0;
+  bool straggled = false;
+  bool backup_launched = false;
+};
+
+/// Creates scheduling plans for candidate jobs (paper §III-C "Job
+/// Scheduler"): always prefer a leaf holding the data; otherwise a replica
+/// holder; otherwise the least-loaded alive server (paying a network
+/// transfer). Tracks per-node slot availability so concurrent tasks queue,
+/// honoring each storage system's resource agreement.
+class JobScheduler {
+ public:
+  JobScheduler(ClusterManager* cluster, PathRouter* router,
+               NetworkModel network, ScheduleConfig config, uint64_t seed);
+
+  const ScheduleConfig& config() const { return config_; }
+  void set_config(const ScheduleConfig& config) { config_ = config; }
+
+  /// Picks the execution node for a block's task. `replicas` are the nodes
+  /// holding the block. Returns the chosen node and whether it is local.
+  Placement PlaceTask(const std::vector<uint32_t>& replicas,
+                      int max_tasks_per_node, SimTime now);
+
+  /// Books `duration` of work on `placement`'s node starting no earlier
+  /// than `placement.start_time`; fills start/finish, applying the node's
+  /// slowdown factor and straggler injection.
+  void CommitTask(Placement* placement, SimTime duration,
+                  int max_tasks_per_node, SimTime now);
+
+  /// Applies speculative-execution recovery to a job's placements: any
+  /// task beyond backup_threshold x mean duration is re-run on an
+  /// alternative node (modelled as finishing at detection + fresh
+  /// duration). Returns the number of backup tasks launched.
+  size_t ApplyBackupTasks(std::vector<Placement>* placements,
+                          const std::vector<SimTime>& durations,
+                          const std::vector<std::vector<uint32_t>>& replicas,
+                          SimTime now);
+
+  /// Clears per-node booking state between benchmark phases.
+  void ResetLoad() { node_slots_.clear(); }
+
+ private:
+  /// Earliest available slot time on a node with `slots` parallel slots.
+  SimTime EarliestSlot(uint32_t node_id, int slots, SimTime now) const;
+  void BookSlot(uint32_t node_id, int slots, SimTime start, SimTime finish);
+
+  ClusterManager* cluster_;
+  PathRouter* router_;
+  NetworkModel network_;
+  ScheduleConfig config_;
+  Rng rng_;
+  // node -> finish times of booked tasks (bounded multiset per node).
+  std::map<uint32_t, std::vector<SimTime>> node_slots_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_SCHEDULER_H_

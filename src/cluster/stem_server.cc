@@ -1,0 +1,48 @@
+#include "cluster/stem_server.h"
+
+#include <algorithm>
+
+namespace feisu {
+
+StemServer::StemServer(uint32_t node_id, NetworkModel network,
+                       SimTime cpu_per_row_merge)
+    : node_id_(node_id),
+      network_(network),
+      cpu_per_row_merge_(cpu_per_row_merge) {}
+
+Result<StemResult> StemServer::Merge(
+    const std::vector<RecordBatch>& child_batches,
+    const std::vector<SimTime>& child_finish_times, Aggregator* aggregator) {
+  StemResult result;
+  SimTime ready = 0;
+  uint64_t rows = 0;
+  for (size_t i = 0; i < child_batches.size(); ++i) {
+    uint64_t bytes = child_batches[i].ByteSize();
+    result.bytes_received += bytes;
+    SimTime finish = i < child_finish_times.size() ? child_finish_times[i] : 0;
+    // Each child's partial result travels on the read data flow.
+    ready = std::max(ready,
+                     finish + network_.Transfer(bytes, TrafficClass::kRead));
+    rows += child_batches[i].num_rows();
+  }
+  SimTime combine = static_cast<SimTime>(rows) * cpu_per_row_merge_;
+  result.finish_time = ready + combine;
+
+  if (aggregator != nullptr) {
+    for (const auto& batch : child_batches) {
+      FEISU_RETURN_IF_ERROR(aggregator->ConsumePartial(batch));
+    }
+    FEISU_ASSIGN_OR_RETURN(result.batch, aggregator->PartialResult());
+    return result;
+  }
+  // Row concatenation for non-aggregate sub-plans.
+  if (child_batches.empty()) return result;
+  RecordBatch merged(child_batches[0].schema());
+  for (const auto& batch : child_batches) {
+    FEISU_RETURN_IF_ERROR(merged.Append(batch));
+  }
+  result.batch = std::move(merged);
+  return result;
+}
+
+}  // namespace feisu

@@ -1,0 +1,48 @@
+#ifndef FEISU_CLUSTER_STEM_SERVER_H_
+#define FEISU_CLUSTER_STEM_SERVER_H_
+
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/task.h"
+#include "common/result.h"
+#include "exec/aggregate.h"
+
+namespace feisu {
+
+/// Result of one stem-level merge: the merged batch plus the simulated
+/// time at which this stem finished (input arrival + transfer + combine).
+struct StemResult {
+  RecordBatch batch;
+  SimTime finish_time = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// A stem server aggregates task results from leaf servers (or from other
+/// stems) on the way up the execution tree (paper Fig. 3). For aggregation
+/// queries it merges partial states; for plain scans it concatenates rows.
+class StemServer {
+ public:
+  StemServer(uint32_t node_id, NetworkModel network,
+             SimTime cpu_per_row_merge = 8);
+
+  uint32_t node_id() const { return node_id_; }
+
+  /// Merges child outputs. `child_batches[i]` arrives at simulated time
+  /// `child_finish_times[i]`; the stem starts combining when the last
+  /// input has been transferred (read traffic class).
+  ///
+  /// `aggregator` non-null => partial-state merge; null => concatenation.
+  Result<StemResult> Merge(const std::vector<RecordBatch>& child_batches,
+                           const std::vector<SimTime>& child_finish_times,
+                           Aggregator* aggregator);
+
+ private:
+  uint32_t node_id_;
+  NetworkModel network_;
+  SimTime cpu_per_row_merge_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_STEM_SERVER_H_

@@ -1,0 +1,38 @@
+#include "cluster/task.h"
+
+#include <sstream>
+
+namespace feisu {
+
+std::string LeafTask::Signature() const {
+  std::ostringstream os;
+  os << table << "#" << block.block_id << "|";
+  for (const auto& col : columns) os << col << ",";
+  os << "|";
+  if (predicate != nullptr) os << predicate->ToString();
+  os << "|";
+  for (const auto& g : group_by) os << g->ToString() << ",";
+  os << "|";
+  for (const auto& spec : aggregates) os << spec.ToString() << ",";
+  os << "|limit=" << limit << "|order=";
+  for (const auto& item : order_by) {
+    os << item.expr->ToString() << (item.descending ? " DESC" : " ASC")
+       << ",";
+  }
+  return os.str();
+}
+
+void TaskStats::Accumulate(const TaskStats& other) {
+  bytes_read += other.bytes_read;
+  rows_scanned += other.rows_scanned;
+  rows_matched += other.rows_matched;
+  index_direct_hits += other.index_direct_hits;
+  index_composed_hits += other.index_composed_hits;
+  index_misses += other.index_misses;
+  btree_probes += other.btree_probes;
+  btree_builds += other.btree_builds;
+  io_time += other.io_time;
+  cpu_time += other.cpu_time;
+}
+
+}  // namespace feisu

@@ -1,0 +1,64 @@
+#ifndef FEISU_CLUSTER_TASK_H_
+#define FEISU_CLUSTER_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "columnar/table.h"
+#include "common/sim_clock.h"
+#include "plan/logical_plan.h"
+
+namespace feisu {
+
+/// The unit of work a leaf server executes: one block of one table, with
+/// the pushed-down predicate, the pruned column set and (optionally) a
+/// partial-aggregation spec. Sub-plans are dissected into these by the
+/// master (paper Fig. 3, steps 1-2).
+struct LeafTask {
+  int64_t job_id = 0;
+  int64_t task_id = 0;
+  std::string table;
+  TableBlockMeta block;
+  std::vector<std::string> columns;  ///< data columns the output needs
+  ExprPtr predicate;                 ///< pushed filter; may be null
+  bool has_aggregate = false;
+  std::vector<ExprPtr> group_by;
+  std::vector<AggSpec> aggregates;
+  /// Per-leaf row cap for LIMIT queries (-1 = none). With `order_by` set,
+  /// the leaf returns its local top-`limit` under that ordering.
+  int64_t limit = -1;
+  std::vector<OrderByItem> order_by;
+
+  /// Stable identity of the computation (independent of job), used by the
+  /// job manager to reuse results across identical concurrent tasks.
+  std::string Signature() const;
+};
+
+/// Per-task accounting; aggregated into QueryStats.
+struct TaskStats {
+  uint64_t bytes_read = 0;
+  uint64_t rows_scanned = 0;           ///< rows whose predicate was evaluated
+  uint64_t rows_matched = 0;
+  uint64_t index_direct_hits = 0;
+  uint64_t index_composed_hits = 0;
+  uint64_t index_misses = 0;
+  uint64_t btree_probes = 0;
+  uint64_t btree_builds = 0;
+  bool block_skipped = false;          ///< zone-map pruned
+  SimTime io_time = 0;
+  SimTime cpu_time = 0;
+
+  SimTime TotalTime() const { return io_time + cpu_time; }
+  void Accumulate(const TaskStats& other);
+};
+
+struct TaskResult {
+  RecordBatch batch;  ///< partial-aggregate state or filtered projection
+  TaskStats stats;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_TASK_H_

@@ -1,0 +1,229 @@
+#include "columnar/block.h"
+
+#include <cstring>
+
+namespace feisu {
+
+namespace {
+
+constexpr uint32_t kBlockMagic = 0x4653424BU;  // "FSBK"
+
+template <typename T>
+void AppendScalar(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+template <typename T>
+bool ReadScalar(const std::string& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+void AppendLp(std::string* out, const std::string& s) {
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+bool ReadLp(const std::string& in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadScalar(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+ColumnStats ComputeStats(const ColumnVector& col) {
+  ColumnStats stats;
+  for (size_t i = 0; i < col.size(); ++i) {
+    Value v = col.GetValue(i);
+    if (v.is_null()) {
+      ++stats.null_count;
+      continue;
+    }
+    if (stats.min.is_null() || v.Compare(stats.min) < 0) stats.min = v;
+    if (stats.max.is_null() || v.Compare(stats.max) > 0) stats.max = v;
+  }
+  return stats;
+}
+
+}  // namespace
+
+void SerializeValue(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    out->push_back(0);
+    return;
+  }
+  switch (v.type()) {
+    case DataType::kBool:
+      out->push_back(1);
+      out->push_back(v.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      out->push_back(2);
+      AppendScalar<int64_t>(out, v.int64_value());
+      break;
+    case DataType::kDouble:
+      out->push_back(3);
+      AppendScalar<double>(out, v.double_value());
+      break;
+    case DataType::kString:
+      out->push_back(4);
+      AppendLp(out, v.string_value());
+      break;
+  }
+}
+
+bool DeserializeValue(const std::string& in, size_t* pos, Value* v) {
+  if (*pos >= in.size()) return false;
+  uint8_t tag = static_cast<uint8_t>(in[(*pos)++]);
+  switch (tag) {
+    case 0:
+      *v = Value::Null();
+      return true;
+    case 1: {
+      if (*pos >= in.size()) return false;
+      *v = Value::Bool(in[(*pos)++] != 0);
+      return true;
+    }
+    case 2: {
+      int64_t x = 0;
+      if (!ReadScalar(in, pos, &x)) return false;
+      *v = Value::Int64(x);
+      return true;
+    }
+    case 3: {
+      double x = 0;
+      if (!ReadScalar(in, pos, &x)) return false;
+      *v = Value::Double(x);
+      return true;
+    }
+    case 4: {
+      std::string s;
+      if (!ReadLp(in, pos, &s)) return false;
+      *v = Value::String(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+ColumnarBlock ColumnarBlock::FromBatch(int64_t block_id,
+                                       const RecordBatch& batch) {
+  ColumnarBlock block;
+  block.block_id_ = block_id;
+  block.num_rows_ = static_cast<uint32_t>(batch.num_rows());
+  block.schema_ = batch.schema();
+  block.columns_.reserve(batch.num_columns());
+  block.stats_.reserve(batch.num_columns());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    block.columns_.push_back(EncodeColumn(batch.column(c)));
+    block.stats_.push_back(ComputeStats(batch.column(c)));
+  }
+  return block;
+}
+
+size_t ColumnarBlock::ByteSize() const {
+  size_t bytes = 24;  // header estimate
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    bytes += schema_.field(c).name.size() + 16 + columns_[c].payload.size();
+  }
+  return bytes;
+}
+
+Result<ColumnVector> ColumnarBlock::DecodeColumnAt(size_t col) const {
+  if (col >= columns_.size()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  return DecodeColumn(schema_.field(col).type, columns_[col]);
+}
+
+Result<ColumnVector> ColumnarBlock::DecodeColumnByName(
+    const std::string& name) const {
+  int idx = schema_.FieldIndex(name);
+  if (idx < 0) return Status::NotFound("no such column: " + name);
+  return DecodeColumnAt(static_cast<size_t>(idx));
+}
+
+Result<RecordBatch> ColumnarBlock::DecodeBatch(
+    const std::vector<std::string>& names) const {
+  std::vector<std::string> wanted = names;
+  if (wanted.empty()) {
+    for (const auto& f : schema_.fields()) wanted.push_back(f.name);
+  }
+  std::vector<Field> fields;
+  std::vector<ColumnVector> columns;
+  for (const auto& name : wanted) {
+    int idx = schema_.FieldIndex(name);
+    if (idx < 0) return Status::NotFound("no such column: " + name);
+    FEISU_ASSIGN_OR_RETURN(ColumnVector col,
+                           DecodeColumnAt(static_cast<size_t>(idx)));
+    fields.push_back(schema_.field(idx));
+    columns.push_back(std::move(col));
+  }
+  return RecordBatch(Schema(std::move(fields)), std::move(columns));
+}
+
+std::string ColumnarBlock::Serialize() const {
+  std::string out;
+  AppendScalar<uint32_t>(&out, kBlockMagic);
+  AppendScalar<int64_t>(&out, block_id_);
+  AppendScalar<uint32_t>(&out, num_rows_);
+  AppendScalar<uint32_t>(&out, static_cast<uint32_t>(columns_.size()));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Field& f = schema_.field(c);
+    AppendLp(&out, f.name);
+    out.push_back(static_cast<char>(f.type));
+    out.push_back(f.nullable ? 1 : 0);
+    out.push_back(static_cast<char>(columns_[c].encoding));
+    SerializeValue(&out, stats_[c].min);
+    SerializeValue(&out, stats_[c].max);
+    AppendScalar<uint32_t>(&out, stats_[c].null_count);
+    AppendLp(&out, columns_[c].payload);
+  }
+  return out;
+}
+
+Result<ColumnarBlock> ColumnarBlock::Deserialize(const std::string& data) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  if (!ReadScalar(data, &pos, &magic) || magic != kBlockMagic) {
+    return Status::Corruption("bad block magic");
+  }
+  ColumnarBlock block;
+  uint32_t num_cols = 0;
+  if (!ReadScalar(data, &pos, &block.block_id_) ||
+      !ReadScalar(data, &pos, &block.num_rows_) ||
+      !ReadScalar(data, &pos, &num_cols)) {
+    return Status::Corruption("truncated block header");
+  }
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    Field f;
+    if (!ReadLp(data, &pos, &f.name)) {
+      return Status::Corruption("truncated column name");
+    }
+    if (pos + 3 > data.size()) {
+      return Status::Corruption("truncated column meta");
+    }
+    f.type = static_cast<DataType>(data[pos++]);
+    f.nullable = data[pos++] != 0;
+    EncodedColumn enc;
+    enc.encoding = static_cast<Encoding>(data[pos++]);
+    ColumnStats stats;
+    if (!DeserializeValue(data, &pos, &stats.min) ||
+        !DeserializeValue(data, &pos, &stats.max) ||
+        !ReadScalar(data, &pos, &stats.null_count) ||
+        !ReadLp(data, &pos, &enc.payload)) {
+      return Status::Corruption("truncated column payload");
+    }
+    fields.push_back(f);
+    block.columns_.push_back(std::move(enc));
+    block.stats_.push_back(std::move(stats));
+  }
+  block.schema_ = Schema(std::move(fields));
+  return block;
+}
+
+}  // namespace feisu

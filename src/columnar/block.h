@@ -1,0 +1,76 @@
+#ifndef FEISU_COLUMNAR_BLOCK_H_
+#define FEISU_COLUMNAR_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "columnar/encoding.h"
+#include "columnar/record_batch.h"
+#include "columnar/schema.h"
+
+namespace feisu {
+
+/// Per-column statistics kept in the block footer; the planner and
+/// SmartIndex use min/max for block skipping.
+struct ColumnStats {
+  Value min;
+  Value max;
+  uint32_t null_count = 0;
+};
+
+/// A self-contained horizontal partition of a table in Feisu's columnar
+/// format: schema + one encoded chunk per column + statistics. Blocks are
+/// the unit of storage placement, scheduling and SmartIndex addressing
+/// (paper §III, Fig. 3).
+class ColumnarBlock {
+ public:
+  ColumnarBlock() = default;
+
+  /// Encodes `batch` into a block with the given id.
+  static ColumnarBlock FromBatch(int64_t block_id, const RecordBatch& batch);
+
+  int64_t block_id() const { return block_id_; }
+  uint32_t num_rows() const { return num_rows_; }
+  const Schema& schema() const { return schema_; }
+  const ColumnStats& stats(size_t col) const { return stats_[col]; }
+
+  /// Encoded payload size of one column (drives columnar-I/O cost).
+  size_t ColumnByteSize(size_t col) const {
+    return columns_[col].payload.size();
+  }
+  Encoding ColumnEncoding(size_t col) const { return columns_[col].encoding; }
+
+  /// Total serialized size.
+  size_t ByteSize() const;
+
+  /// Decodes a single column by index.
+  Result<ColumnVector> DecodeColumnAt(size_t col) const;
+  /// Decodes a single column by name.
+  Result<ColumnVector> DecodeColumnByName(const std::string& name) const;
+
+  /// Decodes the named columns (all columns if `names` is empty) into a
+  /// RecordBatch.
+  Result<RecordBatch> DecodeBatch(
+      const std::vector<std::string>& names = {}) const;
+
+  /// Whole-block (de)serialization — what actually lives in storage.
+  std::string Serialize() const;
+  static Result<ColumnarBlock> Deserialize(const std::string& data);
+
+ private:
+  int64_t block_id_ = 0;
+  uint32_t num_rows_ = 0;
+  Schema schema_;
+  std::vector<EncodedColumn> columns_;
+  std::vector<ColumnStats> stats_;
+};
+
+/// Serializes a Value with a leading type tag (shared with block stats).
+void SerializeValue(std::string* out, const Value& v);
+bool DeserializeValue(const std::string& in, size_t* pos, Value* v);
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_BLOCK_H_

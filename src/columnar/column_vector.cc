@@ -1,0 +1,174 @@
+#include "columnar/column_vector.h"
+
+#include <cassert>
+
+namespace feisu {
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(GetBool(i));
+    case DataType::kInt64:
+      return Value::Int64(GetInt64(i));
+    case DataType::kDouble:
+      return Value::Double(GetDouble(i));
+    case DataType::kString:
+      return Value::String(GetString(i));
+  }
+  return Value::Null();
+}
+
+void ColumnVector::AppendNull() {
+  validity_.PushBack(false);
+  switch (type_) {
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+}
+
+void ColumnVector::AppendBool(bool v) {
+  assert(type_ == DataType::kBool);
+  validity_.PushBack(true);
+  bools_.push_back(v ? 1 : 0);
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  assert(type_ == DataType::kInt64);
+  validity_.PushBack(true);
+  ints_.push_back(v);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  assert(type_ == DataType::kDouble);
+  validity_.PushBack(true);
+  doubles_.push_back(v);
+}
+
+void ColumnVector::AppendString(std::string v) {
+  assert(type_ == DataType::kString);
+  validity_.PushBack(true);
+  strings_.push_back(std::move(v));
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kBool:
+      AppendBool(v.bool_value());
+      return;
+    case DataType::kInt64:
+      AppendInt64(v.int64_value());
+      return;
+    case DataType::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case DataType::kString:
+      AppendString(v.string_value());
+      return;
+  }
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kBool:
+      bools_.reserve(n);
+      break;
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+  }
+}
+
+ColumnVector ColumnVector::Filter(const BitVector& selection) const {
+  assert(selection.size() == size());
+  ColumnVector out(type_);
+  out.Reserve(selection.CountOnes());
+  for (size_t i = 0; i < size(); ++i) {
+    if (!selection.Get(i)) continue;
+    if (IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kBool:
+        out.AppendBool(GetBool(i));
+        break;
+      case DataType::kInt64:
+        out.AppendInt64(GetInt64(i));
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(GetDouble(i));
+        break;
+      case DataType::kString:
+        out.AppendString(GetString(i));
+        break;
+    }
+  }
+  return out;
+}
+
+ColumnVector ColumnVector::Take(const std::vector<uint32_t>& indices) const {
+  ColumnVector out(type_);
+  out.Reserve(indices.size());
+  for (uint32_t i : indices) {
+    assert(i < size());
+    if (IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kBool:
+        out.AppendBool(GetBool(i));
+        break;
+      case DataType::kInt64:
+        out.AppendInt64(GetInt64(i));
+        break;
+      case DataType::kDouble:
+        out.AppendDouble(GetDouble(i));
+        break;
+      case DataType::kString:
+        out.AppendString(GetString(i));
+        break;
+    }
+  }
+  return out;
+}
+
+size_t ColumnVector::ByteSize() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bools_.size();
+    case DataType::kInt64:
+      return ints_.size() * sizeof(int64_t);
+    case DataType::kDouble:
+      return doubles_.size() * sizeof(double);
+    case DataType::kString: {
+      size_t bytes = 0;
+      for (const auto& s : strings_) bytes += s.size() + sizeof(uint32_t);
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+}  // namespace feisu

@@ -1,0 +1,48 @@
+#include "columnar/data_type.h"
+
+namespace feisu {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+bool ParseDataType(const std::string& name, DataType* out) {
+  if (name == "BOOL") {
+    *out = DataType::kBool;
+  } else if (name == "INT64") {
+    *out = DataType::kInt64;
+  } else if (name == "DOUBLE") {
+    *out = DataType::kDouble;
+  } else if (name == "STRING") {
+    *out = DataType::kString;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+size_t DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 16;  // average estimate; refined by actual payloads
+  }
+  return 8;
+}
+
+}  // namespace feisu

@@ -1,0 +1,31 @@
+#ifndef FEISU_COLUMNAR_DATA_TYPE_H_
+#define FEISU_COLUMNAR_DATA_TYPE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace feisu {
+
+/// Physical column types supported by Feisu's columnar format. Baidu's log
+/// and business tables are wide (hundreds of attributes) but simple-typed;
+/// nested JSON attributes are flattened into these primitives on ingest.
+enum class DataType {
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Human-readable type name ("INT64", ...).
+const char* DataTypeName(DataType type);
+
+/// Parses a type name; returns false if unrecognized.
+bool ParseDataType(const std::string& name, DataType* out);
+
+/// Fixed in-memory width used by cost accounting; strings use an estimate
+/// refined by actual payload sizes.
+size_t DataTypeWidth(DataType type);
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_DATA_TYPE_H_

@@ -1,0 +1,487 @@
+#include "columnar/encoding.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace feisu {
+
+namespace {
+
+void AppendRaw(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+template <typename T>
+void AppendScalar(std::string* out, T v) {
+  AppendRaw(out, &v, sizeof(v));
+}
+template <typename T>
+bool ReadScalar(const std::string& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void AppendLengthPrefixed(std::string* out, const std::string& s) {
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+bool ReadLengthPrefixed(const std::string& in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadScalar(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+// Every payload starts with: u32 num_rows, length-prefixed RLE validity.
+void AppendHeader(std::string* out, const ColumnVector& col) {
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(col.size()));
+  AppendLengthPrefixed(out, col.validity().SerializeRle());
+}
+
+bool ReadHeader(const std::string& in, size_t* pos, uint32_t* num_rows,
+                BitVector* validity) {
+  if (!ReadScalar(in, pos, num_rows)) return false;
+  std::string validity_bytes;
+  if (!ReadLengthPrefixed(in, pos, &validity_bytes)) return false;
+  if (!BitVector::DeserializeRle(validity_bytes, validity)) return false;
+  return validity->size() == *num_rows;
+}
+
+std::string EncodePlain(const ColumnVector& col) {
+  std::string out;
+  AppendHeader(&out, col);
+  switch (col.type()) {
+    case DataType::kBool:
+      AppendRaw(&out, col.bools().data(), col.bools().size());
+      break;
+    case DataType::kInt64:
+      AppendRaw(&out, col.ints().data(), col.ints().size() * sizeof(int64_t));
+      break;
+    case DataType::kDouble:
+      AppendRaw(&out, col.doubles().data(),
+                col.doubles().size() * sizeof(double));
+      break;
+    case DataType::kString:
+      for (const auto& s : col.strings()) AppendLengthPrefixed(&out, s);
+      break;
+  }
+  return out;
+}
+
+std::string EncodeRleInt64(const ColumnVector& col) {
+  std::string out;
+  AppendHeader(&out, col);
+  const auto& ints = col.ints();
+  size_t i = 0;
+  while (i < ints.size()) {
+    size_t j = i + 1;
+    while (j < ints.size() && ints[j] == ints[i]) ++j;
+    AppendScalar<int64_t>(&out, ints[i]);
+    AppendScalar<uint32_t>(&out, static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string EncodeRleBool(const ColumnVector& col) {
+  std::string out;
+  AppendHeader(&out, col);
+  const auto& bools = col.bools();
+  size_t i = 0;
+  while (i < bools.size()) {
+    size_t j = i + 1;
+    while (j < bools.size() && bools[j] == bools[i]) ++j;
+    AppendScalar<uint8_t>(&out, bools[i]);
+    AppendScalar<uint32_t>(&out, static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string EncodeDictString(const ColumnVector& col) {
+  std::string out;
+  AppendHeader(&out, col);
+  std::unordered_map<std::string, uint32_t> dict;
+  std::vector<const std::string*> entries;
+  std::vector<uint32_t> codes;
+  codes.reserve(col.size());
+  for (const auto& s : col.strings()) {
+    auto [it, inserted] =
+        dict.emplace(s, static_cast<uint32_t>(entries.size()));
+    if (inserted) entries.push_back(&it->first);
+    codes.push_back(it->second);
+  }
+  AppendScalar<uint32_t>(&out, static_cast<uint32_t>(entries.size()));
+  for (const auto* s : entries) AppendLengthPrefixed(&out, *s);
+  AppendRaw(&out, codes.data(), codes.size() * sizeof(uint32_t));
+  return out;
+}
+
+// Frame-of-reference bit packing: store min and (v - min) in the fewest
+// bits that cover the range. NULL slots pack as 0.
+std::string EncodeBitPackInt64(const ColumnVector& col) {
+  std::string out;
+  AppendHeader(&out, col);
+  const auto& ints = col.ints();
+  int64_t min = 0;
+  int64_t max = 0;
+  bool first = true;
+  for (size_t i = 0; i < ints.size(); ++i) {
+    if (col.IsNull(i)) continue;
+    if (first || ints[i] < min) min = ints[i];
+    if (first || ints[i] > max) max = ints[i];
+    first = false;
+  }
+  uint64_t range = first ? 0 : static_cast<uint64_t>(max - min);
+  uint8_t width = 0;
+  while (width < 64 && (width == 64 ? false : (range >> width) != 0)) {
+    ++width;
+  }
+  if (width == 0) width = 1;
+  AppendScalar<int64_t>(&out, min);
+  AppendScalar<uint8_t>(&out, width);
+  uint64_t buffer = 0;
+  int bits_in_buffer = 0;
+  for (size_t i = 0; i < ints.size(); ++i) {
+    uint64_t v =
+        col.IsNull(i) ? 0 : static_cast<uint64_t>(ints[i] - min);
+    int remaining = width;
+    while (remaining > 0) {
+      int take = std::min(remaining, 64 - bits_in_buffer);
+      buffer |= (v & ((take == 64 ? ~0ULL : ((1ULL << take) - 1))))
+                << bits_in_buffer;
+      v >>= take;
+      bits_in_buffer += take;
+      remaining -= take;
+      if (bits_in_buffer == 64) {
+        AppendScalar<uint64_t>(&out, buffer);
+        buffer = 0;
+        bits_in_buffer = 0;
+      }
+    }
+  }
+  if (bits_in_buffer > 0) AppendScalar<uint64_t>(&out, buffer);
+  return out;
+}
+
+Result<ColumnVector> DecodeBitPack(DataType type, const std::string& in) {
+  if (type != DataType::kInt64) {
+    return Status::Corruption("bit-pack encoding on non-int64 type");
+  }
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad bit-pack column header");
+  }
+  int64_t min = 0;
+  uint8_t width = 0;
+  if (!ReadScalar(in, &pos, &min) || !ReadScalar(in, &pos, &width) ||
+      width == 0 || width > 64) {
+    return Status::Corruption("bad bit-pack parameters");
+  }
+  size_t total_bits = static_cast<size_t>(num_rows) * width;
+  size_t words = (total_bits + 63) / 64;
+  if (pos + words * sizeof(uint64_t) > in.size()) {
+    return Status::Corruption("truncated bit-pack payload");
+  }
+  ColumnVector col(type);
+  col.Reserve(num_rows);
+  uint64_t buffer = 0;
+  int bits_in_buffer = 0;
+  size_t word_idx = 0;
+  auto next_word = [&]() {
+    uint64_t w = 0;
+    std::memcpy(&w, in.data() + pos + word_idx * sizeof(uint64_t),
+                sizeof(w));
+    ++word_idx;
+    return w;
+  };
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    uint64_t v = 0;
+    int got = 0;
+    while (got < width) {
+      if (bits_in_buffer == 0) {
+        buffer = next_word();
+        bits_in_buffer = 64;
+      }
+      int take = std::min<int>(width - got, bits_in_buffer);
+      uint64_t mask = take == 64 ? ~0ULL : ((1ULL << take) - 1);
+      v |= (buffer & mask) << got;
+      buffer >>= take;
+      bits_in_buffer -= take;
+      got += take;
+    }
+    if (!validity.Get(i)) {
+      col.AppendNull();
+    } else {
+      col.AppendInt64(min + static_cast<int64_t>(v));
+    }
+  }
+  return col;
+}
+
+// ---- decoders ----
+
+Result<ColumnVector> DecodePlain(DataType type, const std::string& in) {
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad plain column header");
+  }
+  ColumnVector col(type);
+  col.Reserve(num_rows);
+  switch (type) {
+    case DataType::kBool: {
+      if (pos + num_rows > in.size()) {
+        return Status::Corruption("truncated bool column");
+      }
+      for (uint32_t i = 0; i < num_rows; ++i) {
+        if (!validity.Get(i)) {
+          col.AppendNull();
+        } else {
+          col.AppendBool(in[pos + i] != 0);
+        }
+      }
+      break;
+    }
+    case DataType::kInt64: {
+      if (pos + num_rows * sizeof(int64_t) > in.size()) {
+        return Status::Corruption("truncated int64 column");
+      }
+      for (uint32_t i = 0; i < num_rows; ++i) {
+        int64_t v = 0;
+        std::memcpy(&v, in.data() + pos + i * sizeof(int64_t), sizeof(v));
+        if (!validity.Get(i)) {
+          col.AppendNull();
+        } else {
+          col.AppendInt64(v);
+        }
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      if (pos + num_rows * sizeof(double) > in.size()) {
+        return Status::Corruption("truncated double column");
+      }
+      for (uint32_t i = 0; i < num_rows; ++i) {
+        double v = 0;
+        std::memcpy(&v, in.data() + pos + i * sizeof(double), sizeof(v));
+        if (!validity.Get(i)) {
+          col.AppendNull();
+        } else {
+          col.AppendDouble(v);
+        }
+      }
+      break;
+    }
+    case DataType::kString: {
+      for (uint32_t i = 0; i < num_rows; ++i) {
+        std::string s;
+        if (!ReadLengthPrefixed(in, &pos, &s)) {
+          return Status::Corruption("truncated string column");
+        }
+        if (!validity.Get(i)) {
+          col.AppendNull();
+        } else {
+          col.AppendString(std::move(s));
+        }
+      }
+      break;
+    }
+  }
+  return col;
+}
+
+Result<ColumnVector> DecodeRle(DataType type, const std::string& in) {
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad RLE column header");
+  }
+  ColumnVector col(type);
+  col.Reserve(num_rows);
+  uint32_t produced = 0;
+  while (produced < num_rows) {
+    uint32_t run = 0;
+    if (type == DataType::kInt64) {
+      int64_t v = 0;
+      if (!ReadScalar(in, &pos, &v) || !ReadScalar(in, &pos, &run)) {
+        return Status::Corruption("truncated RLE run");
+      }
+      if (produced + run > num_rows) {
+        return Status::Corruption("RLE overrun");
+      }
+      for (uint32_t k = 0; k < run; ++k) {
+        if (!validity.Get(produced + k)) {
+          col.AppendNull();
+        } else {
+          col.AppendInt64(v);
+        }
+      }
+    } else if (type == DataType::kBool) {
+      uint8_t v = 0;
+      if (!ReadScalar(in, &pos, &v) || !ReadScalar(in, &pos, &run)) {
+        return Status::Corruption("truncated RLE run");
+      }
+      if (produced + run > num_rows) {
+        return Status::Corruption("RLE overrun");
+      }
+      for (uint32_t k = 0; k < run; ++k) {
+        if (!validity.Get(produced + k)) {
+          col.AppendNull();
+        } else {
+          col.AppendBool(v != 0);
+        }
+      }
+    } else {
+      return Status::Corruption("RLE encoding on non-RLE type");
+    }
+    produced += run;
+  }
+  return col;
+}
+
+Result<ColumnVector> DecodeDict(DataType type, const std::string& in) {
+  if (type != DataType::kString) {
+    return Status::Corruption("dict encoding on non-string type");
+  }
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad dict column header");
+  }
+  uint32_t dict_size = 0;
+  if (!ReadScalar(in, &pos, &dict_size)) {
+    return Status::Corruption("truncated dict size");
+  }
+  std::vector<std::string> dict(dict_size);
+  for (auto& s : dict) {
+    if (!ReadLengthPrefixed(in, &pos, &s)) {
+      return Status::Corruption("truncated dict entry");
+    }
+  }
+  if (pos + num_rows * sizeof(uint32_t) > in.size()) {
+    return Status::Corruption("truncated dict codes");
+  }
+  ColumnVector col(type);
+  col.Reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    uint32_t code = 0;
+    std::memcpy(&code, in.data() + pos + i * sizeof(uint32_t), sizeof(code));
+    if (code >= dict_size) return Status::Corruption("dict code OOB");
+    if (!validity.Get(i)) {
+      col.AppendNull();
+    } else {
+      col.AppendString(dict[code]);
+    }
+  }
+  return col;
+}
+
+// Cheap statistics used to auto-pick an encoding.
+Encoding ChooseEncoding(const ColumnVector& col) {
+  if (col.size() < 16) return Encoding::kPlain;
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const auto& v = col.ints();
+      size_t runs = 1;
+      int64_t min = v.empty() ? 0 : v[0];
+      int64_t max = min;
+      for (size_t i = 1; i < v.size(); ++i) {
+        if (v[i] != v[i - 1]) ++runs;
+        if (v[i] < min) min = v[i];
+        if (v[i] > max) max = v[i];
+      }
+      // RLE pays off when a run covers >= 4 values on average.
+      if (runs * 4 <= v.size()) return Encoding::kRle;
+      // Otherwise frame-of-reference bit packing when the value range is
+      // materially narrower than 64 bits.
+      uint64_t range = static_cast<uint64_t>(max - min);
+      int width = 1;
+      while (width < 64 && (range >> width) != 0) ++width;
+      return width <= 32 ? Encoding::kBitPack : Encoding::kPlain;
+    }
+    case DataType::kBool:
+      return Encoding::kRle;
+    case DataType::kString: {
+      const auto& v = col.strings();
+      std::unordered_map<std::string_view, int> distinct;
+      for (const auto& s : v) {
+        distinct.emplace(s, 0);
+        if (distinct.size() * 4 > v.size()) return Encoding::kPlain;
+      }
+      return Encoding::kDict;
+    }
+    case DataType::kDouble:
+      return Encoding::kPlain;
+  }
+  return Encoding::kPlain;
+}
+
+}  // namespace
+
+const char* EncodingName(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      return "PLAIN";
+    case Encoding::kRle:
+      return "RLE";
+    case Encoding::kDict:
+      return "DICT";
+    case Encoding::kBitPack:
+      return "BITPACK";
+  }
+  return "UNKNOWN";
+}
+
+EncodedColumn EncodeColumn(const ColumnVector& column) {
+  return EncodeColumnAs(column, ChooseEncoding(column));
+}
+
+EncodedColumn EncodeColumnAs(const ColumnVector& column, Encoding encoding) {
+  EncodedColumn out;
+  if (encoding == Encoding::kRle && column.type() == DataType::kInt64) {
+    out.encoding = Encoding::kRle;
+    out.payload = EncodeRleInt64(column);
+  } else if (encoding == Encoding::kRle && column.type() == DataType::kBool) {
+    out.encoding = Encoding::kRle;
+    out.payload = EncodeRleBool(column);
+  } else if (encoding == Encoding::kDict &&
+             column.type() == DataType::kString) {
+    out.encoding = Encoding::kDict;
+    out.payload = EncodeDictString(column);
+  } else if (encoding == Encoding::kBitPack &&
+             column.type() == DataType::kInt64) {
+    out.encoding = Encoding::kBitPack;
+    out.payload = EncodeBitPackInt64(column);
+  } else {
+    out.encoding = Encoding::kPlain;
+    out.payload = EncodePlain(column);
+  }
+  return out;
+}
+
+Result<ColumnVector> DecodeColumn(DataType type,
+                                  const EncodedColumn& encoded) {
+  switch (encoded.encoding) {
+    case Encoding::kPlain:
+      return DecodePlain(type, encoded.payload);
+    case Encoding::kRle:
+      return DecodeRle(type, encoded.payload);
+    case Encoding::kDict:
+      return DecodeDict(type, encoded.payload);
+    case Encoding::kBitPack:
+      return DecodeBitPack(type, encoded.payload);
+  }
+  return Status::Corruption("unknown encoding");
+}
+
+}  // namespace feisu

@@ -1,0 +1,42 @@
+#ifndef FEISU_COLUMNAR_ENCODING_H_
+#define FEISU_COLUMNAR_ENCODING_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "columnar/column_vector.h"
+
+namespace feisu {
+
+/// Column encodings used inside ColumnarBlock. Feisu's format is
+/// "compression-friendly": the encoder picks the cheapest representation
+/// per column chunk based on simple data statistics.
+enum class Encoding : uint8_t {
+  kPlain = 0,    ///< raw values
+  kRle = 1,      ///< (value, run-length) pairs — int64/bool with long runs
+  kDict = 2,     ///< dictionary + codes — low-cardinality strings
+  kBitPack = 3,  ///< frame-of-reference bit packing — small-domain int64
+};
+
+const char* EncodingName(Encoding encoding);
+
+/// A serialized column chunk: chosen encoding + payload bytes (which embed
+/// the validity bitmap first).
+struct EncodedColumn {
+  Encoding encoding = Encoding::kPlain;
+  std::string payload;
+};
+
+/// Encodes a column, automatically choosing the encoding.
+EncodedColumn EncodeColumn(const ColumnVector& column);
+
+/// Encodes with a forced encoding (tests / ablations). Falls back to plain
+/// if the encoding does not apply to the column type.
+EncodedColumn EncodeColumnAs(const ColumnVector& column, Encoding encoding);
+
+/// Decodes an encoded chunk back into a column of `type`.
+Result<ColumnVector> DecodeColumn(DataType type, const EncodedColumn& encoded);
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_ENCODING_H_

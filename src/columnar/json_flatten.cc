@@ -1,0 +1,230 @@
+#include "columnar/json_flatten.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace feisu {
+
+namespace {
+
+/// Minimal recursive-descent JSON parser that emits flattened attributes
+/// directly, without building a document tree.
+class JsonFlattener {
+ public:
+  JsonFlattener(const std::string& input, std::vector<FlatAttribute>* out)
+      : in_(input), out_(out) {}
+
+  Status Run() {
+    SkipWhitespace();
+    FEISU_RETURN_IF_ERROR(ParseValue(""));
+    SkipWhitespace();
+    if (pos_ != in_.size()) {
+      return Status::InvalidArgument("trailing bytes after JSON document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(const std::string& path) {
+    SkipWhitespace();
+    if (pos_ >= in_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    char c = in_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(path);
+      case '[':
+        return ParseArray(path);
+      case '"': {
+        std::string s;
+        FEISU_RETURN_IF_ERROR(ParseString(&s));
+        Emit(path, Value::String(std::move(s)));
+        return Status::OK();
+      }
+      case 't':
+        return ParseKeyword(path, "true", Value::Bool(true));
+      case 'f':
+        return ParseKeyword(path, "false", Value::Bool(false));
+      case 'n':
+        return ParseKeyword(path, "null", Value::Null());
+      default:
+        return ParseNumber(path);
+    }
+  }
+
+  Status ParseKeyword(const std::string& path, const char* word,
+                      Value value) {
+    size_t len = std::string(word).size();
+    if (in_.compare(pos_, len, word) != 0) {
+      return Status::InvalidArgument("bad JSON keyword at offset " +
+                                     std::to_string(pos_));
+    }
+    pos_ += len;
+    Emit(path, std::move(value));
+    return Status::OK();
+  }
+
+  Status ParseNumber(const std::string& path) {
+    size_t start = pos_;
+    bool is_integer = true;
+    if (Consume('-')) {
+    }
+    while (pos_ < in_.size() &&
+           std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      is_integer = false;
+      while (pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < in_.size() && (in_[pos_] == 'e' || in_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < in_.size() && (in_[pos_] == '+' || in_[pos_] == '-')) ++pos_;
+      while (pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && in_[start] == '-')) {
+      return Status::InvalidArgument("bad JSON number at offset " +
+                                     std::to_string(start));
+    }
+    std::string text = in_.substr(start, pos_ - start);
+    if (is_integer) {
+      Emit(path, Value::Int64(std::strtoll(text.c_str(), nullptr, 10)));
+    } else {
+      Emit(path, Value::Double(std::strtod(text.c_str(), nullptr)));
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    FEISU_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= in_.size()) break;
+        char e = in_[pos_++];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            // Keep it simple: pass the escape through verbatim.
+            out->append("\\u");
+            for (int k = 0; k < 4 && pos_ < in_.size(); ++k) {
+              out->push_back(in_[pos_++]);
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("bad JSON escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated JSON string");
+  }
+
+  Status ParseObject(const std::string& path) {
+    FEISU_RETURN_IF_ERROR(Expect('{'));
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      FEISU_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      FEISU_RETURN_IF_ERROR(Expect(':'));
+      std::string child = path.empty() ? key : path + "." + key;
+      FEISU_RETURN_IF_ERROR(ParseValue(child));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      return Expect('}');
+    }
+  }
+
+  Status ParseArray(const std::string& path) {
+    FEISU_RETURN_IF_ERROR(Expect('['));
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    size_t index = 0;
+    for (;;) {
+      std::string child = path + "[" + std::to_string(index++) + "]";
+      FEISU_RETURN_IF_ERROR(ParseValue(child));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      return Expect(']');
+    }
+  }
+
+  void Emit(const std::string& path, Value value) {
+    out_->push_back({path.empty() ? "$" : path, std::move(value)});
+  }
+
+  const std::string& in_;
+  std::vector<FlatAttribute>* out_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<FlatAttribute>> FlattenJson(const std::string& json) {
+  std::vector<FlatAttribute> out;
+  JsonFlattener flattener(json, &out);
+  FEISU_RETURN_IF_ERROR(flattener.Run());
+  return out;
+}
+
+}  // namespace feisu

@@ -1,0 +1,30 @@
+#ifndef FEISU_COLUMNAR_JSON_FLATTEN_H_
+#define FEISU_COLUMNAR_JSON_FLATTEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "columnar/value.h"
+
+namespace feisu {
+
+/// One flattened attribute: dotted path plus scalar value. Array elements
+/// get a bracketed index component, e.g. "clicks[2].url".
+struct FlatAttribute {
+  std::string path;
+  Value value;
+};
+
+/// Parses a JSON document and flattens nested objects/arrays into scalar
+/// columns, the way Feisu ingests nested log data (paper §III-A: "nested
+/// data format such as json ... will be flattened into columns").
+///
+/// JSON numbers without a fractional part or exponent become INT64,
+/// everything else DOUBLE; strings/bools/null map directly. Returns
+/// InvalidArgument on malformed input.
+Result<std::vector<FlatAttribute>> FlattenJson(const std::string& json);
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_JSON_FLATTEN_H_

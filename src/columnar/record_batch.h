@@ -1,0 +1,60 @@
+#ifndef FEISU_COLUMNAR_RECORD_BATCH_H_
+#define FEISU_COLUMNAR_RECORD_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "columnar/column_vector.h"
+#include "columnar/schema.h"
+
+namespace feisu {
+
+/// A horizontal slice of a table: a schema plus one equally sized
+/// ColumnVector per field. Operators consume and produce RecordBatches.
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+  /// Creates an empty batch with one empty column per schema field.
+  explicit RecordBatch(Schema schema);
+  RecordBatch(Schema schema, std::vector<ColumnVector> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+  ColumnVector* mutable_column(size_t i) { return &columns_[i]; }
+
+  /// Column by field name; nullptr if absent.
+  const ColumnVector* ColumnByName(const std::string& name) const;
+
+  /// Appends one row of boxed values (values.size() == num_columns()).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Appends all rows of `other` (schemas must be equal).
+  Status Append(const RecordBatch& other);
+
+  /// Keeps only selected rows.
+  RecordBatch Filter(const BitVector& selection) const;
+
+  /// Rows permuted/subset by `indices`.
+  RecordBatch Take(const std::vector<uint32_t>& indices) const;
+
+  /// Approximate payload bytes across all columns.
+  size_t ByteSize() const;
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table (debugging,
+  /// examples).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVector> columns_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_RECORD_BATCH_H_

@@ -1,0 +1,51 @@
+#ifndef FEISU_COLUMNAR_SCHEMA_H_
+#define FEISU_COLUMNAR_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/data_type.h"
+
+namespace feisu {
+
+/// One column in a table schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = true;
+};
+
+/// An ordered list of named, typed fields with O(1) lookup by name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  /// Schema containing only the named fields, in the given order. Unknown
+  /// names are skipped.
+  Schema Select(const std::vector<std::string>& names) const;
+
+  bool operator==(const Schema& other) const;
+
+  /// "name:TYPE, name:TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_SCHEMA_H_

@@ -1,0 +1,25 @@
+#include "columnar/table.h"
+
+#include <algorithm>
+
+namespace feisu {
+
+uint64_t TableMeta::TotalRows() const {
+  uint64_t rows = 0;
+  for (const auto& b : blocks_) rows += b.num_rows;
+  return rows;
+}
+
+uint64_t TableMeta::TotalBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& b : blocks_) bytes += b.bytes;
+  return bytes;
+}
+
+bool TableMeta::UserMayRead(const std::string& user) const {
+  if (allowed_users_.empty()) return true;
+  return std::find(allowed_users_.begin(), allowed_users_.end(), user) !=
+         allowed_users_.end();
+}
+
+}  // namespace feisu

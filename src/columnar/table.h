@@ -1,0 +1,57 @@
+#ifndef FEISU_COLUMNAR_TABLE_H_
+#define FEISU_COLUMNAR_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/block.h"
+#include "columnar/schema.h"
+
+namespace feisu {
+
+/// Catalog metadata for one block of a table: where it lives (a prefixed
+/// storage path understood by the common storage layer) and enough
+/// statistics for planning without touching the data.
+struct TableBlockMeta {
+  int64_t block_id = 0;
+  std::string path;       ///< e.g. "/hdfs/t1/blk_00004"
+  uint32_t num_rows = 0;
+  uint64_t bytes = 0;     ///< serialized block size
+  std::vector<ColumnStats> stats;        ///< aligned with stats_columns
+  std::vector<std::string> stats_columns;  ///< column name per stats entry
+};
+
+/// Catalog metadata for a table: schema, access control and block list.
+/// The master's job manager consults this to create execution plans; no
+/// data bytes live here.
+class TableMeta {
+ public:
+  TableMeta() = default;
+  TableMeta(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  const std::vector<TableBlockMeta>& blocks() const { return blocks_; }
+  void AddBlock(TableBlockMeta block) { blocks_.push_back(std::move(block)); }
+
+  uint64_t TotalRows() const;
+  uint64_t TotalBytes() const;
+
+  /// Access control: the set of users allowed to query the table. An empty
+  /// list means public.
+  void GrantAccess(const std::string& user) { allowed_users_.push_back(user); }
+  bool UserMayRead(const std::string& user) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<TableBlockMeta> blocks_;
+  std::vector<std::string> allowed_users_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_TABLE_H_

@@ -1,0 +1,70 @@
+#ifndef FEISU_COLUMNAR_VALUE_H_
+#define FEISU_COLUMNAR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "columnar/data_type.h"
+
+namespace feisu {
+
+/// A single (possibly NULL) scalar value. Used for literals in expressions,
+/// block min/max statistics and row-wise ingestion.
+class Value {
+ public:
+  /// NULL of unspecified type.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(DataType::kBool, v); }
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+
+  bool is_null() const { return is_null_; }
+  DataType type() const { return type_; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric view: int64 and double compare/evaluate in a common domain.
+  double AsDouble() const {
+    if (type_ == DataType::kInt64) return static_cast<double>(int64_value());
+    if (type_ == DataType::kBool) return bool_value() ? 1.0 : 0.0;
+    return double_value();
+  }
+
+  bool is_numeric() const {
+    return !is_null_ &&
+           (type_ == DataType::kInt64 || type_ == DataType::kDouble ||
+            type_ == DataType::kBool);
+  }
+
+  /// Total ordering within a type family (numeric cross-compares allowed).
+  /// NULL sorts before everything. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  /// SQL-ish rendering: NULL, 42, 3.5, 'abc', TRUE.
+  std::string ToString() const;
+
+ private:
+  template <typename T>
+  Value(DataType type, T v) : is_null_(false), type_(type), data_(std::move(v)) {}
+
+  bool is_null_ = true;
+  DataType type_ = DataType::kInt64;
+  std::variant<bool, int64_t, double, std::string> data_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COLUMNAR_VALUE_H_

@@ -1,0 +1,207 @@
+#include "common/bit_vector.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace feisu {
+
+namespace {
+constexpr uint64_t kAllOnes = ~0ULL;
+
+// RLE tags.
+constexpr uint8_t kRunZero = 0;
+constexpr uint8_t kRunOne = 1;
+constexpr uint8_t kLiteral = 2;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+}  // namespace
+
+BitVector::BitVector(size_t size, bool value) : size_(size) {
+  words_.assign((size + 63) / 64, value ? kAllOnes : 0);
+  ClearTrailingBits();
+}
+
+bool BitVector::Get(size_t i) const {
+  assert(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void BitVector::Set(size_t i, bool value) {
+  assert(i < size_);
+  uint64_t mask = 1ULL << (i & 63);
+  if (value) {
+    words_[i >> 6] |= mask;
+  } else {
+    words_[i >> 6] &= ~mask;
+  }
+}
+
+void BitVector::PushBack(bool value) {
+  if (size_ % 64 == 0) words_.push_back(0);
+  ++size_;
+  if (value) Set(size_ - 1, true);
+}
+
+size_t BitVector::CountOnes() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+void BitVector::And(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::Not() {
+  for (uint64_t& w : words_) w = ~w;
+  ClearTrailingBits();
+}
+
+BitVector BitVector::And(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.And(b);
+  return out;
+}
+
+BitVector BitVector::Or(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.Or(b);
+  return out;
+}
+
+BitVector BitVector::Not(const BitVector& a) {
+  BitVector out = a;
+  out.Not();
+  return out;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::vector<uint32_t> BitVector::SetIndices() const {
+  std::vector<uint32_t> out;
+  out.reserve(CountOnes());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out.push_back(static_cast<uint32_t>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVector::SerializeRle() const {
+  std::string out;
+  AppendU64(&out, size_);
+  size_t i = 0;
+  while (i < words_.size()) {
+    uint64_t w = words_[i];
+    if (w == 0 || w == kAllOnes) {
+      // Note: the trailing word of a full vector may not be kAllOnes because
+      // trailing bits are cleared; it is then emitted as a literal, which is
+      // still correct.
+      size_t j = i + 1;
+      while (j < words_.size() && words_[j] == w) ++j;
+      out.push_back(static_cast<char>(w == 0 ? kRunZero : kRunOne));
+      AppendU32(&out, static_cast<uint32_t>(j - i));
+      i = j;
+    } else {
+      out.push_back(static_cast<char>(kLiteral));
+      AppendU64(&out, w);
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool BitVector::DeserializeRle(const std::string& data, BitVector* out) {
+  size_t pos = 0;
+  uint64_t size = 0;
+  if (!ReadU64(data, &pos, &size)) return false;
+  BitVector result;
+  result.size_ = static_cast<size_t>(size);
+  size_t expected_words = (result.size_ + 63) / 64;
+  result.words_.reserve(expected_words);
+  while (pos < data.size()) {
+    uint8_t tag = static_cast<uint8_t>(data[pos++]);
+    if (tag == kRunZero || tag == kRunOne) {
+      uint32_t count = 0;
+      if (!ReadU32(data, &pos, &count)) return false;
+      if (result.words_.size() + count > expected_words) return false;
+      result.words_.insert(result.words_.end(), count,
+                           tag == kRunZero ? 0 : kAllOnes);
+    } else if (tag == kLiteral) {
+      uint64_t w = 0;
+      if (!ReadU64(data, &pos, &w)) return false;
+      if (result.words_.size() + 1 > expected_words) return false;
+      result.words_.push_back(w);
+    } else {
+      return false;
+    }
+  }
+  if (result.words_.size() != expected_words) return false;
+  result.ClearTrailingBits();
+  *out = std::move(result);
+  return true;
+}
+
+size_t BitVector::CompressedByteSize() const {
+  size_t bytes = sizeof(uint64_t);  // size header
+  size_t i = 0;
+  while (i < words_.size()) {
+    uint64_t w = words_[i];
+    if (w == 0 || w == kAllOnes) {
+      size_t j = i + 1;
+      while (j < words_.size() && words_[j] == w) ++j;
+      bytes += 1 + sizeof(uint32_t);
+      i = j;
+    } else {
+      bytes += 1 + sizeof(uint64_t);
+      ++i;
+    }
+  }
+  return bytes;
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(Get(i) ? '1' : '0');
+  return out;
+}
+
+void BitVector::ClearTrailingBits() {
+  size_t rem = size_ % 64;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+}  // namespace feisu

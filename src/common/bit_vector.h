@@ -1,0 +1,81 @@
+#ifndef FEISU_COMMON_BIT_VECTOR_H_
+#define FEISU_COMMON_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace feisu {
+
+/// A densely packed 0-1 vector with the bitwise algebra SmartIndex needs:
+/// AND / OR / NOT, popcount, and a word-level run-length compression used to
+/// estimate and reduce index memory footprint.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `size` bits, all set to `value`.
+  explicit BitVector(size_t size, bool value = false);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(size_t i) const;
+  void Set(size_t i, bool value);
+
+  /// Appends one bit.
+  void PushBack(bool value);
+
+  /// Number of set bits.
+  size_t CountOnes() const;
+
+  /// True if every bit is zero / one.
+  bool AllZeros() const { return CountOnes() == 0; }
+  bool AllOnes() const { return CountOnes() == size_; }
+
+  /// In-place bitwise ops; `other` must have the same size.
+  void And(const BitVector& other);
+  void Or(const BitVector& other);
+  void Not();
+
+  /// Out-of-place helpers.
+  static BitVector And(const BitVector& a, const BitVector& b);
+  static BitVector Or(const BitVector& a, const BitVector& b);
+  static BitVector Not(const BitVector& a);
+
+  bool operator==(const BitVector& other) const;
+
+  /// Indices of all set bits, in increasing order.
+  std::vector<uint32_t> SetIndices() const;
+
+  /// Uncompressed in-memory footprint in bytes (words only).
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Serializes to a word-level RLE form: runs of all-zero / all-one words
+  /// collapse to a (tag, count) pair; mixed words are stored verbatim. This
+  /// mirrors the "Compress type" field of the SmartIndex block layout
+  /// (paper Fig. 6) and is what IndexCache charges against its budget.
+  std::string SerializeRle() const;
+
+  /// Parses a SerializeRle() payload. Returns false on malformed input.
+  static bool DeserializeRle(const std::string& data, BitVector* out);
+
+  /// Size in bytes of the RLE-compressed form without materializing it.
+  size_t CompressedByteSize() const;
+
+  /// Debug rendering, e.g. "01101".
+  std::string ToString() const;
+
+ private:
+  size_t NumWords() const { return words_.size(); }
+  /// Clears any bits beyond size_ in the last word (keeps invariants for
+  /// popcount / equality after Not()).
+  void ClearTrailingBits();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_BIT_VECTOR_H_

@@ -1,0 +1,40 @@
+#ifndef FEISU_COMMON_HASH_H_
+#define FEISU_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace feisu {
+
+/// FNV-1a over a byte range; stable across platforms, used for hash joins,
+/// aggregation tables and index keys.
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = 0xCBF29CE484222325ULL) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0xCBF29CE484222325ULL) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashInt64(int64_t v) {
+  uint64_t z = static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return z ^ (z >> 31);
+}
+
+/// Boost-style hash combiner.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_HASH_H_

@@ -1,0 +1,56 @@
+#ifndef FEISU_COMMON_LOGGING_H_
+#define FEISU_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace feisu {
+
+/// Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Process-wide minimum severity; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log-line builder; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Null sink used when the message is below the active level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace feisu
+
+#define FEISU_LOG_ENABLED(level) \
+  (::feisu::LogLevel::level >= ::feisu::GetLogLevel())
+
+#define FEISU_LOG(level)                                                  \
+  if (!FEISU_LOG_ENABLED(level)) {                                        \
+  } else                                                                  \
+    ::feisu::internal::LogMessage(::feisu::LogLevel::level, __FILE__,     \
+                                  __LINE__)                               \
+        .stream()
+
+#endif  // FEISU_COMMON_LOGGING_H_

@@ -1,0 +1,74 @@
+#ifndef FEISU_COMMON_RESULT_H_
+#define FEISU_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace feisu {
+
+/// Result<T> holds either a value of type T or an error Status. It is the
+/// value-returning counterpart of Status, used throughout the Feisu API.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result.
+  Result(T value)  // NOLINT(google-explicit-constructor): intentional sugar
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must be non-OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success binds the
+/// value to `lhs`.
+#define FEISU_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define FEISU_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define FEISU_ASSIGN_OR_RETURN_NAME(a, b) FEISU_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define FEISU_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  FEISU_ASSIGN_OR_RETURN_IMPL(                                                \
+      FEISU_ASSIGN_OR_RETURN_NAME(_feisu_result_, __LINE__), lhs, expr)
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_RESULT_H_

@@ -1,0 +1,46 @@
+#ifndef FEISU_COMMON_RNG_H_
+#define FEISU_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace feisu {
+
+/// Deterministic pseudo-random number generator (splitmix64 core) used by
+/// workload generators and the cluster simulator. Seeded explicitly so every
+/// experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool NextBool(double p);
+
+  /// Samples an index in [0, n) from a Zipf(s) distribution. Rank 0 is the
+  /// most popular item. Used to model the skewed column/predicate reuse the
+  /// paper observes in Baidu's query logs.
+  uint64_t NextZipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_;
+  // Cached harmonic table for the most recent (n, s) Zipf configuration.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_RNG_H_

@@ -1,0 +1,19 @@
+#include "common/sim_clock.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace feisu {
+
+SimTime SimClock::Advance(SimTime delta) {
+  assert(delta >= 0);
+  now_ += delta;
+  return now_;
+}
+
+SimTime SimClock::AdvanceTo(SimTime t) {
+  now_ = std::max(now_, t);
+  return now_;
+}
+
+}  // namespace feisu

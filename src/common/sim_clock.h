@@ -1,0 +1,46 @@
+#ifndef FEISU_COMMON_SIM_CLOCK_H_
+#define FEISU_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace feisu {
+
+/// Simulated time is expressed in logical nanoseconds. All Feisu cost models
+/// (storage, CPU, network) charge against SimTime so that experiments are
+/// deterministic and can model the paper's 4,000-node production cluster on
+/// a single machine.
+using SimTime = int64_t;
+
+constexpr SimTime kSimNanosecond = 1;
+constexpr SimTime kSimMicrosecond = 1000 * kSimNanosecond;
+constexpr SimTime kSimMillisecond = 1000 * kSimMicrosecond;
+constexpr SimTime kSimSecond = 1000 * kSimMillisecond;
+constexpr SimTime kSimMinute = 60 * kSimSecond;
+constexpr SimTime kSimHour = 60 * kSimMinute;
+
+/// A monotonically advancing logical clock. Each simulated entity (node,
+/// network link, cache) owns or shares a SimClock; advancing it models work
+/// being performed.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimTime Now() const { return now_; }
+
+  /// Advances the clock by `delta` (>= 0) and returns the new time.
+  SimTime Advance(SimTime delta);
+
+  /// Moves the clock forward to `t` if `t` is later; returns the new time.
+  SimTime AdvanceTo(SimTime t);
+
+  /// Resets to time zero (used between benchmark iterations).
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,115 @@
+#ifndef FEISU_COMMON_STATUS_H_
+#define FEISU_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace feisu {
+
+/// Error categories used across the Feisu public API. Mirrors the
+/// RocksDB/Arrow convention of returning rich status objects instead of
+/// throwing exceptions across module boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kResourceExhausted,
+  kUnavailable,
+  kTimedOut,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A Status encodes the result of an operation that may fail. The OK status
+/// carries no allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define FEISU_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::feisu::Status _feisu_status = (expr);        \
+    if (!_feisu_status.ok()) return _feisu_status; \
+  } while (false)
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_STATUS_H_

@@ -1,0 +1,268 @@
+#include "exec/aggregate.h"
+
+#include "columnar/block.h"
+#include "expr/evaluator.h"
+
+namespace feisu {
+
+namespace {
+
+std::string SerializeKeys(const std::vector<Value>& keys) {
+  std::string out;
+  for (const Value& key : keys) SerializeValue(&out, key);
+  return out;
+}
+
+bool NeedsSum(AggFunc func) {
+  return func == AggFunc::kSum || func == AggFunc::kAvg;
+}
+bool NeedsMinMax(AggFunc func) {
+  return func == AggFunc::kMin || func == AggFunc::kMax;
+}
+
+DataType FinalType(AggFunc func, DataType arg_type) {
+  switch (func) {
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    case AggFunc::kSum:
+      return arg_type == DataType::kDouble ? DataType::kDouble
+                                           : DataType::kInt64;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg_type;
+  }
+  return DataType::kInt64;
+}
+
+}  // namespace
+
+Result<Aggregator> Aggregator::Make(std::vector<ExprPtr> group_by,
+                                    std::vector<AggSpec> specs,
+                                    const Schema& input_schema) {
+  Aggregator agg;
+  agg.group_by_ = std::move(group_by);
+  agg.specs_ = std::move(specs);
+
+  std::vector<Field> partial_fields;
+  std::vector<Field> final_fields;
+  for (const auto& g : agg.group_by_) {
+    std::string name =
+        g->kind() == ExprKind::kColumnRef ? g->column() : g->ToString();
+    agg.group_names_.push_back(name);
+    FEISU_ASSIGN_OR_RETURN(DataType type, InferType(*g, input_schema));
+    partial_fields.push_back({name, type, true});
+    final_fields.push_back({name, type, true});
+  }
+  for (const auto& spec : agg.specs_) {
+    DataType arg_type = DataType::kInt64;
+    if (spec.arg != nullptr) {
+      FEISU_ASSIGN_OR_RETURN(arg_type, InferType(*spec.arg, input_schema));
+      if (arg_type == DataType::kString && NeedsSum(spec.func)) {
+        return Status::InvalidArgument("SUM/AVG over string column");
+      }
+    } else if (spec.func != AggFunc::kCount) {
+      return Status::InvalidArgument("'*' argument requires COUNT");
+    }
+    agg.arg_types_.push_back(arg_type);
+    partial_fields.push_back(
+        {spec.output_name + "#count", DataType::kInt64, false});
+    if (NeedsSum(spec.func)) {
+      partial_fields.push_back(
+          {spec.output_name + "#sum", DataType::kDouble, false});
+    }
+    if (NeedsMinMax(spec.func)) {
+      partial_fields.push_back({spec.output_name + "#min", arg_type, true});
+      partial_fields.push_back({spec.output_name + "#max", arg_type, true});
+    }
+    final_fields.push_back(
+        {spec.output_name, FinalType(spec.func, arg_type), true});
+  }
+  agg.partial_schema_ = Schema(std::move(partial_fields));
+  agg.final_schema_ = Schema(std::move(final_fields));
+  return agg;
+}
+
+Aggregator::Group& Aggregator::GroupFor(const std::vector<Value>& keys) {
+  std::string serialized = SerializeKeys(keys);
+  auto it = groups_.find(serialized);
+  if (it == groups_.end()) {
+    Group group;
+    group.keys = keys;
+    group.states.resize(specs_.size());
+    it = groups_.emplace(std::move(serialized), std::move(group)).first;
+  }
+  return it->second;
+}
+
+Status Aggregator::Consume(const RecordBatch& batch) {
+  size_t n = batch.num_rows();
+  if (n == 0) return Status::OK();
+  // Evaluate group keys and aggregate arguments once per batch.
+  std::vector<ColumnVector> key_cols;
+  for (const auto& g : group_by_) {
+    FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*g, batch));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<ColumnVector> arg_cols;
+  std::vector<bool> has_arg(specs_.size(), false);
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (specs_[s].arg != nullptr) {
+      FEISU_ASSIGN_OR_RETURN(ColumnVector col,
+                             EvaluateExpr(*specs_[s].arg, batch));
+      arg_cols.push_back(std::move(col));
+      has_arg[s] = true;
+    } else {
+      arg_cols.emplace_back(DataType::kInt64);
+    }
+  }
+  std::vector<Value> keys(group_by_.size());
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      keys[k] = key_cols[k].GetValue(row);
+    }
+    Group& group = GroupFor(keys);
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      AggState& state = group.states[s];
+      if (!has_arg[s]) {  // COUNT(*)
+        ++state.count;
+        continue;
+      }
+      Value v = arg_cols[s].GetValue(row);
+      if (v.is_null()) continue;  // SQL semantics: NULLs don't aggregate
+      ++state.count;
+      if (NeedsSum(specs_[s].func)) state.sum += v.AsDouble();
+      if (NeedsMinMax(specs_[s].func)) {
+        if (state.min.is_null() || v.Compare(state.min) < 0) state.min = v;
+        if (state.max.is_null() || v.Compare(state.max) > 0) state.max = v;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Aggregator::ConsumeCount(size_t rows) {
+  if (!group_by_.empty()) {
+    return Status::InvalidArgument("ConsumeCount requires no GROUP BY");
+  }
+  for (const auto& spec : specs_) {
+    if (spec.func != AggFunc::kCount || spec.arg != nullptr) {
+      return Status::InvalidArgument("ConsumeCount requires COUNT(*) only");
+    }
+  }
+  Group& group = GroupFor({});
+  for (AggState& state : group.states) {
+    state.count += static_cast<int64_t>(rows);
+  }
+  return Status::OK();
+}
+
+Status Aggregator::ConsumePartial(const RecordBatch& batch) {
+  if (!(batch.schema() == partial_schema_)) {
+    return Status::InvalidArgument("partial batch schema mismatch");
+  }
+  size_t n = batch.num_rows();
+  std::vector<Value> keys(group_by_.size());
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t k = 0; k < group_by_.size(); ++k) {
+      keys[k] = batch.column(k).GetValue(row);
+    }
+    Group& group = GroupFor(keys);
+    size_t col = group_by_.size();
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      AggState& state = group.states[s];
+      Value count = batch.column(col++).GetValue(row);
+      state.count += count.is_null() ? 0 : count.int64_value();
+      if (NeedsSum(specs_[s].func)) {
+        Value sum = batch.column(col++).GetValue(row);
+        state.sum += sum.is_null() ? 0 : sum.AsDouble();
+      }
+      if (NeedsMinMax(specs_[s].func)) {
+        Value vmin = batch.column(col++).GetValue(row);
+        Value vmax = batch.column(col++).GetValue(row);
+        if (!vmin.is_null() &&
+            (state.min.is_null() || vmin.Compare(state.min) < 0)) {
+          state.min = vmin;
+        }
+        if (!vmax.is_null() &&
+            (state.max.is_null() || vmax.Compare(state.max) > 0)) {
+          state.max = vmax;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<RecordBatch> Aggregator::PartialResult() const {
+  RecordBatch out(partial_schema_);
+  for (const auto& [key, group] : groups_) {
+    std::vector<Value> row;
+    row.reserve(partial_schema_.num_fields());
+    for (const Value& v : group.keys) row.push_back(v);
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      const AggState& state = group.states[s];
+      row.push_back(Value::Int64(state.count));
+      if (NeedsSum(specs_[s].func)) row.push_back(Value::Double(state.sum));
+      if (NeedsMinMax(specs_[s].func)) {
+        row.push_back(state.min);
+        row.push_back(state.max);
+      }
+    }
+    FEISU_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<RecordBatch> Aggregator::FinalResult() const {
+  RecordBatch out(final_schema_);
+  // A global aggregation (no GROUP BY) over zero rows still yields one row.
+  if (groups_.empty() && group_by_.empty()) {
+    std::vector<Value> row;
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      row.push_back(specs_[s].func == AggFunc::kCount ? Value::Int64(0)
+                                                      : Value::Null());
+    }
+    FEISU_RETURN_IF_ERROR(out.AppendRow(row));
+    return out;
+  }
+  for (const auto& [key, group] : groups_) {
+    std::vector<Value> row;
+    row.reserve(final_schema_.num_fields());
+    for (const Value& v : group.keys) row.push_back(v);
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      const AggState& state = group.states[s];
+      switch (specs_[s].func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int64(state.count));
+          break;
+        case AggFunc::kSum:
+          if (state.count == 0) {
+            row.push_back(Value::Null());
+          } else if (arg_types_[s] == DataType::kDouble) {
+            row.push_back(Value::Double(state.sum));
+          } else {
+            row.push_back(Value::Int64(static_cast<int64_t>(state.sum)));
+          }
+          break;
+        case AggFunc::kAvg:
+          row.push_back(state.count == 0
+                            ? Value::Null()
+                            : Value::Double(state.sum /
+                                            static_cast<double>(state.count)));
+          break;
+        case AggFunc::kMin:
+          row.push_back(state.min);
+          break;
+        case AggFunc::kMax:
+          row.push_back(state.max);
+          break;
+      }
+    }
+    FEISU_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace feisu

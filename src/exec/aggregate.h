@@ -1,0 +1,88 @@
+#ifndef FEISU_EXEC_AGGREGATE_H_
+#define FEISU_EXEC_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "columnar/record_batch.h"
+#include "plan/logical_plan.h"
+
+namespace feisu {
+
+/// Distributed-friendly hash aggregation. Leaf servers Consume() raw rows
+/// and emit PartialResult() batches; stem servers ConsumePartial() those
+/// batches to merge them (possibly over several tree levels); the master
+/// calls FinalResult() to finalize values (AVG = sum/count etc.).
+///
+/// Partial exchange schema: one column per group key (named by the group
+/// expression), then per aggregate spec `<name>#count` (INT64),
+/// `<name>#sum` (DOUBLE, numeric aggs only) and `<name>#min` / `<name>#max`
+/// (arg type, MIN/MAX only).
+///
+/// The parsed WITHIN scope of an aggregate is accepted and carried but — as
+/// ingested data is already flattened to columns — aggregation within a
+/// record collapses to ordinary per-group aggregation here.
+class Aggregator {
+ public:
+  /// `input_schema` is the schema of raw batches fed to Consume (used to
+  /// type MIN/MAX/SUM outputs). Group expressions must be scalar.
+  static Result<Aggregator> Make(std::vector<ExprPtr> group_by,
+                                 std::vector<AggSpec> specs,
+                                 const Schema& input_schema);
+
+  /// Accumulates raw input rows.
+  Status Consume(const RecordBatch& batch);
+
+  /// Accumulates `rows` matched rows without materializing any column —
+  /// only valid for an ungrouped aggregation whose specs are all COUNT(*).
+  /// This is the paper's Fig. 7 fast path: a fully index-served COUNT(*)
+  /// never touches the data.
+  Status ConsumeCount(size_t rows);
+
+  /// Accumulates a partial-state batch produced by another Aggregator.
+  Status ConsumePartial(const RecordBatch& batch);
+
+  /// Emits the current groups as partial state.
+  Result<RecordBatch> PartialResult() const;
+
+  /// Emits finalized per-group values: group keys then one column per spec
+  /// named spec.output_name.
+  Result<RecordBatch> FinalResult() const;
+
+  /// Schema of PartialResult batches.
+  const Schema& partial_schema() const { return partial_schema_; }
+  /// Schema of FinalResult batches.
+  const Schema& final_schema() const { return final_schema_; }
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0;
+    Value min;
+    Value max;
+  };
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  Aggregator() = default;
+
+  Group& GroupFor(const std::vector<Value>& keys);
+
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> specs_;
+  std::vector<DataType> arg_types_;   // per spec (kInt64 for COUNT(*))
+  std::vector<std::string> group_names_;
+  Schema partial_schema_;
+  Schema final_schema_;
+  std::map<std::string, Group> groups_;  // serialized key -> group
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_EXEC_AGGREGATE_H_

@@ -1,0 +1,336 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "columnar/block.h"
+#include "expr/evaluator.h"
+
+namespace feisu {
+
+Result<RecordBatch> FilterBatch(const RecordBatch& input,
+                                const ExprPtr& predicate) {
+  if (predicate == nullptr) return input;
+  FEISU_ASSIGN_OR_RETURN(BitVector selection,
+                         EvaluatePredicate(*predicate, input));
+  return input.Filter(selection);
+}
+
+Result<RecordBatch> ProjectBatch(const RecordBatch& input,
+                                 const std::vector<SelectItem>& items) {
+  std::vector<Field> fields;
+  std::vector<ColumnVector> columns;
+  for (const auto& item : items) {
+    FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*item.expr, input));
+    fields.push_back({item.OutputName(), col.type(), true});
+    columns.push_back(std::move(col));
+  }
+  return RecordBatch(Schema(std::move(fields)), std::move(columns));
+}
+
+Result<RecordBatch> SortBatch(const RecordBatch& input,
+                              const std::vector<OrderByItem>& order_by) {
+  if (order_by.empty()) return input;
+  std::vector<ColumnVector> keys;
+  keys.reserve(order_by.size());
+  for (const auto& item : order_by) {
+    FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*item.expr, input));
+    keys.push_back(std::move(col));
+  }
+  std::vector<uint32_t> indices(input.num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::stable_sort(indices.begin(), indices.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (size_t k = 0; k < keys.size(); ++k) {
+                       int cmp = keys[k].GetValue(a).Compare(
+                           keys[k].GetValue(b));
+                       if (cmp == 0) continue;
+                       return order_by[k].descending ? cmp > 0 : cmp < 0;
+                     }
+                     return false;
+                   });
+  return input.Take(indices);
+}
+
+RecordBatch LimitBatch(const RecordBatch& input, int64_t limit) {
+  if (limit < 0 || static_cast<uint64_t>(limit) >= input.num_rows()) {
+    return input;
+  }
+  std::vector<uint32_t> indices(static_cast<size_t>(limit));
+  std::iota(indices.begin(), indices.end(), 0);
+  return input.Take(indices);
+}
+
+Result<RecordBatch> TopNBatch(const RecordBatch& input,
+                              const std::vector<OrderByItem>& order_by,
+                              int64_t limit) {
+  if (limit < 0 || order_by.empty()) {
+    FEISU_ASSIGN_OR_RETURN(RecordBatch sorted, SortBatch(input, order_by));
+    return LimitBatch(sorted, limit);
+  }
+  if (limit == 0) return input.Filter(BitVector(input.num_rows(), false));
+  std::vector<ColumnVector> keys;
+  keys.reserve(order_by.size());
+  for (const auto& item : order_by) {
+    FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*item.expr, input));
+    keys.push_back(std::move(col));
+  }
+  // less(a, b): a orders strictly before b; ties break on input position
+  // for stability.
+  auto less = [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      int cmp = keys[k].GetValue(a).Compare(keys[k].GetValue(b));
+      if (cmp == 0) continue;
+      return order_by[k].descending ? cmp > 0 : cmp < 0;
+    }
+    return a < b;
+  };
+  // Max-heap of the current best `limit` rows (heap top = worst kept row).
+  std::vector<uint32_t> heap;
+  heap.reserve(static_cast<size_t>(limit));
+  for (uint32_t row = 0; row < input.num_rows(); ++row) {
+    if (heap.size() < static_cast<size_t>(limit)) {
+      heap.push_back(row);
+      std::push_heap(heap.begin(), heap.end(), less);
+    } else if (less(row, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), less);
+      heap.back() = row;
+      std::push_heap(heap.begin(), heap.end(), less);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), less);
+  return input.Take(heap);
+}
+
+namespace {
+
+/// Splits a condition into conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kLogical &&
+      expr->logical_op() == LogicalOp::kAnd) {
+    SplitConjuncts(expr->child(0), out);
+    SplitConjuncts(expr->child(1), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// Builds the join output schema, qualifying collided names with prefixes,
+/// and returns per-side output field names.
+Schema JoinOutputSchema(const RecordBatch& left, const RecordBatch& right,
+                        const std::string& left_prefix,
+                        const std::string& right_prefix,
+                        std::vector<std::string>* left_names,
+                        std::vector<std::string>* right_names) {
+  std::vector<Field> fields;
+  auto collides = [&](const std::string& name, const Schema& other) {
+    return other.HasField(name);
+  };
+  for (const auto& f : left.schema().fields()) {
+    Field out = f;
+    if (collides(f.name, right.schema()) && !left_prefix.empty()) {
+      out.name = left_prefix + "." + f.name;
+    }
+    out.nullable = true;
+    left_names->push_back(out.name);
+    fields.push_back(out);
+  }
+  for (const auto& f : right.schema().fields()) {
+    Field out = f;
+    if (collides(f.name, left.schema()) && !right_prefix.empty()) {
+      out.name = right_prefix + "." + f.name;
+    }
+    out.nullable = true;
+    right_names->push_back(out.name);
+    fields.push_back(out);
+  }
+  return Schema(std::move(fields));
+}
+
+struct EquiKey {
+  ExprPtr left_expr;   // evaluated against the left batch
+  ExprPtr right_expr;  // evaluated against the right batch
+};
+
+/// Classifies condition conjuncts into equi-join keys and residuals.
+void ClassifyConjuncts(const std::vector<ExprPtr>& conjuncts,
+                       const RecordBatch& left, const RecordBatch& right,
+                       std::vector<EquiKey>* keys,
+                       std::vector<ExprPtr>* residual) {
+  for (const auto& c : conjuncts) {
+    if (c->kind() == ExprKind::kComparison &&
+        c->compare_op() == CompareOp::kEq &&
+        c->child(0)->kind() == ExprKind::kColumnRef &&
+        c->child(1)->kind() == ExprKind::kColumnRef) {
+      const ExprPtr& a = c->child(0);
+      const ExprPtr& b = c->child(1);
+      bool a_left = LookupColumn(*a, left) != nullptr;
+      bool a_right = LookupColumn(*a, right) != nullptr;
+      bool b_left = LookupColumn(*b, left) != nullptr;
+      bool b_right = LookupColumn(*b, right) != nullptr;
+      // Qualified refs bind unambiguously; prefer (left, right) pairing.
+      if (a_left && b_right && !(a_right && b_left)) {
+        keys->push_back({a, b});
+        continue;
+      }
+      if (a_right && b_left && !(a_left && b_right)) {
+        keys->push_back({b, a});
+        continue;
+      }
+      if (a_left && b_right) {  // ambiguous both ways: pick (a,b)
+        keys->push_back({a, b});
+        continue;
+      }
+    }
+    residual->push_back(c);
+  }
+}
+
+std::string RowKey(const std::vector<ColumnVector>& cols, size_t row,
+                   bool* has_null) {
+  std::string out;
+  *has_null = false;
+  for (const auto& col : cols) {
+    Value v = col.GetValue(row);
+    if (v.is_null()) *has_null = true;
+    SerializeValue(&out, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RecordBatch> HashJoinBatches(const RecordBatch& left,
+                                    const RecordBatch& right,
+                                    const HashJoinOptions& options) {
+  std::vector<std::string> left_names;
+  std::vector<std::string> right_names;
+  Schema out_schema =
+      JoinOutputSchema(left, right, options.left_prefix, options.right_prefix,
+                       &left_names, &right_names);
+  RecordBatch out(out_schema);
+
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(options.condition, &conjuncts);
+  std::vector<EquiKey> keys;
+  std::vector<ExprPtr> residual;
+  ClassifyConjuncts(conjuncts, left, right, &keys, &residual);
+
+  // Evaluate key expressions.
+  std::vector<ColumnVector> left_keys;
+  std::vector<ColumnVector> right_keys;
+  for (const auto& key : keys) {
+    FEISU_ASSIGN_OR_RETURN(ColumnVector lcol,
+                           EvaluateExpr(*key.left_expr, left));
+    FEISU_ASSIGN_OR_RETURN(ColumnVector rcol,
+                           EvaluateExpr(*key.right_expr, right));
+    left_keys.push_back(std::move(lcol));
+    right_keys.push_back(std::move(rcol));
+  }
+
+  // Build side: right.
+  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  if (!keys.empty()) {
+    for (size_t row = 0; row < right.num_rows(); ++row) {
+      bool has_null = false;
+      std::string key = RowKey(right_keys, row, &has_null);
+      if (has_null) continue;  // NULL keys never match
+      build[key].push_back(static_cast<uint32_t>(row));
+    }
+  }
+
+  auto emit = [&](int64_t lrow, int64_t rrow) -> Status {
+    std::vector<Value> row;
+    row.reserve(out_schema.num_fields());
+    for (size_t c = 0; c < left.num_columns(); ++c) {
+      row.push_back(lrow < 0 ? Value::Null()
+                             : left.column(c).GetValue(
+                                   static_cast<size_t>(lrow)));
+    }
+    for (size_t c = 0; c < right.num_columns(); ++c) {
+      row.push_back(rrow < 0 ? Value::Null()
+                             : right.column(c).GetValue(
+                                   static_cast<size_t>(rrow)));
+    }
+    return out.AppendRow(row);
+  };
+
+  // Residual evaluation happens on a single combined row; build a one-row
+  // batch lazily only when residuals exist.
+  auto residual_ok = [&](size_t lrow, size_t rrow) -> Result<bool> {
+    if (residual.empty()) return true;
+    RecordBatch pair(out_schema);
+    std::vector<Value> row;
+    for (size_t c = 0; c < left.num_columns(); ++c) {
+      row.push_back(left.column(c).GetValue(lrow));
+    }
+    for (size_t c = 0; c < right.num_columns(); ++c) {
+      row.push_back(right.column(c).GetValue(rrow));
+    }
+    FEISU_RETURN_IF_ERROR(pair.AppendRow(row));
+    for (const auto& r : residual) {
+      FEISU_ASSIGN_OR_RETURN(BitVector bits, EvaluatePredicate(*r, pair));
+      if (!bits.Get(0)) return false;
+    }
+    return true;
+  };
+
+  std::vector<bool> right_matched(right.num_rows(), false);
+
+  if (options.type == JoinType::kCross ||
+      (keys.empty() && options.type == JoinType::kInner)) {
+    for (size_t l = 0; l < left.num_rows(); ++l) {
+      for (size_t r = 0; r < right.num_rows(); ++r) {
+        FEISU_ASSIGN_OR_RETURN(bool ok, residual_ok(l, r));
+        if (ok) FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l),
+                                          static_cast<int64_t>(r)));
+      }
+    }
+    return out;
+  }
+
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    bool matched = false;
+    if (!keys.empty()) {
+      bool has_null = false;
+      std::string key = RowKey(left_keys, l, &has_null);
+      if (!has_null) {
+        auto it = build.find(key);
+        if (it != build.end()) {
+          for (uint32_t r : it->second) {
+            FEISU_ASSIGN_OR_RETURN(bool ok, residual_ok(l, r));
+            if (!ok) continue;
+            matched = true;
+            right_matched[r] = true;
+            FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l), r));
+          }
+        }
+      }
+    } else {
+      // No equi keys (e.g. pure range condition): nested loop.
+      for (size_t r = 0; r < right.num_rows(); ++r) {
+        FEISU_ASSIGN_OR_RETURN(bool ok, residual_ok(l, r));
+        if (!ok) continue;
+        matched = true;
+        right_matched[r] = true;
+        FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l),
+                                   static_cast<int64_t>(r)));
+      }
+    }
+    if (!matched && options.type == JoinType::kLeftOuter) {
+      FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l), -1));
+    }
+  }
+  if (options.type == JoinType::kRightOuter) {
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (!right_matched[r]) {
+        FEISU_RETURN_IF_ERROR(emit(-1, static_cast<int64_t>(r)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace feisu

@@ -1,0 +1,372 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "columnar/block.h"
+
+namespace feisu {
+
+const ColumnVector* LookupColumn(const Expr& ref, const RecordBatch& batch) {
+  // Qualified refs ("t.c") first match a join-qualified output column,
+  // then fall back to the bare name.
+  if (!ref.table().empty()) {
+    const ColumnVector* col = batch.ColumnByName(ref.QualifiedName());
+    if (col != nullptr) return col;
+  }
+  return batch.ColumnByName(ref.column());
+}
+
+namespace {
+
+bool CompareValues(CompareOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;  // NULL never matches
+  if (op == CompareOp::kContains) {
+    if (lhs.type() != DataType::kString || rhs.type() != DataType::kString) {
+      return false;
+    }
+    return lhs.string_value().find(rhs.string_value()) != std::string::npos;
+  }
+  int cmp = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kContains:
+      return false;
+  }
+  return false;
+}
+
+// Fast path: <int64 column> OP <numeric literal> and string CONTAINS,
+// producing full three-valued output. Returns true if handled.
+bool TryFastCompare(const Expr& expr, const RecordBatch& batch,
+                    TriStateVector* out) {
+  if (expr.kind() != ExprKind::kComparison) return false;
+  const ExprPtr& l = expr.child(0);
+  const ExprPtr& r = expr.child(1);
+  if (l->kind() != ExprKind::kColumnRef || r->kind() != ExprKind::kLiteral) {
+    return false;
+  }
+  const ColumnVector* col = LookupColumn(*l, batch);
+  if (col == nullptr) return false;
+  const Value& lit = r->value();
+  CompareOp op = expr.compare_op();
+  size_t n = col->size();
+  out->is_true = BitVector(n, false);
+  out->is_false = BitVector(n, false);
+  if (lit.is_null()) return true;  // everything UNKNOWN
+  if (col->type() == DataType::kInt64 && lit.is_numeric() &&
+      op != CompareOp::kContains) {
+    double rhs = lit.AsDouble();
+    const auto& ints = col->ints();
+    for (size_t i = 0; i < n; ++i) {
+      if (col->IsNull(i)) continue;
+      double v = static_cast<double>(ints[i]);
+      bool match = false;
+      switch (op) {
+        case CompareOp::kEq:
+          match = v == rhs;
+          break;
+        case CompareOp::kNe:
+          match = v != rhs;
+          break;
+        case CompareOp::kLt:
+          match = v < rhs;
+          break;
+        case CompareOp::kLe:
+          match = v <= rhs;
+          break;
+        case CompareOp::kGt:
+          match = v > rhs;
+          break;
+        case CompareOp::kGe:
+          match = v >= rhs;
+          break;
+        case CompareOp::kContains:
+          break;
+      }
+      (match ? out->is_true : out->is_false).Set(i, true);
+    }
+    return true;
+  }
+  if (col->type() == DataType::kString && lit.type() == DataType::kString &&
+      op == CompareOp::kContains) {
+    const auto& strings = col->strings();
+    const std::string& needle = lit.string_value();
+    for (size_t i = 0; i < n; ++i) {
+      if (col->IsNull(i)) continue;
+      bool match = strings[i].find(needle) != std::string::npos;
+      (match ? out->is_true : out->is_false).Set(i, true);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<DataType> InferType(const Expr& expr, const Schema& schema) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      int idx = -1;
+      if (!expr.table().empty()) idx = schema.FieldIndex(expr.QualifiedName());
+      if (idx < 0) idx = schema.FieldIndex(expr.column());
+      if (idx < 0) {
+        return Status::NotFound("unknown column " + expr.QualifiedName());
+      }
+      return schema.field(idx).type;
+    }
+    case ExprKind::kLiteral:
+      if (expr.value().is_null()) return DataType::kInt64;
+      return expr.value().type();
+    case ExprKind::kComparison:
+    case ExprKind::kLogical:
+      return DataType::kBool;
+    case ExprKind::kArithmetic: {
+      FEISU_ASSIGN_OR_RETURN(DataType lhs, InferType(*expr.child(0), schema));
+      FEISU_ASSIGN_OR_RETURN(DataType rhs, InferType(*expr.child(1), schema));
+      if (lhs == DataType::kString || rhs == DataType::kString) {
+        return Status::InvalidArgument("arithmetic on string");
+      }
+      if (expr.arith_op() == ArithOp::kDiv) return DataType::kDouble;
+      if (lhs == DataType::kDouble || rhs == DataType::kDouble) {
+        return DataType::kDouble;
+      }
+      return DataType::kInt64;
+    }
+    case ExprKind::kAggregate:
+      switch (expr.agg_func()) {
+        case AggFunc::kCount:
+          return DataType::kInt64;
+        case AggFunc::kAvg:
+          return DataType::kDouble;
+        default: {
+          if (expr.children().empty()) return DataType::kInt64;
+          return InferType(*expr.child(0), schema);
+        }
+      }
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' outside COUNT(*)");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<ColumnVector> EvaluateExpr(const Expr& expr,
+                                  const RecordBatch& batch) {
+  size_t n = batch.num_rows();
+  switch (expr.kind()) {
+    case ExprKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate expression in scalar context");
+    case ExprKind::kColumnRef: {
+      const ColumnVector* col = LookupColumn(expr, batch);
+      if (col == nullptr) {
+        return Status::NotFound("unknown column " + expr.QualifiedName());
+      }
+      return *col;
+    }
+    case ExprKind::kLiteral: {
+      DataType type =
+          expr.value().is_null() ? DataType::kInt64 : expr.value().type();
+      ColumnVector out(type);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) out.AppendValue(expr.value());
+      return out;
+    }
+    case ExprKind::kArithmetic: {
+      FEISU_ASSIGN_OR_RETURN(ColumnVector lhs,
+                             EvaluateExpr(*expr.child(0), batch));
+      FEISU_ASSIGN_OR_RETURN(ColumnVector rhs,
+                             EvaluateExpr(*expr.child(1), batch));
+      FEISU_ASSIGN_OR_RETURN(DataType out_type,
+                             InferType(expr, batch.schema()));
+      ColumnVector out(out_type);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (lhs.IsNull(i) || rhs.IsNull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        double a = lhs.GetValue(i).AsDouble();
+        double b = rhs.GetValue(i).AsDouble();
+        double v = 0;
+        switch (expr.arith_op()) {
+          case ArithOp::kAdd:
+            v = a + b;
+            break;
+          case ArithOp::kSub:
+            v = a - b;
+            break;
+          case ArithOp::kMul:
+            v = a * b;
+            break;
+          case ArithOp::kDiv:
+            if (b == 0) {
+              out.AppendNull();
+              continue;
+            }
+            v = a / b;
+            break;
+          case ArithOp::kMod:
+            if (static_cast<int64_t>(b) == 0) {
+              out.AppendNull();
+              continue;
+            }
+            v = static_cast<double>(static_cast<int64_t>(a) %
+                                    static_cast<int64_t>(b));
+            break;
+        }
+        if (out_type == DataType::kInt64) {
+          out.AppendInt64(static_cast<int64_t>(v));
+        } else {
+          out.AppendDouble(v);
+        }
+      }
+      return out;
+    }
+    case ExprKind::kComparison:
+    case ExprKind::kLogical: {
+      FEISU_ASSIGN_OR_RETURN(BitVector bits, EvaluatePredicate(expr, batch));
+      ColumnVector out(DataType::kBool);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) out.AppendBool(bits.Get(i));
+      return out;
+    }
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' outside COUNT(*)");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<TriStateVector> EvaluatePredicate3VL(const Expr& expr,
+                                             const RecordBatch& batch) {
+  size_t n = batch.num_rows();
+  switch (expr.kind()) {
+    case ExprKind::kLogical: {
+      if (expr.logical_op() == LogicalOp::kNot) {
+        FEISU_ASSIGN_OR_RETURN(TriStateVector child,
+                               EvaluatePredicate3VL(*expr.child(0), batch));
+        // Kleene NOT: swap TRUE and FALSE, UNKNOWN stays UNKNOWN.
+        std::swap(child.is_true, child.is_false);
+        return child;
+      }
+      FEISU_ASSIGN_OR_RETURN(TriStateVector lhs,
+                             EvaluatePredicate3VL(*expr.child(0), batch));
+      FEISU_ASSIGN_OR_RETURN(TriStateVector rhs,
+                             EvaluatePredicate3VL(*expr.child(1), batch));
+      TriStateVector out;
+      if (expr.logical_op() == LogicalOp::kAnd) {
+        // Kleene AND: true iff both true; false iff either false.
+        out.is_true = BitVector::And(lhs.is_true, rhs.is_true);
+        out.is_false = BitVector::Or(lhs.is_false, rhs.is_false);
+      } else {
+        out.is_true = BitVector::Or(lhs.is_true, rhs.is_true);
+        out.is_false = BitVector::And(lhs.is_false, rhs.is_false);
+      }
+      return out;
+    }
+    case ExprKind::kComparison: {
+      TriStateVector fast;
+      if (TryFastCompare(expr, batch, &fast)) return fast;
+      FEISU_ASSIGN_OR_RETURN(ColumnVector lhs,
+                             EvaluateExpr(*expr.child(0), batch));
+      FEISU_ASSIGN_OR_RETURN(ColumnVector rhs,
+                             EvaluateExpr(*expr.child(1), batch));
+      TriStateVector out;
+      out.is_true = BitVector(n, false);
+      out.is_false = BitVector(n, false);
+      for (size_t i = 0; i < n; ++i) {
+        Value a = lhs.GetValue(i);
+        Value b = rhs.GetValue(i);
+        if (a.is_null() || b.is_null()) continue;  // UNKNOWN
+        bool match = CompareValues(expr.compare_op(), a, b);
+        (match ? out.is_true : out.is_false).Set(i, true);
+      }
+      return out;
+    }
+    case ExprKind::kLiteral: {
+      TriStateVector out;
+      if (expr.value().is_null()) {
+        out.is_true = BitVector(n, false);
+        out.is_false = BitVector(n, false);
+        return out;
+      }
+      bool truthy = (expr.value().type() == DataType::kBool &&
+                     expr.value().bool_value()) ||
+                    (expr.value().is_numeric() &&
+                     expr.value().AsDouble() != 0 &&
+                     expr.value().type() != DataType::kBool);
+      out.is_true = BitVector(n, truthy);
+      out.is_false = BitVector(n, !truthy);
+      return out;
+    }
+    case ExprKind::kColumnRef: {
+      const ColumnVector* col = LookupColumn(expr, batch);
+      if (col == nullptr) {
+        return Status::NotFound("unknown column " + expr.QualifiedName());
+      }
+      if (col->type() != DataType::kBool) {
+        return Status::InvalidArgument("predicate column must be BOOL");
+      }
+      TriStateVector out;
+      out.is_true = BitVector(n, false);
+      out.is_false = BitVector(n, false);
+      for (size_t i = 0; i < n; ++i) {
+        if (col->IsNull(i)) continue;
+        (col->GetBool(i) ? out.is_true : out.is_false).Set(i, true);
+      }
+      return out;
+    }
+    default:
+      return Status::InvalidArgument("expression is not a predicate: " +
+                                     expr.ToString());
+  }
+}
+
+Result<BitVector> EvaluatePredicate(const Expr& expr,
+                                    const RecordBatch& batch) {
+  FEISU_ASSIGN_OR_RETURN(TriStateVector tri,
+                         EvaluatePredicate3VL(expr, batch));
+  return std::move(tri.is_true);
+}
+
+bool StatsMayMatch(CompareOp op, const ColumnStats& stats,
+                   const Value& literal) {
+  if (literal.is_null()) return false;
+  if (stats.min.is_null() || stats.max.is_null()) {
+    // No stats (all-NULL column or unknown): only NULL rows, which never
+    // match a comparison.
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return literal.Compare(stats.min) >= 0 &&
+             literal.Compare(stats.max) <= 0;
+    case CompareOp::kNe:
+      // Only prunable if every row equals the literal.
+      return !(stats.min == stats.max && stats.min == literal);
+    case CompareOp::kLt:
+      return stats.min.Compare(literal) < 0;
+    case CompareOp::kLe:
+      return stats.min.Compare(literal) <= 0;
+    case CompareOp::kGt:
+      return stats.max.Compare(literal) > 0;
+    case CompareOp::kGe:
+      return stats.max.Compare(literal) >= 0;
+    case CompareOp::kContains:
+      return true;  // substring match can't be pruned by min/max
+  }
+  return true;
+}
+
+}  // namespace feisu

@@ -1,0 +1,51 @@
+#ifndef FEISU_EXPR_EVALUATOR_H_
+#define FEISU_EXPR_EVALUATOR_H_
+
+#include "common/result.h"
+#include "columnar/block.h"
+#include "columnar/record_batch.h"
+#include "expr/expr.h"
+
+namespace feisu {
+
+/// Vectorized expression evaluation over RecordBatches. Aggregates are NOT
+/// handled here (the HashAggregate operator owns them); passing an
+/// expression containing one returns InvalidArgument.
+
+/// Kleene three-valued evaluation result: a row is TRUE, FALSE, or
+/// UNKNOWN (neither bit set, from NULL operands). SQL selection keeps only
+/// TRUE rows, but the FALSE set is what a negated predicate's SmartIndex
+/// must store — bit-NOT of the TRUE set would wrongly select UNKNOWN rows.
+struct TriStateVector {
+  BitVector is_true;
+  BitVector is_false;
+};
+
+/// Full three-valued evaluation of a boolean predicate.
+Result<TriStateVector> EvaluatePredicate3VL(const Expr& expr,
+                                            const RecordBatch& batch);
+
+/// Evaluates a boolean predicate; row i is selected iff the predicate is
+/// TRUE (SQL three-valued logic: UNKNOWN rows are not selected).
+Result<BitVector> EvaluatePredicate(const Expr& expr,
+                                    const RecordBatch& batch);
+
+/// Evaluates a scalar (projection) expression into a column.
+Result<ColumnVector> EvaluateExpr(const Expr& expr, const RecordBatch& batch);
+
+/// Resolves a column reference against a batch, preferring the qualified
+/// name ("t.c", produced by joins on name collisions) over the bare name.
+const ColumnVector* LookupColumn(const Expr& ref, const RecordBatch& batch);
+
+/// Infers the output type of a scalar expression against a schema.
+Result<DataType> InferType(const Expr& expr, const Schema& schema);
+
+/// Block-skipping test: can any row of a block with the given [min,max]
+/// column stats satisfy `cmp_op` against `literal`? Conservative (returns
+/// true when unsure). Used for zone-map pruning before SmartIndex lookup.
+bool StatsMayMatch(CompareOp op, const ColumnStats& stats,
+                   const Value& literal);
+
+}  // namespace feisu
+
+#endif  // FEISU_EXPR_EVALUATOR_H_

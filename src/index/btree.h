@@ -1,0 +1,169 @@
+#ifndef FEISU_INDEX_BTREE_H_
+#define FEISU_INDEX_BTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace feisu {
+
+/// An in-memory B+-tree mapping keys to row ids, used as the baseline index
+/// Feisu is compared against in paper Fig. 9b. Duplicate keys are allowed.
+/// Leaves are chained for efficient range scans.
+template <typename K>
+class BPlusTree {
+ public:
+  static constexpr size_t kMaxKeys = 64;
+
+  BPlusTree() : root_(std::make_unique<Node>(true)) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+
+  void Insert(const K& key, uint32_t value) {
+    Node* root = root_.get();
+    if (root->keys.size() == kMaxKeys) {
+      auto new_root = std::make_unique<Node>(false);
+      new_root->children.push_back(std::move(root_));
+      SplitChild(new_root.get(), 0);
+      root_ = std::move(new_root);
+      ++height_;
+    }
+    InsertNonFull(root_.get(), key, value);
+    ++size_;
+  }
+
+  /// Calls `fn(row_id)` for every entry with key in the interval defined by
+  /// the optional bounds. `lo_inclusive` / `hi_inclusive` pick open/closed
+  /// endpoints; an absent bound is unbounded.
+  template <typename F>
+  void ScanRange(const std::optional<K>& lo, bool lo_inclusive,
+                 const std::optional<K>& hi, bool hi_inclusive, F&& fn) const {
+    const Node* leaf = lo.has_value() ? FindLeaf(*lo) : LeftmostLeaf();
+    while (leaf != nullptr) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        const K& k = leaf->keys[i];
+        if (lo.has_value()) {
+          if (k < *lo || (!lo_inclusive && k == *lo)) continue;
+        }
+        if (hi.has_value()) {
+          if (k > *hi || (!hi_inclusive && k == *hi)) return;
+        }
+        fn(leaf->values[i]);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Calls `fn(row_id)` for entries with key exactly `key`.
+  template <typename F>
+  void ScanEqual(const K& key, F&& fn) const {
+    ScanRange(key, true, key, true, std::forward<F>(fn));
+  }
+
+  /// Approximate memory footprint (keys + values + node overhead).
+  size_t MemoryBytes() const { return MemoryBytesOf(root_.get()); }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<K> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal only
+    std::vector<uint32_t> values;                 // leaf only
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  // Splits the full child `idx` of `parent`, promoting the separator.
+  void SplitChild(Node* parent, size_t idx) {
+    Node* child = parent->children[idx].get();
+    auto sibling = std::make_unique<Node>(child->leaf);
+    size_t mid = child->keys.size() / 2;
+    if (child->leaf) {
+      // Leaf split: sibling takes the upper half; separator is the first
+      // key of the sibling (B+-tree style, keys stay in the leaves).
+      sibling->keys.assign(child->keys.begin() + mid, child->keys.end());
+      sibling->values.assign(child->values.begin() + mid,
+                             child->values.end());
+      child->keys.resize(mid);
+      child->values.resize(mid);
+      sibling->next = child->next;
+      child->next = sibling.get();
+      parent->keys.insert(parent->keys.begin() + idx, sibling->keys.front());
+    } else {
+      // Internal split: separator moves up, not into the sibling.
+      K separator = child->keys[mid];
+      sibling->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+      for (size_t i = mid + 1; i < child->children.size(); ++i) {
+        sibling->children.push_back(std::move(child->children[i]));
+      }
+      child->keys.resize(mid);
+      child->children.resize(mid + 1);
+      parent->keys.insert(parent->keys.begin() + idx, separator);
+    }
+    parent->children.insert(parent->children.begin() + idx + 1,
+                            std::move(sibling));
+  }
+
+  void InsertNonFull(Node* node, const K& key, uint32_t value) {
+    for (;;) {
+      if (node->leaf) {
+        auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+        size_t pos = static_cast<size_t>(it - node->keys.begin());
+        node->keys.insert(it, key);
+        node->values.insert(node->values.begin() + pos, value);
+        return;
+      }
+      auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+      size_t idx = static_cast<size_t>(it - node->keys.begin());
+      if (node->children[idx]->keys.size() == kMaxKeys) {
+        SplitChild(node, idx);
+        if (key >= node->keys[idx]) ++idx;
+      }
+      node = node->children[idx].get();
+    }
+  }
+
+  const Node* FindLeaf(const K& key) const {
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      // Duplicates may straddle a split, so descend into the leftmost child
+      // that can contain the key (lower_bound); the leaf chain lets
+      // ScanRange skip forward cheaply if we land early.
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+      size_t idx = static_cast<size_t>(it - node->keys.begin());
+      node = node->children[idx].get();
+    }
+    return node;
+  }
+
+  const Node* LeftmostLeaf() const {
+    const Node* node = root_.get();
+    while (!node->leaf) node = node->children.front().get();
+    return node;
+  }
+
+  size_t MemoryBytesOf(const Node* node) const {
+    size_t bytes = sizeof(Node) + node->keys.capacity() * sizeof(K) +
+                   node->values.capacity() * sizeof(uint32_t);
+    for (const auto& child : node->children) {
+      bytes += MemoryBytesOf(child.get());
+    }
+    return bytes;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_INDEX_BTREE_H_

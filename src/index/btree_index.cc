@@ -1,0 +1,104 @@
+#include "index/btree_index.h"
+
+namespace feisu {
+
+ColumnBTreeIndex ColumnBTreeIndex::Build(const ColumnVector& column) {
+  ColumnBTreeIndex index;
+  index.num_rows_ = static_cast<uint32_t>(column.size());
+  index.type_ = column.type();
+  if (column.type() == DataType::kString) {
+    index.string_tree_ = std::make_unique<BPlusTree<std::string>>();
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (column.IsNull(i)) continue;
+      index.string_tree_->Insert(column.GetString(i),
+                                 static_cast<uint32_t>(i));
+    }
+  } else {
+    index.numeric_tree_ = std::make_unique<BPlusTree<double>>();
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (column.IsNull(i)) continue;
+      index.numeric_tree_->Insert(column.GetValue(i).AsDouble(),
+                                  static_cast<uint32_t>(i));
+    }
+  }
+  return index;
+}
+
+namespace {
+
+template <typename K, typename Tree>
+std::optional<BitVector> QueryTree(const Tree& tree, uint32_t num_rows,
+                                   CompareOp op, const K& key) {
+  BitVector bits(num_rows, false);
+  auto mark = [&bits](uint32_t row) { bits.Set(row, true); };
+  switch (op) {
+    case CompareOp::kEq:
+      tree.ScanEqual(key, mark);
+      return bits;
+    case CompareOp::kNe:
+      tree.ScanEqual(key, mark);
+      bits.Not();
+      // NULL rows were never indexed, but Not() turned them on; clear them
+      // by intersecting with the indexed universe.
+      {
+        BitVector indexed(num_rows, false);
+        tree.ScanRange(std::nullopt, true, std::nullopt, true,
+                       [&indexed](uint32_t row) { indexed.Set(row, true); });
+        bits.And(indexed);
+      }
+      return bits;
+    case CompareOp::kLt:
+      tree.ScanRange(std::nullopt, true, key, false, mark);
+      return bits;
+    case CompareOp::kLe:
+      tree.ScanRange(std::nullopt, true, key, true, mark);
+      return bits;
+    case CompareOp::kGt:
+      tree.ScanRange(key, false, std::nullopt, true, mark);
+      return bits;
+    case CompareOp::kGe:
+      tree.ScanRange(key, true, std::nullopt, true, mark);
+      return bits;
+    case CompareOp::kContains:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<BitVector> ColumnBTreeIndex::Query(CompareOp op,
+                                                 const Value& literal) const {
+  if (literal.is_null()) return BitVector(num_rows_, false);
+  if (type_ == DataType::kString) {
+    if (literal.type() != DataType::kString) return std::nullopt;
+    return QueryTree(*string_tree_, num_rows_, op, literal.string_value());
+  }
+  if (!literal.is_numeric()) return std::nullopt;
+  return QueryTree(*numeric_tree_, num_rows_, op, literal.AsDouble());
+}
+
+size_t ColumnBTreeIndex::MemoryBytes() const {
+  if (string_tree_ != nullptr) return string_tree_->MemoryBytes();
+  if (numeric_tree_ != nullptr) return numeric_tree_->MemoryBytes();
+  return 0;
+}
+
+const ColumnBTreeIndex* BTreeIndexManager::Find(
+    int64_t block_id, const std::string& column) const {
+  ++lookups_;
+  auto it = indices_.find({block_id, column});
+  return it == indices_.end() ? nullptr : &it->second;
+}
+
+const ColumnBTreeIndex* BTreeIndexManager::BuildAndStore(
+    int64_t block_id, const std::string& column, const ColumnVector& values) {
+  ColumnBTreeIndex index = ColumnBTreeIndex::Build(values);
+  memory_bytes_ += index.MemoryBytes();
+  ++builds_;
+  auto [it, inserted] =
+      indices_.insert_or_assign({block_id, column}, std::move(index));
+  return &it->second;
+}
+
+}  // namespace feisu

@@ -1,0 +1,115 @@
+#include "index/index_cache.h"
+
+namespace feisu {
+
+IndexCache::IndexCache(IndexCacheConfig config) : config_(config) {}
+
+bool IndexCache::IsExpired(const SmartIndex& index, SimTime now) const {
+  if (now - index.created_at() <= config_.ttl) return false;
+  // Preferred indices may outlive their TTL while memory is not full
+  // (paper §IV-C.2).
+  if (IsPreferred(index.key()) && memory_bytes_ <= config_.capacity_bytes) {
+    return false;
+  }
+  return true;
+}
+
+const SmartIndex* IndexCache::Lookup(const SmartIndexKey& key, SimTime now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (IsExpired(it->second.index, now)) {
+    ++stats_.ttl_evictions;
+    Remove(key);
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return &it->second.index;
+}
+
+const SmartIndex* IndexCache::Peek(const SmartIndexKey& key, SimTime now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (IsExpired(it->second.index, now)) return nullptr;
+  return &it->second.index;
+}
+
+void IndexCache::Insert(const SmartIndexKey& key, const BitVector& bits,
+                        SimTime now) {
+  Remove(key);
+  SmartIndex index(key, bits, now);
+  uint64_t bytes = index.MemoryBytes();
+  if (bytes > config_.capacity_bytes) return;
+  EvictForSpace(bytes);
+  if (memory_bytes_ + bytes > config_.capacity_bytes) return;
+  lru_.push_front(key);
+  Entry entry{std::move(index), lru_.begin()};
+  memory_bytes_ += bytes;
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+}
+
+void IndexCache::SetPreference(const std::string& predicate, bool preferred) {
+  if (preferred) {
+    preferred_predicates_.insert(predicate);
+  } else {
+    preferred_predicates_.erase(predicate);
+  }
+}
+
+void IndexCache::EvictExpired(SimTime now) {
+  std::vector<SmartIndexKey> victims;
+  for (const auto& [key, entry] : entries_) {
+    if (IsExpired(entry.index, now)) victims.push_back(key);
+  }
+  for (const auto& key : victims) {
+    ++stats_.ttl_evictions;
+    Remove(key);
+  }
+}
+
+void IndexCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  memory_bytes_ = 0;
+}
+
+void IndexCache::Remove(const SmartIndexKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  memory_bytes_ -= it->second.index.MemoryBytes();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void IndexCache::EvictForSpace(uint64_t incoming_bytes) {
+  // Two passes over the LRU tail: first evict unpreferred entries, then —
+  // only if still necessary — preferred ones.
+  for (int pass = 0; pass < 2; ++pass) {
+    bool allow_preferred = pass == 1;
+    while (memory_bytes_ + incoming_bytes > config_.capacity_bytes &&
+           !entries_.empty()) {
+      SmartIndexKey victim;
+      bool found = false;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        if (allow_preferred || !IsPreferred(*it)) {
+          victim = *it;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      Remove(victim);
+      ++stats_.lru_evictions;
+    }
+    if (memory_bytes_ + incoming_bytes <= config_.capacity_bytes) return;
+  }
+}
+
+}  // namespace feisu

@@ -1,0 +1,99 @@
+#ifndef FEISU_INDEX_INDEX_CACHE_H_
+#define FEISU_INDEX_INDEX_CACHE_H_
+
+#include <list>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "index/smart_index.h"
+
+namespace feisu {
+
+/// Index-cache tuning knobs (paper §IV-C.2: 512 MB default budget, 72 h
+/// TTL, user preferences that may outlive the TTL while memory is free).
+struct IndexCacheConfig {
+  uint64_t capacity_bytes = 512ULL * 1024 * 1024;
+  SimTime ttl = 72 * kSimHour;
+};
+
+struct IndexCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t lru_evictions = 0;
+  uint64_t ttl_evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  double MissRate() const { return 1.0 - HitRate(); }
+};
+
+/// The per-leaf-server SmartIndex store. An index is dropped when (1) the
+/// memory budget is full (LRU order) or (2) it has been cached longer than
+/// the TTL — except that preferred (pinned) indices survive TTL expiry as
+/// long as memory is not under pressure.
+class IndexCache {
+ public:
+  explicit IndexCache(IndexCacheConfig config = {});
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  const IndexCacheConfig& config() const { return config_; }
+  void set_capacity_bytes(uint64_t bytes) { config_.capacity_bytes = bytes; }
+
+  /// Looks up the index for (block, predicate) at simulated time `now`.
+  /// Expired entries are treated as misses and removed. Returns nullptr on
+  /// miss. The pointer stays valid until the next mutating call.
+  const SmartIndex* Lookup(const SmartIndexKey& key, SimTime now);
+
+  /// Same as Lookup but without touching the hit/miss statistics or LRU
+  /// order (used by the resolver's compositional probes).
+  const SmartIndex* Peek(const SmartIndexKey& key, SimTime now);
+
+  /// Inserts (or replaces) the index for `key`. Evicts LRU entries as
+  /// needed; an entry larger than the whole budget is not cached.
+  void Insert(const SmartIndexKey& key, const BitVector& bits, SimTime now);
+
+  /// User preference hook (paper: "interfaces for users to set preferences
+  /// and retire strategies on indices"). Preferred predicates survive TTL
+  /// expiry under low memory pressure and are evicted last.
+  void SetPreference(const std::string& predicate, bool preferred);
+
+  /// Drops every entry whose TTL expired at `now` (periodic maintenance).
+  void EvictExpired(SimTime now);
+
+  void Clear();
+
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  size_t size() const { return entries_.size(); }
+  const IndexCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IndexCacheStats(); }
+
+ private:
+  struct Entry {
+    SmartIndex index;
+    std::list<SmartIndexKey>::iterator lru_it;
+  };
+
+  bool IsExpired(const SmartIndex& index, SimTime now) const;
+  bool IsPreferred(const SmartIndexKey& key) const {
+    return preferred_predicates_.count(key.predicate) > 0;
+  }
+  void Remove(const SmartIndexKey& key);
+  void EvictForSpace(uint64_t incoming_bytes);
+
+  IndexCacheConfig config_;
+  std::unordered_map<SmartIndexKey, Entry, SmartIndexKeyHash> entries_;
+  std::list<SmartIndexKey> lru_;  // front = most recently used
+  std::set<std::string> preferred_predicates_;
+  uint64_t memory_bytes_ = 0;
+  IndexCacheStats stats_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_INDEX_INDEX_CACHE_H_

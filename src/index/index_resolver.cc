@@ -1,0 +1,67 @@
+#include "index/index_resolver.h"
+
+#include "expr/normalize.h"
+
+namespace feisu {
+
+std::optional<BitVector> IndexResolver::Resolve(int64_t block_id,
+                                                const ExprPtr& conjunct,
+                                                SimTime now) {
+  std::optional<BitVector> result =
+      ResolveImpl(block_id, conjunct, now, /*top_level=*/true);
+  if (!result.has_value()) ++stats_.misses;
+  return result;
+}
+
+std::optional<BitVector> IndexResolver::ResolveImpl(int64_t block_id,
+                                                    const ExprPtr& expr,
+                                                    SimTime now,
+                                                    bool top_level) {
+  // 1. Direct probe for this exact (sub)predicate. The top-level probe
+  //    counts toward cache hit/miss statistics and refreshes LRU order;
+  //    inner compositional probes use Peek.
+  SmartIndexKey key{block_id, PredicateKey(expr)};
+  const SmartIndex* index =
+      top_level ? cache_->Lookup(key, now) : cache_->Peek(key, now);
+  if (index != nullptr) {
+    if (top_level) {
+      ++stats_.direct_hits;
+    } else {
+      ++stats_.composed_hits;
+    }
+    stats_.bitmap_words += (index->num_rows() + 63) / 64;
+    return index->Bits();
+  }
+
+  // 2. Atoms resolve only by direct key. Negated predicates still reuse
+  //    prior work (Fig. 7): whenever a leaf evaluates an atom it also
+  //    materializes the negation's bitmap under the negated key, which is
+  //    NULL-correct — bitwise NOT of the TRUE bitmap would wrongly select
+  //    rows whose operand is NULL (UNKNOWN in three-valued logic).
+  if (expr->kind() != ExprKind::kLogical) return std::nullopt;
+
+  // 3. AND/OR nodes: compose children (Kleene TRUE-set algebra: the TRUE
+  //    set of a conjunction/disjunction is exactly the AND/OR of the
+  //    children's TRUE sets). NOT has no safe bitmap composition and
+  //    resolves via the materialized dual above.
+  if (expr->kind() == ExprKind::kLogical) {
+    if (expr->logical_op() == LogicalOp::kNot) return std::nullopt;
+    std::optional<BitVector> lhs =
+        ResolveImpl(block_id, expr->child(0), now, false);
+    if (!lhs.has_value()) return std::nullopt;
+    std::optional<BitVector> rhs =
+        ResolveImpl(block_id, expr->child(1), now, false);
+    if (!rhs.has_value()) return std::nullopt;
+    if (expr->logical_op() == LogicalOp::kAnd) {
+      lhs->And(*rhs);
+    } else {
+      lhs->Or(*rhs);
+    }
+    stats_.bitmap_words += (lhs->size() + 63) / 64;
+    return lhs;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace feisu

@@ -1,0 +1,56 @@
+#ifndef FEISU_INDEX_INDEX_RESOLVER_H_
+#define FEISU_INDEX_INDEX_RESOLVER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "expr/expr.h"
+#include "index/index_cache.h"
+
+namespace feisu {
+
+struct ResolverStats {
+  uint64_t direct_hits = 0;     ///< whole conjunct found in the cache
+  uint64_t composed_hits = 0;   ///< derived via bit-NOT / bit-OR algebra
+  uint64_t misses = 0;          ///< predicate had to be evaluated
+  uint64_t bitmap_words = 0;    ///< words touched by combine operations
+
+  uint64_t TotalHits() const { return direct_hits + composed_hits; }
+};
+
+/// Resolves a (block, conjunct) pair to a row bitmap using only cached
+/// SmartIndices and bitmap algebra — the plan-rewriting step of paper
+/// Fig. 7. Resolution tries, in order:
+///
+///  1. a direct cache hit for the conjunct's canonical key — negated
+///     predicates hit here too, because evaluating an atom materializes
+///     its negation's bitmap under the negated key (`!(c2 > 5)` finds the
+///     `c2 <= 5` entry built when `c2 > 5` was evaluated);
+///  2. for OR / AND nodes, recursive resolution of the children combined
+///     with bit-OR / bit-AND (sound in Kleene three-valued logic; bit-NOT
+///     is not, which is why negation uses materialized duals instead).
+///
+/// Returns nullopt when the conjunct cannot be resolved from cache (the
+/// caller then scans, evaluates, and inserts a fresh index).
+class IndexResolver {
+ public:
+  explicit IndexResolver(IndexCache* cache) : cache_(cache) {}
+
+  std::optional<BitVector> Resolve(int64_t block_id, const ExprPtr& conjunct,
+                                   SimTime now);
+
+  const ResolverStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ResolverStats(); }
+
+ private:
+  std::optional<BitVector> ResolveImpl(int64_t block_id,
+                                       const ExprPtr& expr, SimTime now,
+                                       bool top_level);
+
+  IndexCache* cache_;
+  ResolverStats stats_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_INDEX_INDEX_RESOLVER_H_

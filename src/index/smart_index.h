@@ -1,0 +1,59 @@
+#ifndef FEISU_INDEX_SMART_INDEX_H_
+#define FEISU_INDEX_SMART_INDEX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bit_vector.h"
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+/// A SmartIndex addresses the evaluation result of one query predicate on
+/// one data block (paper §IV-C, Fig. 6).
+struct SmartIndexKey {
+  int64_t block_id = 0;
+  std::string predicate;  ///< canonical conjunct rendering (PredicateKey)
+
+  bool operator==(const SmartIndexKey& other) const {
+    return block_id == other.block_id && predicate == other.predicate;
+  }
+};
+
+struct SmartIndexKeyHash {
+  size_t operator()(const SmartIndexKey& key) const;
+};
+
+/// One cached predicate-evaluation result: a compressed 0-1 vector over the
+/// block's rows plus the metadata of Fig. 6 (block id, predicate condition,
+/// compression type — our RLE — and creation time for TTL management).
+class SmartIndex {
+ public:
+  SmartIndex() = default;
+  SmartIndex(SmartIndexKey key, const BitVector& bits, SimTime created_at);
+
+  const SmartIndexKey& key() const { return key_; }
+  SimTime created_at() const { return created_at_; }
+  uint32_t num_rows() const { return num_rows_; }
+  uint32_t matched_rows() const { return matched_rows_; }
+
+  /// Decompresses the stored bitmap (charged by the caller at bitmap-combine
+  /// cost, which is orders of magnitude below a scan).
+  BitVector Bits() const;
+
+  /// Memory the index occupies in the leaf server's cache: compressed
+  /// payload plus key/metadata overhead. This is what counts against the
+  /// 512 MB default budget in the paper's experiments.
+  size_t MemoryBytes() const;
+
+ private:
+  SmartIndexKey key_;
+  std::string compressed_bits_;  // BitVector RLE payload
+  uint32_t num_rows_ = 0;
+  uint32_t matched_rows_ = 0;
+  SimTime created_at_ = 0;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_INDEX_SMART_INDEX_H_

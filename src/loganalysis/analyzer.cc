@@ -1,0 +1,150 @@
+#include "loganalysis/analyzer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "expr/normalize.h"
+#include "sql/parser.h"
+
+namespace feisu {
+
+TraceAnalyzer::TraceAnalyzer(const std::vector<TraceQuery>& trace) {
+  queries_.reserve(trace.size());
+  for (const auto& entry : trace) {
+    Result<SelectStatement> parsed = ParseSql(entry.sql);
+    if (!parsed.ok()) continue;
+    ++parsed_count_;
+    ParsedQuery q;
+    q.timestamp = entry.timestamp;
+
+    std::set<std::string> columns;
+    auto add_columns = [&columns](const ExprPtr& expr) {
+      if (expr == nullptr) return;
+      std::vector<std::string> cols;
+      expr->CollectColumns(&cols);
+      columns.insert(cols.begin(), cols.end());
+    };
+    for (const auto& item : parsed->items) add_columns(item.expr);
+    add_columns(parsed->where);
+    for (const auto& g : parsed->group_by) add_columns(g);
+    add_columns(parsed->having);
+    for (const auto& o : parsed->order_by) add_columns(o.expr);
+    q.columns.assign(columns.begin(), columns.end());
+
+    if (parsed->where != nullptr) {
+      for (const auto& conjunct : NormalizePredicate(parsed->where)) {
+        q.predicates.push_back(PredicateKey(conjunct));
+      }
+    }
+
+    q.keywords.push_back("SELECT");
+    q.keywords.push_back("FROM");
+    if (parsed->where != nullptr) q.keywords.push_back("WHERE");
+    if (!parsed->group_by.empty()) q.keywords.push_back("GROUP BY");
+    if (parsed->having != nullptr) q.keywords.push_back("HAVING");
+    if (!parsed->order_by.empty()) q.keywords.push_back("ORDER BY");
+    if (parsed->limit >= 0) q.keywords.push_back("LIMIT");
+    if (!parsed->joins.empty()) {
+      q.keywords.push_back("JOIN");
+      q.has_join = true;
+    }
+    // Aggregate keywords.
+    for (const auto& item : parsed->items) {
+      if (item.expr->ContainsAggregate()) {
+        q.keywords.push_back("AGGREGATE");
+        break;
+      }
+    }
+    queries_.push_back(std::move(q));
+  }
+  std::sort(queries_.begin(), queries_.end(),
+            [](const ParsedQuery& a, const ParsedQuery& b) {
+              return a.timestamp < b.timestamp;
+            });
+}
+
+double TraceAnalyzer::RepeatedColumnsPerWindow(SimTime window) const {
+  if (queries_.empty() || window <= 0) return 0.0;
+  SimTime end = queries_.back().timestamp;
+  size_t num_windows = 0;
+  double total_repeated = 0.0;
+  size_t begin_idx = 0;
+  for (SimTime start = 0; start <= end; start += window) {
+    SimTime stop = start + window;
+    std::map<std::string, int> query_count;  // column -> #queries touching
+    size_t queries_in_window = 0;
+    while (begin_idx < queries_.size() &&
+           queries_[begin_idx].timestamp < stop) {
+      const ParsedQuery& q = queries_[begin_idx];
+      if (q.timestamp >= start) {
+        ++queries_in_window;
+        for (const auto& col : q.columns) ++query_count[col];
+      }
+      ++begin_idx;
+    }
+    if (queries_in_window == 0) continue;
+    ++num_windows;
+    for (const auto& [col, count] : query_count) {
+      if (count >= 2) total_repeated += 1.0;
+    }
+  }
+  return num_windows == 0 ? 0.0 : total_repeated /
+                                      static_cast<double>(num_windows);
+}
+
+double TraceAnalyzer::SharedPredicateRatio(SimTime window) const {
+  if (queries_.empty() || window <= 0) return 0.0;
+  size_t total_with_predicates = 0;
+  size_t sharing = 0;
+  SimTime end = queries_.back().timestamp;
+  size_t begin_idx = 0;
+  for (SimTime start = 0; start <= end; start += window) {
+    SimTime stop = start + window;
+    size_t first = begin_idx;
+    while (begin_idx < queries_.size() &&
+           queries_[begin_idx].timestamp < stop) {
+      ++begin_idx;
+    }
+    // Count, per predicate, how many queries in the window carry it.
+    std::map<std::string, int> predicate_count;
+    for (size_t i = first; i < begin_idx; ++i) {
+      std::set<std::string> distinct(queries_[i].predicates.begin(),
+                                     queries_[i].predicates.end());
+      for (const auto& p : distinct) ++predicate_count[p];
+    }
+    for (size_t i = first; i < begin_idx; ++i) {
+      if (queries_[i].predicates.empty()) continue;
+      ++total_with_predicates;
+      for (const auto& p : queries_[i].predicates) {
+        if (predicate_count[p] >= 2) {
+          ++sharing;
+          break;
+        }
+      }
+    }
+  }
+  return total_with_predicates == 0
+             ? 0.0
+             : static_cast<double>(sharing) /
+                   static_cast<double>(total_with_predicates);
+}
+
+std::map<std::string, size_t> TraceAnalyzer::KeywordFrequency() const {
+  std::map<std::string, size_t> counts;
+  for (const auto& q : queries_) {
+    for (const auto& kw : q.keywords) ++counts[kw];
+  }
+  return counts;
+}
+
+double TraceAnalyzer::ScanAggregateRatio() const {
+  if (queries_.empty()) return 0.0;
+  size_t scan_or_agg = 0;
+  for (const auto& q : queries_) {
+    if (!q.has_join) ++scan_or_agg;
+  }
+  return static_cast<double>(scan_or_agg) /
+         static_cast<double>(queries_.size());
+}
+
+}  // namespace feisu

@@ -1,0 +1,52 @@
+#ifndef FEISU_LOGANALYSIS_ANALYZER_H_
+#define FEISU_LOGANALYSIS_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/tracegen.h"
+
+namespace feisu {
+
+/// Offline analysis of query-log traces — the study of paper §IV-A that
+/// motivated the SSD data cache and SmartIndex. Works on TraceQuery lists
+/// (either synthetic or recorded from FeisuClient histories).
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const std::vector<TraceQuery>& trace);
+
+  /// Fig. 4: splits the trace into fixed `window`-sized spans and reports
+  /// the average number of distinct columns accessed by at least two
+  /// different queries within a span (repeatedly accessed columns).
+  double RepeatedColumnsPerWindow(SimTime window) const;
+
+  /// Fig. 5: fraction of queries that share at least one *exact*
+  /// (normalized) predicate conjunct with another query in the same span.
+  double SharedPredicateRatio(SimTime window) const;
+
+  /// Fig. 8: frequency of query keywords (SELECT/WHERE/COUNT/...) across
+  /// the trace; scan+aggregation dominate in Baidu (>99%).
+  std::map<std::string, size_t> KeywordFrequency() const;
+
+  /// Fraction of queries that are scans or aggregations (no JOIN).
+  double ScanAggregateRatio() const;
+
+  size_t num_parsed() const { return parsed_count_; }
+
+ private:
+  struct ParsedQuery {
+    SimTime timestamp = 0;
+    std::vector<std::string> columns;     ///< distinct referenced columns
+    std::vector<std::string> predicates;  ///< normalized conjunct keys
+    std::vector<std::string> keywords;
+    bool has_join = false;
+  };
+
+  std::vector<ParsedQuery> queries_;
+  size_t parsed_count_ = 0;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_LOGANALYSIS_ANALYZER_H_

@@ -1,0 +1,44 @@
+#include "plan/catalog.h"
+
+namespace feisu {
+
+Status Catalog::RegisterTable(TableMeta table) {
+  std::string name = table.name();
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table " + name + " already registered");
+  }
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table " + name + " not found");
+  }
+  return Status::OK();
+}
+
+const TableMeta* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<const TableMeta*> Catalog::Get(const std::string& name) const {
+  const TableMeta* table = Find(name);
+  if (table == nullptr) return Status::NotFound("table " + name + " not found");
+  return table;
+}
+
+TableMeta* Catalog::FindMutable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace feisu

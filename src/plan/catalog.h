@@ -1,0 +1,34 @@
+#ifndef FEISU_PLAN_CATALOG_H_
+#define FEISU_PLAN_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "columnar/table.h"
+
+namespace feisu {
+
+/// The master's table catalog: name → TableMeta. In production Feisu this
+/// metadata is shared cross-domain by the common storage layer; here it is
+/// the single source of schema and block-placement truth for planning.
+class Catalog {
+ public:
+  Status RegisterTable(TableMeta table);
+  Status DropTable(const std::string& name);
+
+  const TableMeta* Find(const std::string& name) const;
+  Result<const TableMeta*> Get(const std::string& name) const;
+  TableMeta* FindMutable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableMeta> tables_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_PLAN_CATALOG_H_

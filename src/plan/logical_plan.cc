@@ -1,0 +1,170 @@
+#include "plan/logical_plan.h"
+
+#include <sstream>
+
+namespace feisu {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+std::string AggSpec::ToString() const {
+  std::string out = AggFuncName(func);
+  out += "(";
+  out += arg == nullptr ? "*" : arg->ToString();
+  out += ")";
+  if (within != nullptr) out += " WITHIN " + within->ToString();
+  out += " AS " + output_name;
+  return out;
+}
+
+PlanPtr PlanNode::Scan(std::string table, std::string alias) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kScan;
+  node->table = std::move(table);
+  node->table_alias = std::move(alias);
+  return node;
+}
+
+PlanPtr PlanNode::Filter(ExprPtr predicate, PlanPtr input) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kFilter;
+  node->predicate = std::move(predicate);
+  node->children = {std::move(input)};
+  return node;
+}
+
+PlanPtr PlanNode::Project(std::vector<SelectItem> items, PlanPtr input) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kProject;
+  node->projections = std::move(items);
+  node->children = {std::move(input)};
+  return node;
+}
+
+PlanPtr PlanNode::Aggregate(std::vector<ExprPtr> group_by,
+                            std::vector<AggSpec> aggregates, PlanPtr input) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kAggregate;
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggregates);
+  node->children = {std::move(input)};
+  return node;
+}
+
+PlanPtr PlanNode::Join(JoinType type, ExprPtr condition, PlanPtr left,
+                       PlanPtr right) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kJoin;
+  node->join_type = type;
+  node->join_condition = std::move(condition);
+  node->children = {std::move(left), std::move(right)};
+  return node;
+}
+
+PlanPtr PlanNode::Sort(std::vector<OrderByItem> order_by, PlanPtr input) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kSort;
+  node->order_by = std::move(order_by);
+  node->children = {std::move(input)};
+  return node;
+}
+
+PlanPtr PlanNode::Limit(int64_t n, PlanPtr input) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kLimit;
+  node->limit = n;
+  node->children = {std::move(input)};
+  return node;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      os << " " << table;
+      if (!table_alias.empty() && table_alias != table) {
+        os << " AS " << table_alias;
+      }
+      if (!columns.empty()) {
+        os << " [";
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << columns[i];
+        }
+        os << "]";
+      }
+      if (scan_predicate != nullptr) {
+        os << " WHERE " << scan_predicate->ToString();
+      }
+      break;
+    case PlanKind::kFilter:
+      os << " " << predicate->ToString();
+      break;
+    case PlanKind::kProject:
+      os << " [";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << projections[i].expr->ToString();
+        if (!projections[i].alias.empty()) {
+          os << " AS " << projections[i].alias;
+        }
+      }
+      os << "]";
+      break;
+    case PlanKind::kAggregate:
+      os << " groups=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << group_by[i]->ToString();
+      }
+      os << "] aggs=[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << aggregates[i].ToString();
+      }
+      os << "]";
+      break;
+    case PlanKind::kJoin:
+      os << " " << JoinTypeName(join_type);
+      if (join_condition != nullptr) {
+        os << " ON " << join_condition->ToString();
+      }
+      break;
+    case PlanKind::kSort:
+      os << " [";
+      for (size_t i = 0; i < order_by.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << order_by[i].expr->ToString()
+           << (order_by[i].descending ? " DESC" : " ASC");
+      }
+      os << "]";
+      break;
+    case PlanKind::kLimit:
+      os << " " << limit;
+      break;
+  }
+  os << "\n";
+  for (const auto& child : children) os << child->ToString(indent + 1);
+  return os.str();
+}
+
+}  // namespace feisu

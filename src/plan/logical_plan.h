@@ -1,0 +1,92 @@
+#ifndef FEISU_PLAN_LOGICAL_PLAN_H_
+#define FEISU_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace feisu {
+
+enum class PlanKind {
+  kScan,
+  kFilter,
+  kProject,
+  kAggregate,
+  kJoin,
+  kSort,
+  kLimit,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// One aggregate computation in an Aggregate node.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;      ///< null for COUNT(*)
+  ExprPtr within;   ///< optional WITHIN scope expression (parsed, carried)
+  std::string output_name;
+
+  std::string ToString() const;
+};
+
+/// A node of the logical plan tree. A single tagged struct (rather than a
+/// class hierarchy) keeps plan rewriting simple.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table;
+  std::string table_alias;
+  std::vector<std::string> columns;  ///< pruned column set (empty = all)
+  ExprPtr scan_predicate;            ///< pushed-down filter (may be null)
+  /// When a LIMIT sits above this scan, each leaf needs to return at most
+  /// this many rows (the master still applies the global limit). -1 = none.
+  int64_t limit_hint = -1;
+  /// For ORDER BY ... LIMIT over plain table columns, each leaf returns its
+  /// local top-k under this ordering (the union contains the global top-k).
+  /// Empty = unordered head.
+  std::vector<OrderByItem> order_hint;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<SelectItem> projections;
+
+  // kAggregate
+  std::vector<ExprPtr> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  ExprPtr join_condition;
+
+  // kSort
+  std::vector<OrderByItem> order_by;
+
+  // kLimit
+  int64_t limit = -1;
+
+  static PlanPtr Scan(std::string table, std::string alias);
+  static PlanPtr Filter(ExprPtr predicate, PlanPtr input);
+  static PlanPtr Project(std::vector<SelectItem> items, PlanPtr input);
+  static PlanPtr Aggregate(std::vector<ExprPtr> group_by,
+                           std::vector<AggSpec> aggregates, PlanPtr input);
+  static PlanPtr Join(JoinType type, ExprPtr condition, PlanPtr left,
+                      PlanPtr right);
+  static PlanPtr Sort(std::vector<OrderByItem> order_by, PlanPtr input);
+  static PlanPtr Limit(int64_t n, PlanPtr input);
+
+  /// Indented multi-line rendering for tests and EXPLAIN-style output.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,37 @@
+#ifndef FEISU_PLAN_OPTIMIZER_H_
+#define FEISU_PLAN_OPTIMIZER_H_
+
+#include "plan/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace feisu {
+
+/// Cost-based/heuristic plan rewriting performed by the master's job
+/// manager before dissection (paper §III-B "generates optimized query
+/// execution plans using a cost-based approach"). Rules applied:
+///
+///  1. constant folding inside predicates and projections;
+///  2. predicate pushdown — filter conjuncts referencing a single table
+///     move into that table's Scan node (where SmartIndex serves them);
+///  3. column pruning — each Scan lists exactly the columns the rest of
+///     the plan touches (Feisu's columnar I/O then reads only those);
+///  4. join reordering — commutative inner/cross joins put the smaller
+///     estimated input on the build side.
+PlanPtr OptimizePlan(PlanPtr plan, const Catalog& catalog);
+
+/// Individual rules, exposed for tests and ablation benchmarks.
+PlanPtr FoldConstants(PlanPtr plan);
+PlanPtr PushDownPredicates(PlanPtr plan);
+/// Annotates scans under an unordered LIMIT with a per-leaf row cap
+/// (distributed limit: each leaf returns at most N rows, the master trims
+/// the union). Never crosses Sort/Aggregate/Join nodes.
+PlanPtr PushDownLimits(PlanPtr plan, const Catalog& catalog);
+PlanPtr PruneColumns(PlanPtr plan, const Catalog& catalog);
+PlanPtr ReorderJoins(PlanPtr plan, const Catalog& catalog);
+
+/// Folds literal-only subtrees of an expression (e.g. 1+2 -> 3).
+ExprPtr FoldConstantExpr(const ExprPtr& expr);
+
+}  // namespace feisu
+
+#endif  // FEISU_PLAN_OPTIMIZER_H_

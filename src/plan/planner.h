@@ -1,0 +1,23 @@
+#ifndef FEISU_PLAN_PLANNER_H_
+#define FEISU_PLAN_PLANNER_H_
+
+#include "common/result.h"
+#include "plan/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace feisu {
+
+/// Turns a parsed SELECT statement into a (pre-optimization) logical plan:
+///
+///   Scan → [Filter] → [Aggregate] → [Filter(HAVING)] → Project →
+///   [Sort] → [Limit]
+///
+/// with Join nodes chaining multiple FROM/JOIN tables. Aggregate calls
+/// embedded in projections/HAVING are extracted into the Aggregate node and
+/// replaced by references to their output columns. Validates table and
+/// column references against the catalog.
+Result<PlanPtr> PlanQuery(const SelectStatement& stmt, const Catalog& catalog);
+
+}  // namespace feisu
+
+#endif  // FEISU_PLAN_PLANNER_H_

@@ -1,0 +1,71 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace feisu {
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  if (expr->kind() == ExprKind::kColumnRef) return expr->column();
+  return expr->ToString();
+}
+
+const char* JoinTypeName(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "INNER JOIN";
+    case JoinType::kLeftOuter:
+      return "LEFT OUTER JOIN";
+    case JoinType::kRightOuter:
+      return "RIGHT OUTER JOIN";
+    case JoinType::kCross:
+      return "CROSS JOIN";
+  }
+  return "JOIN";
+}
+
+std::string SelectStatement::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (select_star) {
+    os << "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << items[i].expr->ToString();
+      if (!items[i].alias.empty()) os << " AS " << items[i].alias;
+    }
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << from[i].name;
+    if (!from[i].alias.empty()) os << " AS " << from[i].alias;
+  }
+  for (const auto& join : joins) {
+    os << " " << JoinTypeName(join.type) << " " << join.table.name;
+    if (!join.table.alias.empty()) os << " AS " << join.table.alias;
+    if (join.condition != nullptr) os << " ON " << join.condition->ToString();
+  }
+  if (where != nullptr) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) os << " HAVING " << having->ToString();
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << order_by[i].expr->ToString();
+      if (order_by[i].descending) os << " DESC";
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+}  // namespace feisu

@@ -1,0 +1,63 @@
+#ifndef FEISU_SQL_AST_H_
+#define FEISU_SQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace feisu {
+
+/// One SELECT-list entry.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< empty if none
+
+  /// Output column name: alias, plain column name, or rendered expression.
+  std::string OutputName() const;
+};
+
+/// A table reference with optional alias.
+struct TableRef {
+  std::string name;
+  std::string alias;
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+enum class JoinType { kInner, kLeftOuter, kRightOuter, kCross };
+const char* JoinTypeName(JoinType type);
+
+struct JoinClause {
+  JoinType type = JoinType::kInner;
+  TableRef table;
+  ExprPtr condition;  ///< null for CROSS JOIN
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// Parsed representation of the star-schema query language of paper §III-A.
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  bool select_star = false;     ///< SELECT *
+  std::vector<TableRef> from;   ///< comma-separated FROM list
+  std::vector<JoinClause> joins;
+  ExprPtr where;                ///< null if absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;               ///< null if absent
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;           ///< -1 = no LIMIT
+
+  /// Canonical rendering (used in logs and tests).
+  std::string ToString() const;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_SQL_AST_H_

@@ -1,0 +1,127 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace feisu {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",    "BY",    "HAVING", "ORDER",
+      "LIMIT",  "AS",     "AND",    "OR",       "NOT",   "JOIN",   "INNER",
+      "LEFT",   "RIGHT",  "OUTER",  "CROSS",    "ON",    "ASC",    "DESC",
+      "COUNT",  "SUM",    "MIN",    "MAX",      "AVG",   "WITHIN", "CONTAINS",
+      "TRUE",   "FALSE",  "NULL",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '[' || c == ']';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(query[i])) ++i;
+      std::string word = query.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), [](char ch) {
+        return static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      });
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) ++i;
+      if (i < n && query[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (query[i] == 'e' || query[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (query[i] == '+' || query[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+          ++i;
+        }
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        query.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == '\'') {
+          if (i + 1 < n && query[i + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(query[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Two-character symbols first.
+    if (i + 1 < n) {
+      std::string two = query.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        if (two == "<>") two = "!=";
+        tokens.push_back({TokenType::kSymbol, two, start});
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string("(),.*=<>+-/%!;").find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at " + std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEndOfInput, "", n});
+  return tokens;
+}
+
+}  // namespace feisu

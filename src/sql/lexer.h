@@ -1,0 +1,42 @@
+#ifndef FEISU_SQL_LEXER_H_
+#define FEISU_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace feisu {
+
+enum class TokenType {
+  kIdentifier,  ///< column / table names (also non-reserved words)
+  kKeyword,     ///< reserved word, uppercased in `text`
+  kInteger,
+  kFloat,
+  kString,    ///< quoted literal, unescaped in `text`
+  kSymbol,    ///< operator or punctuation, e.g. "<=", "(", ","
+  kEndOfInput,
+};
+
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  std::string text;
+  size_t offset = 0;  ///< byte offset in the query (for error messages)
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes a Feisu SQL query. Keywords are recognized case-insensitively
+/// and reported uppercased. String literals use single quotes with ''
+/// escaping. Returns InvalidArgument on stray characters or unterminated
+/// literals.
+Result<std::vector<Token>> Tokenize(const std::string& query);
+
+}  // namespace feisu
+
+#endif  // FEISU_SQL_LEXER_H_

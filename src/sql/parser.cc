@@ -1,0 +1,374 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace feisu {
+
+namespace {
+
+/// Recursive-descent parser with classic precedence climbing:
+/// OR < AND < NOT < comparison < additive < multiplicative < unary/primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    FEISU_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    FEISU_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    FEISU_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    FEISU_RETURN_IF_ERROR(ParseFromList(&stmt));
+    while (PeekJoinStart()) {
+      FEISU_RETURN_IF_ERROR(ParseJoin(&stmt));
+    }
+    if (ConsumeKeyword("WHERE")) {
+      FEISU_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      FEISU_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        FEISU_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeKeyword("HAVING")) {
+      FEISU_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      FEISU_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderByItem item;
+        FEISU_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (t.type != TokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt.limit = std::strtoll(t.text.c_str(), nullptr, 10);
+      ++pos_;
+    }
+    ConsumeSymbol(";");
+    if (Peek().type != TokenType::kEndOfInput) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!ConsumeSymbol(sym)) {
+      return Error(std::string("expected '") + sym + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(Peek().offset) +
+                                   (Peek().text.empty()
+                                        ? ""
+                                        : " (near '" + Peek().text + "')"));
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Peek().IsSymbol("*") && !Peek(1).IsSymbol(",")) {
+      // Bare `SELECT *` (not an arithmetic product).
+      ++pos_;
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    do {
+      SelectItem item;
+      FEISU_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (ConsumeKeyword("AS")) {
+        FEISU_ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Peek().text;  // implicit alias
+        ++pos_;
+      }
+      stmt->items.push_back(std::move(item));
+    } while (ConsumeSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseFromList(SelectStatement* stmt) {
+    do {
+      TableRef ref;
+      FEISU_ASSIGN_OR_RETURN(ref.name, ParseIdentifier());
+      if (ConsumeKeyword("AS")) {
+        FEISU_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Peek().text;
+        ++pos_;
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (ConsumeSymbol(","));
+    return Status::OK();
+  }
+
+  bool PeekJoinStart() const {
+    return Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER") ||
+           Peek().IsKeyword("LEFT") || Peek().IsKeyword("RIGHT") ||
+           Peek().IsKeyword("CROSS");
+  }
+
+  Status ParseJoin(SelectStatement* stmt) {
+    JoinClause join;
+    if (ConsumeKeyword("INNER")) {
+      join.type = JoinType::kInner;
+    } else if (ConsumeKeyword("LEFT")) {
+      ConsumeKeyword("OUTER");
+      join.type = JoinType::kLeftOuter;
+    } else if (ConsumeKeyword("RIGHT")) {
+      ConsumeKeyword("OUTER");
+      join.type = JoinType::kRightOuter;
+    } else if (ConsumeKeyword("CROSS")) {
+      join.type = JoinType::kCross;
+    }
+    FEISU_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+    FEISU_ASSIGN_OR_RETURN(join.table.name, ParseIdentifier());
+    if (ConsumeKeyword("AS")) {
+      FEISU_ASSIGN_OR_RETURN(join.table.alias, ParseIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !Peek().IsKeyword("ON")) {
+      join.table.alias = Peek().text;
+      ++pos_;
+    }
+    if (join.type != JoinType::kCross) {
+      FEISU_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      FEISU_ASSIGN_OR_RETURN(join.condition, ParseExpr());
+    }
+    stmt->joins.push_back(std::move(join));
+    return Status::OK();
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status(StatusCode::kInvalidArgument,
+                    "expected identifier at offset " +
+                        std::to_string(Peek().offset));
+    }
+    std::string name = Peek().text;
+    ++pos_;
+    return name;
+  }
+
+  // expr := or_expr
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    FEISU_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      FEISU_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    FEISU_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      FEISU_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT") || ConsumeSymbol("!")) {
+      FEISU_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return Expr::Not(std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    FEISU_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    CompareOp op;
+    if (ConsumeSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (ConsumeSymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (ConsumeSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (ConsumeSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (ConsumeSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (ConsumeSymbol(">")) {
+      op = CompareOp::kGt;
+    } else if (ConsumeKeyword("CONTAINS")) {
+      op = CompareOp::kContains;
+    } else {
+      return lhs;
+    }
+    FEISU_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    FEISU_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      ArithOp op;
+      if (ConsumeSymbol("+")) {
+        op = ArithOp::kAdd;
+      } else if (ConsumeSymbol("-")) {
+        op = ArithOp::kSub;
+      } else {
+        return lhs;
+      }
+      FEISU_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    FEISU_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    for (;;) {
+      ArithOp op;
+      if (ConsumeSymbol("*")) {
+        op = ArithOp::kMul;
+      } else if (ConsumeSymbol("/")) {
+        op = ArithOp::kDiv;
+      } else if (ConsumeSymbol("%")) {
+        op = ArithOp::kMod;
+      } else {
+        return lhs;
+      }
+      FEISU_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    // Aggregates: COUNT(...) [WITHIN expr] etc.
+    if (t.type == TokenType::kKeyword) {
+      AggFunc func;
+      bool is_agg = true;
+      if (t.text == "COUNT") {
+        func = AggFunc::kCount;
+      } else if (t.text == "SUM") {
+        func = AggFunc::kSum;
+      } else if (t.text == "MIN") {
+        func = AggFunc::kMin;
+      } else if (t.text == "MAX") {
+        func = AggFunc::kMax;
+      } else if (t.text == "AVG") {
+        func = AggFunc::kAvg;
+      } else {
+        is_agg = false;
+        func = AggFunc::kCount;
+      }
+      if (is_agg) {
+        ++pos_;
+        FEISU_RETURN_IF_ERROR(ExpectSymbol("("));
+        ExprPtr arg;
+        if (ConsumeSymbol("*")) {
+          arg = nullptr;  // COUNT(*)
+        } else {
+          FEISU_ASSIGN_OR_RETURN(arg, ParseExpr());
+        }
+        FEISU_RETURN_IF_ERROR(ExpectSymbol(")"));
+        ExprPtr within;
+        if (ConsumeKeyword("WITHIN")) {
+          FEISU_ASSIGN_OR_RETURN(within, ParseExpr());
+        }
+        return Expr::Aggregate(func, std::move(arg), std::move(within));
+      }
+      if (ConsumeKeyword("TRUE")) return Expr::Literal(Value::Bool(true));
+      if (ConsumeKeyword("FALSE")) return Expr::Literal(Value::Bool(false));
+      if (ConsumeKeyword("NULL")) return Expr::Literal(Value::Null());
+      if (ConsumeKeyword("NOT")) {
+        FEISU_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+        return Expr::Not(std::move(child));
+      }
+      return Error("unexpected keyword " + t.text);
+    }
+    if (ConsumeSymbol("(")) {
+      FEISU_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      FEISU_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (ConsumeSymbol("-")) {
+      FEISU_ASSIGN_OR_RETURN(ExprPtr child, ParsePrimary());
+      return Expr::Arith(ArithOp::kSub,
+                         Expr::Literal(Value::Int64(0)), std::move(child));
+    }
+    if (t.type == TokenType::kInteger) {
+      ++pos_;
+      return Expr::Literal(Value::Int64(std::strtoll(t.text.c_str(),
+                                                     nullptr, 10)));
+    }
+    if (t.type == TokenType::kFloat) {
+      ++pos_;
+      return Expr::Literal(Value::Double(std::strtod(t.text.c_str(),
+                                                     nullptr)));
+    }
+    if (t.type == TokenType::kString) {
+      ++pos_;
+      return Expr::Literal(Value::String(t.text));
+    }
+    if (t.type == TokenType::kIdentifier) {
+      std::string first = t.text;
+      ++pos_;
+      if (ConsumeSymbol(".")) {
+        FEISU_ASSIGN_OR_RETURN(std::string second, ParseIdentifier());
+        return Expr::ColumnRef(std::move(first), std::move(second));
+      }
+      return Expr::ColumnRef(std::move(first));
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(const std::string& query) {
+  FEISU_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace feisu

@@ -1,0 +1,25 @@
+#ifndef FEISU_SQL_PARSER_H_
+#define FEISU_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace feisu {
+
+/// Parses one Feisu SQL statement (paper §III-A grammar):
+///
+///   SELECT expr [AS alias] [, ...] | aggr(expr) [WITHIN expr]
+///   FROM t1 [, t2 ...]
+///   [[INNER|LEFT [OUTER]|RIGHT [OUTER]|CROSS] JOIN t ON cond [AND ...]]
+///   [WHERE cond] [GROUP BY ...] [HAVING cond]
+///   [ORDER BY f [ASC|DESC] ...] [LIMIT n] [;]
+///
+/// Returns InvalidArgument with a positioned message on syntax errors. This
+/// is also what the client uses for its "query syntax checking" role.
+Result<SelectStatement> ParseSql(const std::string& query);
+
+}  // namespace feisu
+
+#endif  // FEISU_SQL_PARSER_H_

@@ -1,0 +1,54 @@
+#include "storage/path_router.h"
+
+namespace feisu {
+
+StorageSystem* PathRouter::Register(const std::string& prefix,
+                                    std::unique_ptr<StorageSystem> storage,
+                                    bool is_default) {
+  StorageSystem* raw = storage.get();
+  mounts_.push_back({prefix, std::move(storage)});
+  system_ptrs_.push_back(raw);
+  if (is_default || default_system_ == nullptr) default_system_ = raw;
+  return raw;
+}
+
+Result<StorageSystem*> PathRouter::Resolve(const std::string& path) const {
+  for (const auto& mount : mounts_) {
+    if (path.compare(0, mount.prefix.size(), mount.prefix) == 0) {
+      return mount.storage.get();
+    }
+  }
+  if (default_system_ != nullptr) return default_system_;
+  return Status::NotFound("no storage system for path " + path);
+}
+
+StorageSystem* PathRouter::FindByName(const std::string& name) const {
+  for (const auto& mount : mounts_) {
+    if (mount.storage->name() == name) return mount.storage.get();
+  }
+  return nullptr;
+}
+
+Status PathRouter::Write(const std::string& path, std::string payload) {
+  FEISU_ASSIGN_OR_RETURN(StorageSystem * storage, Resolve(path));
+  return storage->Write(path, std::move(payload));
+}
+
+Result<const std::string*> PathRouter::Get(const std::string& path) const {
+  FEISU_ASSIGN_OR_RETURN(StorageSystem * storage, Resolve(path));
+  return storage->Get(path);
+}
+
+std::vector<uint32_t> PathRouter::ReplicaNodes(const std::string& path) const {
+  auto storage = Resolve(path);
+  if (!storage.ok()) return {};
+  return (*storage)->ReplicaNodes(path);
+}
+
+SimTime PathRouter::ReadCost(const std::string& path, uint64_t bytes) const {
+  auto storage = Resolve(path);
+  if (!storage.ok()) return 0;
+  return (*storage)->ReadCost(bytes);
+}
+
+}  // namespace feisu

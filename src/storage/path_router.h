@@ -1,0 +1,59 @@
+#ifndef FEISU_STORAGE_PATH_ROUTER_H_
+#define FEISU_STORAGE_PATH_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/storage_system.h"
+
+namespace feisu {
+
+/// The common storage layer (paper §III-C): gives every file a full path
+/// whose prefix flag activates the right storage plugin —
+/// "/hdfs/path/to/file" routes to the HDFS plugin, "/ffs/..." to Fatman,
+/// and unrecognized prefixes fall back to the local filesystem.
+class PathRouter {
+ public:
+  PathRouter() = default;
+  PathRouter(const PathRouter&) = delete;
+  PathRouter& operator=(const PathRouter&) = delete;
+
+  /// Registers a storage system under a prefix flag (e.g. "/hdfs"). The
+  /// router owns the system. The first system registered with
+  /// `is_default=true` receives unmatched paths.
+  StorageSystem* Register(const std::string& prefix,
+                          std::unique_ptr<StorageSystem> storage,
+                          bool is_default = false);
+
+  /// Resolves a full path to its storage system; falls back to the default
+  /// system, or NotFound if none is configured.
+  Result<StorageSystem*> Resolve(const std::string& path) const;
+
+  /// Storage system by name (for tests / administration).
+  StorageSystem* FindByName(const std::string& name) const;
+
+  const std::vector<StorageSystem*>& systems() const { return system_ptrs_; }
+
+  /// Convenience forwarding with routing.
+  Status Write(const std::string& path, std::string payload);
+  Result<const std::string*> Get(const std::string& path) const;
+  std::vector<uint32_t> ReplicaNodes(const std::string& path) const;
+  /// Simulated cost of reading `bytes` from the system that owns `path`
+  /// (0 if the path resolves nowhere).
+  SimTime ReadCost(const std::string& path, uint64_t bytes) const;
+
+ private:
+  struct Mount {
+    std::string prefix;
+    std::unique_ptr<StorageSystem> storage;
+  };
+  std::vector<Mount> mounts_;
+  std::vector<StorageSystem*> system_ptrs_;
+  StorageSystem* default_system_ = nullptr;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_STORAGE_PATH_ROUTER_H_

@@ -1,0 +1,97 @@
+#include "storage/ssd_cache.h"
+
+#include <limits>
+
+namespace feisu {
+
+const char* CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLru:
+      return "LRU";
+    case CachePolicy::kLfu:
+      return "LFU";
+    case CachePolicy::kManual:
+      return "MANUAL";
+  }
+  return "?";
+}
+
+SsdCache::SsdCache(uint64_t capacity_bytes, CachePolicy policy,
+                   StorageCostModel ssd_cost)
+    : capacity_bytes_(capacity_bytes), policy_(policy), ssd_cost_(ssd_cost) {}
+
+bool SsdCache::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  ++it->second.frequency;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return true;
+}
+
+void SsdCache::Admit(const std::string& key, uint64_t bytes) {
+  if (bytes > capacity_bytes_) return;
+  if (entries_.count(key) > 0) return;
+  if (policy_ == CachePolicy::kManual && !IsPreferred(key)) return;
+  EvictUntilFits(bytes);
+  if (used_bytes_ + bytes > capacity_bytes_) return;  // all survivors pinned
+  lru_.push_front(key);
+  Entry entry;
+  entry.bytes = bytes;
+  entry.frequency = 1;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, entry);
+  used_bytes_ += bytes;
+}
+
+void SsdCache::SetPreference(const std::string& key, bool preferred) {
+  if (preferred) {
+    preferred_.insert(key);
+  } else {
+    preferred_.erase(key);
+  }
+}
+
+void SsdCache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+void SsdCache::EvictUntilFits(uint64_t incoming_bytes) {
+  while (used_bytes_ + incoming_bytes > capacity_bytes_ && !entries_.empty()) {
+    std::string victim;
+    if (policy_ == CachePolicy::kLfu) {
+      uint64_t min_freq = std::numeric_limits<uint64_t>::max();
+      // Prefer unpreferred victims; among those pick the lowest frequency.
+      for (const auto& [key, entry] : entries_) {
+        if (IsPreferred(key)) continue;
+        if (entry.frequency < min_freq) {
+          min_freq = entry.frequency;
+          victim = key;
+        }
+      }
+    } else {
+      // LRU / manual: walk from the back (least recent), skip preferred.
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        if (!IsPreferred(*it)) {
+          victim = *it;
+          break;
+        }
+      }
+    }
+    if (victim.empty()) return;  // everything remaining is preferred
+    auto it = entries_.find(victim);
+    used_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+}  // namespace feisu

@@ -1,0 +1,53 @@
+#include "storage/sso.h"
+
+#include <algorithm>
+
+namespace feisu {
+
+bool JobCredential::HasDomain(const std::string& domain) const {
+  return std::find(domains.begin(), domains.end(), domain) != domains.end();
+}
+
+void SsoAuthenticator::RegisterUser(const std::string& user) {
+  user_domains_.emplace(user, std::set<std::string>{});
+}
+
+bool SsoAuthenticator::IsRegistered(const std::string& user) const {
+  return user_domains_.count(user) > 0;
+}
+
+void SsoAuthenticator::GrantDomain(const std::string& user,
+                                   const std::string& domain) {
+  user_domains_[user].insert(domain);
+}
+
+void SsoAuthenticator::RevokeDomain(const std::string& user,
+                                    const std::string& domain) {
+  auto it = user_domains_.find(user);
+  if (it != user_domains_.end()) it->second.erase(domain);
+}
+
+Result<JobCredential> SsoAuthenticator::Authenticate(const std::string& user) {
+  auto it = user_domains_.find(user);
+  if (it == user_domains_.end()) {
+    return Status::PermissionDenied("unknown user " + user);
+  }
+  JobCredential credential;
+  credential.user = user;
+  credential.token = next_token_++;
+  credential.domains.assign(it->second.begin(), it->second.end());
+  live_tokens_.insert(credential.token);
+  return credential;
+}
+
+bool SsoAuthenticator::Authorize(const JobCredential& credential,
+                                 const std::string& domain) const {
+  if (live_tokens_.count(credential.token) == 0) return false;
+  return credential.HasDomain(domain);
+}
+
+void SsoAuthenticator::Revoke(const JobCredential& credential) {
+  live_tokens_.erase(credential.token);
+}
+
+}  // namespace feisu

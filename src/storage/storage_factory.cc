@@ -1,0 +1,53 @@
+#include "storage/storage_factory.h"
+
+namespace feisu {
+
+std::unique_ptr<StorageSystem> MakeLocalFs(const std::string& name) {
+  StorageCostModel cost;
+  cost.seek_latency = 4 * kSimMillisecond;
+  cost.read_bandwidth_bytes_per_sec = 150.0 * 1024 * 1024;
+  cost.write_bandwidth_bytes_per_sec = 120.0 * 1024 * 1024;
+  auto storage =
+      std::make_unique<StorageSystem>(name, "local-domain", cost,
+                                      /*replication_factor=*/1);
+  // The co-running retrieval service owns the node; Feisu may only use a
+  // sliver of I/O and few concurrent tasks.
+  storage->agreement().max_concurrent_tasks = 2;
+  storage->agreement().reserved_bandwidth_fraction = 0.5;
+  return storage;
+}
+
+std::unique_ptr<StorageSystem> MakeHdfs(const std::string& name) {
+  StorageCostModel cost;
+  cost.seek_latency = 8 * kSimMillisecond;
+  cost.read_bandwidth_bytes_per_sec = 100.0 * 1024 * 1024;
+  cost.write_bandwidth_bytes_per_sec = 60.0 * 1024 * 1024;
+  auto storage = std::make_unique<StorageSystem>(name, name + "-domain", cost,
+                                                 /*replication_factor=*/3);
+  storage->agreement().max_concurrent_tasks = 4;
+  storage->agreement().reserved_bandwidth_fraction = 0.2;
+  return storage;
+}
+
+std::unique_ptr<StorageSystem> MakeFatman(const std::string& name) {
+  StorageCostModel cost;
+  // Cold archival on volunteer resources: long time-to-first-byte.
+  cost.seek_latency = 120 * kSimMillisecond;
+  cost.read_bandwidth_bytes_per_sec = 40.0 * 1024 * 1024;
+  cost.write_bandwidth_bytes_per_sec = 20.0 * 1024 * 1024;
+  auto storage = std::make_unique<StorageSystem>(name, "fatman-domain", cost,
+                                                 /*replication_factor=*/3);
+  storage->agreement().max_concurrent_tasks = 8;
+  storage->agreement().reserved_bandwidth_fraction = 0.1;
+  return storage;
+}
+
+StorageCostModel SsdCostModel() {
+  StorageCostModel cost;
+  cost.seek_latency = 80 * kSimMicrosecond;
+  cost.read_bandwidth_bytes_per_sec = 500.0 * 1024 * 1024;
+  cost.write_bandwidth_bytes_per_sec = 350.0 * 1024 * 1024;
+  return cost;
+}
+
+}  // namespace feisu

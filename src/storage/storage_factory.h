@@ -1,0 +1,29 @@
+#ifndef FEISU_STORAGE_STORAGE_FACTORY_H_
+#define FEISU_STORAGE_STORAGE_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/storage_system.h"
+
+namespace feisu {
+
+/// Storage personalities mirroring Baidu's production mix (paper §II):
+///
+///  * Local FS — log data generated in place on online service machines;
+///    unreplicated, fast sequential reads, strict resource agreement
+///    because the retrieval service co-runs on the node.
+///  * HDFS — business data; 3-way replication, datacenter disks.
+///  * Fatman — cold archival storage built from volunteer resources;
+///    high first-byte latency, modest bandwidth, 3 replicas.
+
+std::unique_ptr<StorageSystem> MakeLocalFs(const std::string& name = "local");
+std::unique_ptr<StorageSystem> MakeHdfs(const std::string& name = "hdfs");
+std::unique_ptr<StorageSystem> MakeFatman(const std::string& name = "ffs");
+
+/// SSD read personality used by the SSD data-cache layer (paper §IV-B).
+StorageCostModel SsdCostModel();
+
+}  // namespace feisu
+
+#endif  // FEISU_STORAGE_STORAGE_FACTORY_H_

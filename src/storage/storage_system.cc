@@ -1,0 +1,128 @@
+#include "storage/storage_system.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace feisu {
+
+StorageSystem::StorageSystem(std::string name, std::string domain,
+                             StorageCostModel cost, int replication_factor)
+    : name_(std::move(name)),
+      domain_(std::move(domain)),
+      cost_(cost),
+      replication_factor_(replication_factor) {}
+
+void StorageSystem::RegisterNode(uint32_t node_id) {
+  if (std::find(nodes_.begin(), nodes_.end(), node_id) == nodes_.end()) {
+    nodes_.push_back(node_id);
+  }
+}
+
+Status StorageSystem::Write(const std::string& path, std::string payload) {
+  if (nodes_.empty()) {
+    return Status::Unavailable("storage " + name_ + " has no nodes");
+  }
+  FileEntry entry;
+  entry.payload = std::move(payload);
+  // Deterministic pseudo-random placement seeded by the path, so repeated
+  // runs of an experiment lay data out identically.
+  uint64_t h = HashString(path);
+  int replicas = std::min<int>(replication_factor_,
+                               static_cast<int>(nodes_.size()));
+  for (int r = 0; r < replicas; ++r) {
+    uint32_t node = nodes_[(h + static_cast<uint64_t>(r) * 0x9E3779B9ULL) %
+                           nodes_.size()];
+    // Avoid duplicate replica on the same node.
+    if (std::find(entry.replica_nodes.begin(), entry.replica_nodes.end(),
+                  node) != entry.replica_nodes.end()) {
+      node = nodes_[(h + r + 1) % nodes_.size()];
+    }
+    if (std::find(entry.replica_nodes.begin(), entry.replica_nodes.end(),
+                  node) == entry.replica_nodes.end()) {
+      entry.replica_nodes.push_back(node);
+    }
+  }
+  total_bytes_ += entry.payload.size();
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    total_bytes_ -= it->second.payload.size();
+    it->second = std::move(entry);
+  } else {
+    files_.emplace(path, std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status StorageSystem::WriteToNode(const std::string& path,
+                                  std::string payload, uint32_t node_id) {
+  RegisterNode(node_id);
+  FileEntry entry;
+  entry.payload = std::move(payload);
+  entry.replica_nodes = {node_id};
+  total_bytes_ += entry.payload.size();
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    total_bytes_ -= it->second.payload.size();
+    it->second = std::move(entry);
+  } else {
+    files_.emplace(path, std::move(entry));
+  }
+  return Status::OK();
+}
+
+Result<const std::string*> StorageSystem::Get(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound(name_ + ": no such file " + path);
+  }
+  return &it->second.payload;
+}
+
+bool StorageSystem::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status StorageSystem::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound(name_ + ": no such file " + path);
+  }
+  total_bytes_ -= it->second.payload.size();
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<uint32_t> StorageSystem::ReplicaNodes(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return {};
+  return it->second.replica_nodes;
+}
+
+std::vector<std::string> StorageSystem::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+SimTime StorageSystem::ReadCost(uint64_t bytes) const {
+  double available = 1.0 - agreement_.reserved_bandwidth_fraction;
+  if (available <= 0.0) available = 0.05;
+  StorageCostModel scaled = cost_;
+  scaled.read_bandwidth_bytes_per_sec *= available;
+  return scaled.ReadCost(bytes);
+}
+
+SimTime StorageSystem::WriteCost(uint64_t bytes) const {
+  double available = 1.0 - agreement_.reserved_bandwidth_fraction;
+  if (available <= 0.0) available = 0.05;
+  StorageCostModel scaled = cost_;
+  scaled.write_bandwidth_bytes_per_sec *= available;
+  return scaled.WriteCost(bytes);
+}
+
+}  // namespace feisu

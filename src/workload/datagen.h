@@ -1,0 +1,40 @@
+#ifndef FEISU_WORKLOAD_DATAGEN_H_
+#define FEISU_WORKLOAD_DATAGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/record_batch.h"
+#include "common/rng.h"
+
+namespace feisu {
+
+/// Paper Table I — the real datasets' shapes, used to label benchmark
+/// output and to scale the simulated-I/O model.
+struct PaperDataset {
+  const char* table;
+  double rows_billions;
+  const char* uncompressed_size;
+  int num_fields;
+  const char* storage;
+};
+const std::vector<PaperDataset>& PaperTableI();
+
+/// Schema of the user-business-log datasets T1/T2 (paper Table I: 200
+/// attributes, URL-clicked information and query attributes). Columns are
+/// named c0..c{n-1}; a type mix mirrors log data: mostly small-domain
+/// integers, with periodic string (URLs/keywords) and double (latencies)
+/// attributes. T1 and T2 share this schema.
+Schema MakeLogSchema(size_t num_fields = 200);
+
+/// Schema of the traced-webpage dataset T3 (57 fields): by construction a
+/// subset of T1/T2's attributes, as in the paper.
+Schema MakeWebpageSchema(size_t num_fields = 57);
+
+/// Generates `n` rows of log-like data: zipf-skewed keyword strings,
+/// small-domain integers (0..100) and uniform doubles; ~1% NULLs.
+RecordBatch GenerateRows(const Schema& schema, size_t n, Rng* rng);
+
+}  // namespace feisu
+
+#endif  // FEISU_WORKLOAD_DATAGEN_H_

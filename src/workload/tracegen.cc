@@ -1,0 +1,146 @@
+#include "workload/tracegen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace feisu {
+
+namespace {
+
+/// Generates one fresh predicate atom over a (zipf-)popular column.
+std::string FreshAtom(const TraceConfig& config, const Schema& schema,
+                      Rng* rng) {
+  size_t col_idx = rng->NextZipf(schema.num_fields(), config.column_zipf);
+  const Field& field = schema.field(col_idx);
+  static const char* kNumericOps[] = {"=", "!=", "<", "<=", ">", ">="};
+  switch (field.type) {
+    case DataType::kString: {
+      if (rng->NextBool(0.5)) {
+        return field.name + " CONTAINS 'kw_" +
+               std::to_string(rng->NextZipf(200, 1.1)) + "'";
+      }
+      return field.name + " = 'kw_" +
+             std::to_string(rng->NextZipf(200, 1.1)) + "'";
+    }
+    case DataType::kDouble: {
+      const char* op = rng->NextBool(config.eq_prob)
+                           ? "="
+                           : kNumericOps[1 + rng->NextUint64(5)];
+      return field.name + " " + op + " " +
+             std::to_string(rng->NextInt64(0, config.value_domain * 10));
+    }
+    default: {
+      const char* op = rng->NextBool(config.eq_prob)
+                           ? "="
+                           : kNumericOps[1 + rng->NextUint64(5)];
+      return field.name + " " + op + " " +
+             std::to_string(rng->NextInt64(0, config.value_domain));
+    }
+  }
+}
+
+/// Picks an aggregatable (numeric) column, zipf-weighted.
+std::string NumericColumn(const TraceConfig& config, const Schema& schema,
+                          Rng* rng) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    size_t idx = rng->NextZipf(schema.num_fields(), config.column_zipf);
+    if (schema.field(idx).type == DataType::kInt64 ||
+        schema.field(idx).type == DataType::kDouble) {
+      return schema.field(idx).name;
+    }
+  }
+  return schema.field(0).name;
+}
+
+std::string AnyColumn(const TraceConfig& config, const Schema& schema,
+                      Rng* rng) {
+  size_t idx = rng->NextZipf(schema.num_fields(), config.column_zipf);
+  return schema.field(idx).name;
+}
+
+}  // namespace
+
+std::vector<TraceQuery> GenerateTrace(const TraceConfig& config,
+                                      const Schema& schema) {
+  Rng rng(config.seed);
+  std::vector<std::string> predicate_pool;
+  std::vector<TraceQuery> trace;
+  trace.reserve(config.num_queries);
+
+  auto draw_atom = [&]() -> std::string {
+    if (!predicate_pool.empty() &&
+        rng.NextBool(config.predicate_reuse_prob)) {
+      // Zipf over the pool: recently popular predicates dominate.
+      size_t idx = rng.NextZipf(predicate_pool.size(), 1.1);
+      return predicate_pool[idx];
+    }
+    std::string atom = FreshAtom(config, schema, &rng);
+    predicate_pool.insert(predicate_pool.begin(), atom);
+    if (predicate_pool.size() > config.predicate_pool_capacity) {
+      predicate_pool.pop_back();
+    }
+    return atom;
+  };
+
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    TraceQuery query;
+    query.timestamp = static_cast<SimTime>(
+        rng.NextUint64(static_cast<uint64_t>(config.duration)));
+
+    std::string where = draw_atom();
+    if (rng.NextBool(config.second_predicate_prob)) {
+      std::string second = draw_atom();
+      if (rng.NextBool(config.not_prob)) second = "NOT (" + second + ")";
+      where += rng.NextBool(config.or_prob) ? " OR " : " AND ";
+      where += second;
+    }
+
+    bool is_join = !config.join_table.empty() &&
+                   rng.NextBool(config.join_prob);
+    bool is_aggregate = rng.NextBool(config.aggregate_prob);
+    std::string sql;
+    if (is_join) {
+      sql = "SELECT COUNT(*) FROM " + config.table + " JOIN " +
+            config.join_table + " ON " + config.table + ".c0 = " +
+            config.join_table + ".c0 WHERE " + where;
+    } else if (is_aggregate) {
+      double which = rng.NextDouble();
+      std::string agg;
+      if (which < 0.6) {
+        agg = "COUNT(*)";
+      } else if (which < 0.8) {
+        agg = "SUM(" + NumericColumn(config, schema, &rng) + ")";
+      } else if (which < 0.9) {
+        agg = "MAX(" + NumericColumn(config, schema, &rng) + ")";
+      } else {
+        agg = "AVG(" + NumericColumn(config, schema, &rng) + ")";
+      }
+      if (rng.NextBool(config.group_by_prob)) {
+        std::string key = AnyColumn(config, schema, &rng);
+        sql = "SELECT " + key + ", " + agg + " FROM " + config.table +
+              " WHERE " + where + " GROUP BY " + key;
+      } else {
+        sql = "SELECT " + agg + " FROM " + config.table + " WHERE " + where;
+      }
+    } else {
+      std::string projection = AnyColumn(config, schema, &rng);
+      sql = "SELECT " + projection + " FROM " + config.table + " WHERE " +
+            where;
+      if (rng.NextBool(config.order_by_prob)) {
+        sql += " ORDER BY " + projection + " LIMIT 100";
+      } else {
+        sql += " LIMIT 1000";
+      }
+    }
+    query.sql = std::move(sql);
+    trace.push_back(std::move(query));
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceQuery& a, const TraceQuery& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return trace;
+}
+
+}  // namespace feisu

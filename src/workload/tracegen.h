@@ -1,0 +1,58 @@
+#ifndef FEISU_WORKLOAD_TRACEGEN_H_
+#define FEISU_WORKLOAD_TRACEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/schema.h"
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+/// One trace event: a query arriving at a simulated timestamp.
+struct TraceQuery {
+  SimTime timestamp = 0;
+  std::string sql;
+};
+
+/// Knobs reproducing the statistical structure the paper measured in
+/// Baidu's two-month production log (§IV-A): a Zipf-hot set of queried
+/// columns (data locality) and heavy exact reuse of query predicates in
+/// short time spans (query similarity).
+struct TraceConfig {
+  std::string table = "t1";
+  size_t num_queries = 2000;
+  SimTime duration = 60LL * 24 * kSimHour;  ///< two months
+  uint64_t seed = 7;
+
+  /// Column popularity skew: higher => a smaller hot set is reused more.
+  double column_zipf = 1.2;
+  /// Probability that a predicate atom is drawn from the recent-predicate
+  /// pool instead of freshly generated — the query-similarity knob.
+  double predicate_reuse_prob = 0.6;
+  size_t predicate_pool_capacity = 400;
+  /// Upper bound of fresh numeric predicate literals. A small domain makes
+  /// even independently random parameters collide, as in production logs.
+  int64_t value_domain = 100;
+  /// Probability that a numeric atom is a point predicate (=). Debugging /
+  /// case-tracking workloads are point-heavy and highly selective.
+  double eq_prob = 1.0 / 6.0;
+
+  /// Query shape mix (Fig. 8: scan/aggregation > 99%).
+  double aggregate_prob = 0.55;
+  double second_predicate_prob = 0.5;
+  double or_prob = 0.15;
+  double not_prob = 0.1;        ///< wraps the second atom in NOT(...)
+  double group_by_prob = 0.15;  ///< only for aggregate queries
+  double order_by_prob = 0.004;
+  double join_prob = 0.002;
+  std::string join_table;       ///< required if join_prob > 0
+};
+
+/// Generates a timestamp-sorted synthetic query trace over `schema`.
+std::vector<TraceQuery> GenerateTrace(const TraceConfig& config,
+                                      const Schema& schema);
+
+}  // namespace feisu
+
+#endif  // FEISU_WORKLOAD_TRACEGEN_H_

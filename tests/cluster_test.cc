@@ -1,0 +1,599 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_manager.h"
+#include "cluster/entry_guard.h"
+#include "cluster/job_manager.h"
+#include "cluster/leaf_server.h"
+#include "cluster/network.h"
+#include "cluster/scheduler.h"
+#include "cluster/stem_server.h"
+#include "cluster/master_load.h"
+#include "cluster/task.h"
+#include "columnar/block.h"
+#include "sql/parser.h"
+#include "storage/storage_factory.h"
+
+namespace feisu {
+namespace {
+
+// ---------- NetworkModel ----------
+
+TEST(NetworkTest, TransferScalesWithBytes) {
+  NetworkModel net;
+  EXPECT_GT(net.Transfer(1024 * 1024, TrafficClass::kRead),
+            net.Transfer(1024, TrafficClass::kRead));
+}
+
+TEST(NetworkTest, TrafficClassPriorities) {
+  NetworkModel net;
+  uint64_t bytes = 10 * 1024 * 1024;
+  SimTime control = net.Transfer(bytes, TrafficClass::kControl);
+  SimTime write = net.Transfer(bytes, TrafficClass::kWrite);
+  SimTime read = net.Transfer(bytes, TrafficClass::kRead);
+  EXPECT_LT(control, write);
+  EXPECT_LT(write, read);
+}
+
+// ---------- ClusterManager ----------
+
+TEST(ClusterManagerTest, AddAndLookup) {
+  ClusterManager cluster;
+  uint32_t a = cluster.AddNode(false);
+  uint32_t b = cluster.AddNode(true);
+  EXPECT_EQ(cluster.NumNodes(), 2u);
+  EXPECT_FALSE(cluster.Node(a)->is_stem);
+  EXPECT_TRUE(cluster.Node(b)->is_stem);
+  EXPECT_EQ(cluster.Node(99), nullptr);
+}
+
+TEST(ClusterManagerTest, HeartbeatLiveness) {
+  ClusterManager cluster(5 * kSimSecond, 30 * kSimSecond);
+  uint32_t node = cluster.AddNode(false);
+  cluster.Heartbeat(node, 0);
+  EXPECT_EQ(cluster.SweepLiveness(10 * kSimSecond), 0u);
+  EXPECT_TRUE(cluster.Node(node)->alive);
+  EXPECT_EQ(cluster.SweepLiveness(60 * kSimSecond), 1u);
+  EXPECT_FALSE(cluster.Node(node)->alive);
+  // A new heartbeat revives the node.
+  cluster.Heartbeat(node, 61 * kSimSecond);
+  EXPECT_TRUE(cluster.Node(node)->alive);
+}
+
+TEST(ClusterManagerTest, AliveLeafNodesExcludesDeadAndStems) {
+  ClusterManager cluster;
+  uint32_t leaf1 = cluster.AddNode(false);
+  cluster.AddNode(true);
+  uint32_t leaf2 = cluster.AddNode(false);
+  cluster.MarkDead(leaf2);
+  std::vector<uint32_t> alive = cluster.AliveLeafNodes();
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_EQ(alive[0], leaf1);
+  EXPECT_EQ(cluster.AliveCount(), 2u);
+}
+
+TEST(ClusterManagerTest, HeartbeatLoadGrowsWithNodes) {
+  ClusterManager cluster;
+  for (int i = 0; i < 100; ++i) cluster.AddNode(false);
+  EXPECT_EQ(cluster.HeartbeatMessagesPerSweep(), 100u);
+}
+
+// ---------- JobManager ----------
+
+TEST(JobManagerTest, JobLifecycle) {
+  JobManager jobs;
+  int64_t id = jobs.CreateJob("ana", "SELECT 1", 100);
+  const JobInfo* job = jobs.Find(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, JobState::kQueued);
+  jobs.SetState(id, JobState::kRunning, 200);
+  jobs.SetState(id, JobState::kFinished, 300);
+  EXPECT_EQ(jobs.Find(id)->finish_time, 300);
+  EXPECT_EQ(jobs.Find(999), nullptr);
+}
+
+TEST(JobManagerTest, TaskResultReuse) {
+  JobManager jobs(4);
+  TaskResult result;
+  result.stats.bytes_read = 777;
+  jobs.CacheResult("sig1", result);
+  TaskResult reused;
+  EXPECT_TRUE(jobs.TryReuse("sig1", &reused));
+  // Stats are zeroed on reuse (no double counting).
+  EXPECT_EQ(reused.stats.bytes_read, 0u);
+  EXPECT_FALSE(jobs.TryReuse("sig2", &reused));
+  EXPECT_EQ(jobs.reuse_hits(), 1u);
+  EXPECT_EQ(jobs.reuse_misses(), 1u);
+}
+
+TEST(JobManagerTest, ReuseCacheLruBounded) {
+  JobManager jobs(2);
+  TaskResult result;
+  jobs.CacheResult("a", result);
+  jobs.CacheResult("b", result);
+  TaskResult out;
+  EXPECT_TRUE(jobs.TryReuse("a", &out));  // refresh a
+  jobs.CacheResult("c", result);          // evicts b
+  EXPECT_TRUE(jobs.TryReuse("a", &out));
+  EXPECT_FALSE(jobs.TryReuse("b", &out));
+  EXPECT_TRUE(jobs.TryReuse("c", &out));
+}
+
+// ---------- EntryGuard ----------
+
+TEST(EntryGuardTest, AdmitChecksAclAndAuth) {
+  SsoAuthenticator sso;
+  sso.GrantDomain("ana", "hdfs-domain");
+  Catalog catalog;
+  TableMeta open_table("open", Schema({{"a", DataType::kInt64, true}}));
+  TableMeta restricted("vip", Schema({{"a", DataType::kInt64, true}}));
+  restricted.GrantAccess("boss");
+  ASSERT_TRUE(catalog.RegisterTable(open_table).ok());
+  ASSERT_TRUE(catalog.RegisterTable(restricted).ok());
+  EntryGuard guard(&sso, &catalog);
+
+  EXPECT_TRUE(guard.Admit("ana", "open", 0).ok());
+  EXPECT_TRUE(guard.Admit("ana", "vip", 0).status().IsPermissionDenied());
+  EXPECT_TRUE(guard.Admit("ghost", "open", 0).status().IsPermissionDenied());
+  EXPECT_TRUE(guard.Admit("ana", "nope", 0).status().IsNotFound());
+  EXPECT_EQ(guard.admitted_count(), 1u);
+  EXPECT_EQ(guard.rejected_count(), 3u);
+}
+
+TEST(EntryGuardTest, DailyQuota) {
+  SsoAuthenticator sso;
+  sso.GrantDomain("ana", "d");
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterTable(
+                      TableMeta("t", Schema({{"a", DataType::kInt64, true}})))
+                  .ok());
+  EntryGuard guard(&sso, &catalog, /*daily_query_quota=*/2);
+  EXPECT_TRUE(guard.Admit("ana", "t", 0).ok());
+  EXPECT_TRUE(guard.Admit("ana", "t", kSimHour).ok());
+  EXPECT_TRUE(guard.Admit("ana", "t", 2 * kSimHour)
+                  .status()
+                  .IsResourceExhausted());
+  // Next simulated day the quota resets.
+  EXPECT_TRUE(guard.Admit("ana", "t", 25 * kSimHour).ok());
+}
+
+TEST(EntryGuardTest, DomainAuthorization) {
+  SsoAuthenticator sso;
+  sso.GrantDomain("ana", "hdfs-domain");
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterTable(
+                      TableMeta("t", Schema({{"a", DataType::kInt64, true}})))
+                  .ok());
+  EntryGuard guard(&sso, &catalog);
+  auto credential = guard.Admit("ana", "t", 0);
+  ASSERT_TRUE(credential.ok());
+  EXPECT_TRUE(guard.AuthorizeDomain(*credential, "hdfs-domain"));
+  EXPECT_FALSE(guard.AuthorizeDomain(*credential, "fatman-domain"));
+}
+
+// ---------- JobScheduler ----------
+
+TEST(SchedulerTest, PrefersLocalReplica) {
+  ClusterManager cluster;
+  for (int i = 0; i < 4; ++i) cluster.AddNode(false);
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  Placement p = scheduler.PlaceTask({2, 3}, 4, 0);
+  EXPECT_TRUE(p.local);
+  EXPECT_TRUE(p.node_id == 2 || p.node_id == 3);
+}
+
+TEST(SchedulerTest, FallsBackWhenReplicasDead) {
+  ClusterManager cluster;
+  for (int i = 0; i < 4; ++i) cluster.AddNode(false);
+  cluster.MarkDead(2);
+  cluster.MarkDead(3);
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  Placement p = scheduler.PlaceTask({2, 3}, 4, 0);
+  EXPECT_FALSE(p.local);
+  EXPECT_TRUE(p.node_id == 0 || p.node_id == 1);
+}
+
+TEST(SchedulerTest, LoadBalancesAcrossReplicas) {
+  ClusterManager cluster;
+  for (int i = 0; i < 2; ++i) cluster.AddNode(false, 4, 1);
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  // With 1 slot per node, consecutive tasks should alternate nodes.
+  Placement p1 = scheduler.PlaceTask({0, 1}, 1, 0);
+  scheduler.CommitTask(&p1, kSimSecond, 1, 0);
+  Placement p2 = scheduler.PlaceTask({0, 1}, 1, 0);
+  scheduler.CommitTask(&p2, kSimSecond, 1, 0);
+  EXPECT_NE(p1.node_id, p2.node_id);
+}
+
+TEST(SchedulerTest, SlotQueueingDelaysStart) {
+  ClusterManager cluster;
+  cluster.AddNode(false, 4, 1);  // one slot
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  Placement p1 = scheduler.PlaceTask({0}, 1, 0);
+  scheduler.CommitTask(&p1, kSimSecond, 1, 0);
+  Placement p2 = scheduler.PlaceTask({0}, 1, 0);
+  scheduler.CommitTask(&p2, kSimSecond, 1, 0);
+  EXPECT_GE(p2.start_time, p1.finish_time);
+}
+
+TEST(SchedulerTest, SlowdownFactorStretchesTasks) {
+  ClusterManager cluster;
+  cluster.AddNode(false);
+  cluster.SetSlowdown(0, 3.0);
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  Placement p = scheduler.PlaceTask({0}, 4, 0);
+  scheduler.CommitTask(&p, kSimSecond, 4, 0);
+  EXPECT_GE(p.finish_time - p.start_time, 3 * kSimSecond);
+}
+
+TEST(SchedulerTest, BackupTasksRescueStragglers) {
+  ClusterManager cluster;
+  cluster.AddNode(false);
+  cluster.AddNode(false);
+  PathRouter router;
+  ScheduleConfig config;
+  config.backup_threshold = 2.0;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), config, 1);
+
+  std::vector<Placement> placements(3);
+  std::vector<SimTime> durations = {kSimSecond, kSimSecond, kSimSecond};
+  std::vector<std::vector<uint32_t>> replicas = {{0, 1}, {0, 1}, {0, 1}};
+  for (auto& p : placements) {
+    p.node_id = 0;
+    p.start_time = 0;
+    p.finish_time = kSimSecond;
+  }
+  placements[2].finish_time = 10 * kSimSecond;  // straggler
+  size_t backups =
+      scheduler.ApplyBackupTasks(&placements, durations, replicas, 0);
+  EXPECT_EQ(backups, 1u);
+  EXPECT_TRUE(placements[2].backup_launched);
+  EXPECT_LT(placements[2].finish_time, 10 * kSimSecond);
+}
+
+TEST(SchedulerTest, BackupDisabledByConfig) {
+  ClusterManager cluster;
+  cluster.AddNode(false);
+  cluster.AddNode(false);
+  PathRouter router;
+  ScheduleConfig config;
+  config.enable_backup_tasks = false;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), config, 1);
+  std::vector<Placement> placements(1);
+  placements[0].finish_time = 100 * kSimSecond;
+  std::vector<SimTime> durations = {kSimSecond};
+  std::vector<std::vector<uint32_t>> replicas = {{0, 1}};
+  EXPECT_EQ(scheduler.ApplyBackupTasks(&placements, durations, replicas, 0),
+            0u);
+}
+
+// ---------- StemServer ----------
+
+TEST(StemServerTest, ConcatenatesRows) {
+  Schema schema({{"v", DataType::kInt64, true}});
+  RecordBatch a(schema);
+  RecordBatch b(schema);
+  ASSERT_TRUE(a.AppendRow({Value::Int64(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(2)}).ok());
+  StemServer stem(0, NetworkModel());
+  auto merged = stem.Merge({a, b}, {kSimSecond, 2 * kSimSecond}, nullptr);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->batch.num_rows(), 2u);
+  // Finish no earlier than the slowest child plus transfer.
+  EXPECT_GT(merged->finish_time, 2 * kSimSecond);
+}
+
+TEST(StemServerTest, MergesPartialAggregates) {
+  Schema schema({{"v", DataType::kInt64, true}});
+  AggSpec spec;
+  spec.func = AggFunc::kCount;
+  spec.output_name = "n";
+  auto leaf1 = Aggregator::Make({}, {spec}, schema);
+  auto leaf2 = Aggregator::Make({}, {spec}, schema);
+  ASSERT_TRUE(leaf1.ok());
+  ASSERT_TRUE(leaf2.ok());
+  ASSERT_TRUE(leaf1->ConsumeCount(10).ok());
+  ASSERT_TRUE(leaf2->ConsumeCount(5).ok());
+  auto p1 = leaf1->PartialResult();
+  auto p2 = leaf2->PartialResult();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+
+  auto merger = Aggregator::Make({}, {spec}, schema);
+  ASSERT_TRUE(merger.ok());
+  StemServer stem(0, NetworkModel());
+  auto merged = stem.Merge({*p1, *p2}, {0, 0}, &*merger);
+  ASSERT_TRUE(merged.ok());
+  // The stem's output is still partial state; finalize to check.
+  auto final_agg = Aggregator::Make({}, {spec}, schema);
+  ASSERT_TRUE(final_agg.ok());
+  ASSERT_TRUE(final_agg->ConsumePartial(merged->batch).ok());
+  auto result = final_agg->FinalResult();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).GetInt64(0), 15);
+}
+
+// ---------- LeafServer ----------
+
+struct LeafFixture {
+  PathRouter router;
+  StorageSystem* hdfs = nullptr;
+  TableBlockMeta block_meta;
+  Schema schema{std::vector<Field>{{"c1", DataType::kInt64, true},
+                                   {"c2", DataType::kInt64, true},
+                                   {"s", DataType::kString, true}}};
+
+  LeafFixture() {
+    hdfs = router.Register("/hdfs", MakeHdfs(), true);
+    hdfs->RegisterNode(0);
+    RecordBatch batch(schema);
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(batch
+                      .AppendRow({Value::Int64(i), Value::Int64(i % 10),
+                                  Value::String(i % 2 == 0 ? "even" : "odd")})
+                      .ok());
+    }
+    ColumnarBlock block = ColumnarBlock::FromBatch(1, batch);
+    std::string payload = block.Serialize();
+    block_meta.block_id = 1;
+    block_meta.path = "/hdfs/t/blk_0";
+    block_meta.num_rows = 1000;
+    block_meta.bytes = payload.size();
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      block_meta.stats.push_back(block.stats(c));
+      block_meta.stats_columns.push_back(schema.field(c).name);
+    }
+    EXPECT_TRUE(router.Write(block_meta.path, std::move(payload)).ok());
+  }
+
+  LeafTask MakeTask(const std::string& condition,
+                    std::vector<std::string> columns = {"c1"}) {
+    LeafTask task;
+    task.table = "t";
+    task.block = block_meta;
+    task.columns = std::move(columns);
+    if (!condition.empty()) {
+      auto stmt = ParseSql("SELECT c1 FROM t WHERE " + condition);
+      EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+      task.predicate = stmt->where;
+    }
+    return task;
+  }
+};
+
+TEST(LeafServerTest, FilteredScanCorrectness) {
+  LeafFixture fixture;
+  LeafServer leaf(0, &fixture.router, LeafServerConfig());
+  auto result = leaf.Execute(fixture.MakeTask("c2 < 3"), 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->batch.num_rows(), 300u);
+  EXPECT_EQ(result->stats.rows_matched, 300u);
+  EXPECT_GT(result->stats.bytes_read, 0u);
+  EXPECT_GT(result->stats.io_time, 0);
+}
+
+TEST(LeafServerTest, SecondQueryHitsSmartIndex) {
+  LeafFixture fixture;
+  LeafServer leaf(0, &fixture.router, LeafServerConfig());
+  auto first = leaf.Execute(fixture.MakeTask("c2 < 3"), 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.index_misses, 1u);
+  auto second = leaf.Execute(fixture.MakeTask("c2 < 3"), kSimSecond);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.index_direct_hits, 1u);
+  EXPECT_EQ(second->stats.rows_scanned, 0u);
+  EXPECT_EQ(second->batch.num_rows(), 300u);
+  // Index-served predicate avoids the predicate column I/O.
+  EXPECT_LT(second->stats.io_time, first->stats.io_time);
+}
+
+TEST(LeafServerTest, Fig7NegationReusesIndex) {
+  LeafFixture fixture;
+  LeafServer leaf(0, &fixture.router, LeafServerConfig());
+  ASSERT_TRUE(leaf.Execute(fixture.MakeTask("c2 > 5"), 0).ok());
+  auto result = leaf.Execute(fixture.MakeTask("NOT (c2 > 5)"), 0);
+  ASSERT_TRUE(result.ok());
+  // The first task materialized the `c2 <= 5` dual, so this is a direct
+  // hit that never touches data.
+  EXPECT_EQ(result->stats.index_direct_hits, 1u);
+  EXPECT_EQ(result->stats.rows_scanned, 0u);
+  EXPECT_EQ(result->batch.num_rows(), 600u);  // c2 in {0..5}
+}
+
+TEST(LeafServerTest, PureCountStarServedFromMemory) {
+  LeafFixture fixture;
+  LeafServer leaf(0, &fixture.router, LeafServerConfig());
+  LeafTask task = fixture.MakeTask("c2 = 4", {});
+  task.has_aggregate = true;
+  AggSpec spec;
+  spec.func = AggFunc::kCount;
+  spec.output_name = "n";
+  task.aggregates = {spec};
+  ASSERT_TRUE(leaf.Execute(task, 0).ok());
+  auto second = leaf.Execute(task, 0);
+  ASSERT_TRUE(second.ok());
+  // Fully index-served COUNT(*): no bytes touched at all.
+  EXPECT_EQ(second->stats.bytes_read, 0u);
+  EXPECT_EQ(second->stats.io_time, 0);
+}
+
+TEST(LeafServerTest, ZoneMapSkipsImpossibleBlocks) {
+  LeafFixture fixture;
+  LeafServer leaf(0, &fixture.router, LeafServerConfig());
+  // c1 ranges 0..999; c1 > 5000 can't match.
+  auto result = leaf.Execute(fixture.MakeTask("c1 > 5000"), 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.block_skipped);
+  EXPECT_EQ(result->batch.num_rows(), 0u);
+  EXPECT_EQ(result->stats.rows_scanned, 0u);
+}
+
+TEST(LeafServerTest, BTreeModeBuildsOnceThenProbes) {
+  LeafFixture fixture;
+  LeafServerConfig config;
+  config.enable_smart_index = false;
+  config.enable_btree_index = true;
+  LeafServer leaf(0, &fixture.router, config);
+  auto first = leaf.Execute(fixture.MakeTask("c2 < 3"), 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.btree_builds, 1u);
+  EXPECT_EQ(first->batch.num_rows(), 300u);
+  auto second = leaf.Execute(fixture.MakeTask("c2 < 7"), 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.btree_builds, 0u);
+  EXPECT_EQ(second->stats.btree_probes, 1u);
+  EXPECT_EQ(second->batch.num_rows(), 700u);
+}
+
+TEST(LeafServerTest, ContainsFallsBackToScanInBTreeMode) {
+  LeafFixture fixture;
+  LeafServerConfig config;
+  config.enable_smart_index = false;
+  config.enable_btree_index = true;
+  LeafServer leaf(0, &fixture.router, config);
+  auto result = leaf.Execute(fixture.MakeTask("s CONTAINS 'eve'"), 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 500u);
+  EXPECT_GT(result->stats.rows_scanned, 0u);
+}
+
+TEST(LeafServerTest, NoPredicateReturnsAllRows) {
+  LeafFixture fixture;
+  LeafServer leaf(0, &fixture.router, LeafServerConfig());
+  auto result = leaf.Execute(fixture.MakeTask(""), 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 1000u);
+}
+
+TEST(LeafServerTest, MissingBlockErrors) {
+  LeafFixture fixture;
+  LeafServer leaf(0, &fixture.router, LeafServerConfig());
+  LeafTask task = fixture.MakeTask("c2 < 3");
+  task.block.path = "/hdfs/nope";
+  task.block.stats.clear();
+  task.block.stats_columns.clear();
+  EXPECT_TRUE(leaf.Execute(task, 0).status().IsNotFound());
+}
+
+TEST(LeafServerTest, SsdCacheAcceleratesRepeatedReads) {
+  LeafFixture fixture;
+  LeafServerConfig config;
+  config.enable_smart_index = false;  // force repeated column reads
+  config.ssd_capacity_bytes = 64 * 1024 * 1024;
+  config.ssd_policy = CachePolicy::kLru;
+  LeafServer leaf(0, &fixture.router, config);
+  auto first = leaf.Execute(fixture.MakeTask("c2 < 3"), 0);
+  auto second = leaf.Execute(fixture.MakeTask("c2 < 3"), 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second->stats.io_time, first->stats.io_time);
+  EXPECT_GT(leaf.ssd_cache()->hits(), 0u);
+}
+
+TEST(TaskTest, SignatureDistinguishesWork) {
+  LeafFixture fixture;
+  LeafTask a = fixture.MakeTask("c2 < 3");
+  LeafTask b = fixture.MakeTask("c2 < 3");
+  LeafTask c = fixture.MakeTask("c2 < 4");
+  EXPECT_EQ(a.Signature(), b.Signature());
+  EXPECT_NE(a.Signature(), c.Signature());
+  LeafTask d = fixture.MakeTask("c2 < 3", {"c1", "c2"});
+  EXPECT_NE(a.Signature(), d.Signature());
+}
+
+TEST(SchedulerTest, AllNodesDeadStillPlaces) {
+  // With every node dead, placement falls back to node 0 and the master
+  // surfaces Unavailable when it finds no live leaf to execute on; the
+  // scheduler itself must not crash.
+  ClusterManager cluster;
+  cluster.AddNode(false);
+  cluster.MarkDead(0);
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  Placement p = scheduler.PlaceTask({0}, 4, 0);
+  EXPECT_FALSE(p.local);
+}
+
+TEST(StemServerTest, EmptyInput) {
+  StemServer stem(0, NetworkModel());
+  auto merged = stem.Merge({}, {}, nullptr);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->batch.num_rows(), 0u);
+  EXPECT_EQ(merged->finish_time, 0);
+}
+
+// ---------- MasterLoadModel (paper §VII) ----------
+
+TEST(MasterLoadTest, InternalRateScalesWithWorkers) {
+  MasterLoadModel model(MasterServiceLayout::Monolithic());
+  EXPECT_DOUBLE_EQ(model.InternalMessageRate(2000),
+                   2 * model.InternalMessageRate(1000));
+  // 5s heartbeat, 1+3 messages per worker per period.
+  EXPECT_DOUBLE_EQ(model.InternalMessageRate(1000), 800.0);
+}
+
+TEST(MasterLoadTest, MonolithicSaturatesNear8000Workers) {
+  MasterLoadModel model(MasterServiceLayout::Monolithic());
+  EXPECT_LT(model.ExternalServiceUtilization(1000, 50.0), 0.5);
+  // ~8,000 workers: heavily degraded but still serving (the paper's
+  // "began affecting external user experience").
+  EXPECT_GT(model.ExternalServiceUtilization(8000, 50.0), 0.7);
+  EXPECT_LT(model.ExternalServiceUtilization(8000, 50.0), 1.0);
+  EXPECT_GE(model.ExternalServiceUtilization(15000, 50.0), 1.0);
+  // Saturated service reports unbounded overhead.
+  EXPECT_EQ(model.ExternalRequestOverhead(15000, 50.0, kSimMillisecond), -1);
+}
+
+TEST(MasterLoadTest, SeparationShieldsExternalRequests) {
+  MasterLoadModel monolithic(MasterServiceLayout::Monolithic());
+  MasterLoadModel separated(MasterServiceLayout::FullySeparated());
+  // External utilization no longer grows with workers once the cluster
+  // manager is split out.
+  EXPECT_DOUBLE_EQ(separated.ExternalServiceUtilization(1000, 50.0),
+                   separated.ExternalServiceUtilization(15000, 50.0));
+  EXPECT_LT(separated.ExternalServiceUtilization(15000, 50.0),
+            monolithic.ExternalServiceUtilization(15000, 50.0));
+  // At 5,000 workers the monolithic master is near saturation but still
+  // serving; by 8,000 it is fully saturated (ExternalRequestOverhead -1).
+  SimTime mono = monolithic.ExternalRequestOverhead(8000, 50.0, 0);
+  SimTime sep = separated.ExternalRequestOverhead(8000, 50.0, 0);
+  ASSERT_GT(mono, 0);
+  ASSERT_GT(sep, 0);
+  EXPECT_GT(mono, 3 * sep);
+  EXPECT_EQ(monolithic.ExternalRequestOverhead(15000, 50.0, 0), -1);
+}
+
+TEST(MasterLoadTest, SeparatedInternalBottleneckStillGrows) {
+  MasterLoadModel separated(MasterServiceLayout::FullySeparated(1));
+  MasterLoadModel scaled(MasterServiceLayout::FullySeparated(4));
+  // The cluster-manager service itself can still saturate; horizontal
+  // scaling divides its load (the paper's final evolution step).
+  EXPECT_GT(separated.BottleneckUtilization(15000, 50.0),
+            scaled.BottleneckUtilization(15000, 50.0));
+}
+
+TEST(MasterLoadTest, SeparationAddsRpcHops) {
+  MasterLoadModel monolithic(MasterServiceLayout::Monolithic());
+  MasterLoadModel separated(MasterServiceLayout::FullySeparated());
+  // At trivial load the separated layout pays two extra control RTTs.
+  SimTime rtt = kSimMillisecond;
+  SimTime mono = monolithic.ExternalRequestOverhead(10, 1.0, rtt);
+  SimTime sep = separated.ExternalRequestOverhead(10, 1.0, rtt);
+  EXPECT_NEAR(static_cast<double>(sep - mono), 2.0 * rtt,
+              static_cast<double>(kSimMillisecond) / 2);
+}
+
+}  // namespace
+}  // namespace feisu

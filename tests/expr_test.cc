@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "expr/normalize.h"
+#include "sql/parser.h"
+
+namespace feisu {
+namespace {
+
+ExprPtr ParseWhere(const std::string& condition) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE " + condition);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return stmt->where;
+}
+
+RecordBatch MakeBatch() {
+  Schema schema({{"a", DataType::kInt64, true},
+                 {"b", DataType::kInt64, true},
+                 {"s", DataType::kString, true},
+                 {"d", DataType::kDouble, true}});
+  RecordBatch batch(schema);
+  // a: 1..5; b: 10,20,30,NULL,50; s: varied; d: halves.
+  EXPECT_TRUE(batch.AppendRow({Value::Int64(1), Value::Int64(10),
+                               Value::String("apple pie"),
+                               Value::Double(0.5)}).ok());
+  EXPECT_TRUE(batch.AppendRow({Value::Int64(2), Value::Int64(20),
+                               Value::String("banana"),
+                               Value::Double(1.5)}).ok());
+  EXPECT_TRUE(batch.AppendRow({Value::Int64(3), Value::Int64(30),
+                               Value::String("cherry"),
+                               Value::Double(2.5)}).ok());
+  EXPECT_TRUE(batch.AppendRow({Value::Int64(4), Value::Null(),
+                               Value::String("apple tart"),
+                               Value::Double(3.5)}).ok());
+  EXPECT_TRUE(batch.AppendRow({Value::Int64(5), Value::Int64(50),
+                               Value::Null(), Value::Double(4.5)}).ok());
+  return batch;
+}
+
+// ---------- Expr basics ----------
+
+TEST(ExprTest, ToStringCanonical) {
+  ExprPtr e = Expr::And(
+      Expr::Compare(CompareOp::kGt, Expr::ColumnRef("c2"),
+                    Expr::Literal(Value::Int64(0))),
+      Expr::Compare(CompareOp::kLe, Expr::ColumnRef("c2"),
+                    Expr::Literal(Value::Int64(5))));
+  EXPECT_EQ(e->ToString(), "((c2 > 0) AND (c2 <= 5))");
+}
+
+TEST(ExprTest, EqualsStructural) {
+  ExprPtr a = ParseWhere("x > 1 AND y < 2");
+  ExprPtr b = ParseWhere("x > 1 AND y < 2");
+  ExprPtr c = ParseWhere("x > 1 AND y < 3");
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(ExprTest, CollectColumnsDistinct) {
+  ExprPtr e = ParseWhere("x > 1 AND y < x + z");
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols.size(), 3u);
+}
+
+TEST(ExprTest, ContainsAggregate) {
+  auto stmt = ParseSql("SELECT SUM(a) + 1 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->items[0].expr->ContainsAggregate());
+  EXPECT_FALSE(ParseWhere("a > 1")->ContainsAggregate());
+}
+
+TEST(ExprTest, NegateCompareOp) {
+  CompareOp out;
+  ASSERT_TRUE(NegateCompareOp(CompareOp::kGt, &out));
+  EXPECT_EQ(out, CompareOp::kLe);
+  ASSERT_TRUE(NegateCompareOp(CompareOp::kEq, &out));
+  EXPECT_EQ(out, CompareOp::kNe);
+  EXPECT_FALSE(NegateCompareOp(CompareOp::kContains, &out));
+}
+
+TEST(ExprTest, MirrorCompareOp) {
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kGe), CompareOp::kLe);
+  EXPECT_EQ(MirrorCompareOp(CompareOp::kEq), CompareOp::kEq);
+}
+
+// ---------- Normalization ----------
+
+TEST(NormalizeTest, PushDownNotFlipsComparison) {
+  ExprPtr e = PushDownNot(ParseWhere("NOT (c2 > 5)"));
+  EXPECT_EQ(e->ToString(), "(c2 <= 5)");
+}
+
+TEST(NormalizeTest, DeMorganOverAnd) {
+  ExprPtr e = PushDownNot(ParseWhere("NOT (a > 1 AND b < 2)"));
+  EXPECT_EQ(e->ToString(), "((a <= 1) OR (b >= 2))");
+}
+
+TEST(NormalizeTest, DoubleNegation) {
+  ExprPtr e = PushDownNot(ParseWhere("NOT (NOT (a = 1))"));
+  EXPECT_EQ(e->ToString(), "(a = 1)");
+}
+
+TEST(NormalizeTest, NotContainsKeepsWrapper) {
+  ExprPtr e = PushDownNot(ParseWhere("NOT (s CONTAINS 'x')"));
+  EXPECT_EQ(e->kind(), ExprKind::kLogical);
+  EXPECT_EQ(e->logical_op(), LogicalOp::kNot);
+}
+
+TEST(NormalizeTest, CanonicalizeMirrorsLiteralLeft) {
+  ExprPtr e = CanonicalizeAtoms(ParseWhere("5 < c2"));
+  EXPECT_EQ(e->ToString(), "(c2 > 5)");
+}
+
+TEST(NormalizeTest, CanonicalizeOrdersCommutativeOperands) {
+  ExprPtr ab = CanonicalizeAtoms(ParseWhere("a = 1 AND b = 2"));
+  ExprPtr ba = CanonicalizeAtoms(ParseWhere("b = 2 AND a = 1"));
+  EXPECT_EQ(ab->ToString(), ba->ToString());
+}
+
+TEST(NormalizeTest, CnfSplitsConjuncts) {
+  std::vector<ExprPtr> conjuncts =
+      NormalizePredicate(ParseWhere("a > 1 AND b < 2 AND c = 3"));
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(NormalizeTest, CnfDistributesOr) {
+  // (a AND b) OR c => (a OR c) AND (b OR c).
+  std::vector<ExprPtr> conjuncts =
+      NormalizePredicate(ParseWhere("(a = 1 AND b = 2) OR c = 3"));
+  ASSERT_EQ(conjuncts.size(), 2u);
+  for (const auto& conjunct : conjuncts) {
+    EXPECT_EQ(conjunct->logical_op(), LogicalOp::kOr);
+  }
+}
+
+// The paper's Fig. 7 equivalence: Q10's `c2 <= 5` and Q11/Q12's
+// `!(c2 > 5)` normalize to the same predicate key.
+TEST(NormalizeTest, Fig7QueriesShareKeys) {
+  auto q10 = NormalizePredicate(ParseWhere("c2 > 0 AND c2 <= 5"));
+  auto q11 = NormalizePredicate(ParseWhere("c2 > 0 AND !(c2 > 5)"));
+  auto q12 = NormalizePredicate(ParseWhere("NOT (c2 <= 0 OR c2 > 5)"));
+  ASSERT_EQ(q10.size(), 2u);
+  ASSERT_EQ(q11.size(), 2u);
+  ASSERT_EQ(q12.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(PredicateKey(q10[i]), PredicateKey(q11[i]));
+    EXPECT_EQ(PredicateKey(q10[i]), PredicateKey(q12[i]));
+  }
+}
+
+TEST(NormalizeTest, NullPredicate) {
+  EXPECT_TRUE(NormalizePredicate(nullptr).empty());
+}
+
+// ---------- Evaluation ----------
+
+TEST(EvaluatorTest, SimpleComparison) {
+  RecordBatch batch = MakeBatch();
+  auto bits = EvaluatePredicate(*ParseWhere("a > 2"), batch);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(bits->ToString(), "00111");
+}
+
+TEST(EvaluatorTest, NullNeverMatches) {
+  RecordBatch batch = MakeBatch();
+  // b is NULL on row 3: neither b > 0 nor b <= 0 select it.
+  auto gt = EvaluatePredicate(*ParseWhere("b > 0"), batch);
+  auto le = EvaluatePredicate(*ParseWhere("b <= 0"), batch);
+  ASSERT_TRUE(gt.ok());
+  ASSERT_TRUE(le.ok());
+  EXPECT_FALSE(gt->Get(3));
+  EXPECT_FALSE(le->Get(3));
+}
+
+TEST(EvaluatorTest, AndOrNot) {
+  RecordBatch batch = MakeBatch();
+  auto bits =
+      EvaluatePredicate(*ParseWhere("a > 1 AND NOT (a >= 4)"), batch);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(bits->ToString(), "01100");
+  auto bits2 = EvaluatePredicate(*ParseWhere("a = 1 OR a = 5"), batch);
+  ASSERT_TRUE(bits2.ok());
+  EXPECT_EQ(bits2->ToString(), "10001");
+}
+
+TEST(EvaluatorTest, ContainsSubstring) {
+  RecordBatch batch = MakeBatch();
+  auto bits = EvaluatePredicate(*ParseWhere("s CONTAINS 'apple'"), batch);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(bits->ToString(), "10010");  // NULL string never matches
+}
+
+TEST(EvaluatorTest, StringEquality) {
+  RecordBatch batch = MakeBatch();
+  auto bits = EvaluatePredicate(*ParseWhere("s = 'banana'"), batch);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(bits->ToString(), "01000");
+}
+
+TEST(EvaluatorTest, CrossTypeNumericComparison) {
+  RecordBatch batch = MakeBatch();
+  auto bits = EvaluatePredicate(*ParseWhere("d > 2"), batch);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(bits->ToString(), "00111");
+}
+
+TEST(EvaluatorTest, ArithmeticInPredicate) {
+  RecordBatch batch = MakeBatch();
+  auto bits = EvaluatePredicate(*ParseWhere("a * 10 = b"), batch);
+  ASSERT_TRUE(bits.ok());
+  EXPECT_EQ(bits->ToString(), "11101");  // row 3 has NULL b
+}
+
+TEST(EvaluatorTest, UnknownColumnErrors) {
+  RecordBatch batch = MakeBatch();
+  EXPECT_TRUE(EvaluatePredicate(*ParseWhere("zzz > 1"), batch)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(EvaluatorTest, ProjectionExpression) {
+  RecordBatch batch = MakeBatch();
+  auto stmt = ParseSql("SELECT a + 1 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  auto col = EvaluateExpr(*stmt->items[0].expr, batch);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->GetInt64(0), 2);
+  EXPECT_EQ(col->GetInt64(4), 6);
+}
+
+TEST(EvaluatorTest, DivisionYieldsDoubleAndNullOnZero) {
+  RecordBatch batch = MakeBatch();
+  auto stmt = ParseSql("SELECT b / (a - 1) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  auto col = EvaluateExpr(*stmt->items[0].expr, batch);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type(), DataType::kDouble);
+  EXPECT_TRUE(col->IsNull(0));  // divide by zero
+  EXPECT_EQ(col->GetDouble(1), 20.0);
+}
+
+TEST(EvaluatorTest, NullPropagatesThroughArithmetic) {
+  RecordBatch batch = MakeBatch();
+  auto stmt = ParseSql("SELECT b + 1 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  auto col = EvaluateExpr(*stmt->items[0].expr, batch);
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE(col->IsNull(3));
+}
+
+TEST(EvaluatorTest, LiteralPredicate) {
+  RecordBatch batch = MakeBatch();
+  auto t = EvaluatePredicate(*Expr::Literal(Value::Bool(true)), batch);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->AllOnes());
+  auto f = EvaluatePredicate(*Expr::Literal(Value::Bool(false)), batch);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->AllZeros());
+}
+
+TEST(EvaluatorTest, AggregateInScalarContextErrors) {
+  RecordBatch batch = MakeBatch();
+  auto stmt = ParseSql("SELECT SUM(a) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(EvaluateExpr(*stmt->items[0].expr, batch)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------- InferType ----------
+
+TEST(InferTypeTest, Basics) {
+  Schema schema({{"i", DataType::kInt64, true},
+                 {"d", DataType::kDouble, true},
+                 {"s", DataType::kString, true}});
+  auto type = [&](const std::string& sql_expr) {
+    auto stmt = ParseSql("SELECT " + sql_expr + " FROM t");
+    EXPECT_TRUE(stmt.ok());
+    auto t = InferType(*stmt->items[0].expr, schema);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return *t;
+  };
+  EXPECT_EQ(type("i"), DataType::kInt64);
+  EXPECT_EQ(type("i + 1"), DataType::kInt64);
+  EXPECT_EQ(type("i + d"), DataType::kDouble);
+  EXPECT_EQ(type("i / 2"), DataType::kDouble);
+  EXPECT_EQ(type("i > 2"), DataType::kBool);
+  EXPECT_EQ(type("COUNT(*)"), DataType::kInt64);
+  EXPECT_EQ(type("AVG(i)"), DataType::kDouble);
+  EXPECT_EQ(type("SUM(d)"), DataType::kDouble);
+  EXPECT_EQ(type("MIN(s)"), DataType::kString);
+}
+
+TEST(InferTypeTest, ArithmeticOnStringErrors) {
+  Schema schema({{"s", DataType::kString, true}});
+  auto stmt = ParseSql("SELECT s + 1 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(InferType(*stmt->items[0].expr, schema).ok());
+}
+
+// ---------- StatsMayMatch (zone maps) ----------
+
+ColumnStats MakeStats(int64_t min, int64_t max) {
+  ColumnStats stats;
+  stats.min = Value::Int64(min);
+  stats.max = Value::Int64(max);
+  return stats;
+}
+
+TEST(StatsMayMatchTest, RangePruning) {
+  ColumnStats stats = MakeStats(10, 20);
+  EXPECT_FALSE(StatsMayMatch(CompareOp::kGt, stats, Value::Int64(25)));
+  EXPECT_TRUE(StatsMayMatch(CompareOp::kGt, stats, Value::Int64(15)));
+  EXPECT_FALSE(StatsMayMatch(CompareOp::kLt, stats, Value::Int64(10)));
+  EXPECT_TRUE(StatsMayMatch(CompareOp::kLe, stats, Value::Int64(10)));
+  EXPECT_FALSE(StatsMayMatch(CompareOp::kEq, stats, Value::Int64(9)));
+  EXPECT_TRUE(StatsMayMatch(CompareOp::kEq, stats, Value::Int64(10)));
+}
+
+TEST(StatsMayMatchTest, NotEqualOnlyPrunesConstantBlocks) {
+  EXPECT_FALSE(StatsMayMatch(CompareOp::kNe, MakeStats(5, 5),
+                             Value::Int64(5)));
+  EXPECT_TRUE(StatsMayMatch(CompareOp::kNe, MakeStats(5, 6),
+                            Value::Int64(5)));
+}
+
+TEST(StatsMayMatchTest, ContainsNeverPrunes) {
+  ColumnStats stats;
+  stats.min = Value::String("aaa");
+  stats.max = Value::String("zzz");
+  EXPECT_TRUE(StatsMayMatch(CompareOp::kContains, stats,
+                            Value::String("q")));
+}
+
+TEST(StatsMayMatchTest, AllNullBlockNeverMatches) {
+  ColumnStats stats;  // min/max stay NULL
+  EXPECT_FALSE(StatsMayMatch(CompareOp::kGt, stats, Value::Int64(0)));
+}
+
+}  // namespace
+}  // namespace feisu

@@ -1,0 +1,417 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/evaluator.h"
+#include "expr/normalize.h"
+#include "index/btree.h"
+#include "index/btree_index.h"
+#include "index/index_cache.h"
+#include "index/index_resolver.h"
+#include "index/smart_index.h"
+#include "sql/parser.h"
+
+namespace feisu {
+namespace {
+
+ExprPtr ParsePredicate(const std::string& condition) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE " + condition);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  return CanonicalizeAtoms(PushDownNot(stmt->where));
+}
+
+BitVector MakeBits(const std::string& pattern) {
+  BitVector bits(pattern.size(), false);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == '1') bits.Set(i, true);
+  }
+  return bits;
+}
+
+// ---------- SmartIndex ----------
+
+TEST(SmartIndexTest, RoundTripsBits) {
+  BitVector bits = MakeBits("0110100");
+  SmartIndex index({7, "(c2 > 0)"}, bits, 100);
+  EXPECT_EQ(index.num_rows(), 7u);
+  EXPECT_EQ(index.matched_rows(), 3u);
+  EXPECT_TRUE(index.Bits() == bits);
+  EXPECT_EQ(index.created_at(), 100);
+}
+
+TEST(SmartIndexTest, MemoryUsesCompressedSize) {
+  BitVector sparse(100000, false);
+  sparse.Set(5, true);
+  SmartIndex index({1, "(c2 > 0)"}, sparse, 0);
+  // 100k bits raw = 12.5 KB; compressed run form is tiny.
+  EXPECT_LT(index.MemoryBytes(), 300u);
+}
+
+TEST(SmartIndexTest, KeyHashDistinguishes) {
+  SmartIndexKeyHash hasher;
+  EXPECT_NE(hasher({1, "(a > 1)"}), hasher({2, "(a > 1)"}));
+  EXPECT_NE(hasher({1, "(a > 1)"}), hasher({1, "(a > 2)"}));
+  EXPECT_EQ(hasher({1, "(a > 1)"}), hasher({1, "(a > 1)"}));
+}
+
+// ---------- IndexCache ----------
+
+IndexCacheConfig SmallCache(uint64_t bytes = 10 * 1024,
+                            SimTime ttl = 72 * kSimHour) {
+  IndexCacheConfig config;
+  config.capacity_bytes = bytes;
+  config.ttl = ttl;
+  return config;
+}
+
+TEST(IndexCacheTest, InsertLookup) {
+  IndexCache cache(SmallCache());
+  cache.Insert({1, "(a > 1)"}, MakeBits("101"), 0);
+  const SmartIndex* hit = cache.Lookup({1, "(a > 1)"}, 10);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->matched_rows(), 2u);
+  EXPECT_EQ(cache.Lookup({1, "(a > 2)"}, 10), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(IndexCacheTest, TtlExpiry) {
+  IndexCache cache(SmallCache(10 * 1024, 10 * kSimHour));
+  cache.Insert({1, "(a > 1)"}, MakeBits("1"), 0);
+  EXPECT_NE(cache.Lookup({1, "(a > 1)"}, 9 * kSimHour), nullptr);
+  EXPECT_EQ(cache.Lookup({1, "(a > 1)"}, 11 * kSimHour), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().ttl_evictions, 1u);
+}
+
+TEST(IndexCacheTest, DefaultTtlIs72Hours) {
+  IndexCache cache;
+  EXPECT_EQ(cache.config().ttl, 72 * kSimHour);
+  EXPECT_EQ(cache.config().capacity_bytes, 512ULL * 1024 * 1024);
+}
+
+TEST(IndexCacheTest, LruEvictionUnderPressure) {
+  // Each dense-random index of 4096 bits costs ~528+ bytes compressed.
+  Rng rng(3);
+  auto random_bits = [&rng]() {
+    BitVector bits(4096, false);
+    for (size_t i = 0; i < bits.size(); ++i) bits.Set(i, rng.NextBool(0.5));
+    return bits;
+  };
+  IndexCache cache(SmallCache(1400));
+  cache.Insert({1, "(a > 1)"}, random_bits(), 0);
+  cache.Insert({2, "(a > 1)"}, random_bits(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch entry 1 so entry 2 is LRU.
+  EXPECT_NE(cache.Lookup({1, "(a > 1)"}, 2), nullptr);
+  cache.Insert({3, "(a > 1)"}, random_bits(), 3);
+  EXPECT_NE(cache.Peek({1, "(a > 1)"}, 3), nullptr);
+  EXPECT_EQ(cache.Peek({2, "(a > 1)"}, 3), nullptr);  // evicted
+  EXPECT_GT(cache.stats().lru_evictions, 0u);
+}
+
+TEST(IndexCacheTest, OversizedEntryNotCached) {
+  IndexCache cache(SmallCache(100));
+  Rng rng(5);
+  BitVector big(100000, false);
+  for (size_t i = 0; i < big.size(); ++i) big.Set(i, rng.NextBool(0.5));
+  cache.Insert({1, "(a > 1)"}, big, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(IndexCacheTest, PreferredSurvivesTtlWhileMemoryFree) {
+  IndexCache cache(SmallCache(10 * 1024, kSimHour));
+  cache.SetPreference("(a > 1)", true);
+  cache.Insert({1, "(a > 1)"}, MakeBits("1"), 0);
+  cache.Insert({1, "(b > 1)"}, MakeBits("1"), 0);
+  // Past TTL: preferred entry survives, unpreferred does not.
+  EXPECT_NE(cache.Lookup({1, "(a > 1)"}, 2 * kSimHour), nullptr);
+  EXPECT_EQ(cache.Lookup({1, "(b > 1)"}, 2 * kSimHour), nullptr);
+}
+
+TEST(IndexCacheTest, PreferredEvictedLast) {
+  Rng rng(7);
+  auto random_bits = [&rng]() {
+    BitVector bits(4096, false);
+    for (size_t i = 0; i < bits.size(); ++i) bits.Set(i, rng.NextBool(0.5));
+    return bits;
+  };
+  IndexCache cache(SmallCache(1400));
+  cache.SetPreference("(a > 1)", true);
+  cache.Insert({1, "(a > 1)"}, random_bits(), 0);   // preferred
+  cache.Insert({2, "(b > 1)"}, random_bits(), 1);   // not preferred
+  cache.Insert({3, "(c > 1)"}, random_bits(), 2);   // forces eviction
+  EXPECT_NE(cache.Peek({1, "(a > 1)"}, 3), nullptr);
+  EXPECT_EQ(cache.Peek({2, "(b > 1)"}, 3), nullptr);
+}
+
+TEST(IndexCacheTest, EvictExpiredSweep) {
+  IndexCache cache(SmallCache(10 * 1024, kSimHour));
+  cache.Insert({1, "(a > 1)"}, MakeBits("1"), 0);
+  cache.Insert({2, "(a > 1)"}, MakeBits("1"), kSimHour);
+  cache.EvictExpired(kSimHour + kSimMinute);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(IndexCacheTest, ClearResets) {
+  IndexCache cache(SmallCache());
+  cache.Insert({1, "(a > 1)"}, MakeBits("1"), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.memory_bytes(), 0u);
+}
+
+TEST(IndexCacheTest, ReplaceUpdatesMemoryAccounting) {
+  IndexCache cache(SmallCache());
+  cache.Insert({1, "(a > 1)"}, MakeBits("1111"), 0);
+  uint64_t before = cache.memory_bytes();
+  cache.Insert({1, "(a > 1)"}, MakeBits("1111"), 5);
+  EXPECT_EQ(cache.memory_bytes(), before);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------- IndexResolver (Fig. 7 bitmap algebra) ----------
+
+TEST(ResolverTest, DirectHit) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  ExprPtr p = ParsePredicate("c2 > 0");
+  cache.Insert({1, PredicateKey(p)}, MakeBits("0110"), 0);
+  auto bits = resolver.Resolve(1, p, 10);
+  ASSERT_TRUE(bits.has_value());
+  EXPECT_EQ(bits->ToString(), "0110");
+  EXPECT_EQ(resolver.stats().direct_hits, 1u);
+}
+
+TEST(ResolverTest, NegationResolvesViaMaterializedDual) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  // Evaluating `c2 > 5` materializes two entries: its TRUE bitmap and the
+  // negation's bitmap under the `c2 <= 5` key (the FALSE set, which may be
+  // smaller than NOT(TRUE) when NULLs exist). A later `c2 <= 5` lookup is
+  // a direct hit on the dual entry.
+  cache.Insert({1, PredicateKey(ParsePredicate("c2 > 5"))},
+               MakeBits("0011"), 0);
+  cache.Insert({1, PredicateKey(ParsePredicate("c2 <= 5"))},
+               MakeBits("1000"), 0);  // row 1 has NULL c2
+  auto bits = resolver.Resolve(1, ParsePredicate("c2 <= 5"), 10);
+  ASSERT_TRUE(bits.has_value());
+  EXPECT_EQ(bits->ToString(), "1000");
+  EXPECT_EQ(resolver.stats().direct_hits, 1u);
+}
+
+TEST(ResolverTest, NoUnsafeBitNotComposition) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  // Only the positive atom is cached; its negation must MISS (bit-NOT of
+  // the TRUE set would wrongly select NULL rows).
+  cache.Insert({1, PredicateKey(ParsePredicate("c2 > 5"))},
+               MakeBits("0011"), 0);
+  EXPECT_FALSE(resolver.Resolve(1, ParsePredicate("c2 <= 5"), 10)
+                   .has_value());
+}
+
+TEST(ResolverTest, OrComposition) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  cache.Insert({1, PredicateKey(ParsePredicate("a = 1"))},
+               MakeBits("1000"), 0);
+  cache.Insert({1, PredicateKey(ParsePredicate("b = 2"))},
+               MakeBits("0100"), 0);
+  auto bits = resolver.Resolve(1, ParsePredicate("a = 1 OR b = 2"), 10);
+  ASSERT_TRUE(bits.has_value());
+  EXPECT_EQ(bits->ToString(), "1100");
+}
+
+TEST(ResolverTest, NotContainsResolvesByDirectKeyOnly) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  cache.Insert({1, PredicateKey(ParsePredicate("s CONTAINS 'x'"))},
+               MakeBits("1010"), 0);
+  // Without the materialized dual entry, NOT(CONTAINS) misses.
+  EXPECT_FALSE(resolver.Resolve(1, ParsePredicate("NOT (s CONTAINS 'x')"),
+                                10)
+                   .has_value());
+  // With it, the lookup is a direct hit.
+  cache.Insert({1, PredicateKey(ParsePredicate("NOT (s CONTAINS 'x')"))},
+               MakeBits("0101"), 0);
+  auto bits =
+      resolver.Resolve(1, ParsePredicate("NOT (s CONTAINS 'x')"), 10);
+  ASSERT_TRUE(bits.has_value());
+  EXPECT_EQ(bits->ToString(), "0101");
+}
+
+TEST(ResolverTest, MissWhenNothingCached) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  auto bits = resolver.Resolve(1, ParsePredicate("a = 1"), 10);
+  EXPECT_FALSE(bits.has_value());
+  EXPECT_EQ(resolver.stats().misses, 1u);
+}
+
+TEST(ResolverTest, PartialOrCompositionMisses) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  cache.Insert({1, PredicateKey(ParsePredicate("a = 1"))},
+               MakeBits("1000"), 0);
+  // Other disjunct missing: cannot compose.
+  auto bits = resolver.Resolve(1, ParsePredicate("a = 1 OR b = 2"), 10);
+  EXPECT_FALSE(bits.has_value());
+}
+
+TEST(ResolverTest, WrongBlockMisses) {
+  IndexCache cache;
+  IndexResolver resolver(&cache);
+  ExprPtr p = ParsePredicate("a = 1");
+  cache.Insert({1, PredicateKey(p)}, MakeBits("1"), 0);
+  EXPECT_FALSE(resolver.Resolve(2, p, 10).has_value());
+}
+
+// ---------- BPlusTree ----------
+
+TEST(BPlusTreeTest, InsertAndScanAll) {
+  BPlusTree<double> tree;
+  for (int i = 0; i < 1000; ++i) tree.Insert(i, static_cast<uint32_t>(i));
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.height(), 1u);
+  size_t count = 0;
+  double last = -1;
+  tree.ScanRange(std::nullopt, true, std::nullopt, true,
+                 [&](uint32_t row) {
+                   EXPECT_GE(static_cast<double>(row), last);
+                   last = static_cast<double>(row);
+                   ++count;
+                 });
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST(BPlusTreeTest, RangeBounds) {
+  BPlusTree<double> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, static_cast<uint32_t>(i));
+  std::vector<uint32_t> rows;
+  tree.ScanRange(10.0, true, 20.0, false,
+                 [&](uint32_t row) { rows.push_back(row); });
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front(), 10u);
+  EXPECT_EQ(rows.back(), 19u);
+}
+
+TEST(BPlusTreeTest, DuplicateKeys) {
+  BPlusTree<double> tree;
+  for (int rep = 0; rep < 200; ++rep) {
+    tree.Insert(5.0, static_cast<uint32_t>(rep));
+    tree.Insert(7.0, static_cast<uint32_t>(1000 + rep));
+  }
+  size_t fives = 0;
+  tree.ScanEqual(5.0, [&](uint32_t) { ++fives; });
+  EXPECT_EQ(fives, 200u);
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string> tree;
+  tree.Insert("banana", 1);
+  tree.Insert("apple", 0);
+  tree.Insert("cherry", 2);
+  std::vector<uint32_t> rows;
+  tree.ScanRange(std::string("apple"), true, std::string("banana"), true,
+                 [&](uint32_t row) { rows.push_back(row); });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 1u);
+}
+
+// Property: random inserts, range scan equals brute force.
+class BPlusTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  BPlusTree<double> tree;
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) {
+    double v = static_cast<double>(rng.NextInt64(0, 200));
+    values.push_back(v);
+    tree.Insert(v, static_cast<uint32_t>(i));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    double lo = static_cast<double>(rng.NextInt64(0, 200));
+    double hi = lo + static_cast<double>(rng.NextInt64(0, 50));
+    size_t expected = 0;
+    for (double v : values) {
+      if (v >= lo && v <= hi) ++expected;
+    }
+    size_t actual = 0;
+    tree.ScanRange(lo, true, hi, true, [&](uint32_t) { ++actual; });
+    EXPECT_EQ(actual, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeProperty,
+                         ::testing::Values(1, 2, 3, 42, 99));
+
+// ---------- ColumnBTreeIndex ----------
+
+ColumnVector MakeIndexedColumn() {
+  ColumnVector col(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) {
+    if (i % 10 == 9) {
+      col.AppendNull();
+    } else {
+      col.AppendInt64(i % 7);
+    }
+  }
+  return col;
+}
+
+TEST(ColumnBTreeIndexTest, MatchesScanForAllOps) {
+  ColumnVector col = MakeIndexedColumn();
+  ColumnBTreeIndex index = ColumnBTreeIndex::Build(col);
+  Schema schema({{"v", DataType::kInt64, true}});
+  std::vector<ColumnVector> cols{col};
+  RecordBatch batch(schema, cols);
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    for (int64_t lit : {0, 3, 6, 10}) {
+      auto via_index = index.Query(op, Value::Int64(lit));
+      ASSERT_TRUE(via_index.has_value());
+      ExprPtr pred = Expr::Compare(op, Expr::ColumnRef("v"),
+                                   Expr::Literal(Value::Int64(lit)));
+      auto via_scan = EvaluatePredicate(*pred, batch);
+      ASSERT_TRUE(via_scan.ok());
+      EXPECT_TRUE(*via_index == *via_scan)
+          << CompareOpName(op) << " " << lit;
+    }
+  }
+}
+
+TEST(ColumnBTreeIndexTest, ContainsUnsupported) {
+  ColumnVector col(DataType::kString);
+  col.AppendString("ab");
+  ColumnBTreeIndex index = ColumnBTreeIndex::Build(col);
+  EXPECT_FALSE(index.Query(CompareOp::kContains, Value::String("a"))
+                   .has_value());
+}
+
+TEST(ColumnBTreeIndexTest, StringIndex) {
+  ColumnVector col(DataType::kString);
+  col.AppendString("b");
+  col.AppendString("a");
+  col.AppendString("c");
+  ColumnBTreeIndex index = ColumnBTreeIndex::Build(col);
+  auto bits = index.Query(CompareOp::kLe, Value::String("b"));
+  ASSERT_TRUE(bits.has_value());
+  EXPECT_EQ(bits->ToString(), "110");
+}
+
+TEST(BTreeIndexManagerTest, BuildOnceFindAfter) {
+  BTreeIndexManager manager;
+  ColumnVector col = MakeIndexedColumn();
+  EXPECT_EQ(manager.Find(1, "v"), nullptr);
+  const ColumnBTreeIndex* built = manager.BuildAndStore(1, "v", col);
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(manager.Find(1, "v"), built);
+  EXPECT_EQ(manager.builds(), 1u);
+  EXPECT_GT(manager.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace feisu

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "ingest/log_monitor.h"
+#include "storage/storage_factory.h"
+
+namespace feisu {
+namespace {
+
+Schema LogSchema() {
+  return Schema({{"ts", DataType::kInt64, true},
+                 {"latency", DataType::kDouble, true},
+                 {"ok", DataType::kBool, true},
+                 {"url", DataType::kString, true}});
+}
+
+// ---------- ParseLogLine ----------
+
+TEST(ParseLogLineTest, TsvHappyPath) {
+  auto row = ParseLogLine("17\t2.5\t1\thttp://x", LogSchema());
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_EQ((*row)[0].int64_value(), 17);
+  EXPECT_DOUBLE_EQ((*row)[1].double_value(), 2.5);
+  EXPECT_TRUE((*row)[2].bool_value());
+  EXPECT_EQ((*row)[3].string_value(), "http://x");
+}
+
+TEST(ParseLogLineTest, TsvNullMarker) {
+  auto row = ParseLogLine("17\t\\N\t0\t\\N", LogSchema());
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[1].is_null());
+  EXPECT_TRUE((*row)[3].is_null());
+}
+
+TEST(ParseLogLineTest, TsvArityMismatch) {
+  EXPECT_FALSE(ParseLogLine("17\t2.5", LogSchema()).ok());
+  EXPECT_FALSE(ParseLogLine("17\t2.5\t1\tu\textra", LogSchema()).ok());
+}
+
+TEST(ParseLogLineTest, TsvBadTypes) {
+  EXPECT_FALSE(ParseLogLine("oops\t2.5\t1\tu", LogSchema()).ok());
+  EXPECT_FALSE(ParseLogLine("17\tnan?\t1\tu", LogSchema()).ok());
+  EXPECT_FALSE(ParseLogLine("17\t2.5\tmaybe\tu", LogSchema()).ok());
+}
+
+TEST(ParseLogLineTest, JsonHappyPath) {
+  auto row = ParseLogLine(
+      R"({"ts": 9, "latency": 1.25, "ok": false, "url": "u"})", LogSchema());
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_EQ((*row)[0].int64_value(), 9);
+  EXPECT_FALSE((*row)[2].bool_value());
+}
+
+TEST(ParseLogLineTest, JsonMissingFieldsBecomeNull) {
+  auto row = ParseLogLine(R"({"ts": 9})", LogSchema());
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[1].is_null());
+  EXPECT_TRUE((*row)[3].is_null());
+}
+
+TEST(ParseLogLineTest, JsonIntWidensToDouble) {
+  auto row = ParseLogLine(R"({"latency": 3})", LogSchema());
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ((*row)[1].double_value(), 3.0);
+}
+
+TEST(ParseLogLineTest, JsonUnknownAttributeRejected) {
+  EXPECT_FALSE(ParseLogLine(R"({"nope": 1})", LogSchema()).ok());
+}
+
+// ---------- LogMonitor ----------
+
+struct MonitorFixture {
+  PathRouter router;
+  StorageSystem* local = nullptr;
+  Catalog catalog;
+
+  MonitorFixture() {
+    local = router.Register("", MakeLocalFs(), true);
+    EXPECT_TRUE(
+        catalog.RegisterTable(TableMeta("svc_log", LogSchema())).ok());
+  }
+};
+
+TEST(LogMonitorTest, CutsBlocksAtThreshold) {
+  MonitorFixture fx;
+  LogMonitorConfig config;
+  config.rows_per_block = 10;
+  LogMonitor monitor(3, fx.local, &fx.catalog, "svc_log", "/log/svc",
+                     config);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(monitor
+                    .OnLogLine(std::to_string(i) + "\t1.0\t1\tu" +
+                                   std::to_string(i),
+                               i * kSimSecond)
+                    .ok());
+  }
+  EXPECT_EQ(monitor.stats().blocks_written, 2u);
+  EXPECT_EQ(monitor.buffered_rows(), 5u);
+  const TableMeta* meta = fx.catalog.Find("svc_log");
+  ASSERT_EQ(meta->blocks().size(), 2u);
+  EXPECT_EQ(meta->TotalRows(), 20u);
+  // Blocks are pinned to the generating node.
+  EXPECT_EQ(fx.local->ReplicaNodes(meta->blocks()[0].path),
+            std::vector<uint32_t>{3});
+  // Zone-map stats were populated.
+  EXPECT_FALSE(meta->blocks()[0].stats.empty());
+}
+
+TEST(LogMonitorTest, AgeBasedFlushKeepsDataFresh) {
+  MonitorFixture fx;
+  LogMonitorConfig config;
+  config.rows_per_block = 1000;
+  config.max_buffer_age = kSimMinute;
+  LogMonitor monitor(0, fx.local, &fx.catalog, "svc_log", "/log/svc",
+                     config);
+  ASSERT_TRUE(monitor.OnLogLine("1\t1.0\t1\tu", 0).ok());
+  ASSERT_TRUE(monitor.Tick(30 * kSimSecond).ok());
+  EXPECT_EQ(monitor.stats().blocks_written, 0u);  // too young
+  ASSERT_TRUE(monitor.Tick(61 * kSimSecond).ok());
+  EXPECT_EQ(monitor.stats().blocks_written, 1u);
+  EXPECT_EQ(monitor.buffered_rows(), 0u);
+}
+
+TEST(LogMonitorTest, ToleratesDirtyLines) {
+  MonitorFixture fx;
+  LogMonitor monitor(0, fx.local, &fx.catalog, "svc_log", "/log/svc");
+  ASSERT_TRUE(monitor.OnLogLine("garbage line!!!", 0).ok());
+  ASSERT_TRUE(monitor.OnLogLine("1\t1.0\t1\tu", 0).ok());
+  EXPECT_EQ(monitor.stats().lines_seen, 2u);
+  EXPECT_EQ(monitor.stats().lines_rejected, 1u);
+  EXPECT_EQ(monitor.stats().rows_ingested, 1u);
+}
+
+TEST(LogMonitorTest, MixedJsonAndTsv) {
+  MonitorFixture fx;
+  LogMonitor monitor(0, fx.local, &fx.catalog, "svc_log", "/log/svc");
+  ASSERT_TRUE(monitor.OnLogLine("1\t1.0\t1\tu", 0).ok());
+  ASSERT_TRUE(
+      monitor.OnLogLine(R"({"ts": 2, "url": "v"})", 0).ok());
+  ASSERT_TRUE(monitor.Flush(0).ok());
+  EXPECT_EQ(fx.catalog.Find("svc_log")->TotalRows(), 2u);
+}
+
+TEST(LogMonitorTest, UnknownTableErrors) {
+  MonitorFixture fx;
+  LogMonitor monitor(0, fx.local, &fx.catalog, "nope", "/log/x");
+  EXPECT_TRUE(monitor.OnLogLine("1\t1.0\t1\tu", 0).IsNotFound());
+}
+
+// End to end: monitor-ingested log blocks are queryable through the
+// engine, and the monitor's node holds them locally.
+TEST(LogMonitorTest, IngestedBlocksAreQueryable) {
+  EngineConfig config;
+  config.num_leaf_nodes = 4;
+  FeisuEngine engine(config);
+  StorageSystem* local = engine.AddStorage("", MakeLocalFs(), true);
+  engine.GrantAllDomains("ops");
+  ASSERT_TRUE(engine.CreateTable("svc_log", LogSchema(), "/log/svc").ok());
+
+  LogMonitorConfig monitor_config;
+  monitor_config.rows_per_block = 50;
+  LogMonitor monitor(1, local, &engine.catalog(), "svc_log", "/log/svc",
+                     monitor_config);
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(monitor
+                    .OnLogLine(std::to_string(i) + "\t" +
+                                   std::to_string(i * 0.5) + "\t" +
+                                   (i % 2 == 0 ? "1" : "0") + "\turl" +
+                                   std::to_string(i % 7),
+                               i)
+                    .ok());
+  }
+  ASSERT_TRUE(monitor.Flush(120).ok());
+
+  auto result = engine.Query(
+      "ops", "SELECT COUNT(*), MAX(ts) FROM svc_log WHERE latency >= 30");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->batch.column(0).GetInt64(0), 60);  // ts 60..119
+  EXPECT_EQ(result->batch.column(1).GetInt64(0), 119);
+}
+
+// Compaction merges the small freshness-flush blocks into full ones
+// without changing query results.
+TEST(CompactionTest, MergesSmallBlocks) {
+  EngineConfig config;
+  config.num_leaf_nodes = 4;
+  config.rows_per_block = 100;
+  FeisuEngine engine(config);
+  StorageSystem* local = engine.AddStorage("", MakeLocalFs(), true);
+  engine.GrantAllDomains("ops");
+  ASSERT_TRUE(engine.CreateTable("svc_log", LogSchema(), "/log/svc").ok());
+
+  // Age-based flushes every ~7 rows -> lots of tiny blocks.
+  LogMonitorConfig monitor_config;
+  monitor_config.rows_per_block = 7;
+  LogMonitor monitor(2, local, &engine.catalog(), "svc_log", "/log/svc",
+                     monitor_config);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(monitor
+                    .OnLogLine(std::to_string(i) + "\t1.0\t1\tu", i)
+                    .ok());
+  }
+  ASSERT_TRUE(monitor.Flush(200).ok());
+  size_t before = engine.catalog().Find("svc_log")->blocks().size();
+  ASSERT_GT(before, 20u);
+
+  auto baseline =
+      engine.Query("ops", "SELECT COUNT(*), SUM(ts) FROM svc_log");
+  ASSERT_TRUE(baseline.ok());
+
+  auto removed = engine.CompactTable("svc_log");
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, before);  // every block was under the 50-row threshold
+  const TableMeta* meta = engine.catalog().Find("svc_log");
+  EXPECT_LE(meta->blocks().size(), 3u);  // 200 rows / 100-row blocks
+  EXPECT_EQ(meta->TotalRows(), 200u);
+
+  auto after = engine.Query("ops", "SELECT COUNT(*), SUM(ts) FROM svc_log");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->batch.column(0).GetInt64(0),
+            baseline->batch.column(0).GetInt64(0));
+  EXPECT_EQ(after->batch.column(1).GetInt64(0),
+            baseline->batch.column(1).GetInt64(0));
+  // Fewer blocks -> fewer tasks.
+  EXPECT_LT(after->stats.total_tasks, baseline->stats.total_tasks);
+}
+
+TEST(CompactionTest, NoOpWhenBlocksAreFull) {
+  EngineConfig config;
+  config.num_leaf_nodes = 2;
+  config.rows_per_block = 10;
+  FeisuEngine engine(config);
+  engine.AddStorage("", MakeLocalFs(), true);
+  engine.GrantAllDomains("ops");
+  ASSERT_TRUE(engine.CreateTable("t", LogSchema(), "/t").ok());
+  RecordBatch batch(LogSchema());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(batch
+                    .AppendRow({Value::Int64(i), Value::Double(1),
+                                Value::Bool(true), Value::String("u")})
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Ingest("t", batch).ok());
+  ASSERT_TRUE(engine.Flush("t").ok());
+  auto removed = engine.CompactTable("t");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0u);
+  EXPECT_TRUE(engine.CompactTable("nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace feisu

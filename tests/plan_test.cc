@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "plan/catalog.h"
+#include "plan/logical_plan.h"
+#include "plan/optimizer.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace feisu {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  Schema t1({{"a", DataType::kInt64, true},
+             {"b", DataType::kInt64, true},
+             {"c", DataType::kString, true},
+             {"d", DataType::kDouble, true}});
+  Schema t2({{"k", DataType::kInt64, true},
+             {"v", DataType::kString, true}});
+  TableMeta meta1("t1", t1);
+  TableBlockMeta block;
+  block.num_rows = 1000;
+  meta1.AddBlock(block);
+  EXPECT_TRUE(catalog.RegisterTable(meta1).ok());
+  TableMeta meta2("t2", t2);
+  TableBlockMeta small;
+  small.num_rows = 10;
+  meta2.AddBlock(small);
+  EXPECT_TRUE(catalog.RegisterTable(meta2).ok());
+  return catalog;
+}
+
+Result<PlanPtr> Plan(const std::string& sql, const Catalog& catalog) {
+  FEISU_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  return PlanQuery(stmt, catalog);
+}
+
+PlanPtr PlanOrDie(const std::string& sql, const Catalog& catalog) {
+  auto plan = Plan(sql, catalog);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+// ---------- Catalog ----------
+
+TEST(CatalogTest, RegisterFindDrop) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_NE(catalog.Find("t1"), nullptr);
+  EXPECT_EQ(catalog.Find("zzz"), nullptr);
+  EXPECT_TRUE(catalog.Get("zzz").status().IsNotFound());
+  EXPECT_TRUE(catalog.DropTable("t1").ok());
+  EXPECT_TRUE(catalog.DropTable("t1").IsNotFound());
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(catalog
+                  .RegisterTable(TableMeta("t1", Schema(std::vector<Field>{})))
+                  .IsAlreadyExists());
+}
+
+// ---------- Planner ----------
+
+TEST(PlannerTest, SimpleSelectShape) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie("SELECT a FROM t1 WHERE b > 1", catalog);
+  // Project <- Filter <- Scan.
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+  ASSERT_EQ(plan->children[0]->children[0]->kind, PlanKind::kScan);
+}
+
+TEST(PlannerTest, AggregateShape) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie(
+      "SELECT a, COUNT(*) FROM t1 GROUP BY a HAVING COUNT(*) > 2", catalog);
+  // Project <- Filter(HAVING) <- Aggregate <- Scan.
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+  const PlanPtr& agg = plan->children[0]->children[0];
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg->group_by.size(), 1u);
+  // COUNT(*) appears once even though used in SELECT and HAVING.
+  EXPECT_EQ(agg->aggregates.size(), 1u);
+}
+
+TEST(PlannerTest, AggregateInArithmetic) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie("SELECT SUM(a) / COUNT(*) FROM t1", catalog);
+  const PlanPtr& agg = plan->children[0];
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg->aggregates.size(), 2u);
+  // The projection references the extracted aggregates.
+  EXPECT_EQ(plan->projections[0].expr->kind(), ExprKind::kArithmetic);
+}
+
+TEST(PlannerTest, SelectStarExpands) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie("SELECT * FROM t1", catalog);
+  EXPECT_EQ(plan->projections.size(), 4u);
+}
+
+TEST(PlannerTest, SortAndLimitShape) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan =
+      PlanOrDie("SELECT a FROM t1 ORDER BY a DESC LIMIT 3", catalog);
+  ASSERT_EQ(plan->kind, PlanKind::kLimit);
+  EXPECT_EQ(plan->limit, 3);
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kSort);
+}
+
+TEST(PlannerTest, JoinShape) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan =
+      PlanOrDie("SELECT a FROM t1 JOIN t2 ON t1.a = t2.k", catalog);
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kJoin);
+}
+
+TEST(PlannerTest, UnknownTableFails) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Plan("SELECT a FROM nope", catalog).status().IsNotFound());
+}
+
+TEST(PlannerTest, UnknownColumnFails) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Plan("SELECT zzz FROM t1", catalog).status().IsNotFound());
+  EXPECT_TRUE(
+      Plan("SELECT a FROM t1 WHERE zzz > 1", catalog).status().IsNotFound());
+}
+
+TEST(PlannerTest, AmbiguousColumnFails) {
+  Catalog catalog;
+  Schema s({{"x", DataType::kInt64, true}});
+  ASSERT_TRUE(catalog.RegisterTable(TableMeta("p", s)).ok());
+  ASSERT_TRUE(catalog.RegisterTable(TableMeta("q", s)).ok());
+  EXPECT_TRUE(Plan("SELECT x FROM p, q", catalog)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PlannerTest, QualifiedColumnDisambiguates) {
+  Catalog catalog;
+  Schema s({{"x", DataType::kInt64, true}});
+  ASSERT_TRUE(catalog.RegisterTable(TableMeta("p", s)).ok());
+  ASSERT_TRUE(catalog.RegisterTable(TableMeta("q", s)).ok());
+  EXPECT_TRUE(Plan("SELECT p.x FROM p, q", catalog).ok());
+}
+
+TEST(PlannerTest, AggregateInWhereFails) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Plan("SELECT a FROM t1 WHERE COUNT(*) > 1", catalog)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PlannerTest, HavingWithoutAggregateFails) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Plan("SELECT a FROM t1 HAVING a > 1", catalog)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PlannerTest, NonGroupedColumnFails) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Plan("SELECT a, b, COUNT(*) FROM t1 GROUP BY a", catalog)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PlannerTest, DuplicateAliasFails) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_TRUE(Plan("SELECT a FROM t1 AS x, t2 AS x", catalog)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------- Optimizer ----------
+
+TEST(OptimizerTest, ConstantFolding) {
+  ExprPtr e = FoldConstantExpr(
+      Expr::Arith(ArithOp::kAdd, Expr::Literal(Value::Int64(1)),
+                  Expr::Literal(Value::Int64(2))));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(e->value().int64_value(), 3);
+}
+
+TEST(OptimizerTest, FoldingPreservesColumns) {
+  auto stmt = ParseSql("SELECT a FROM t1 WHERE a > 1 + 2");
+  ASSERT_TRUE(stmt.ok());
+  ExprPtr folded = FoldConstantExpr(stmt->where);
+  EXPECT_EQ(folded->ToString(), "(a > 3)");
+}
+
+TEST(OptimizerTest, FoldDivisionByZeroToNull) {
+  ExprPtr e = FoldConstantExpr(
+      Expr::Arith(ArithOp::kDiv, Expr::Literal(Value::Int64(1)),
+                  Expr::Literal(Value::Int64(0))));
+  ASSERT_EQ(e->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(e->value().is_null());
+}
+
+TEST(OptimizerTest, PushDownSingleTablePredicate) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie("SELECT a FROM t1 WHERE b > 1 AND a < 5",
+                           catalog);
+  plan = PushDownPredicates(std::move(plan));
+  // Filter disappears; predicate lands on the scan.
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  const PlanPtr& scan = plan->children[0];
+  ASSERT_EQ(scan->kind, PlanKind::kScan);
+  ASSERT_NE(scan->scan_predicate, nullptr);
+  EXPECT_NE(scan->scan_predicate->ToString().find("b > 1"),
+            std::string::npos);
+}
+
+TEST(OptimizerTest, PushDownSplitsAcrossJoin) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie(
+      "SELECT a FROM t1 JOIN t2 ON t1.a = t2.k "
+      "WHERE t1.b > 1 AND t2.v = 'x'",
+      catalog);
+  plan = PushDownPredicates(std::move(plan));
+  // Both conjuncts are fully qualified single-side: filter disappears.
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kJoin);
+  const PlanPtr& join = plan->children[0];
+  const PlanPtr& left = join->children[0];
+  const PlanPtr& right = join->children[1];
+  EXPECT_NE(left->scan_predicate, nullptr);
+  EXPECT_NE(right->scan_predicate, nullptr);
+}
+
+TEST(OptimizerTest, ResidualPredicateStays) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie(
+      "SELECT a FROM t1 JOIN t2 ON t1.a = t2.k WHERE t1.b > t2.k",
+      catalog);
+  plan = PushDownPredicates(std::move(plan));
+  // Cross-table conjunct cannot be pushed.
+  ASSERT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+}
+
+TEST(OptimizerTest, ColumnPruning) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie("SELECT a FROM t1 WHERE b > 1", catalog);
+  plan = OptimizePlan(std::move(plan), catalog);
+  std::vector<PlanNode*> scans;
+  std::vector<PlanPtr> stack = {plan};
+  PlanNode* scan = nullptr;
+  while (!stack.empty()) {
+    PlanPtr n = stack.back();
+    stack.pop_back();
+    if (n->kind == PlanKind::kScan) scan = n.get();
+    for (const auto& c : n->children) stack.push_back(c);
+  }
+  ASSERT_NE(scan, nullptr);
+  // Only a and b are needed, not c or d.
+  EXPECT_EQ(scan->columns.size(), 2u);
+}
+
+TEST(OptimizerTest, CountStarPrunesAllColumns) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie("SELECT COUNT(*) FROM t1", catalog);
+  plan = OptimizePlan(std::move(plan), catalog);
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanKind::kScan) node = node->children[0].get();
+  EXPECT_TRUE(node->columns.empty());
+}
+
+TEST(OptimizerTest, JoinReorderPutsSmallTableOnBuildSide) {
+  Catalog catalog = MakeCatalog();
+  // t1 has 1000 rows, t2 has 10. After reorder the smaller input (t2)
+  // should be the right (build) child.
+  PlanPtr plan = PlanOrDie("SELECT a FROM t2, t1", catalog);
+  plan = ReorderJoins(std::move(plan), catalog);
+  const PlanPtr& join = plan->children[0];
+  ASSERT_EQ(join->kind, PlanKind::kJoin);
+  EXPECT_EQ(join->children[1]->table, "t2");
+  EXPECT_EQ(join->children[0]->table, "t1");
+}
+
+TEST(OptimizerTest, OuterJoinNotReordered) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie(
+      "SELECT a FROM t2 LEFT JOIN t1 ON t2.k = t1.a", catalog);
+  plan = ReorderJoins(std::move(plan), catalog);
+  const PlanPtr& join = plan->children[0];
+  EXPECT_EQ(join->children[0]->table, "t2");
+}
+
+TEST(OptimizerTest, LimitPushdownAnnotatesScan) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie("SELECT a FROM t1 WHERE b > 1 LIMIT 7", catalog);
+  plan = OptimizePlan(std::move(plan), catalog);
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanKind::kScan) node = node->children[0].get();
+  EXPECT_EQ(node->limit_hint, 7);
+}
+
+TEST(OptimizerTest, OrderedLimitPushesTopKHint) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan =
+      PlanOrDie("SELECT a FROM t1 ORDER BY a DESC LIMIT 7", catalog);
+  plan = OptimizePlan(std::move(plan), catalog);
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanKind::kScan) node = node->children[0].get();
+  EXPECT_EQ(node->limit_hint, 7);
+  ASSERT_EQ(node->order_hint.size(), 1u);
+  EXPECT_TRUE(node->order_hint[0].descending);
+}
+
+TEST(OptimizerTest, OrderedLimitNotPushedForComputedKeys) {
+  Catalog catalog = MakeCatalog();
+  // The sort key is an alias of a computed projection; it does not exist
+  // at the scan, so the leaf cannot compute the local top-k.
+  PlanPtr plan = PlanOrDie(
+      "SELECT a + b AS s FROM t1 ORDER BY s LIMIT 7", catalog);
+  plan = OptimizePlan(std::move(plan), catalog);
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanKind::kScan) node = node->children[0].get();
+  EXPECT_EQ(node->limit_hint, -1);
+  EXPECT_TRUE(node->order_hint.empty());
+}
+
+TEST(OptimizerTest, LimitNotPushedThroughAggregate) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie(
+      "SELECT a, COUNT(*) FROM t1 GROUP BY a LIMIT 7", catalog);
+  plan = OptimizePlan(std::move(plan), catalog);
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanKind::kScan) node = node->children[0].get();
+  EXPECT_EQ(node->limit_hint, -1);
+}
+
+TEST(OptimizerTest, FullPipelineProducesRenderablePlan) {
+  Catalog catalog = MakeCatalog();
+  PlanPtr plan = PlanOrDie(
+      "SELECT a, COUNT(*) AS n FROM t1 WHERE b > 1 + 1 GROUP BY a "
+      "ORDER BY n DESC LIMIT 10",
+      catalog);
+  plan = OptimizePlan(std::move(plan), catalog);
+  std::string rendered = plan->ToString();
+  EXPECT_NE(rendered.find("Scan t1"), std::string::npos);
+  EXPECT_NE(rendered.find("(b > 2)"), std::string::npos);  // folded
+  EXPECT_NE(rendered.find("Aggregate"), std::string::npos);
+}
+
+TEST(PlanNodeTest, ToStringShapes) {
+  PlanPtr scan = PlanNode::Scan("t", "t");
+  PlanPtr limit = PlanNode::Limit(5, scan);
+  std::string rendered = limit->ToString();
+  EXPECT_NE(rendered.find("Limit 5"), std::string::npos);
+  EXPECT_NE(rendered.find("  Scan t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace feisu

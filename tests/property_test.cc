@@ -1,0 +1,321 @@
+// Cross-cutting property and integration tests: randomized predicates and
+// workloads checking that every optimization layer (normalization,
+// SmartIndex, B-tree, zone maps, distributed aggregation) preserves exact
+// query semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "exec/aggregate.h"
+#include "expr/evaluator.h"
+#include "expr/normalize.h"
+#include "sql/parser.h"
+#include "storage/storage_factory.h"
+#include "workload/datagen.h"
+#include "workload/tracegen.h"
+
+namespace feisu {
+namespace {
+
+// ---------- Random predicate generation ----------
+
+ExprPtr RandomAtom(Rng* rng, const Schema& schema) {
+  size_t col = rng->NextUint64(schema.num_fields());
+  const Field& field = schema.field(col);
+  if (field.type == DataType::kString) {
+    CompareOp op = rng->NextBool(0.5) ? CompareOp::kContains : CompareOp::kEq;
+    std::string value = (rng->NextBool(0.5) ? "kw_" : "cat_") +
+                        std::to_string(rng->NextUint64(30));
+    return Expr::Compare(op, Expr::ColumnRef(field.name),
+                         Expr::Literal(Value::String(value)));
+  }
+  CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                     CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  CompareOp op = ops[rng->NextUint64(6)];
+  Value literal = field.type == DataType::kDouble
+                      ? Value::Double(static_cast<double>(
+                            rng->NextInt64(0, 1000)))
+                      : Value::Int64(rng->NextInt64(0, 100));
+  ExprPtr atom = Expr::Compare(op, Expr::ColumnRef(field.name),
+                               Expr::Literal(std::move(literal)));
+  // Sometimes mirror the literal to the left to exercise canonicalization.
+  if (rng->NextBool(0.2)) {
+    atom = Expr::Compare(MirrorCompareOp(op), atom->child(1), atom->child(0));
+  }
+  return atom;
+}
+
+ExprPtr RandomPredicate(Rng* rng, const Schema& schema, int depth) {
+  if (depth <= 0 || rng->NextBool(0.4)) return RandomAtom(rng, schema);
+  double which = rng->NextDouble();
+  if (which < 0.4) {
+    return Expr::And(RandomPredicate(rng, schema, depth - 1),
+                     RandomPredicate(rng, schema, depth - 1));
+  }
+  if (which < 0.8) {
+    return Expr::Or(RandomPredicate(rng, schema, depth - 1),
+                    RandomPredicate(rng, schema, depth - 1));
+  }
+  return Expr::Not(RandomPredicate(rng, schema, depth - 1));
+}
+
+// ---------- Normalization preserves semantics ----------
+
+class NormalizationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormalizationProperty, CnfEvaluatesIdentically) {
+  Rng rng(GetParam());
+  Schema schema = MakeLogSchema(12);
+  RecordBatch batch = GenerateRows(schema, 512, &rng);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprPtr predicate = RandomPredicate(&rng, schema, 3);
+    auto direct = EvaluatePredicate(*predicate, batch);
+    ASSERT_TRUE(direct.ok()) << predicate->ToString();
+
+    std::vector<ExprPtr> conjuncts = NormalizePredicate(predicate);
+    ASSERT_FALSE(conjuncts.empty());
+    BitVector combined(batch.num_rows(), true);
+    for (const auto& conjunct : conjuncts) {
+      auto bits = EvaluatePredicate(*conjunct, batch);
+      ASSERT_TRUE(bits.ok()) << conjunct->ToString();
+      combined.And(*bits);
+    }
+    EXPECT_TRUE(combined == *direct)
+        << "normalization changed semantics of " << predicate->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+// PushDownNot alone must also preserve semantics (it underlies the Fig. 7
+// index reuse).
+class NotPushdownProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NotPushdownProperty, EvaluatesIdentically) {
+  Rng rng(GetParam() * 31 + 7);
+  Schema schema = MakeLogSchema(12);
+  RecordBatch batch = GenerateRows(schema, 256, &rng);
+  for (int trial = 0; trial < 40; ++trial) {
+    ExprPtr predicate = RandomPredicate(&rng, schema, 4);
+    auto direct = EvaluatePredicate(*predicate, batch);
+    auto pushed = EvaluatePredicate(*PushDownNot(predicate), batch);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(pushed.ok());
+    EXPECT_TRUE(*direct == *pushed) << predicate->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NotPushdownProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------- Engine-level result equivalence across index modes ----------
+
+std::unique_ptr<FeisuEngine> BuildEngine(bool smart_index, bool btree,
+                                         const Schema& schema) {
+  EngineConfig config;
+  config.num_leaf_nodes = 4;
+  config.rows_per_block = 512;
+  config.leaf.enable_smart_index = smart_index;
+  config.leaf.enable_btree_index = btree;
+  config.master.enable_task_result_reuse = false;
+  auto engine = std::make_unique<FeisuEngine>(config);
+  engine->AddStorage("/hdfs", MakeHdfs(), true);
+  engine->GrantAllDomains("prop");
+  EXPECT_TRUE(engine->CreateTable("t1", schema, "/hdfs/t1").ok());
+  Rng rng(77);
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_TRUE(engine->Ingest("t1", GenerateRows(schema, 512, &rng)).ok());
+  }
+  EXPECT_TRUE(engine->Flush("t1").ok());
+  return engine;
+}
+
+std::string Canonicalize(const RecordBatch& batch) {
+  // Sort rendered rows: group ordering is implementation-defined.
+  std::vector<std::string> rows;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      row += batch.column(c).GetValue(r).ToString();
+      row += "|";
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& row : rows) out += row + "\n";
+  return out;
+}
+
+TEST(IndexEquivalenceProperty, SmartIndexAndBTreeMatchNoIndex) {
+  Schema schema = MakeLogSchema(12);
+  TraceConfig trace_config;
+  trace_config.table = "t1";
+  trace_config.num_queries = 120;
+  trace_config.predicate_reuse_prob = 0.7;  // force index reuse paths
+  trace_config.value_domain = 15;
+  trace_config.seed = 5;
+  std::vector<TraceQuery> trace = GenerateTrace(trace_config, schema);
+
+  auto none = BuildEngine(false, false, schema);
+  auto smart = BuildEngine(true, false, schema);
+  auto btree = BuildEngine(false, true, schema);
+  for (const auto& q : trace) {
+    auto r_none = none->Query("prop", q.sql);
+    auto r_smart = smart->Query("prop", q.sql);
+    auto r_btree = btree->Query("prop", q.sql);
+    ASSERT_TRUE(r_none.ok()) << q.sql;
+    ASSERT_TRUE(r_smart.ok()) << q.sql;
+    ASSERT_TRUE(r_btree.ok()) << q.sql;
+    std::string expected = Canonicalize(r_none->batch);
+    EXPECT_EQ(Canonicalize(r_smart->batch), expected)
+        << "SmartIndex changed results of " << q.sql;
+    EXPECT_EQ(Canonicalize(r_btree->batch), expected)
+        << "B-tree changed results of " << q.sql;
+  }
+  // The equivalence is only meaningful if the caches actually served hits.
+  ResolverStats stats = smart->AggregateResolverStats();
+  EXPECT_GT(stats.TotalHits(), 50u);
+}
+
+TEST(IndexEquivalenceProperty, ZoneMapsPreserveResults) {
+  Schema schema = MakeLogSchema(8);
+  auto with_maps = BuildEngine(false, false, schema);
+  EngineConfig config;
+  config.num_leaf_nodes = 4;
+  config.rows_per_block = 512;
+  config.leaf.enable_smart_index = false;
+  config.leaf.enable_zone_maps = false;
+  config.master.enable_task_result_reuse = false;
+  auto without_maps = std::make_unique<FeisuEngine>(config);
+  without_maps->AddStorage("/hdfs", MakeHdfs(), true);
+  without_maps->GrantAllDomains("prop");
+  ASSERT_TRUE(without_maps->CreateTable("t1", schema, "/hdfs/t1").ok());
+  Rng rng(77);
+  for (int b = 0; b < 6; ++b) {
+    ASSERT_TRUE(
+        without_maps->Ingest("t1", GenerateRows(schema, 512, &rng)).ok());
+  }
+  ASSERT_TRUE(without_maps->Flush("t1").ok());
+
+  Rng qrng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Include out-of-range literals so pruning actually triggers.
+    int64_t v = qrng.NextInt64(-50, 300);
+    std::string sql = "SELECT COUNT(*) FROM t1 WHERE c0 " +
+                      std::string(qrng.NextBool(0.5) ? ">" : "<=") + " " +
+                      std::to_string(v);
+    auto a = with_maps->Query("prop", sql);
+    auto b = without_maps->Query("prop", sql);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->batch.column(0).GetInt64(0), b->batch.column(0).GetInt64(0))
+        << sql;
+  }
+}
+
+// ---------- Distributed aggregation equals single-shot ----------
+
+class AggregationMergeProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(AggregationMergeProperty, RandomSplitsMerge) {
+  Rng rng(GetParam());
+  Schema schema({{"g", DataType::kInt64, true},
+                 {"v", DataType::kInt64, true},
+                 {"d", DataType::kDouble, true}});
+  RecordBatch batch(schema);
+  size_t n = 200 + rng.NextUint64(400);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    row.push_back(rng.NextBool(0.05)
+                      ? Value::Null()
+                      : Value::Int64(rng.NextInt64(0, 5)));
+    row.push_back(rng.NextBool(0.1) ? Value::Null()
+                                    : Value::Int64(rng.NextInt64(-50, 50)));
+    row.push_back(Value::Double(rng.NextDouble() * 10));
+    ASSERT_TRUE(batch.AppendRow(row).ok());
+  }
+  std::vector<AggSpec> specs;
+  AggFunc funcs[] = {AggFunc::kCount, AggFunc::kSum, AggFunc::kMin,
+                     AggFunc::kMax, AggFunc::kAvg};
+  for (int s = 0; s < 5; ++s) {
+    AggSpec spec;
+    spec.func = funcs[s];
+    spec.arg = spec.func == AggFunc::kCount && rng.NextBool(0.5)
+                   ? nullptr
+                   : Expr::ColumnRef(rng.NextBool(0.5) ? "v" : "d");
+    spec.output_name = "a" + std::to_string(s);
+    specs.push_back(spec);
+  }
+  std::vector<ExprPtr> keys = {Expr::ColumnRef("g")};
+
+  auto direct = Aggregator::Make(keys, specs, schema);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct->Consume(batch).ok());
+  auto expected = direct->FinalResult();
+  ASSERT_TRUE(expected.ok());
+
+  // Random 3-way split, two-level merge (leaf -> stem -> master).
+  std::vector<BitVector> parts(3, BitVector(batch.num_rows(), false));
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    parts[rng.NextUint64(3)].Set(i, true);
+  }
+  std::vector<RecordBatch> partials;
+  for (const auto& part : parts) {
+    auto leaf = Aggregator::Make(keys, specs, schema);
+    ASSERT_TRUE(leaf.ok());
+    ASSERT_TRUE(leaf->Consume(batch.Filter(part)).ok());
+    auto partial = leaf->PartialResult();
+    ASSERT_TRUE(partial.ok());
+    partials.push_back(std::move(*partial));
+  }
+  auto stem = Aggregator::Make(keys, specs, schema);
+  ASSERT_TRUE(stem.ok());
+  ASSERT_TRUE(stem->ConsumePartial(partials[0]).ok());
+  ASSERT_TRUE(stem->ConsumePartial(partials[1]).ok());
+  auto stem_partial = stem->PartialResult();
+  ASSERT_TRUE(stem_partial.ok());
+  auto master = Aggregator::Make(keys, specs, schema);
+  ASSERT_TRUE(master.ok());
+  ASSERT_TRUE(master->ConsumePartial(*stem_partial).ok());
+  ASSERT_TRUE(master->ConsumePartial(partials[2]).ok());
+  auto actual = master->FinalResult();
+  ASSERT_TRUE(actual.ok());
+
+  EXPECT_EQ(Canonicalize(*actual), Canonicalize(*expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationMergeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- Block serialization round trip with generated data ----------
+
+class BlockRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockRoundTripProperty, GeneratedDataSurvives) {
+  Rng rng(GetParam() * 101);
+  Schema schema = MakeLogSchema(20);
+  RecordBatch batch = GenerateRows(schema, 777, &rng);
+  ColumnarBlock block = ColumnarBlock::FromBatch(5, batch);
+  auto restored = ColumnarBlock::Deserialize(block.Serialize());
+  ASSERT_TRUE(restored.ok());
+  auto decoded = restored->DecodeBatch();
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->num_rows(), batch.num_rows());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      EXPECT_EQ(
+          batch.column(c).GetValue(r).Compare(decoded->column(c).GetValue(r)),
+          0)
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockRoundTripProperty,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace feisu

@@ -1,0 +1,35 @@
+#ifndef FEISU_TESTS_REFERENCE_EXECUTOR_H_
+#define FEISU_TESTS_REFERENCE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "columnar/record_batch.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace feisu {
+
+/// A deliberately naive, row-at-a-time SQL interpreter used ONLY as a
+/// differential-testing oracle. It shares the parser and the Value type
+/// with the engine but nothing else: expression evaluation, three-valued
+/// logic, joins, grouping, ordering and limits are all re-implemented
+/// independently, so a bug in the vectorized evaluator, the optimizer, the
+/// SmartIndex algebra or the distributed merge shows up as a divergence.
+class ReferenceExecutor {
+ public:
+  void AddTable(const std::string& name, RecordBatch rows) {
+    tables_[name] = std::move(rows);
+  }
+
+  /// Executes a parsed statement. Unsupported shapes return
+  /// NotImplemented so the differential harness can skip them.
+  Result<RecordBatch> Execute(const SelectStatement& stmt) const;
+
+ private:
+  std::map<std::string, RecordBatch> tables_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_TESTS_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "storage/path_router.h"
+#include "storage/ssd_cache.h"
+#include "storage/sso.h"
+#include "storage/storage_factory.h"
+#include "storage/storage_system.h"
+
+namespace feisu {
+namespace {
+
+// ---------- StorageSystem ----------
+
+TEST(StorageSystemTest, WriteReadDelete) {
+  auto hdfs = MakeHdfs();
+  hdfs->RegisterNode(0);
+  hdfs->RegisterNode(1);
+  ASSERT_TRUE(hdfs->Write("/hdfs/a", "payload").ok());
+  EXPECT_TRUE(hdfs->Exists("/hdfs/a"));
+  auto data = hdfs->Get("/hdfs/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(**data, "payload");
+  EXPECT_EQ(hdfs->TotalBytes(), 7u);
+  ASSERT_TRUE(hdfs->Delete("/hdfs/a").ok());
+  EXPECT_FALSE(hdfs->Exists("/hdfs/a"));
+  EXPECT_TRUE(hdfs->Get("/hdfs/a").status().IsNotFound());
+}
+
+TEST(StorageSystemTest, WriteWithoutNodesFails) {
+  auto hdfs = MakeHdfs();
+  EXPECT_TRUE(hdfs->Write("/hdfs/a", "x").IsUnavailable());
+}
+
+TEST(StorageSystemTest, ReplicationPlacesUpTo3Replicas) {
+  auto hdfs = MakeHdfs();
+  for (uint32_t n = 0; n < 10; ++n) hdfs->RegisterNode(n);
+  ASSERT_TRUE(hdfs->Write("/hdfs/file", "x").ok());
+  std::vector<uint32_t> replicas = hdfs->ReplicaNodes("/hdfs/file");
+  EXPECT_GE(replicas.size(), 2u);
+  EXPECT_LE(replicas.size(), 3u);
+  // No duplicates.
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    for (size_t j = i + 1; j < replicas.size(); ++j) {
+      EXPECT_NE(replicas[i], replicas[j]);
+    }
+  }
+}
+
+TEST(StorageSystemTest, PlacementDeterministic) {
+  auto a = MakeHdfs();
+  auto b = MakeHdfs();
+  for (uint32_t n = 0; n < 8; ++n) {
+    a->RegisterNode(n);
+    b->RegisterNode(n);
+  }
+  ASSERT_TRUE(a->Write("/hdfs/f", "x").ok());
+  ASSERT_TRUE(b->Write("/hdfs/f", "x").ok());
+  EXPECT_EQ(a->ReplicaNodes("/hdfs/f"), b->ReplicaNodes("/hdfs/f"));
+}
+
+TEST(StorageSystemTest, WriteToNodePins) {
+  auto local = MakeLocalFs();
+  ASSERT_TRUE(local->WriteToNode("/log/a", "x", 5).ok());
+  std::vector<uint32_t> replicas = local->ReplicaNodes("/log/a");
+  ASSERT_EQ(replicas.size(), 1u);
+  EXPECT_EQ(replicas[0], 5u);
+}
+
+TEST(StorageSystemTest, ListByPrefix) {
+  auto hdfs = MakeHdfs();
+  hdfs->RegisterNode(0);
+  ASSERT_TRUE(hdfs->Write("/hdfs/t1/b0", "x").ok());
+  ASSERT_TRUE(hdfs->Write("/hdfs/t1/b1", "x").ok());
+  ASSERT_TRUE(hdfs->Write("/hdfs/t2/b0", "x").ok());
+  EXPECT_EQ(hdfs->List("/hdfs/t1/").size(), 2u);
+  EXPECT_EQ(hdfs->List("/hdfs/").size(), 3u);
+  EXPECT_TRUE(hdfs->List("/ffs/").empty());
+}
+
+TEST(StorageSystemTest, OverwriteAdjustsBytes) {
+  auto hdfs = MakeHdfs();
+  hdfs->RegisterNode(0);
+  ASSERT_TRUE(hdfs->Write("/hdfs/a", "12345").ok());
+  ASSERT_TRUE(hdfs->Write("/hdfs/a", "12").ok());
+  EXPECT_EQ(hdfs->TotalBytes(), 2u);
+}
+
+TEST(StorageSystemTest, CostModelScalesWithBytes) {
+  auto hdfs = MakeHdfs();
+  SimTime small = hdfs->ReadCost(1024);
+  SimTime large = hdfs->ReadCost(100 * 1024 * 1024);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0);
+}
+
+TEST(StorageSystemTest, ResourceAgreementThrottlesBandwidth) {
+  auto hdfs = MakeHdfs();
+  SimTime normal = hdfs->ReadCost(10 * 1024 * 1024);
+  hdfs->agreement().reserved_bandwidth_fraction = 0.9;
+  SimTime throttled = hdfs->ReadCost(10 * 1024 * 1024);
+  EXPECT_GT(throttled, normal);
+}
+
+TEST(StorageFactoryTest, PersonalitiesDiffer) {
+  auto local = MakeLocalFs();
+  auto hdfs = MakeHdfs();
+  auto fatman = MakeFatman();
+  EXPECT_EQ(local->replication_factor(), 1);
+  EXPECT_EQ(hdfs->replication_factor(), 3);
+  EXPECT_EQ(fatman->replication_factor(), 3);
+  // Cold archival storage: far higher first-byte latency.
+  EXPECT_GT(fatman->cost_model().seek_latency,
+            10 * hdfs->cost_model().seek_latency);
+  // Different auth domains.
+  EXPECT_NE(local->domain(), hdfs->domain());
+  EXPECT_NE(hdfs->domain(), fatman->domain());
+}
+
+// ---------- PathRouter (common storage layer) ----------
+
+TEST(PathRouterTest, PrefixRouting) {
+  PathRouter router;
+  StorageSystem* hdfs = router.Register("/hdfs", MakeHdfs());
+  StorageSystem* ffs = router.Register("/ffs", MakeFatman());
+  StorageSystem* local = router.Register("", MakeLocalFs(), true);
+  auto r1 = router.Resolve("/hdfs/path/to/file");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, hdfs);
+  auto r2 = router.Resolve("/ffs/path/to/file");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, ffs);
+  // Unrecognized prefix falls back to local (paper §III-C).
+  auto r3 = router.Resolve("/data/whatever");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, local);
+}
+
+TEST(PathRouterTest, WriteAndGetThroughRouter) {
+  PathRouter router;
+  StorageSystem* hdfs = router.Register("/hdfs", MakeHdfs(), true);
+  hdfs->RegisterNode(0);
+  ASSERT_TRUE(router.Write("/hdfs/x", "data").ok());
+  auto got = router.Get("/hdfs/x");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(**got, "data");
+  EXPECT_FALSE(router.ReplicaNodes("/hdfs/x").empty());
+  EXPECT_GT(router.ReadCost("/hdfs/x", 1024), 0);
+}
+
+TEST(PathRouterTest, NoSystemsConfigured) {
+  PathRouter router;
+  EXPECT_TRUE(router.Resolve("/any/path").status().IsNotFound());
+}
+
+TEST(PathRouterTest, FindByName) {
+  PathRouter router;
+  router.Register("/hdfs", MakeHdfs("hdfs_a"));
+  router.Register("/hdfs_b", MakeHdfs("hdfs_b"));
+  EXPECT_NE(router.FindByName("hdfs_a"), nullptr);
+  EXPECT_NE(router.FindByName("hdfs_b"), nullptr);
+  EXPECT_EQ(router.FindByName("nope"), nullptr);
+}
+
+// ---------- SSO ----------
+
+TEST(SsoTest, AuthenticateUnknownUserFails) {
+  SsoAuthenticator sso;
+  EXPECT_TRUE(sso.Authenticate("ghost").status().IsPermissionDenied());
+}
+
+TEST(SsoTest, CredentialCoversGrantedDomains) {
+  SsoAuthenticator sso;
+  sso.GrantDomain("ana", "hdfs-domain");
+  sso.GrantDomain("ana", "fatman-domain");
+  auto credential = sso.Authenticate("ana");
+  ASSERT_TRUE(credential.ok());
+  EXPECT_TRUE(sso.Authorize(*credential, "hdfs-domain"));
+  EXPECT_TRUE(sso.Authorize(*credential, "fatman-domain"));
+  EXPECT_FALSE(sso.Authorize(*credential, "local-domain"));
+}
+
+TEST(SsoTest, RevokedCredentialRejected) {
+  SsoAuthenticator sso;
+  sso.GrantDomain("ana", "d");
+  auto credential = sso.Authenticate("ana");
+  ASSERT_TRUE(credential.ok());
+  sso.Revoke(*credential);
+  EXPECT_FALSE(sso.Authorize(*credential, "d"));
+}
+
+TEST(SsoTest, RevokeDomainAffectsNewCredentialsOnly) {
+  SsoAuthenticator sso;
+  sso.GrantDomain("ana", "d");
+  auto first = sso.Authenticate("ana");
+  ASSERT_TRUE(first.ok());
+  sso.RevokeDomain("ana", "d");
+  auto second = sso.Authenticate("ana");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(sso.Authorize(*first, "d"));    // old credential still live
+  EXPECT_FALSE(sso.Authorize(*second, "d"));  // new one lacks the domain
+}
+
+TEST(SsoTest, DistinctTokens) {
+  SsoAuthenticator sso;
+  sso.RegisterUser("ana");
+  auto a = sso.Authenticate("ana");
+  auto b = sso.Authenticate("ana");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->token, b->token);
+}
+
+// ---------- SsdCache ----------
+
+TEST(SsdCacheTest, LruAdmitsAndHits) {
+  SsdCache cache(1000, CachePolicy::kLru, SsdCostModel());
+  EXPECT_FALSE(cache.Lookup("a"));
+  cache.Admit("a", 400);
+  EXPECT_TRUE(cache.Lookup("a"));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 400u);
+}
+
+TEST(SsdCacheTest, LruEvictsLeastRecent) {
+  SsdCache cache(1000, CachePolicy::kLru, SsdCostModel());
+  cache.Admit("a", 400);
+  cache.Admit("b", 400);
+  EXPECT_TRUE(cache.Lookup("a"));  // refresh a
+  cache.Admit("c", 400);           // evicts b
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(SsdCacheTest, LfuEvictsLeastFrequent) {
+  SsdCache cache(1000, CachePolicy::kLfu, SsdCostModel());
+  cache.Admit("hot", 400);
+  cache.Admit("cold", 400);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(cache.Lookup("hot"));
+  cache.Admit("new", 400);
+  EXPECT_TRUE(cache.Contains("hot"));
+  EXPECT_FALSE(cache.Contains("cold"));
+}
+
+TEST(SsdCacheTest, ManualPolicyAdmitsOnlyPreferred) {
+  SsdCache cache(1000, CachePolicy::kManual, SsdCostModel());
+  cache.Admit("random", 100);
+  EXPECT_FALSE(cache.Contains("random"));
+  cache.SetPreference("critical", true);
+  cache.Admit("critical", 100);
+  EXPECT_TRUE(cache.Contains("critical"));
+}
+
+TEST(SsdCacheTest, PreferredNotEvictedWhileOthersExist) {
+  SsdCache cache(1000, CachePolicy::kLru, SsdCostModel());
+  cache.SetPreference("pin", true);
+  cache.Admit("pin", 400);
+  cache.Admit("b", 400);
+  cache.Admit("c", 400);  // must evict b, not pin
+  EXPECT_TRUE(cache.Contains("pin"));
+  EXPECT_FALSE(cache.Contains("b"));
+}
+
+TEST(SsdCacheTest, OversizedObjectRejected) {
+  SsdCache cache(100, CachePolicy::kLru, SsdCostModel());
+  cache.Admit("big", 500);
+  EXPECT_FALSE(cache.Contains("big"));
+}
+
+TEST(SsdCacheTest, MissRateComputation) {
+  SsdCache cache(1000, CachePolicy::kLru, SsdCostModel());
+  cache.Lookup("a");  // miss
+  cache.Admit("a", 10);
+  cache.Lookup("a");  // hit
+  cache.Lookup("b");  // miss
+  EXPECT_NEAR(cache.MissRate(), 2.0 / 3.0, 1e-9);
+  cache.ResetStats();
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SsdCacheTest, SsdReadCheaperThanHdd) {
+  SsdCache cache(1000, CachePolicy::kLru, SsdCostModel());
+  auto hdfs = MakeHdfs();
+  EXPECT_LT(cache.ReadCost(1024 * 1024), hdfs->ReadCost(1024 * 1024));
+}
+
+}  // namespace
+}  // namespace feisu

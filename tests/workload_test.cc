@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "loganalysis/analyzer.h"
+#include "sql/parser.h"
+#include "workload/datagen.h"
+#include "workload/tracegen.h"
+
+namespace feisu {
+namespace {
+
+// ---------- Datagen ----------
+
+TEST(DatagenTest, LogSchemaShape) {
+  Schema schema = MakeLogSchema(200);
+  EXPECT_EQ(schema.num_fields(), 200u);
+  EXPECT_EQ(schema.field(0).name, "c0");
+  // Type mix present.
+  bool has_string = false;
+  bool has_double = false;
+  bool has_int = false;
+  for (const auto& f : schema.fields()) {
+    has_string |= f.type == DataType::kString;
+    has_double |= f.type == DataType::kDouble;
+    has_int |= f.type == DataType::kInt64;
+  }
+  EXPECT_TRUE(has_string);
+  EXPECT_TRUE(has_double);
+  EXPECT_TRUE(has_int);
+}
+
+TEST(DatagenTest, WebpageSchemaIsSubsetOfLogSchema) {
+  Schema log = MakeLogSchema(200);
+  Schema web = MakeWebpageSchema(57);
+  ASSERT_EQ(web.num_fields(), 57u);
+  for (const auto& f : web.fields()) {
+    int idx = log.FieldIndex(f.name);
+    ASSERT_GE(idx, 0) << f.name;
+    EXPECT_EQ(log.field(idx).type, f.type);
+  }
+}
+
+TEST(DatagenTest, GenerateRowsShape) {
+  Schema schema = MakeLogSchema(20);
+  Rng rng(1);
+  RecordBatch batch = GenerateRows(schema, 500, &rng);
+  EXPECT_EQ(batch.num_rows(), 500u);
+  EXPECT_EQ(batch.num_columns(), 20u);
+  // Some NULLs but not many.
+  size_t nulls = 0;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    nulls += batch.column(c).NullCount();
+  }
+  EXPECT_GT(nulls, 0u);
+  EXPECT_LT(nulls, 500u);  // ~1% of 10000 cells
+}
+
+TEST(DatagenTest, GenerationDeterministic) {
+  Schema schema = MakeLogSchema(10);
+  Rng rng1(5);
+  Rng rng2(5);
+  RecordBatch a = GenerateRows(schema, 100, &rng1);
+  RecordBatch b = GenerateRows(schema, 100, &rng2);
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.column(0).GetValue(r).Compare(b.column(0).GetValue(r)), 0);
+  }
+}
+
+TEST(DatagenTest, PaperTableIMatchesPaper) {
+  const auto& datasets = PaperTableI();
+  ASSERT_EQ(datasets.size(), 3u);
+  EXPECT_STREQ(datasets[0].table, "T1");
+  EXPECT_EQ(datasets[0].num_fields, 200);
+  EXPECT_EQ(datasets[1].rows_billions, 130.0);
+  EXPECT_EQ(datasets[2].num_fields, 57);
+}
+
+// ---------- Tracegen ----------
+
+TEST(TracegenTest, ProducesParseableSortedQueries) {
+  Schema schema = MakeLogSchema(30);
+  TraceConfig config;
+  config.num_queries = 300;
+  std::vector<TraceQuery> trace = GenerateTrace(config, schema);
+  ASSERT_EQ(trace.size(), 300u);
+  SimTime last = 0;
+  for (const auto& q : trace) {
+    EXPECT_GE(q.timestamp, last);
+    last = q.timestamp;
+    EXPECT_TRUE(ParseSql(q.sql).ok()) << q.sql;
+  }
+}
+
+TEST(TracegenTest, Deterministic) {
+  Schema schema = MakeLogSchema(30);
+  TraceConfig config;
+  config.num_queries = 50;
+  auto a = GenerateTrace(config, schema);
+  auto b = GenerateTrace(config, schema);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].sql, b[i].sql);
+}
+
+TEST(TracegenTest, ReuseKnobIncreasesSimilarity) {
+  Schema schema = MakeLogSchema(30);
+  TraceConfig low;
+  low.num_queries = 500;
+  low.predicate_reuse_prob = 0.0;
+  TraceConfig high = low;
+  high.predicate_reuse_prob = 0.9;
+  TraceAnalyzer low_analysis(GenerateTrace(low, schema));
+  TraceAnalyzer high_analysis(GenerateTrace(high, schema));
+  SimTime window = 24 * kSimHour;
+  EXPECT_GT(high_analysis.SharedPredicateRatio(window),
+            low_analysis.SharedPredicateRatio(window));
+}
+
+TEST(TracegenTest, ScanAggregateDominates) {
+  Schema schema = MakeLogSchema(30);
+  TraceConfig config;
+  config.num_queries = 1000;
+  config.join_prob = 0.002;
+  config.join_table = "t2";
+  TraceAnalyzer analysis(GenerateTrace(config, schema));
+  EXPECT_GT(analysis.ScanAggregateRatio(), 0.99);
+}
+
+// ---------- TraceAnalyzer ----------
+
+std::vector<TraceQuery> HandTrace() {
+  // Three queries in hour 0, one in hour 5.
+  return {
+      {10 * kSimMinute, "SELECT c1 FROM t WHERE c2 > 5"},
+      {20 * kSimMinute, "SELECT c1 FROM t WHERE c2 > 5"},
+      {30 * kSimMinute, "SELECT c3 FROM t WHERE c4 = 1"},
+      {5 * kSimHour, "SELECT c9 FROM t WHERE c9 < 2"},
+  };
+}
+
+TEST(TraceAnalyzerTest, SharedPredicateRatio) {
+  TraceAnalyzer analysis(HandTrace());
+  // In the 1h window, 2 of 3 queries share "(c2 > 5)"; the hour-5 query
+  // shares nothing. Ratio = 2/4.
+  EXPECT_NEAR(analysis.SharedPredicateRatio(kSimHour), 0.5, 1e-9);
+}
+
+TEST(TraceAnalyzerTest, RepeatedColumns) {
+  TraceAnalyzer analysis(HandTrace());
+  // Window 1: columns c1,c2 hit by two queries -> 2 repeated columns.
+  // Window at hour 5: no repetition. Two non-empty windows -> avg 1.0.
+  EXPECT_NEAR(analysis.RepeatedColumnsPerWindow(kSimHour), 1.0, 1e-9);
+}
+
+TEST(TraceAnalyzerTest, WidenWindowIncreasesLocalityCounts) {
+  Schema schema = MakeLogSchema(30);
+  TraceConfig config;
+  config.num_queries = 800;
+  TraceAnalyzer analysis(GenerateTrace(config, schema));
+  double narrow = analysis.RepeatedColumnsPerWindow(kSimHour);
+  double wide = analysis.RepeatedColumnsPerWindow(24 * kSimHour);
+  EXPECT_GT(wide, narrow);
+}
+
+TEST(TraceAnalyzerTest, KeywordFrequency) {
+  TraceAnalyzer analysis(HandTrace());
+  auto counts = analysis.KeywordFrequency();
+  EXPECT_EQ(counts["SELECT"], 4u);
+  EXPECT_EQ(counts["WHERE"], 4u);
+  EXPECT_EQ(counts["JOIN"], 0u);
+}
+
+TEST(TraceAnalyzerTest, SkipsUnparseableQueries) {
+  std::vector<TraceQuery> trace = HandTrace();
+  trace.push_back({0, "garbage ::: query"});
+  TraceAnalyzer analysis(trace);
+  EXPECT_EQ(analysis.num_parsed(), 4u);
+}
+
+}  // namespace
+}  // namespace feisu
