@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_index_mgmt.dir/bench_ablation_index_mgmt.cc.o"
+  "CMakeFiles/bench_ablation_index_mgmt.dir/bench_ablation_index_mgmt.cc.o.d"
+  "bench_ablation_index_mgmt"
+  "bench_ablation_index_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_index_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ssdcache.dir/bench_ablation_ssdcache.cc.o"
+  "CMakeFiles/bench_ablation_ssdcache.dir/bench_ablation_ssdcache.cc.o.d"
+  "bench_ablation_ssdcache"
+  "bench_ablation_ssdcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ssdcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

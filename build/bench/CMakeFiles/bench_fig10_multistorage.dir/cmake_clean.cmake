@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multistorage.dir/bench_fig10_multistorage.cc.o"
+  "CMakeFiles/bench_fig10_multistorage.dir/bench_fig10_multistorage.cc.o.d"
+  "bench_fig10_multistorage"
+  "bench_fig10_multistorage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multistorage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_smartindex.dir/bench_fig9a_smartindex.cc.o"
+  "CMakeFiles/bench_fig9a_smartindex.dir/bench_fig9a_smartindex.cc.o.d"
+  "bench_fig9a_smartindex"
+  "bench_fig9a_smartindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_smartindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

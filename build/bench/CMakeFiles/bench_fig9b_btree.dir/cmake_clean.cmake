@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_btree.dir/bench_fig9b_btree.cc.o"
+  "CMakeFiles/bench_fig9b_btree.dir/bench_fig9b_btree.cc.o.d"
+  "bench_fig9b_btree"
+  "bench_fig9b_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_search_engine.dir/debug_search_engine.cpp.o"
+  "CMakeFiles/debug_search_engine.dir/debug_search_engine.cpp.o.d"
+  "debug_search_engine"
+  "debug_search_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_search_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

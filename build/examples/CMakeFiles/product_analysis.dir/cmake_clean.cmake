@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_analysis.dir/product_analysis.cpp.o"
+  "CMakeFiles/product_analysis.dir/product_analysis.cpp.o.d"
+  "product_analysis"
+  "product_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_prototyping.dir/rapid_prototyping.cpp.o"
+  "CMakeFiles/rapid_prototyping.dir/rapid_prototyping.cpp.o.d"
+  "rapid_prototyping"
+  "rapid_prototyping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_prototyping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/client.cc" "src/CMakeFiles/feisu.dir/client/client.cc.o" "gcc" "src/CMakeFiles/feisu.dir/client/client.cc.o.d"
+  "/root/repo/src/cluster/cluster_manager.cc" "src/CMakeFiles/feisu.dir/cluster/cluster_manager.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/cluster_manager.cc.o.d"
+  "/root/repo/src/cluster/entry_guard.cc" "src/CMakeFiles/feisu.dir/cluster/entry_guard.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/entry_guard.cc.o.d"
+  "/root/repo/src/cluster/job_manager.cc" "src/CMakeFiles/feisu.dir/cluster/job_manager.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/job_manager.cc.o.d"
+  "/root/repo/src/cluster/leaf_server.cc" "src/CMakeFiles/feisu.dir/cluster/leaf_server.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/leaf_server.cc.o.d"
+  "/root/repo/src/cluster/master.cc" "src/CMakeFiles/feisu.dir/cluster/master.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/master.cc.o.d"
+  "/root/repo/src/cluster/master_load.cc" "src/CMakeFiles/feisu.dir/cluster/master_load.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/master_load.cc.o.d"
+  "/root/repo/src/cluster/network.cc" "src/CMakeFiles/feisu.dir/cluster/network.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/network.cc.o.d"
+  "/root/repo/src/cluster/scheduler.cc" "src/CMakeFiles/feisu.dir/cluster/scheduler.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/scheduler.cc.o.d"
+  "/root/repo/src/cluster/stem_server.cc" "src/CMakeFiles/feisu.dir/cluster/stem_server.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/stem_server.cc.o.d"
+  "/root/repo/src/cluster/task.cc" "src/CMakeFiles/feisu.dir/cluster/task.cc.o" "gcc" "src/CMakeFiles/feisu.dir/cluster/task.cc.o.d"
+  "/root/repo/src/columnar/block.cc" "src/CMakeFiles/feisu.dir/columnar/block.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/block.cc.o.d"
+  "/root/repo/src/columnar/column_vector.cc" "src/CMakeFiles/feisu.dir/columnar/column_vector.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/column_vector.cc.o.d"
+  "/root/repo/src/columnar/data_type.cc" "src/CMakeFiles/feisu.dir/columnar/data_type.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/data_type.cc.o.d"
+  "/root/repo/src/columnar/encoding.cc" "src/CMakeFiles/feisu.dir/columnar/encoding.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/encoding.cc.o.d"
+  "/root/repo/src/columnar/json_flatten.cc" "src/CMakeFiles/feisu.dir/columnar/json_flatten.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/json_flatten.cc.o.d"
+  "/root/repo/src/columnar/record_batch.cc" "src/CMakeFiles/feisu.dir/columnar/record_batch.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/record_batch.cc.o.d"
+  "/root/repo/src/columnar/schema.cc" "src/CMakeFiles/feisu.dir/columnar/schema.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/schema.cc.o.d"
+  "/root/repo/src/columnar/table.cc" "src/CMakeFiles/feisu.dir/columnar/table.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/table.cc.o.d"
+  "/root/repo/src/columnar/value.cc" "src/CMakeFiles/feisu.dir/columnar/value.cc.o" "gcc" "src/CMakeFiles/feisu.dir/columnar/value.cc.o.d"
+  "/root/repo/src/common/bit_vector.cc" "src/CMakeFiles/feisu.dir/common/bit_vector.cc.o" "gcc" "src/CMakeFiles/feisu.dir/common/bit_vector.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/feisu.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/feisu.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/feisu.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/feisu.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/sim_clock.cc" "src/CMakeFiles/feisu.dir/common/sim_clock.cc.o" "gcc" "src/CMakeFiles/feisu.dir/common/sim_clock.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/feisu.dir/common/status.cc.o" "gcc" "src/CMakeFiles/feisu.dir/common/status.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/feisu.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/feisu.dir/core/engine.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/feisu.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/feisu.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/feisu.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/feisu.dir/exec/operators.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/feisu.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/feisu.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/feisu.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/feisu.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/normalize.cc" "src/CMakeFiles/feisu.dir/expr/normalize.cc.o" "gcc" "src/CMakeFiles/feisu.dir/expr/normalize.cc.o.d"
+  "/root/repo/src/index/btree_index.cc" "src/CMakeFiles/feisu.dir/index/btree_index.cc.o" "gcc" "src/CMakeFiles/feisu.dir/index/btree_index.cc.o.d"
+  "/root/repo/src/index/index_cache.cc" "src/CMakeFiles/feisu.dir/index/index_cache.cc.o" "gcc" "src/CMakeFiles/feisu.dir/index/index_cache.cc.o.d"
+  "/root/repo/src/index/index_resolver.cc" "src/CMakeFiles/feisu.dir/index/index_resolver.cc.o" "gcc" "src/CMakeFiles/feisu.dir/index/index_resolver.cc.o.d"
+  "/root/repo/src/index/smart_index.cc" "src/CMakeFiles/feisu.dir/index/smart_index.cc.o" "gcc" "src/CMakeFiles/feisu.dir/index/smart_index.cc.o.d"
+  "/root/repo/src/ingest/log_monitor.cc" "src/CMakeFiles/feisu.dir/ingest/log_monitor.cc.o" "gcc" "src/CMakeFiles/feisu.dir/ingest/log_monitor.cc.o.d"
+  "/root/repo/src/loganalysis/analyzer.cc" "src/CMakeFiles/feisu.dir/loganalysis/analyzer.cc.o" "gcc" "src/CMakeFiles/feisu.dir/loganalysis/analyzer.cc.o.d"
+  "/root/repo/src/plan/catalog.cc" "src/CMakeFiles/feisu.dir/plan/catalog.cc.o" "gcc" "src/CMakeFiles/feisu.dir/plan/catalog.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/feisu.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/feisu.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/optimizer.cc" "src/CMakeFiles/feisu.dir/plan/optimizer.cc.o" "gcc" "src/CMakeFiles/feisu.dir/plan/optimizer.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/feisu.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/feisu.dir/plan/planner.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/feisu.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/feisu.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/feisu.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/feisu.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/feisu.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/feisu.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/path_router.cc" "src/CMakeFiles/feisu.dir/storage/path_router.cc.o" "gcc" "src/CMakeFiles/feisu.dir/storage/path_router.cc.o.d"
+  "/root/repo/src/storage/ssd_cache.cc" "src/CMakeFiles/feisu.dir/storage/ssd_cache.cc.o" "gcc" "src/CMakeFiles/feisu.dir/storage/ssd_cache.cc.o.d"
+  "/root/repo/src/storage/sso.cc" "src/CMakeFiles/feisu.dir/storage/sso.cc.o" "gcc" "src/CMakeFiles/feisu.dir/storage/sso.cc.o.d"
+  "/root/repo/src/storage/storage_factory.cc" "src/CMakeFiles/feisu.dir/storage/storage_factory.cc.o" "gcc" "src/CMakeFiles/feisu.dir/storage/storage_factory.cc.o.d"
+  "/root/repo/src/storage/storage_system.cc" "src/CMakeFiles/feisu.dir/storage/storage_system.cc.o" "gcc" "src/CMakeFiles/feisu.dir/storage/storage_system.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "src/CMakeFiles/feisu.dir/workload/datagen.cc.o" "gcc" "src/CMakeFiles/feisu.dir/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/tracegen.cc" "src/CMakeFiles/feisu.dir/workload/tracegen.cc.o" "gcc" "src/CMakeFiles/feisu.dir/workload/tracegen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
