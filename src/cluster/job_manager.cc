@@ -1,5 +1,7 @@
 #include "cluster/job_manager.h"
 
+#include <algorithm>
+
 namespace feisu {
 
 const char* JobStateName(JobState state) {
@@ -41,6 +43,45 @@ void JobManager::SetState(int64_t job_id, JobState state, SimTime now,
 const JobInfo* JobManager::Find(int64_t job_id) const {
   auto it = jobs_.find(job_id);
   return it == jobs_.end() ? nullptr : &it->second;
+}
+
+void JobManager::RecordRecovery(int64_t job_id, uint64_t task_retries,
+                                uint64_t corrupt_blocks,
+                                uint64_t failed_nodes, uint64_t lost_blocks,
+                                double processed_ratio) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  it->second.task_retries = task_retries;
+  it->second.corrupt_blocks = corrupt_blocks;
+  it->second.failed_nodes = failed_nodes;
+  it->second.lost_blocks = lost_blocks;
+  it->second.processed_ratio = processed_ratio;
+}
+
+std::vector<JobInfo> JobManager::SnapshotJobs() const {
+  std::vector<JobInfo> jobs;
+  jobs.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) jobs.push_back(job);
+  return jobs;
+}
+
+void JobManager::RestoreJobs(const std::vector<JobInfo>& jobs) {
+  jobs_.clear();
+  next_job_id_ = 1;
+  for (const JobInfo& job : jobs) {
+    jobs_.emplace(job.job_id, job);
+    next_job_id_ = std::max(next_job_id_, job.job_id + 1);
+  }
+}
+
+std::vector<int64_t> JobManager::UnfinishedJobs() const {
+  std::vector<int64_t> ids;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kQueued || job.state == JobState::kRunning) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
 }
 
 bool JobManager::TryReuse(const std::string& signature, TaskResult* out) {

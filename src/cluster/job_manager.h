@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/task.h"
 #include "common/sim_clock.h"
@@ -24,6 +25,13 @@ struct JobInfo {
   SimTime submit_time = 0;
   SimTime finish_time = 0;
   std::string error;
+  // Failure-driven recovery accounting, mirrored from QueryStats so a
+  // checkpoint/monitoring view carries the job's fault history.
+  uint64_t task_retries = 0;
+  uint64_t corrupt_blocks = 0;
+  uint64_t failed_nodes = 0;
+  uint64_t lost_blocks = 0;
+  double processed_ratio = 1.0;
 };
 
 /// Maintains running job information (paper §III-C "Job manager") and the
@@ -41,6 +49,19 @@ class JobManager {
                 const std::string& error = "");
   const JobInfo* Find(int64_t job_id) const;
   size_t NumJobs() const { return jobs_.size(); }
+
+  /// Mirrors a finished query's recovery counters onto its job record.
+  void RecordRecovery(int64_t job_id, uint64_t task_retries,
+                      uint64_t corrupt_blocks, uint64_t failed_nodes,
+                      uint64_t lost_blocks, double processed_ratio);
+
+  /// Primary/backup support: the job table travels with the master
+  /// checkpoint so a promoted backup can resume in-flight jobs.
+  std::vector<JobInfo> SnapshotJobs() const;
+  void RestoreJobs(const std::vector<JobInfo>& jobs);
+  /// Ids of jobs that were queued or running (i.e. interrupted when the
+  /// primary died), in submission order.
+  std::vector<int64_t> UnfinishedJobs() const;
 
   /// Task-result reuse. TryReuse copies a cached result for an identical
   /// task; CacheResult publishes a fresh one (LRU-bounded).

@@ -68,11 +68,54 @@ LeafServer::LeafServer(uint32_t node_id, PathRouter* router,
   }
 }
 
+uint32_t LeafServer::PickSourceReplica(const std::string& path) const {
+  std::vector<uint32_t> replicas = router_->ReplicaNodes(path);
+  if (replicas.empty()) return node_id_;
+  for (uint32_t r : replicas) {
+    if (r == node_id_) return node_id_;  // local read: our own copy
+  }
+  // Remote read: fetch from the first replica whose copy is intact, the
+  // way a real DFS client falls through its replica list.
+  FaultInjector* faults = router_->fault_injector();
+  if (faults != nullptr && faults->enabled()) {
+    for (uint32_t r : replicas) {
+      if (!faults->IsReplicaCorrupted(path, r)) return r;
+    }
+  }
+  return replicas[0];
+}
+
 Result<const ColumnarBlock*> LeafServer::LoadBlock(
     const TableBlockMeta& meta) {
   auto it = decoded_blocks_.find(meta.path);
   if (it != decoded_blocks_.end()) return &it->second;
   FEISU_ASSIGN_OR_RETURN(const std::string* payload, router_->Get(meta.path));
+  FaultInjector* faults = router_->fault_injector();
+  if (faults != nullptr && faults->enabled()) {
+    switch (faults->OnBlockRead(meta.path, PickSourceReplica(meta.path))) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kIoError:
+        return Status::Unavailable("injected I/O error reading " + meta.path);
+      case FaultKind::kCorruption: {
+        // Damage one byte of a copy and run the real deserializer so the
+        // block checksum — not a simulated shortcut — detects the fault.
+        std::string damaged = *payload;
+        if (!damaged.empty()) damaged[damaged.size() / 2] ^= 0x40;
+        Result<ColumnarBlock> bad = ColumnarBlock::Deserialize(damaged);
+        if (bad.ok()) {
+          return Status::Corruption("injected corruption escaped checksum: " +
+                                    meta.path);
+        }
+        // Cached column reads of this path came from the damaged replica;
+        // drop them so a later retry re-reads from storage.
+        if (ssd_cache_ != nullptr) {
+          ssd_cache_->InvalidatePrefix(meta.path + "#");
+        }
+        return bad.status();
+      }
+    }
+  }
   FEISU_ASSIGN_OR_RETURN(ColumnarBlock block,
                          ColumnarBlock::Deserialize(*payload));
   auto [inserted, ok] = decoded_blocks_.emplace(meta.path, std::move(block));
@@ -251,6 +294,12 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
       stats.rows_scanned += pred_batch.num_rows();
       stats.cpu_time +=
           RowCost(pred_batch.num_rows(), config_.cpu_per_row_predicate);
+      // Take our own copy of the TRUE bitmap before touching the cache:
+      // IndexCache::Insert is a mutating call, and any pointer previously
+      // obtained from the cache (Lookup/Peek) is invalidated by it. Pushing
+      // first keeps this code correct even if the bitmap ever starts
+      // flowing through a cache pointer instead of a local.
+      bitmaps.push_back(tri.is_true);
       if (config_.enable_smart_index) {
         index_cache_.Insert({task.block.block_id, PredicateKey(conjunct)},
                             tri.is_true, now);
@@ -268,7 +317,6 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
                               tri.is_false, now);
         }
       }
-      bitmaps.push_back(std::move(tri.is_true));
     }
   }
 

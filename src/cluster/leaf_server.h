@@ -78,8 +78,15 @@ class LeafServer {
  private:
   /// Loads + decodes a block, charging `io` for the given columns only
   /// (columnar read). The decoded block is memoized in host memory to keep
-  /// wall-clock benches fast; simulated I/O is charged on every call.
+  /// wall-clock benches fast; simulated I/O is charged on every call. When
+  /// a FaultInjector is attached to the router, the read may fail with
+  /// Unavailable (transient I/O error) or Corruption (checksum mismatch on
+  /// a damaged replica).
   Result<const ColumnarBlock*> LoadBlock(const TableBlockMeta& meta);
+
+  /// The replica node this leaf's reads of `path` come from: itself when it
+  /// holds a copy, otherwise the first intact remote replica.
+  uint32_t PickSourceReplica(const std::string& path) const;
 
   /// Charges the I/O for reading a `fraction` of each of `columns` of
   /// `block` (late materialization), via the SSD cache when enabled.

@@ -23,6 +23,14 @@ std::string SubtreeAlias(const PlanPtr& node) {
   return "";
 }
 
+/// Task failures worth a retry on another replica; anything else (parse,
+/// planning, schema errors...) fails the whole job immediately.
+bool IsRetryableTaskFailure(const Status& status) {
+  return status.code() == StatusCode::kCorruption ||
+         status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kTimedOut;
+}
+
 }  // namespace
 
 std::string FormatQueryStats(const QueryStats& stats) {
@@ -47,6 +55,12 @@ std::string FormatQueryStats(const QueryStats& stats) {
   os << "shuffle: " << stats.bytes_shuffled << " bytes ("
      << stats.spilled_results << " results spilled, " << stats.spilled_bytes
      << " bytes via global storage)\n";
+  os << "recovery: " << stats.task_retries << " retries, "
+     << stats.corrupt_blocks << " corrupt reads, " << stats.io_errors
+     << " I/O errors, " << stats.failed_nodes << " nodes failed, "
+     << stats.lost_blocks << " blocks lost; processed "
+     << stats.processed_ratio * 100.0 << "%"
+     << (stats.partial ? " (PARTIAL result)" : "") << "\n";
   os << "plan:\n" << stats.plan_text;
   return os.str();
 }
@@ -97,7 +111,26 @@ Result<QueryResult> MasterServer::ExecuteQuery(const std::string& user,
   }
 
   int64_t job_id = job_manager_.CreateJob(user, sql, now);
+  return RunPlannedQuery(stmt, job_id, now);
+}
+
+Result<QueryResult> MasterServer::RunPlannedQuery(const SelectStatement& stmt,
+                                                  int64_t job_id,
+                                                  SimTime now) {
   job_manager_.SetState(job_id, JobState::kRunning, now);
+
+  // Apply any chaos-schedule node events already due: a node that crashed
+  // before this query must not receive placements even if the maintenance
+  // loop has not run since.
+  if (FaultInjector* faults = router_->fault_injector()) {
+    for (const NodeFaultEvent& event : faults->TakeDueNodeEvents(now)) {
+      if (event.crash) {
+        cluster_->MarkDead(event.node_id);
+      } else {
+        cluster_->MarkAlive(event.node_id, now);
+      }
+    }
+  }
 
   FEISU_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt, *catalog_));
   // The standard rule pipeline, with per-rule ablation toggles.
@@ -120,6 +153,20 @@ Result<QueryResult> MasterServer::ExecuteQuery(const std::string& user,
                           staged.status().ToString());
     return staged.status();
   }
+  // Recovery accounting: the fraction of tasks whose results actually
+  // contribute. Abandoned (early termination) and lost (no healthy
+  // replica) tasks both reduce it; the report never claims completeness
+  // it does not have.
+  stats.processed_ratio =
+      stats.total_tasks == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(stats.abandoned_tasks +
+                                      stats.lost_blocks) /
+                      static_cast<double>(stats.total_tasks);
+  stats.partial = stats.processed_ratio < 1.0;
+  job_manager_.RecordRecovery(job_id, stats.task_retries,
+                              stats.corrupt_blocks, stats.failed_nodes,
+                              stats.lost_blocks, stats.processed_ratio);
   stats.response_time = staged->finish_time - now;
   job_manager_.SetState(job_id, JobState::kFinished, staged->finish_time);
 
@@ -311,27 +358,93 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       continue;
     }
 
-    p.placement = scheduler_.PlaceTask(p.replicas, max_tasks_per_node, now);
-    const NodeInfo* node = cluster_->Node(p.placement.node_id);
-    if (p.placement.node_id >= leaves_->size() || node == nullptr ||
-        !node->alive) {
-      return Status::Unavailable("no alive leaf server for task");
+    // --- Failure-driven recovery: place, execute, and on a retryable
+    // failure (checksum corruption, transient I/O error, mid-task crash)
+    // re-place on a different replica with capped exponential backoff.
+    // When every attempt fails, the block is declared lost and the job
+    // degrades to a partial result instead of failing outright. ---
+    FaultInjector* faults = router_->fault_injector();
+    std::set<uint32_t> excluded;
+    SimTime attempt_time = now;
+    bool completed = false;
+    for (int attempt = 0; attempt <= config_.max_task_retries; ++attempt) {
+      if (cluster_->AliveLeafNodes().empty()) {
+        return Status::Unavailable("no alive leaf server for task");
+      }
+      p.placement = scheduler_.PlaceTask(
+          p.replicas, max_tasks_per_node, attempt_time,
+          excluded.empty() ? nullptr : &excluded);
+      const NodeInfo* node = cluster_->Node(p.placement.node_id);
+      if (p.placement.node_id >= leaves_->size() || node == nullptr ||
+          !node->alive || excluded.count(p.placement.node_id) > 0) {
+        break;  // every eligible node has already failed this task
+      }
+      LeafServer* leaf = (*leaves_)[p.placement.node_id].get();
+      Result<TaskResult> executed = leaf->Execute(task, attempt_time);
+      Status failure = executed.ok() ? Status::OK() : executed.status();
+      if (failure.ok()) {
+        p.result = std::move(*executed);
+        p.duration = p.result.stats.TotalTime();
+        if (!p.placement.local) {
+          // Remote read: the block bytes cross the network on the read
+          // flow.
+          p.duration += config_.network.Transfer(p.result.stats.bytes_read,
+                                                 TrafficClass::kRead);
+          ++stats->remote_tasks;
+        }
+        scheduler_.CommitTask(&p.placement, p.duration, max_tasks_per_node,
+                              attempt_time);
+        if (faults != nullptr) {
+          // Orphaned-task detection: the host crashed while the task ran,
+          // so its result never comes back. The master notices about one
+          // heartbeat interval after the crash and reschedules.
+          std::optional<SimTime> crash = faults->CrashWithin(
+              p.placement.node_id, p.placement.start_time,
+              p.placement.finish_time);
+          if (crash.has_value()) {
+            if (node->alive) {
+              cluster_->MarkDead(p.placement.node_id);
+              ++stats->failed_nodes;
+            }
+            attempt_time = std::max(
+                attempt_time, *crash + cluster_->heartbeat_interval());
+            failure = Status::Unavailable("leaf crashed mid-task");
+          }
+        }
+      }
+      if (failure.ok()) {
+        if (p.placement.straggled) ++stats->straggler_tasks;
+        if (p.result.stats.block_skipped) ++stats->skipped_blocks;
+        stats->leaf.Accumulate(p.result.stats);
+        if (config_.enable_task_result_reuse) {
+          job_manager_.CacheResult(signature, p.result);
+        }
+        completed = true;
+        break;
+      }
+      if (!IsRetryableTaskFailure(failure)) return failure;
+      if (executed.ok()) {
+        // Crash-induced: already counted via failed_nodes.
+      } else if (failure.code() == StatusCode::kCorruption) {
+        ++stats->corrupt_blocks;
+      } else {
+        ++stats->io_errors;
+      }
+      excluded.insert(p.placement.node_id);
+      if (attempt < config_.max_task_retries) {
+        ++stats->task_retries;
+        SimTime backoff = config_.retry_backoff_base;
+        for (int i = 0; i < attempt; ++i) {
+          backoff = std::min(config_.retry_backoff_cap, backoff * 2);
+        }
+        attempt_time += backoff;
+      }
     }
-    LeafServer* leaf = (*leaves_)[p.placement.node_id].get();
-    FEISU_ASSIGN_OR_RETURN(p.result, leaf->Execute(task, now));
-    p.duration = p.result.stats.TotalTime();
-    if (!p.placement.local) {
-      // Remote read: the block bytes cross the network on the read flow.
-      p.duration += config_.network.Transfer(p.result.stats.bytes_read,
-                                             TrafficClass::kRead);
-      ++stats->remote_tasks;
-    }
-    scheduler_.CommitTask(&p.placement, p.duration, max_tasks_per_node, now);
-    if (p.placement.straggled) ++stats->straggler_tasks;
-    if (p.result.stats.block_skipped) ++stats->skipped_blocks;
-    stats->leaf.Accumulate(p.result.stats);
-    if (config_.enable_task_result_reuse) {
-      job_manager_.CacheResult(signature, p.result);
+    if (!completed) {
+      // No replica of this block survived: degrade gracefully and let the
+      // processed-ratio accounting report the loss honestly.
+      ++stats->lost_blocks;
+      continue;
     }
     pending.push_back(std::move(p));
   }
@@ -503,6 +616,7 @@ MasterCheckpoint MasterServer::Checkpoint() const {
   MasterCheckpoint checkpoint;
   checkpoint.tables = catalog_->TableNames();
   checkpoint.jobs_created = static_cast<int64_t>(job_manager_.NumJobs());
+  checkpoint.jobs = job_manager_.SnapshotJobs();
   return checkpoint;
 }
 
@@ -515,6 +629,27 @@ Status MasterServer::RestoreFromCheckpoint(const MasterCheckpoint& checkpoint,
     }
   }
   return Status::OK();
+}
+
+Status MasterServer::Restore(const MasterCheckpoint& checkpoint) {
+  FEISU_RETURN_IF_ERROR(RestoreFromCheckpoint(checkpoint, *catalog_));
+  job_manager_.RestoreJobs(checkpoint.jobs);
+  return Status::OK();
+}
+
+Result<QueryResult> MasterServer::ResumeJob(int64_t job_id, SimTime now) {
+  const JobInfo* job = job_manager_.Find(job_id);
+  if (job == nullptr) {
+    return Status::NotFound("no such job: " + std::to_string(job_id));
+  }
+  if (job->state == JobState::kFinished) {
+    return Status::InvalidArgument("job already finished: " +
+                                   std::to_string(job_id));
+  }
+  // Admission already happened on the failed primary; re-run from the
+  // recorded SQL under the same job id.
+  FEISU_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(job->sql));
+  return RunPlannedQuery(stmt, job_id, now);
 }
 
 }  // namespace feisu

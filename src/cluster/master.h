@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "plan/catalog.h"
 #include "plan/logical_plan.h"
+#include "sql/ast.h"
 #include "storage/path_router.h"
 #include "storage/sso.h"
 
@@ -43,6 +44,14 @@ struct MasterConfig {
   uint64_t daily_query_quota = 10'000;
   SimTime cpu_per_row_master = 8;  ///< final-operator per-row cost
   uint64_t seed = 42;
+  /// Failure-driven recovery: a failed or orphaned task is retried on a
+  /// different replica up to this many extra times, with capped
+  /// exponential backoff between attempts. When every attempt fails the
+  /// block is declared lost and the job degrades to a partial result
+  /// (processed_ratio < 1) instead of failing outright.
+  int max_task_retries = 3;
+  SimTime retry_backoff_base = 100 * kSimMillisecond;
+  SimTime retry_backoff_cap = 5 * kSimSecond;
 };
 
 /// End-to-end accounting for one query.
@@ -60,6 +69,16 @@ struct QueryStats {
   uint64_t bytes_shuffled = 0;
   uint64_t spilled_results = 0;   ///< oversized results routed via global storage
   uint64_t spilled_bytes = 0;
+  // Failure-driven recovery accounting.
+  uint64_t task_retries = 0;    ///< failed attempts that were re-placed
+  uint64_t corrupt_blocks = 0;  ///< reads rejected by the block checksum
+  uint64_t io_errors = 0;       ///< transient read errors observed
+  uint64_t failed_nodes = 0;    ///< leaf crashes detected mid-query
+  uint64_t lost_blocks = 0;     ///< blocks with no healthy replica left
+  /// Fraction of tasks whose results made it into the answer; < 1 when
+  /// early termination abandoned tasks or replicas were lost.
+  double processed_ratio = 1.0;
+  bool partial = false;  ///< result is knowingly incomplete
   TaskStats leaf;  ///< accumulated leaf-side stats
   std::string plan_text;
 
@@ -78,10 +97,12 @@ struct QueryResult {
 std::string FormatQueryStats(const QueryStats& stats);
 
 /// Snapshot shipped to the backup master (checkpoint + operations log in
-/// the paper's primary/backup design); enough to resume service.
+/// the paper's primary/backup design); enough to resume service, including
+/// re-running jobs that were in flight when the primary died.
 struct MasterCheckpoint {
   std::vector<std::string> tables;
   int64_t jobs_created = 0;
+  std::vector<JobInfo> jobs;
 };
 
 /// The root of Feisu's execution tree. Hosts the separated services (job
@@ -116,11 +137,28 @@ class MasterServer {
   static Status RestoreFromCheckpoint(const MasterCheckpoint& checkpoint,
                                       const Catalog& catalog);
 
+  /// Adopts a primary's checkpoint into this (backup) master: validates it
+  /// against the local catalog and restores the job table so in-flight
+  /// jobs can be resumed with ResumeJob.
+  Status Restore(const MasterCheckpoint& checkpoint);
+
+  /// Re-runs a job that was interrupted by a master failover (state still
+  /// kRunning/kQueued/kFailed in the restored job table). The job keeps
+  /// its id; execution restarts from the recorded SQL — the engine's
+  /// determinism makes the resumed run equal the uninterrupted one.
+  Result<QueryResult> ResumeJob(int64_t job_id, SimTime now);
+
  private:
   struct Staged {
     RecordBatch batch;
     SimTime finish_time = 0;
   };
+
+  /// Plans, optimizes and executes an admitted statement under `job_id`
+  /// (shared tail of ExecuteQuery and ResumeJob); finalizes job state and
+  /// recovery accounting.
+  Result<QueryResult> RunPlannedQuery(const SelectStatement& stmt,
+                                      int64_t job_id, SimTime now);
 
   /// Recursively executes a plan subtree, distributing scan/aggregate
   /// frontiers across leaf and stem servers and applying the remaining

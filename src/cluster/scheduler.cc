@@ -45,7 +45,11 @@ void JobScheduler::BookSlot(uint32_t node_id, int slots, SimTime start,
 }
 
 Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
-                                  int max_tasks_per_node, SimTime now) {
+                                  int max_tasks_per_node, SimTime now,
+                                  const std::set<uint32_t>* excluded) {
+  auto is_excluded = [excluded](uint32_t node_id) {
+    return excluded != nullptr && excluded->count(node_id) > 0;
+  };
   Placement placement;
   // 1. Prefer the replica whose slots free up earliest.
   if (config_.prefer_data_locality) {
@@ -53,6 +57,7 @@ Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
     SimTime best_start = 0;
     bool found = false;
     for (uint32_t node_id : replicas) {
+      if (is_excluded(node_id)) continue;
       const NodeInfo* node = cluster_->Node(node_id);
       if (node == nullptr || !node->alive) continue;
       int slots = std::min(node->task_slots, max_tasks_per_node);
@@ -75,6 +80,7 @@ Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
   SimTime best_start = 0;
   bool found = false;
   for (uint32_t node_id : cluster_->AliveLeafNodes()) {
+    if (is_excluded(node_id)) continue;
     const NodeInfo* node = cluster_->Node(node_id);
     int slots = std::min(node->task_slots, max_tasks_per_node);
     SimTime start = EarliestSlot(node_id, slots, now);

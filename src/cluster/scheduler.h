@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster_manager.h"
@@ -50,8 +51,12 @@ class JobScheduler {
 
   /// Picks the execution node for a block's task. `replicas` are the nodes
   /// holding the block. Returns the chosen node and whether it is local.
+  /// `excluded` (optional) lists nodes that must not be chosen — the
+  /// master's failure-driven recovery passes the nodes where this task
+  /// already failed so a retry lands on a different replica.
   Placement PlaceTask(const std::vector<uint32_t>& replicas,
-                      int max_tasks_per_node, SimTime now);
+                      int max_tasks_per_node, SimTime now,
+                      const std::set<uint32_t>* excluded = nullptr);
 
   /// Books `duration` of work on `placement`'s node starting no earlier
   /// than `placement.start_time`; fills start/finish, applying the node's

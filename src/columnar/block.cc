@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/hash.h"
+
 namespace feisu {
 
 namespace {
@@ -181,7 +183,15 @@ std::string ColumnarBlock::Serialize() const {
     AppendScalar<uint32_t>(&out, stats_[c].null_count);
     AppendLp(&out, columns_[c].payload);
   }
+  AppendScalar<uint64_t>(&out, HashBytes(out.data(), out.size()));
   return out;
+}
+
+uint64_t ColumnarBlock::ChecksumOf(const std::string& data) {
+  size_t body = data.size() >= sizeof(uint64_t)
+                    ? data.size() - sizeof(uint64_t)
+                    : data.size();
+  return HashBytes(data.data(), body);
 }
 
 Result<ColumnarBlock> ColumnarBlock::Deserialize(const std::string& data) {
@@ -189,6 +199,15 @@ Result<ColumnarBlock> ColumnarBlock::Deserialize(const std::string& data) {
   uint32_t magic = 0;
   if (!ReadScalar(data, &pos, &magic) || magic != kBlockMagic) {
     return Status::Corruption("bad block magic");
+  }
+  if (data.size() < sizeof(uint64_t)) {
+    return Status::Corruption("block too small for checksum");
+  }
+  uint64_t stored = 0;
+  std::memcpy(&stored, data.data() + data.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (stored != ChecksumOf(data)) {
+    return Status::Corruption("block checksum mismatch");
   }
   ColumnarBlock block;
   uint32_t num_cols = 0;

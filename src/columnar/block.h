@@ -55,9 +55,16 @@ class ColumnarBlock {
   Result<RecordBatch> DecodeBatch(
       const std::vector<std::string>& names = {}) const;
 
-  /// Whole-block (de)serialization — what actually lives in storage.
+  /// Whole-block (de)serialization — what actually lives in storage. The
+  /// serialized form carries a trailing FNV-1a checksum over the body;
+  /// Deserialize verifies it and reports Corruption on any mismatch, so
+  /// damaged replicas are detected before a single value is decoded.
   std::string Serialize() const;
   static Result<ColumnarBlock> Deserialize(const std::string& data);
+
+  /// Checksum of a serialized block body (everything before the trailing
+  /// 8 checksum bytes). Exposed for tests and storage scrubbers.
+  static uint64_t ChecksumOf(const std::string& data);
 
  private:
   int64_t block_id_ = 0;

@@ -1,0 +1,154 @@
+#include "common/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace feisu {
+
+namespace {
+
+// Domain-separation salts so the read-error, corruption and heartbeat
+// streams never correlate even under identical identities.
+constexpr uint64_t kReadErrorSalt = 0x9E3779B97F4A7C15ULL;
+constexpr uint64_t kCorruptionSalt = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kHeartbeatSalt = 0x165667B19E3779F9ULL;
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "None";
+    case FaultKind::kIoError:
+      return "IoError";
+    case FaultKind::kCorruption:
+      return "Corruption";
+  }
+  return "Unknown";
+}
+
+FaultInjector::FaultInjector(FaultConfig config) {
+  Configure(std::move(config));
+}
+
+void FaultInjector::Configure(FaultConfig config) {
+  config_ = std::move(config);
+  std::stable_sort(config_.node_events.begin(), config_.node_events.end(),
+                   [](const NodeFaultEvent& a, const NodeFaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  Reset();
+}
+
+void FaultInjector::Reset() {
+  stats_ = FaultStats();
+  next_event_ = 0;
+  read_seq_.clear();
+}
+
+const StorageFaultProfile& FaultInjector::ProfileFor(
+    const std::string& path) const {
+  const StorageFaultProfile* best = &config_.default_profile;
+  size_t best_len = 0;
+  for (const auto& [prefix, profile] : config_.profiles) {
+    if (prefix.size() >= best_len && path.compare(0, prefix.size(), prefix) == 0) {
+      best = &profile;
+      best_len = prefix.size();
+    }
+  }
+  return *best;
+}
+
+double FaultInjector::UnitDraw(uint64_t salt, uint64_t a, uint64_t b) const {
+  uint64_t h = HashCombine(config_.seed ^ salt, a);
+  h = HashCombine(h, b);
+  h = HashInt64(static_cast<int64_t>(h));
+  // 53 high-quality mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::IsReplicaCorrupted(const std::string& path,
+                                       uint32_t source_node) const {
+  if (!config_.enabled) return false;
+  const StorageFaultProfile& profile = ProfileFor(path);
+  if (profile.corruption_rate <= 0.0) return false;
+  return UnitDraw(kCorruptionSalt, HashString(path), source_node) <
+         profile.corruption_rate;
+}
+
+FaultKind FaultInjector::OnBlockRead(const std::string& path,
+                                     uint32_t source_node) {
+  if (!config_.enabled) return FaultKind::kNone;
+  if (IsReplicaCorrupted(path, source_node)) {
+    ++stats_.injected_corrupt_reads;
+    return FaultKind::kCorruption;
+  }
+  const StorageFaultProfile& profile = ProfileFor(path);
+  if (profile.read_error_rate > 0.0) {
+    uint64_t attempt = read_seq_[path]++;
+    if (UnitDraw(kReadErrorSalt, HashString(path), attempt) <
+        profile.read_error_rate) {
+      ++stats_.injected_read_errors;
+      return FaultKind::kIoError;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+bool FaultInjector::DropHeartbeat(uint32_t node_id, SimTime now) {
+  if (!config_.enabled || config_.heartbeat_drop_rate <= 0.0) return false;
+  if (UnitDraw(kHeartbeatSalt, node_id, static_cast<uint64_t>(now)) <
+      config_.heartbeat_drop_rate) {
+    ++stats_.dropped_heartbeats;
+    return true;
+  }
+  return false;
+}
+
+std::vector<NodeFaultEvent> FaultInjector::TakeDueNodeEvents(SimTime now) {
+  std::vector<NodeFaultEvent> due;
+  if (!config_.enabled) return due;
+  while (next_event_ < config_.node_events.size() &&
+         config_.node_events[next_event_].at <= now) {
+    const NodeFaultEvent& event = config_.node_events[next_event_++];
+    if (event.crash) {
+      ++stats_.crashes_delivered;
+    } else {
+      ++stats_.recoveries_delivered;
+    }
+    due.push_back(event);
+  }
+  return due;
+}
+
+std::optional<SimTime> FaultInjector::CrashWithin(uint32_t node_id,
+                                                  SimTime start,
+                                                  SimTime end) const {
+  if (!config_.enabled || end <= start) return std::nullopt;
+  // Replay the node's crash/recovery schedule and report the earliest
+  // moment in (start, end] at which it is down. A crash scheduled before
+  // `start` still counts while no recovery precedes the window: the
+  // cluster manager may simply not have noticed the death yet.
+  std::optional<SimTime> down_since;
+  for (const NodeFaultEvent& event : config_.node_events) {
+    if (event.at > end) break;
+    if (event.node_id != node_id) continue;
+    if (event.crash) {
+      if (!down_since.has_value()) down_since = event.at;
+    } else {
+      // Recovery ends the outage [down_since, event.at).
+      if (down_since.has_value()) {
+        SimTime moment = std::max(*down_since, start + 1);
+        if (event.at > moment) return moment;
+      }
+      down_since = std::nullopt;
+    }
+  }
+  if (down_since.has_value()) {
+    return std::max(*down_since, start + 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace feisu

@@ -1,0 +1,132 @@
+#ifndef FEISU_COMMON_FAULT_INJECTOR_H_
+#define FEISU_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+/// What happens to one physical block read.
+enum class FaultKind {
+  kNone = 0,
+  kIoError,     ///< transient I/O failure; a retry may succeed
+  kCorruption,  ///< the replica's bytes are damaged (checksum will fail)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// Fault rates for one storage system. The common storage layer routes
+/// paths by prefix (paper §III-C), and each backend has its own failure
+/// personality: local FS on online-service machines loses whole nodes,
+/// HDFS sees occasional slow/failed DataNode reads, Fatman's volunteer
+/// disks corrupt cold data at a measurable rate.
+struct StorageFaultProfile {
+  /// Probability that one physical block read fails transiently.
+  double read_error_rate = 0.0;
+  /// Probability that a given (path, replica node) copy is permanently
+  /// corrupted. The decision is stateless: the same pair always yields the
+  /// same verdict for a given seed, like real bit rot on one disk.
+  double corruption_rate = 0.0;
+};
+
+/// One scheduled node lifecycle event on the simulated timeline.
+struct NodeFaultEvent {
+  SimTime at = 0;
+  uint32_t node_id = 0;
+  bool crash = true;  ///< false = the node recovers (process restarted)
+};
+
+struct FaultStats {
+  uint64_t injected_read_errors = 0;
+  uint64_t injected_corrupt_reads = 0;
+  uint64_t dropped_heartbeats = 0;
+  uint64_t crashes_delivered = 0;
+  uint64_t recoveries_delivered = 0;
+};
+
+/// Everything the injector may do, in one declarative bundle so a test can
+/// describe a whole chaos schedule up front and replay it exactly.
+struct FaultConfig {
+  bool enabled = false;
+  uint64_t seed = 1;
+  /// Probability that one heartbeat message is lost in the control plane.
+  double heartbeat_drop_rate = 0.0;
+  /// Fallback profile for paths whose prefix has no dedicated entry.
+  StorageFaultProfile default_profile;
+  /// Path-prefix -> profile ("/hdfs", "/ffs", ...). Longest match wins.
+  std::map<std::string, StorageFaultProfile> profiles;
+  /// Crash/recovery schedule, applied when simulated time passes `at`.
+  std::vector<NodeFaultEvent> node_events;
+};
+
+/// Deterministic, seedable fault injection for the whole deployment
+/// (storage reads, heartbeats, node lifecycle). All randomness is derived
+/// by hashing (seed, identity, sequence) rather than from a shared stream,
+/// so the same seed and the same call pattern reproduce byte-identical
+/// failures regardless of which subsystem asks first — the invariant the
+/// chaos suite's determinism property checks.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig config);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Replaces the configuration and resets all per-run state.
+  void Configure(FaultConfig config);
+  /// Clears counters and replays the node schedule from the beginning
+  /// without changing the configuration.
+  void Reset();
+
+  bool enabled() const { return config_.enabled; }
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Decides the fate of one physical block read of `path` whose bytes
+  /// come from `source_node`'s replica. Counts injected faults.
+  FaultKind OnBlockRead(const std::string& path, uint32_t source_node);
+
+  /// Stateless query: is `source_node`'s copy of `path` corrupted? Used by
+  /// the master to decide whether any healthy replica remains before
+  /// declaring a block lost. Does not touch statistics.
+  bool IsReplicaCorrupted(const std::string& path,
+                          uint32_t source_node) const;
+
+  /// True if the heartbeat `node_id` sends at `now` should be lost.
+  bool DropHeartbeat(uint32_t node_id, SimTime now);
+
+  /// Returns (and consumes) every scheduled node event with `at` <= now.
+  /// The caller applies them to its ClusterManager; the injector stays
+  /// free of cluster-layer dependencies.
+  std::vector<NodeFaultEvent> TakeDueNodeEvents(SimTime now);
+
+  /// Earliest moment in (start, end] at which the crash/recovery schedule
+  /// has `node_id` down (a crash before `start` with no intervening
+  /// recovery counts: the cluster manager may not have noticed it yet).
+  /// Lets the master detect that a task's host died mid-execution.
+  std::optional<SimTime> CrashWithin(uint32_t node_id, SimTime start,
+                                     SimTime end) const;
+
+ private:
+  const StorageFaultProfile& ProfileFor(const std::string& path) const;
+  /// Uniform double in [0, 1) from a hash of the mixed identities.
+  double UnitDraw(uint64_t salt, uint64_t a, uint64_t b) const;
+
+  FaultConfig config_;
+  FaultStats stats_;
+  size_t next_event_ = 0;
+  /// Per-path read attempt counters: transient read errors depend on the
+  /// attempt number, so a retry rolls a fresh (but reproducible) die.
+  std::unordered_map<std::string, uint64_t> read_seq_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_FAULT_INJECTOR_H_

@@ -7,6 +7,8 @@
 namespace feisu {
 
 FeisuEngine::FeisuEngine(EngineConfig config) : config_(config) {
+  fault_injector_.Configure(config_.fault);
+  router_.set_fault_injector(&fault_injector_);
   for (size_t i = 0; i < config_.num_leaf_nodes; ++i) {
     uint32_t node_id = cluster_.AddNode(/*is_stem=*/false);
     leaves_.push_back(
@@ -233,10 +235,22 @@ uint64_t FeisuEngine::TotalIndexMemory() const {
 
 void FeisuEngine::RunMaintenance(SimTime now) {
   clock_.AdvanceTo(now);
+  // Apply the chaos schedule first: crashes/recoveries whose time has come
+  // take effect before this round's heartbeats.
+  for (const NodeFaultEvent& event : fault_injector_.TakeDueNodeEvents(now)) {
+    if (event.crash) {
+      cluster_.MarkDead(event.node_id);
+    } else {
+      cluster_.MarkAlive(event.node_id, now);
+    }
+  }
   for (const auto& leaf : leaves_) {
     const NodeInfo* node = cluster_.Node(leaf->node_id());
-    // Crashed processes stop heartbeating; the sweep below notices.
-    if (node != nullptr && node->alive) {
+    // Crashed processes stop heartbeating; the sweep below notices. A
+    // heartbeat lost in the control plane has the same effect for this
+    // round.
+    if (node != nullptr && node->alive &&
+        !fault_injector_.DropHeartbeat(leaf->node_id(), now)) {
       cluster_.Heartbeat(leaf->node_id(), now);
     }
     leaf->index_cache().EvictExpired(now);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/master.h"
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "plan/catalog.h"
 #include "storage/path_router.h"
@@ -20,6 +21,9 @@ struct EngineConfig {
   uint32_t rows_per_block = 4096;
   LeafServerConfig leaf;
   MasterConfig master;
+  /// Deterministic chaos schedule applied to the whole deployment
+  /// (disabled by default). See docs/FAULTS.md.
+  FaultConfig fault;
 };
 
 /// The top-level Feisu deployment: heterogeneous storage systems behind the
@@ -89,10 +93,13 @@ class FeisuEngine {
   SimClock& clock() { return clock_; }
   Catalog& catalog() { return catalog_; }
   PathRouter& router() { return router_; }
+  FaultInjector& fault_injector() { return fault_injector_; }
   MasterServer& master() { return *master_; }
   ClusterManager& cluster() { return cluster_; }
   LeafServer& leaf(size_t i) { return *leaves_[i]; }
   size_t num_leaves() const { return leaves_.size(); }
+  /// The leaf-server pool, shared with a backup master during failover.
+  std::vector<std::unique_ptr<LeafServer>>* leaf_servers() { return &leaves_; }
 
   /// Sums index-cache statistics over all leaf servers.
   IndexCacheStats AggregateIndexStats() const;
@@ -123,6 +130,7 @@ class FeisuEngine {
 
   EngineConfig config_;
   SimClock clock_;
+  FaultInjector fault_injector_;
   PathRouter router_;
   Catalog catalog_;
   SsoAuthenticator sso_;

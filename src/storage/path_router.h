@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "storage/storage_system.h"
 
@@ -44,6 +45,12 @@ class PathRouter {
   /// (0 if the path resolves nowhere).
   SimTime ReadCost(const std::string& path, uint64_t bytes) const;
 
+  /// Fault injection hook shared by every storage consumer. The router is
+  /// the common storage layer, so this is the single place the injector
+  /// plugs into; nullptr (the default) means a fault-free deployment.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
  private:
   struct Mount {
     std::string prefix;
@@ -52,6 +59,7 @@ class PathRouter {
   std::vector<Mount> mounts_;
   std::vector<StorageSystem*> system_ptrs_;
   StorageSystem* default_system_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace feisu

@@ -57,6 +57,21 @@ void SsdCache::SetPreference(const std::string& key, bool preferred) {
   }
 }
 
+size_t SsdCache::InvalidatePrefix(const std::string& prefix) {
+  size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      used_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 void SsdCache::ResetStats() {
   hits_ = 0;
   misses_ = 0;

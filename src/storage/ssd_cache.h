@@ -45,6 +45,11 @@ class SsdCache {
   /// policies refuse to evict preferred keys while unpreferred ones exist).
   void SetPreference(const std::string& key, bool preferred);
 
+  /// Drops every entry whose key starts with `prefix` (e.g. "<path>#" to
+  /// purge all columns of one block after its replica proved corrupt).
+  /// Returns the number of entries removed; not counted as evictions.
+  size_t InvalidatePrefix(const std::string& prefix);
+
   bool Contains(const std::string& key) const {
     return entries_.count(key) > 0;
   }

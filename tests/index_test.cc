@@ -170,6 +170,39 @@ TEST(IndexCacheTest, ReplaceUpdatesMemoryAccounting) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+// Regression for a latent use-after-invalidation bug in LeafServer: a
+// pointer returned by Lookup/Peek is documented to stay valid only until
+// the next mutating call — Insert may rehash the underlying map or evict
+// the entry outright. Callers must copy the bits they need before
+// inserting (LeafServer::Execute now pushes its bitmap before feeding the
+// cache). This test pins the contract: data copied before the mutation
+// stays correct no matter how much churn follows.
+TEST(IndexCacheTest, LookupPointerInvalidatedByInsert) {
+  IndexCache cache(SmallCache(2000));
+  BitVector original = MakeBits("0110100");
+  cache.Insert({1, "(a > 1)"}, original, 0);
+  const SmartIndex* hit = cache.Lookup({1, "(a > 1)"}, 0);
+  ASSERT_NE(hit, nullptr);
+  // Copy before any mutating call — the only safe usage pattern.
+  BitVector copied = hit->Bits();
+
+  // Churn the cache hard: many inserts force rehashes and LRU evictions,
+  // after which `hit` must be presumed dangling.
+  Rng rng(11);
+  for (int i = 0; i < 64; ++i) {
+    BitVector bits(4096, false);
+    for (size_t j = 0; j < bits.size(); ++j) bits.Set(j, rng.NextBool(0.5));
+    cache.Insert({100 + i, "(b > 1)"}, bits, 1);
+  }
+
+  EXPECT_TRUE(copied == original);
+  // If the entry survived the churn, a fresh lookup still round-trips.
+  const SmartIndex* again = cache.Peek({1, "(a > 1)"}, 1);
+  if (again != nullptr) {
+    EXPECT_TRUE(again->Bits() == original);
+  }
+}
+
 // ---------- IndexResolver (Fig. 7 bitmap algebra) ----------
 
 TEST(ResolverTest, DirectHit) {

@@ -215,6 +215,76 @@ TEST(IndexEquivalenceProperty, ZoneMapsPreserveResults) {
   }
 }
 
+// ---------- Fault-schedule determinism ----------
+
+// The chaos framework's core guarantee: the same fault seed replayed on a
+// fresh engine yields byte-identical results AND identical failure
+// accounting, query for query. (The chaos suite in fault_test.cc checks
+// correctness under faults; this checks reproducibility.)
+std::unique_ptr<FeisuEngine> BuildChaosEngine(uint64_t fault_seed,
+                                              const Schema& schema) {
+  EngineConfig config;
+  config.num_leaf_nodes = 4;
+  config.rows_per_block = 512;
+  config.master.enable_task_result_reuse = false;
+  config.fault.enabled = true;
+  config.fault.seed = fault_seed;
+  config.fault.default_profile.read_error_rate = 0.2;
+  config.fault.default_profile.corruption_rate = 0.1;
+  config.fault.node_events.push_back({3 * kSimSecond, 1, true});
+  auto engine = std::make_unique<FeisuEngine>(config);
+  engine->AddStorage("/hdfs", MakeHdfs(), true);
+  engine->GrantAllDomains("prop");
+  EXPECT_TRUE(engine->CreateTable("t1", schema, "/hdfs/t1").ok());
+  Rng rng(77);
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_TRUE(engine->Ingest("t1", GenerateRows(schema, 512, &rng)).ok());
+  }
+  EXPECT_TRUE(engine->Flush("t1").ok());
+  return engine;
+}
+
+std::string Canonicalize(const RecordBatch& batch);
+
+class FaultDeterminismProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultDeterminismProperty, SameSeedReplaysByteIdentically) {
+  Schema schema = MakeLogSchema(10);
+  TraceConfig trace_config;
+  trace_config.table = "t1";
+  trace_config.num_queries = 30;
+  trace_config.value_domain = 20;
+  trace_config.seed = 13;
+  std::vector<TraceQuery> trace = GenerateTrace(trace_config, schema);
+
+  auto a = BuildChaosEngine(GetParam(), schema);
+  auto b = BuildChaosEngine(GetParam(), schema);
+  for (const auto& q : trace) {
+    auto ra = a->Query("prop", q.sql);
+    auto rb = b->Query("prop", q.sql);
+    ASSERT_EQ(ra.ok(), rb.ok()) << q.sql;
+    if (!ra.ok()) continue;
+    EXPECT_EQ(Canonicalize(ra->batch), Canonicalize(rb->batch)) << q.sql;
+    EXPECT_EQ(ra->stats.response_time, rb->stats.response_time) << q.sql;
+    EXPECT_EQ(ra->stats.task_retries, rb->stats.task_retries) << q.sql;
+    EXPECT_EQ(ra->stats.corrupt_blocks, rb->stats.corrupt_blocks) << q.sql;
+    EXPECT_EQ(ra->stats.io_errors, rb->stats.io_errors) << q.sql;
+    EXPECT_EQ(ra->stats.failed_nodes, rb->stats.failed_nodes) << q.sql;
+    EXPECT_EQ(ra->stats.lost_blocks, rb->stats.lost_blocks) << q.sql;
+    EXPECT_EQ(ra->stats.partial, rb->stats.partial) << q.sql;
+    EXPECT_DOUBLE_EQ(ra->stats.processed_ratio, rb->stats.processed_ratio)
+        << q.sql;
+  }
+  const FaultStats& fa = a->fault_injector().stats();
+  const FaultStats& fb = b->fault_injector().stats();
+  EXPECT_EQ(fa.injected_read_errors, fb.injected_read_errors);
+  EXPECT_EQ(fa.injected_corrupt_reads, fb.injected_corrupt_reads);
+  EXPECT_EQ(fa.crashes_delivered, fb.crashes_delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultDeterminismProperty,
+                         ::testing::Values(1, 7, 21, 1234));
+
 // ---------- Distributed aggregation equals single-shot ----------
 
 class AggregationMergeProperty : public ::testing::TestWithParam<uint64_t> {
