@@ -36,7 +36,11 @@ int main() {
       return 1;
     }
   }
-  engine.Flush("t1");
+  status = engine.Flush("t1");
+  if (!status.ok()) {
+    std::fprintf(stderr, "Flush: %s\n", status.ToString().c_str());
+    return 1;
+  }
   std::printf("Loaded t1: %llu rows in %zu blocks\n",
               static_cast<unsigned long long>(
                   engine.catalog().Find("t1")->TotalRows()),

@@ -59,8 +59,7 @@ LeafServer::LeafServer(uint32_t node_id, PathRouter* router,
     : node_id_(node_id),
       router_(router),
       config_(config),
-      index_cache_(config.index_cache),
-      resolver_(&index_cache_) {
+      index_cache_(config.index_cache) {
   if (config_.ssd_capacity_bytes > 0) {
     ssd_cache_ = std::make_unique<SsdCache>(config_.ssd_capacity_bytes,
                                             config_.ssd_policy,
@@ -85,10 +84,23 @@ uint32_t LeafServer::PickSourceReplica(const std::string& path) const {
   return replicas[0];
 }
 
+ResolverStats LeafServer::resolver_stats() const {
+  std::lock_guard<std::mutex> lock(resolver_stats_mutex_);
+  return resolver_stats_;
+}
+
+void LeafServer::MergeResolverStats(const ResolverStats& stats) {
+  std::lock_guard<std::mutex> lock(resolver_stats_mutex_);
+  resolver_stats_ += stats;
+}
+
 Result<const ColumnarBlock*> LeafServer::LoadBlock(
     const TableBlockMeta& meta) {
-  auto it = decoded_blocks_.find(meta.path);
-  if (it != decoded_blocks_.end()) return &it->second;
+  {
+    std::lock_guard<std::mutex> lock(decoded_mutex_);
+    auto it = decoded_blocks_.find(meta.path);
+    if (it != decoded_blocks_.end()) return &it->second;
+  }
   FEISU_ASSIGN_OR_RETURN(const std::string* payload, router_->Get(meta.path));
   FaultInjector* faults = router_->fault_injector();
   if (faults != nullptr && faults->enabled()) {
@@ -118,6 +130,9 @@ Result<const ColumnarBlock*> LeafServer::LoadBlock(
   }
   FEISU_ASSIGN_OR_RETURN(ColumnarBlock block,
                          ColumnarBlock::Deserialize(*payload));
+  // Decode happened outside the lock; if a concurrent task decoded the same
+  // path first, emplace keeps the winner and our copy is dropped.
+  std::lock_guard<std::mutex> lock(decoded_mutex_);
   auto [inserted, ok] = decoded_blocks_.emplace(meta.path, std::move(block));
   return &inserted->second;
 }
@@ -152,6 +167,16 @@ SimTime LeafServer::ChargeColumnRead(const ColumnarBlock& block,
 }
 
 Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
+  // Each task resolves through its own IndexResolver (the cache behind it
+  // is shared and thread-safe); the per-task stats fold into the leaf-wide
+  // aggregate on every exit path via this scope guard.
+  IndexResolver resolver(&index_cache_);
+  struct StatsMerger {
+    LeafServer* leaf;
+    IndexResolver* resolver;
+    ~StatsMerger() { leaf->MergeResolverStats(resolver->stats()); }
+  } stats_merger{this, &resolver};
+
   TaskResult result;
   TaskStats& stats = result.stats;
   // Every task pays a fixed dispatch/metadata overhead regardless of how
@@ -218,10 +243,10 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
 
   for (const auto& conjunct : conjuncts) {
     if (config_.enable_smart_index) {
-      ResolverStats before = resolver_.stats();
+      ResolverStats before = resolver.stats();
       std::optional<BitVector> bits =
-          resolver_.Resolve(task.block.block_id, conjunct, now);
-      const ResolverStats& after = resolver_.stats();
+          resolver.Resolve(task.block.block_id, conjunct, now);
+      const ResolverStats& after = resolver.stats();
       stats.index_direct_hits += after.direct_hits - before.direct_hits;
       stats.index_composed_hits +=
           after.composed_hits - before.composed_hits;

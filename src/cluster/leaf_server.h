@@ -2,6 +2,7 @@
 #define FEISU_CLUSTER_LEAF_SERVER_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "cluster/task.h"
@@ -51,6 +52,13 @@ struct LeafServerConfig {
 /// node. It executes scan sub-plans over local blocks, maintains the
 /// SmartIndex cache (and optionally the B-tree baseline), and charges all
 /// I/O and CPU against simulated time.
+///
+/// Execute() is safe to call concurrently: the paper's leaf processes run
+/// several sub-plans at once next to the storage node, and the parallel
+/// leaf path fans block tasks across a thread pool. All shared leaf state
+/// (SmartIndex cache, B-tree manager, SSD cache, decoded-block memo,
+/// resolver statistics) is internally synchronized; everything else in
+/// Execute is per-task local.
 class LeafServer {
  public:
   LeafServer(uint32_t node_id, PathRouter* router, LeafServerConfig config);
@@ -67,13 +75,18 @@ class LeafServer {
   Result<TaskResult> Execute(const LeafTask& task, SimTime now);
 
   IndexCache& index_cache() { return index_cache_; }
-  const ResolverStats& resolver_stats() const { return resolver_.stats(); }
+  /// Aggregated over every finished Execute call (snapshot by value; a
+  /// per-task resolver merges into this under a mutex when the task ends).
+  ResolverStats resolver_stats() const;
   BTreeIndexManager& btree_manager() { return btree_manager_; }
   SsdCache* ssd_cache() { return ssd_cache_.get(); }
 
   /// Drops cached decoded blocks (host-memory optimization, not simulated
   /// state).
-  void DropDecodedBlocks() { decoded_blocks_.clear(); }
+  void DropDecodedBlocks() {
+    std::lock_guard<std::mutex> lock(decoded_mutex_);
+    decoded_blocks_.clear();
+  }
 
  private:
   /// Loads + decodes a block, charging `io` for the given columns only
@@ -102,13 +115,21 @@ class LeafServer {
                                 static_cast<double>(per_row));
   }
 
+  /// Folds one finished task's resolver statistics into the aggregate.
+  void MergeResolverStats(const ResolverStats& stats);
+
   uint32_t node_id_;
   PathRouter* router_;
   LeafServerConfig config_;
   IndexCache index_cache_;
-  IndexResolver resolver_;
   BTreeIndexManager btree_manager_;
   std::unique_ptr<SsdCache> ssd_cache_;
+  /// Aggregate of per-task resolver stats, guarded by its own mutex.
+  mutable std::mutex resolver_stats_mutex_;
+  ResolverStats resolver_stats_;
+  /// Host-memory memo of decoded blocks; pointer-stable (node-based map),
+  /// so a reference handed out under the lock stays valid afterwards.
+  mutable std::mutex decoded_mutex_;
   std::unordered_map<std::string, ColumnarBlock> decoded_blocks_;
 };
 

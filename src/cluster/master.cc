@@ -33,6 +33,26 @@ bool IsRetryableTaskFailure(const Status& status) {
 
 }  // namespace
 
+/// One block's leaf task plus the outcome slot the parallel path fills:
+/// pool workers write only their own slot; the single-threaded commit
+/// phase folds the slots into scheduler/stats state in block order.
+struct MasterServer::PendingLeafTask {
+  LeafTask task;
+  std::string signature;
+  std::vector<uint32_t> replicas;
+  TaskResult result;
+  Placement placement;
+  SimTime duration = 0;
+  bool reused = false;
+  // Parallel-phase outcome (written by a pool worker).
+  Status exec_status;          ///< terminal (non-retryable) failure, if any
+  bool completed = false;
+  int retries = 0;             ///< failed attempts that were retried
+  SimTime backoff_total = 0;   ///< accumulated retry backoff
+  uint64_t corrupt_reads = 0;
+  uint64_t io_errors = 0;
+};
+
 std::string FormatQueryStats(const QueryStats& stats) {
   std::ostringstream os;
   os << "response time: "
@@ -77,7 +97,11 @@ MasterServer::MasterServer(Catalog* catalog, PathRouter* router,
       job_manager_(config.task_result_cache_capacity),
       entry_guard_(sso, catalog, config.daily_query_quota),
       scheduler_(cluster, router, config.network, config.schedule,
-                 config.seed) {}
+                 config.seed) {
+  if (config_.leaf_parallelism > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.leaf_parallelism);
+  }
+}
 
 Result<QueryResult> MasterServer::ExecuteQuery(const std::string& user,
                                                const std::string& sql,
@@ -316,135 +340,140 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
   }
 
   // --- Create, reuse, place and execute leaf tasks. ---
-  struct PendingTask {
-    TaskResult result;
-    Placement placement;
-    std::vector<uint32_t> replicas;
-    SimTime duration = 0;
-    bool reused = false;
-  };
-  std::vector<PendingTask> pending;
-  pending.reserve(blocks.size());
-
+  std::vector<PendingLeafTask> slots;
+  slots.reserve(blocks.size());
   int64_t task_id = 0;
   for (const auto& block : blocks) {
-    LeafTask task;
-    task.job_id = job_id;
-    task.task_id = task_id++;
-    task.table = scan.table;
-    task.block = block;
-    task.columns = columns;
-    task.predicate = scan.scan_predicate;
-    task.has_aggregate = has_aggregate;
-    task.group_by = group_by;
-    task.aggregates = aggregates;
+    PendingLeafTask p;
+    p.task.job_id = job_id;
+    p.task.task_id = task_id++;
+    p.task.table = scan.table;
+    p.task.block = block;
+    p.task.columns = columns;
+    p.task.predicate = scan.scan_predicate;
+    p.task.has_aggregate = has_aggregate;
+    p.task.group_by = group_by;
+    p.task.aggregates = aggregates;
     if (!has_aggregate) {
-      task.limit = scan.limit_hint;
-      task.order_by = scan.order_hint;
+      p.task.limit = scan.limit_hint;
+      p.task.order_by = scan.order_hint;
     }
     ++stats->total_tasks;
 
-    PendingTask p;
     p.replicas = router_->ReplicaNodes(block.path);
-
-    std::string signature = task.Signature();
+    p.signature = p.task.Signature();
     if (config_.enable_task_result_reuse &&
-        job_manager_.TryReuse(signature, &p.result)) {
+        job_manager_.TryReuse(p.signature, &p.result)) {
       p.reused = true;
       ++stats->reused_tasks;
       p.placement.start_time = now;
       p.placement.finish_time = now + config_.network.ControlRoundTrip();
+    }
+    slots.push_back(std::move(p));
+  }
+
+  // Parallel leaf path: fan the non-reused sub-plans across the pool.
+  // Host-level concurrency only — every worker computes its slot's result
+  // and outcome flags; all scheduler bookings, SimTime accounting and
+  // stats updates happen afterwards, single-threaded and in block order,
+  // so the commit sequence matches what the sequential path produces.
+  const bool parallel = pool_ != nullptr;
+  if (parallel) {
+    pool_->ParallelFor(slots.size(), [&](size_t i) {
+      if (!slots[i].reused) ExecuteLeafTaskParallel(&slots[i], now);
+    });
+  }
+
+  std::vector<PendingLeafTask> pending;
+  pending.reserve(slots.size());
+  FaultInjector* faults = router_->fault_injector();
+  for (PendingLeafTask& p : slots) {
+    if (p.reused) {
       pending.push_back(std::move(p));
       continue;
     }
-
-    // --- Failure-driven recovery: place, execute, and on a retryable
-    // failure (checksum corruption, transient I/O error, mid-task crash)
-    // re-place on a different replica with capped exponential backoff.
-    // When every attempt fails, the block is declared lost and the job
-    // degrades to a partial result instead of failing outright. ---
-    FaultInjector* faults = router_->fault_injector();
-    std::set<uint32_t> excluded;
-    SimTime attempt_time = now;
-    bool completed = false;
-    for (int attempt = 0; attempt <= config_.max_task_retries; ++attempt) {
-      if (cluster_->AliveLeafNodes().empty()) {
-        return Status::Unavailable("no alive leaf server for task");
+    if (!parallel) {
+      // --- Failure-driven recovery: place, execute, and on a retryable
+      // failure (checksum corruption, transient I/O error, mid-task crash)
+      // re-place on a different replica with capped exponential backoff.
+      // When every attempt fails, the block is declared lost and the job
+      // degrades to a partial result instead of failing outright. ---
+      FEISU_ASSIGN_OR_RETURN(
+          bool completed,
+          ExecuteTaskWithRecovery(max_tasks_per_node, now, {}, stats, &p));
+      if (!completed) {
+        ++stats->lost_blocks;
+        continue;
       }
-      p.placement = scheduler_.PlaceTask(
-          p.replicas, max_tasks_per_node, attempt_time,
-          excluded.empty() ? nullptr : &excluded);
-      const NodeInfo* node = cluster_->Node(p.placement.node_id);
-      if (p.placement.node_id >= leaves_->size() || node == nullptr ||
-          !node->alive || excluded.count(p.placement.node_id) > 0) {
-        break;  // every eligible node has already failed this task
-      }
-      LeafServer* leaf = (*leaves_)[p.placement.node_id].get();
-      Result<TaskResult> executed = leaf->Execute(task, attempt_time);
-      Status failure = executed.ok() ? Status::OK() : executed.status();
-      if (failure.ok()) {
-        p.result = std::move(*executed);
-        p.duration = p.result.stats.TotalTime();
-        if (!p.placement.local) {
-          // Remote read: the block bytes cross the network on the read
-          // flow.
-          p.duration += config_.network.Transfer(p.result.stats.bytes_read,
-                                                 TrafficClass::kRead);
-          ++stats->remote_tasks;
-        }
-        scheduler_.CommitTask(&p.placement, p.duration, max_tasks_per_node,
-                              attempt_time);
-        if (faults != nullptr) {
-          // Orphaned-task detection: the host crashed while the task ran,
-          // so its result never comes back. The master notices about one
-          // heartbeat interval after the crash and reschedules.
-          std::optional<SimTime> crash = faults->CrashWithin(
-              p.placement.node_id, p.placement.start_time,
-              p.placement.finish_time);
-          if (crash.has_value()) {
-            if (node->alive) {
-              cluster_->MarkDead(p.placement.node_id);
-              ++stats->failed_nodes;
-            }
-            attempt_time = std::max(
-                attempt_time, *crash + cluster_->heartbeat_interval());
-            failure = Status::Unavailable("leaf crashed mid-task");
-          }
-        }
-      }
-      if (failure.ok()) {
-        if (p.placement.straggled) ++stats->straggler_tasks;
-        if (p.result.stats.block_skipped) ++stats->skipped_blocks;
-        stats->leaf.Accumulate(p.result.stats);
-        if (config_.enable_task_result_reuse) {
-          job_manager_.CacheResult(signature, p.result);
-        }
-        completed = true;
-        break;
-      }
-      if (!IsRetryableTaskFailure(failure)) return failure;
-      if (executed.ok()) {
-        // Crash-induced: already counted via failed_nodes.
-      } else if (failure.code() == StatusCode::kCorruption) {
-        ++stats->corrupt_blocks;
-      } else {
-        ++stats->io_errors;
-      }
-      excluded.insert(p.placement.node_id);
-      if (attempt < config_.max_task_retries) {
-        ++stats->task_retries;
-        SimTime backoff = config_.retry_backoff_base;
-        for (int i = 0; i < attempt; ++i) {
-          backoff = std::min(config_.retry_backoff_cap, backoff * 2);
-        }
-        attempt_time += backoff;
-      }
+      pending.push_back(std::move(p));
+      continue;
     }
-    if (!completed) {
+    // --- Commit phase of the parallel path: account the pool's outcome
+    // and book it with the scheduler, as the sequential path would. ---
+    if (!p.exec_status.ok()) return p.exec_status;
+    stats->task_retries += static_cast<uint64_t>(p.retries);
+    stats->corrupt_blocks += p.corrupt_reads;
+    stats->io_errors += p.io_errors;
+    if (!p.completed) {
       // No replica of this block survived: degrade gracefully and let the
       // processed-ratio accounting report the loss honestly.
       ++stats->lost_blocks;
       continue;
+    }
+    if (cluster_->AliveLeafNodes().empty()) {
+      return Status::Unavailable("no alive leaf server for task");
+    }
+    SimTime attempt_time = now + p.backoff_total;
+    p.placement = scheduler_.PlaceTask(p.replicas, max_tasks_per_node,
+                                       attempt_time, nullptr);
+    const NodeInfo* node = cluster_->Node(p.placement.node_id);
+    if (p.placement.node_id >= leaves_->size() || node == nullptr ||
+        !node->alive) {
+      ++stats->lost_blocks;
+      continue;
+    }
+    p.duration = p.result.stats.TotalTime();
+    if (!p.placement.local) {
+      // Remote read: the block bytes cross the network on the read flow.
+      p.duration += config_.network.Transfer(p.result.stats.bytes_read,
+                                             TrafficClass::kRead);
+      ++stats->remote_tasks;
+    }
+    scheduler_.CommitTask(&p.placement, p.duration, max_tasks_per_node,
+                          attempt_time);
+    if (faults != nullptr) {
+      // Orphaned-task detection: the booked host crashed while the task
+      // ran, so its result never comes back. The master notices about one
+      // heartbeat interval after the crash and falls back to the
+      // sequential recovery loop, excluding the dead node.
+      std::optional<SimTime> crash = faults->CrashWithin(
+          p.placement.node_id, p.placement.start_time,
+          p.placement.finish_time);
+      if (crash.has_value()) {
+        if (node->alive) {
+          cluster_->MarkDead(p.placement.node_id);
+          ++stats->failed_nodes;
+        }
+        SimTime resume =
+            std::max(attempt_time, *crash + cluster_->heartbeat_interval());
+        std::set<uint32_t> excluded{p.placement.node_id};
+        FEISU_ASSIGN_OR_RETURN(
+            bool recovered,
+            ExecuteTaskWithRecovery(max_tasks_per_node, resume, excluded,
+                                    stats, &p));
+        if (!recovered) {
+          ++stats->lost_blocks;
+          continue;
+        }
+        pending.push_back(std::move(p));
+        continue;
+      }
+    }
+    if (p.placement.straggled) ++stats->straggler_tasks;
+    if (p.result.stats.block_skipped) ++stats->skipped_blocks;
+    stats->leaf.Accumulate(p.result.stats);
+    if (config_.enable_task_result_reuse) {
+      job_manager_.CacheResult(p.signature, p.result);
     }
     pending.push_back(std::move(p));
   }
@@ -610,6 +639,142 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
   }
   staged.finish_time = ready + ChargeMasterRows(rows);
   return staged;
+}
+
+Result<bool> MasterServer::ExecuteTaskWithRecovery(
+    int max_tasks_per_node, SimTime start_time,
+    const std::set<uint32_t>& pre_excluded, QueryStats* stats,
+    PendingLeafTask* p) {
+  FaultInjector* faults = router_->fault_injector();
+  std::set<uint32_t> excluded = pre_excluded;
+  SimTime attempt_time = start_time;
+  for (int attempt = 0; attempt <= config_.max_task_retries; ++attempt) {
+    if (cluster_->AliveLeafNodes().empty()) {
+      return Status::Unavailable("no alive leaf server for task");
+    }
+    p->placement = scheduler_.PlaceTask(
+        p->replicas, max_tasks_per_node, attempt_time,
+        excluded.empty() ? nullptr : &excluded);
+    const NodeInfo* node = cluster_->Node(p->placement.node_id);
+    if (p->placement.node_id >= leaves_->size() || node == nullptr ||
+        !node->alive || excluded.count(p->placement.node_id) > 0) {
+      break;  // every eligible node has already failed this task
+    }
+    LeafServer* leaf = (*leaves_)[p->placement.node_id].get();
+    Result<TaskResult> executed = leaf->Execute(p->task, attempt_time);
+    Status failure = executed.ok() ? Status::OK() : executed.status();
+    if (failure.ok()) {
+      p->result = std::move(*executed);
+      p->duration = p->result.stats.TotalTime();
+      if (!p->placement.local) {
+        // Remote read: the block bytes cross the network on the read flow.
+        p->duration += config_.network.Transfer(p->result.stats.bytes_read,
+                                                TrafficClass::kRead);
+        ++stats->remote_tasks;
+      }
+      scheduler_.CommitTask(&p->placement, p->duration, max_tasks_per_node,
+                            attempt_time);
+      if (faults != nullptr) {
+        // Orphaned-task detection: the host crashed while the task ran,
+        // so its result never comes back. The master notices about one
+        // heartbeat interval after the crash and reschedules.
+        std::optional<SimTime> crash = faults->CrashWithin(
+            p->placement.node_id, p->placement.start_time,
+            p->placement.finish_time);
+        if (crash.has_value()) {
+          if (node->alive) {
+            cluster_->MarkDead(p->placement.node_id);
+            ++stats->failed_nodes;
+          }
+          attempt_time = std::max(
+              attempt_time, *crash + cluster_->heartbeat_interval());
+          failure = Status::Unavailable("leaf crashed mid-task");
+        }
+      }
+    }
+    if (failure.ok()) {
+      if (p->placement.straggled) ++stats->straggler_tasks;
+      if (p->result.stats.block_skipped) ++stats->skipped_blocks;
+      stats->leaf.Accumulate(p->result.stats);
+      if (config_.enable_task_result_reuse) {
+        job_manager_.CacheResult(p->signature, p->result);
+      }
+      return true;
+    }
+    if (!IsRetryableTaskFailure(failure)) return failure;
+    if (executed.ok()) {
+      // Crash-induced: already counted via failed_nodes.
+    } else if (failure.code() == StatusCode::kCorruption) {
+      ++stats->corrupt_blocks;
+    } else {
+      ++stats->io_errors;
+    }
+    excluded.insert(p->placement.node_id);
+    if (attempt < config_.max_task_retries) {
+      ++stats->task_retries;
+      SimTime backoff = config_.retry_backoff_base;
+      for (int i = 0; i < attempt; ++i) {
+        backoff = std::min(config_.retry_backoff_cap, backoff * 2);
+      }
+      attempt_time += backoff;
+    }
+  }
+  return false;
+}
+
+void MasterServer::ExecuteLeafTaskParallel(PendingLeafTask* p, SimTime now) {
+  // Deterministic node choice independent of scheduler state (which only
+  // the commit phase may touch): the first alive replica, then any alive
+  // leaf in id order. The executing node affects cache warmth and fault
+  // draws, never result bytes — every leaf reads the same blocks through
+  // the router.
+  std::set<uint32_t> excluded;
+  auto pick_node = [&]() -> int64_t {
+    for (uint32_t r : p->replicas) {
+      const NodeInfo* node = cluster_->Node(r);
+      if (r < leaves_->size() && node != nullptr && node->alive &&
+          excluded.count(r) == 0) {
+        return static_cast<int64_t>(r);
+      }
+    }
+    for (uint32_t id = 0; id < leaves_->size(); ++id) {
+      const NodeInfo* node = cluster_->Node(id);
+      if (node != nullptr && node->alive && excluded.count(id) == 0) {
+        return static_cast<int64_t>(id);
+      }
+    }
+    return -1;
+  };
+  for (int attempt = 0; attempt <= config_.max_task_retries; ++attempt) {
+    int64_t node_id = pick_node();
+    if (node_id < 0) return;  // no candidate left: the block is lost
+    LeafServer* leaf = (*leaves_)[static_cast<size_t>(node_id)].get();
+    Result<TaskResult> executed = leaf->Execute(p->task, now);
+    if (executed.ok()) {
+      p->result = std::move(*executed);
+      p->completed = true;
+      return;
+    }
+    const Status& failure = executed.status();
+    if (!IsRetryableTaskFailure(failure)) {
+      p->exec_status = failure;
+      return;
+    }
+    if (failure.code() == StatusCode::kCorruption) {
+      ++p->corrupt_reads;
+    } else {
+      ++p->io_errors;
+    }
+    excluded.insert(static_cast<uint32_t>(node_id));
+    if (attempt < config_.max_task_retries) {
+      ++p->retries;
+      SimTime backoff = config_.retry_backoff_base;
+      for (int i = 0; i < attempt; ++i) {
+        backoff = std::min(config_.retry_backoff_cap, backoff * 2);
+      }
+      p->backoff_total += backoff;
+    }
+  }
 }
 
 MasterCheckpoint MasterServer::Checkpoint() const {

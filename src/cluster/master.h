@@ -2,6 +2,7 @@
 #define FEISU_CLUSTER_MASTER_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "cluster/scheduler.h"
 #include "cluster/stem_server.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "plan/catalog.h"
 #include "plan/logical_plan.h"
 #include "sql/ast.h"
@@ -52,6 +54,14 @@ struct MasterConfig {
   int max_task_retries = 3;
   SimTime retry_backoff_base = 100 * kSimMillisecond;
   SimTime retry_backoff_cap = 5 * kSimSecond;
+  /// Width of the parallel leaf path: how many leaf sub-plans the master
+  /// executes concurrently on host threads. 1 = the classic sequential
+  /// path; > 1 fans block tasks across a fixed thread pool while keeping
+  /// scheduling, SimTime accounting and result merging in deterministic
+  /// block order. With fault injection disabled the result batches are
+  /// byte-identical to the sequential path's; timing statistics may differ
+  /// between the two modes (each mode is deterministic run-to-run).
+  size_t leaf_parallelism = 1;
 };
 
 /// End-to-end accounting for one query.
@@ -154,6 +164,10 @@ class MasterServer {
     SimTime finish_time = 0;
   };
 
+  /// One block's leaf task plus everything the commit phase needs; defined
+  /// in master.cc.
+  struct PendingLeafTask;
+
   /// Plans, optimizes and executes an admitted statement under `job_id`
   /// (shared tail of ExecuteQuery and ResumeJob); finalizes job state and
   /// recovery accounting.
@@ -172,6 +186,24 @@ class MasterServer {
                                     const PlanNode* agg, int64_t job_id,
                                     SimTime now, QueryStats* stats);
 
+  /// Sequential failure-driven recovery for one task: place, execute, and
+  /// on a retryable failure re-place on a different replica with capped
+  /// exponential backoff. Returns true when the task completed (placement,
+  /// result, duration filled in and booked with the scheduler), false when
+  /// every eligible replica failed (the caller declares the block lost),
+  /// and an error for non-retryable failures.
+  Result<bool> ExecuteTaskWithRecovery(int max_tasks_per_node,
+                                       SimTime start_time,
+                                       const std::set<uint32_t>& pre_excluded,
+                                       QueryStats* stats, PendingLeafTask* p);
+
+  /// Pool-worker body of the parallel leaf path: executes one task on a
+  /// deterministically chosen leaf (first alive replica, then any alive
+  /// leaf), retrying on retryable failures, and records the outcome in the
+  /// task's slot. Touches no scheduler or stats state — those are applied
+  /// by the single-threaded commit phase, in block order.
+  void ExecuteLeafTaskParallel(PendingLeafTask* p, SimTime now);
+
   SimTime ChargeMasterRows(uint64_t rows) const {
     return static_cast<SimTime>(rows) * config_.cpu_per_row_master;
   }
@@ -184,6 +216,8 @@ class MasterServer {
   JobManager job_manager_;
   EntryGuard entry_guard_;
   JobScheduler scheduler_;
+  /// Workers for the parallel leaf path; null when leaf_parallelism <= 1.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace feisu

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,19 @@ struct StorageFaultProfile {
   /// same verdict for a given seed, like real bit rot on one disk.
   double corruption_rate = 0.0;
 };
+
+/// Calibrated per-backend failure personalities, derived from the paper's
+/// production storage descriptions (§III-C / §II: local FS on online
+/// service machines shares nodes with latency-critical services and loses
+/// whole nodes rather than single reads; HDFS DataNodes see occasional
+/// transient read failures but checksummed pipelines make silent
+/// corruption rare; Fatman stores cold data on volunteer disk fragments,
+/// where bit rot on rarely-scrubbed replicas is the dominant failure).
+/// Opt-in: callers wire these into FaultConfig::profiles explicitly —
+/// fault injection stays off by default.
+StorageFaultProfile HdfsFaultProfile();
+StorageFaultProfile FatmanFaultProfile();
+StorageFaultProfile LocalFsFaultProfile();
 
 /// One scheduled node lifecycle event on the simulated timeline.
 struct NodeFaultEvent {
@@ -71,6 +85,12 @@ struct FaultConfig {
 /// so the same seed and the same call pattern reproduce byte-identical
 /// failures regardless of which subsystem asks first — the invariant the
 /// chaos suite's determinism property checks.
+///
+/// Thread safety: the mutating entry points (OnBlockRead, DropHeartbeat,
+/// TakeDueNodeEvents) synchronize on an internal mutex so concurrent leaf
+/// sub-plans share one coherent fault universe; per-path read-attempt
+/// sequences stay deterministic because each path is read by exactly one
+/// task at a time. Configure/Reset must not race with queries.
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -87,7 +107,11 @@ class FaultInjector {
 
   bool enabled() const { return config_.enabled; }
   const FaultConfig& config() const { return config_; }
-  const FaultStats& stats() const { return stats_; }
+  /// Snapshot of the fault counters (by value: they move concurrently).
+  FaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
 
   /// Decides the fate of one physical block read of `path` whose bytes
   /// come from `source_node`'s replica. Counts injected faults.
@@ -119,6 +143,7 @@ class FaultInjector {
   /// Uniform double in [0, 1) from a hash of the mixed identities.
   double UnitDraw(uint64_t salt, uint64_t a, uint64_t b) const;
 
+  mutable std::mutex mutex_;
   FaultConfig config_;
   FaultStats stats_;
   size_t next_event_ = 0;

@@ -11,8 +11,10 @@ namespace feisu {
 
 /// Result<T> holds either a value of type T or an error Status. It is the
 /// value-returning counterpart of Status, used throughout the Feisu API.
+/// [[nodiscard]]: ignoring a Result drops both the value and the error —
+/// a discarded call is a bug by construction.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result.
   Result(T value)  // NOLINT(google-explicit-constructor): intentional sugar

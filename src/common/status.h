@@ -28,7 +28,9 @@ const char* StatusCodeName(StatusCode code);
 
 /// A Status encodes the result of an operation that may fail. The OK status
 /// carries no allocation; error statuses carry a code and a message.
-class Status {
+/// [[nodiscard]]: silently ignoring a Status hides failures; every call
+/// site must consume it (propagate, check, or handle).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -1,0 +1,78 @@
+#ifndef FEISU_COMMON_THREAD_POOL_H_
+#define FEISU_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace feisu {
+
+/// A fixed-size thread pool with one shared FIFO queue — deliberately
+/// work-stealing-free so task start order is the submission order, which
+/// keeps the parallel leaf path easy to reason about (results land in
+/// ordered slots regardless of which worker ran them).
+///
+/// Host-level concurrency only: pool workers burn wall-clock CPU, never
+/// simulated time. SimTime accounting stays with the (single-threaded)
+/// scheduler that consumes the workers' outputs.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue: blocks until every submitted task has run, then
+  /// joins the workers.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Number of tasks submitted but not yet finished (queued + running).
+  size_t pending() const;
+
+  /// Schedules `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is captured and rethrown from future::get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs `fn(0) .. fn(n - 1)` across the pool and waits for all of them.
+  /// If any invocation throws, the exception of the lowest-index failing
+  /// iteration is rethrown (deterministic regardless of worker timing).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Drain();
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_THREAD_POOL_H_

@@ -109,56 +109,63 @@ CompareOp MirrorCompareOp(CompareOp op) {
   }
 }
 
+ExprPtr Expr::Make(ExprKind kind) {
+  // The constructor is private so callers cannot bypass the factories;
+  // make_shared has no access, leaving explicit new as the only option.
+  // feisu-lint: allow(naked-new): private ctor, make_shared cannot reach it
+  return std::shared_ptr<Expr>(new Expr(kind));
+}
+
 ExprPtr Expr::ColumnRef(std::string table, std::string column) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kColumnRef));
+  auto e = Make(ExprKind::kColumnRef);
   e->table_ = std::move(table);
   e->column_ = std::move(column);
   return e;
 }
 
 ExprPtr Expr::Literal(Value value) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLiteral));
+  auto e = Make(ExprKind::kLiteral);
   e->value_ = std::move(value);
   return e;
 }
 
 ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kComparison));
+  auto e = Make(ExprKind::kComparison);
   e->compare_op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
 ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLogical));
+  auto e = Make(ExprKind::kLogical);
   e->logical_op_ = LogicalOp::kAnd;
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
 ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLogical));
+  auto e = Make(ExprKind::kLogical);
   e->logical_op_ = LogicalOp::kOr;
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
 ExprPtr Expr::Not(ExprPtr child) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLogical));
+  auto e = Make(ExprKind::kLogical);
   e->logical_op_ = LogicalOp::kNot;
   e->children_ = {std::move(child)};
   return e;
 }
 
 ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kArithmetic));
+  auto e = Make(ExprKind::kArithmetic);
   e->arith_op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
 ExprPtr Expr::Aggregate(AggFunc func, ExprPtr arg, ExprPtr within) {
-  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kAggregate));
+  auto e = Make(ExprKind::kAggregate);
   e->agg_func_ = func;
   if (arg != nullptr) e->children_ = {std::move(arg)};
   e->within_ = std::move(within);
@@ -166,7 +173,7 @@ ExprPtr Expr::Aggregate(AggFunc func, ExprPtr arg, ExprPtr within) {
 }
 
 ExprPtr Expr::Star() {
-  return std::shared_ptr<Expr>(new Expr(ExprKind::kStar));
+  return Make(ExprKind::kStar);
 }
 
 std::string Expr::QualifiedName() const {

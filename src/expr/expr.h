@@ -96,6 +96,10 @@ class Expr {
  private:
   explicit Expr(ExprKind kind) : kind_(kind) {}
 
+  /// Sole allocation point for Expr nodes; the constructor is private, so
+  /// std::make_shared cannot reach it and the factories funnel through here.
+  static ExprPtr Make(ExprKind kind);
+
   ExprKind kind_;
   std::string table_;
   std::string column_;

@@ -86,6 +86,7 @@ size_t ColumnBTreeIndex::MemoryBytes() const {
 
 const ColumnBTreeIndex* BTreeIndexManager::Find(
     int64_t block_id, const std::string& column) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++lookups_;
   auto it = indices_.find({block_id, column});
   return it == indices_.end() ? nullptr : &it->second;
@@ -93,12 +94,18 @@ const ColumnBTreeIndex* BTreeIndexManager::Find(
 
 const ColumnBTreeIndex* BTreeIndexManager::BuildAndStore(
     int64_t block_id, const std::string& column, const ColumnVector& values) {
+  // Build outside the lock (tree construction is the expensive part), then
+  // let the first finisher win; a racing loser's tree is simply dropped.
   ColumnBTreeIndex index = ColumnBTreeIndex::Build(values);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = indices_.find({block_id, column});
+  if (it != indices_.end()) return &it->second;
   memory_bytes_ += index.MemoryBytes();
   ++builds_;
-  auto [it, inserted] =
-      indices_.insert_or_assign({block_id, column}, std::move(index));
-  return &it->second;
+  auto [inserted, ok] =
+      indices_.emplace(std::make_pair(block_id, column), std::move(index));
+  (void)ok;
+  return &inserted->second;
 }
 
 }  // namespace feisu

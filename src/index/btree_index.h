@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -42,20 +43,40 @@ class ColumnBTreeIndex {
 /// A leaf server's collection of B-tree indices, keyed by block and column,
 /// built lazily on first use (mirroring how the Fig. 9b experiment
 /// "implemented B-tree index in Feisu").
+///
+/// Thread-safe: concurrent sub-plans on one leaf may probe and build
+/// indices at the same time. Returned pointers stay valid for the manager's
+/// lifetime (std::map nodes never move, and indices are never dropped).
 class BTreeIndexManager {
  public:
   const ColumnBTreeIndex* Find(int64_t block_id,
                                const std::string& column) const;
+  /// Builds from `values` and stores, unless another thread won the race —
+  /// then the existing index is returned and `values` is ignored (both
+  /// builders read the same immutable block, so the trees are identical).
   const ColumnBTreeIndex* BuildAndStore(int64_t block_id,
                                         const std::string& column,
                                         const ColumnVector& values);
 
-  size_t size() const { return indices_.size(); }
-  size_t MemoryBytes() const { return memory_bytes_; }
-  uint64_t lookups() const { return lookups_; }
-  uint64_t builds() const { return builds_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return indices_.size();
+  }
+  size_t MemoryBytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memory_bytes_;
+  }
+  uint64_t lookups() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookups_;
+  }
+  uint64_t builds() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return builds_;
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::pair<int64_t, std::string>, ColumnBTreeIndex> indices_;
   size_t memory_bytes_ = 0;
   mutable uint64_t lookups_ = 0;

@@ -1,61 +1,97 @@
 #include "index/index_cache.h"
 
+#include <algorithm>
+
 namespace feisu {
 
-IndexCache::IndexCache(IndexCacheConfig config) : config_(config) {}
+IndexCache::IndexCache(IndexCacheConfig config)
+    : config_(config), capacity_bytes_(config.capacity_bytes) {
+  size_t n = std::max<size_t>(1, config_.shards);
+  config_.shards = n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
 
-bool IndexCache::IsExpired(const SmartIndex& index, SimTime now) const {
+IndexCache::Shard& IndexCache::ShardFor(const SmartIndexKey& key) {
+  return *shards_[SmartIndexKeyHash()(key) % shards_.size()];
+}
+
+const IndexCache::Shard& IndexCache::ShardFor(const SmartIndexKey& key) const {
+  return *shards_[SmartIndexKeyHash()(key) % shards_.size()];
+}
+
+uint64_t IndexCache::ShardCapacity() const {
+  return capacity_bytes_.load(std::memory_order_relaxed) / shards_.size();
+}
+
+bool IndexCache::IsPreferred(const SmartIndexKey& key) const {
+  std::lock_guard<std::mutex> lock(preferred_mutex_);
+  return preferred_predicates_.count(key.predicate) > 0;
+}
+
+bool IndexCache::IsExpired(const Shard& shard, const SmartIndex& index,
+                           SimTime now) const {
   if (now - index.created_at() <= config_.ttl) return false;
   // Preferred indices may outlive their TTL while memory is not full
   // (paper §IV-C.2).
-  if (IsPreferred(index.key()) && memory_bytes_ <= config_.capacity_bytes) {
+  if (IsPreferred(index.key()) && shard.memory_bytes <= ShardCapacity()) {
     return false;
   }
   return true;
 }
 
-const SmartIndex* IndexCache::Lookup(const SmartIndexKey& key, SimTime now) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+std::shared_ptr<const SmartIndex> IndexCache::Lookup(const SmartIndexKey& key,
+                                                     SimTime now) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
-  if (IsExpired(it->second.index, now)) {
-    ++stats_.ttl_evictions;
-    Remove(key);
-    ++stats_.misses;
+  if (IsExpired(shard, *it->second.index, now)) {
+    ++shard.stats.ttl_evictions;
+    RemoveLocked(&shard, key);
+    ++shard.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(key);
-  it->second.lru_it = lru_.begin();
-  return &it->second.index;
+  ++shard.stats.hits;
+  shard.lru.erase(it->second.lru_it);
+  shard.lru.push_front(key);
+  it->second.lru_it = shard.lru.begin();
+  return it->second.index;
 }
 
-const SmartIndex* IndexCache::Peek(const SmartIndexKey& key, SimTime now) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  if (IsExpired(it->second.index, now)) return nullptr;
-  return &it->second.index;
+std::shared_ptr<const SmartIndex> IndexCache::Peek(const SmartIndexKey& key,
+                                                   SimTime now) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return nullptr;
+  if (IsExpired(shard, *it->second.index, now)) return nullptr;
+  return it->second.index;
 }
 
 void IndexCache::Insert(const SmartIndexKey& key, const BitVector& bits,
                         SimTime now) {
-  Remove(key);
-  SmartIndex index(key, bits, now);
-  uint64_t bytes = index.MemoryBytes();
-  if (bytes > config_.capacity_bytes) return;
-  EvictForSpace(bytes);
-  if (memory_bytes_ + bytes > config_.capacity_bytes) return;
-  lru_.push_front(key);
-  Entry entry{std::move(index), lru_.begin()};
-  memory_bytes_ += bytes;
-  entries_.emplace(key, std::move(entry));
-  ++stats_.insertions;
+  // Build outside the lock: RLE compression is the expensive part.
+  auto index = std::make_shared<const SmartIndex>(key, bits, now);
+  uint64_t bytes = index->MemoryBytes();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  RemoveLocked(&shard, key);
+  if (bytes > ShardCapacity()) return;
+  EvictForSpaceLocked(&shard, bytes);
+  if (shard.memory_bytes + bytes > ShardCapacity()) return;
+  shard.lru.push_front(key);
+  Entry entry{std::move(index), shard.lru.begin()};
+  shard.memory_bytes += bytes;
+  shard.entries.emplace(key, std::move(entry));
+  ++shard.stats.insertions;
 }
 
 void IndexCache::SetPreference(const std::string& predicate, bool preferred) {
+  std::lock_guard<std::mutex> lock(preferred_mutex_);
   if (preferred) {
     preferred_predicates_.insert(predicate);
   } else {
@@ -64,40 +100,83 @@ void IndexCache::SetPreference(const std::string& predicate, bool preferred) {
 }
 
 void IndexCache::EvictExpired(SimTime now) {
-  std::vector<SmartIndexKey> victims;
-  for (const auto& [key, entry] : entries_) {
-    if (IsExpired(entry.index, now)) victims.push_back(key);
-  }
-  for (const auto& key : victims) {
-    ++stats_.ttl_evictions;
-    Remove(key);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::vector<SmartIndexKey> victims;
+    for (const auto& [key, entry] : shard.entries) {
+      if (IsExpired(shard, *entry.index, now)) victims.push_back(key);
+    }
+    for (const auto& key : victims) {
+      ++shard.stats.ttl_evictions;
+      RemoveLocked(&shard, key);
+    }
   }
 }
 
 void IndexCache::Clear() {
-  entries_.clear();
-  lru_.clear();
-  memory_bytes_ = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.memory_bytes = 0;
+  }
 }
 
-void IndexCache::Remove(const SmartIndexKey& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  memory_bytes_ -= it->second.index.MemoryBytes();
-  lru_.erase(it->second.lru_it);
-  entries_.erase(it);
+uint64_t IndexCache::memory_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->memory_bytes;
+  }
+  return total;
 }
 
-void IndexCache::EvictForSpace(uint64_t incoming_bytes) {
+size_t IndexCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+IndexCacheStats IndexCache::stats() const {
+  IndexCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->stats;
+  }
+  return total;
+}
+
+void IndexCache::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->stats = IndexCacheStats();
+  }
+}
+
+void IndexCache::RemoveLocked(Shard* shard, const SmartIndexKey& key) {
+  auto it = shard->entries.find(key);
+  if (it == shard->entries.end()) return;
+  shard->memory_bytes -= it->second.index->MemoryBytes();
+  shard->lru.erase(it->second.lru_it);
+  shard->entries.erase(it);
+}
+
+void IndexCache::EvictForSpaceLocked(Shard* shard, uint64_t incoming_bytes) {
   // Two passes over the LRU tail: first evict unpreferred entries, then —
   // only if still necessary — preferred ones.
+  uint64_t capacity = ShardCapacity();
   for (int pass = 0; pass < 2; ++pass) {
     bool allow_preferred = pass == 1;
-    while (memory_bytes_ + incoming_bytes > config_.capacity_bytes &&
-           !entries_.empty()) {
+    while (shard->memory_bytes + incoming_bytes > capacity &&
+           !shard->entries.empty()) {
       SmartIndexKey victim;
       bool found = false;
-      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
         if (allow_preferred || !IsPreferred(*it)) {
           victim = *it;
           found = true;
@@ -105,10 +184,10 @@ void IndexCache::EvictForSpace(uint64_t incoming_bytes) {
         }
       }
       if (!found) break;
-      Remove(victim);
-      ++stats_.lru_evictions;
+      RemoveLocked(shard, victim);
+      ++shard->stats.lru_evictions;
     }
-    if (memory_bytes_ + incoming_bytes <= config_.capacity_bytes) return;
+    if (shard->memory_bytes + incoming_bytes <= capacity) return;
   }
 }
 

@@ -1,10 +1,14 @@
 #ifndef FEISU_INDEX_INDEX_CACHE_H_
 #define FEISU_INDEX_INDEX_CACHE_H_
 
+#include <atomic>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "index/smart_index.h"
 
@@ -15,6 +19,12 @@ namespace feisu {
 struct IndexCacheConfig {
   uint64_t capacity_bytes = 512ULL * 1024 * 1024;
   SimTime ttl = 72 * kSimHour;
+  /// Lock-striping width: keys hash onto `shards` independent LRU domains,
+  /// each guarded by its own mutex and owning capacity_bytes / shards of
+  /// the budget. 1 reproduces the pre-striping single-LRU semantics (tests
+  /// that pin exact eviction order use it); the default spreads contention
+  /// across concurrent leaf sub-plans.
+  size_t shards = 8;
 };
 
 struct IndexCacheStats {
@@ -29,12 +39,28 @@ struct IndexCacheStats {
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
   double MissRate() const { return 1.0 - HitRate(); }
+
+  IndexCacheStats& operator+=(const IndexCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    lru_evictions += other.lru_evictions;
+    ttl_evictions += other.ttl_evictions;
+    return *this;
+  }
 };
 
 /// The per-leaf-server SmartIndex store. An index is dropped when (1) the
 /// memory budget is full (LRU order) or (2) it has been cached longer than
 /// the TTL — except that preferred (pinned) indices survive TTL expiry as
 /// long as memory is not under pressure.
+///
+/// Thread safety: every public method is safe to call concurrently; the key
+/// space is striped over independently locked shards. Lookup/Peek return a
+/// shared_ptr that keeps the index alive even if a concurrent Insert evicts
+/// the entry — the old "pointer valid until the next mutating call"
+/// contract is gone (it was a dangling-pointer hazard under LRU eviction,
+/// and indefensible once sub-plans run in parallel).
 class IndexCache {
  public:
   explicit IndexCache(IndexCacheConfig config = {});
@@ -43,19 +69,27 @@ class IndexCache {
   IndexCache& operator=(const IndexCache&) = delete;
 
   const IndexCacheConfig& config() const { return config_; }
-  void set_capacity_bytes(uint64_t bytes) { config_.capacity_bytes = bytes; }
+  void set_capacity_bytes(uint64_t bytes) {
+    capacity_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t capacity_bytes() const {
+    return capacity_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Looks up the index for (block, predicate) at simulated time `now`.
   /// Expired entries are treated as misses and removed. Returns nullptr on
-  /// miss. The pointer stays valid until the next mutating call.
-  const SmartIndex* Lookup(const SmartIndexKey& key, SimTime now);
+  /// miss. The returned pointer owns the index: it stays valid for as long
+  /// as the caller holds it, no matter what the cache does afterwards.
+  std::shared_ptr<const SmartIndex> Lookup(const SmartIndexKey& key,
+                                           SimTime now);
 
   /// Same as Lookup but without touching the hit/miss statistics or LRU
   /// order (used by the resolver's compositional probes).
-  const SmartIndex* Peek(const SmartIndexKey& key, SimTime now);
+  std::shared_ptr<const SmartIndex> Peek(const SmartIndexKey& key,
+                                         SimTime now);
 
   /// Inserts (or replaces) the index for `key`. Evicts LRU entries as
-  /// needed; an entry larger than the whole budget is not cached.
+  /// needed; an entry larger than its shard's budget is not cached.
   void Insert(const SmartIndexKey& key, const BitVector& bits, SimTime now);
 
   /// User preference hook (paper: "interfaces for users to set preferences
@@ -68,30 +102,43 @@ class IndexCache {
 
   void Clear();
 
-  uint64_t memory_bytes() const { return memory_bytes_; }
-  size_t size() const { return entries_.size(); }
-  const IndexCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IndexCacheStats(); }
+  uint64_t memory_bytes() const;
+  size_t size() const;
+  /// Aggregated over all shards (a coherent snapshot per shard; counters
+  /// keep moving while concurrent callers run).
+  IndexCacheStats stats() const;
+  void ResetStats();
 
  private:
   struct Entry {
-    SmartIndex index;
+    std::shared_ptr<const SmartIndex> index;
     std::list<SmartIndexKey>::iterator lru_it;
   };
 
-  bool IsExpired(const SmartIndex& index, SimTime now) const;
-  bool IsPreferred(const SmartIndexKey& key) const {
-    return preferred_predicates_.count(key.predicate) > 0;
-  }
-  void Remove(const SmartIndexKey& key);
-  void EvictForSpace(uint64_t incoming_bytes);
+  /// One independently locked LRU domain.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<SmartIndexKey, Entry, SmartIndexKeyHash> entries;
+    std::list<SmartIndexKey> lru;  // front = most recently used
+    uint64_t memory_bytes = 0;
+    IndexCacheStats stats;
+  };
+
+  Shard& ShardFor(const SmartIndexKey& key);
+  const Shard& ShardFor(const SmartIndexKey& key) const;
+  uint64_t ShardCapacity() const;
+  bool IsExpired(const Shard& shard, const SmartIndex& index,
+                 SimTime now) const;
+  bool IsPreferred(const SmartIndexKey& key) const;
+  /// Both helpers require `shard.mutex` to be held by the caller.
+  void RemoveLocked(Shard* shard, const SmartIndexKey& key);
+  void EvictForSpaceLocked(Shard* shard, uint64_t incoming_bytes);
 
   IndexCacheConfig config_;
-  std::unordered_map<SmartIndexKey, Entry, SmartIndexKeyHash> entries_;
-  std::list<SmartIndexKey> lru_;  // front = most recently used
+  std::atomic<uint64_t> capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex preferred_mutex_;
   std::set<std::string> preferred_predicates_;
-  uint64_t memory_bytes_ = 0;
-  IndexCacheStats stats_;
 };
 
 }  // namespace feisu

@@ -21,7 +21,9 @@ std::optional<BitVector> IndexResolver::ResolveImpl(int64_t block_id,
   //    counts toward cache hit/miss statistics and refreshes LRU order;
   //    inner compositional probes use Peek.
   SmartIndexKey key{block_id, PredicateKey(expr)};
-  const SmartIndex* index =
+  // The shared_ptr keeps the index alive even if a concurrent insert on
+  // another thread evicts the cache entry while we decompress it.
+  std::shared_ptr<const SmartIndex> index =
       top_level ? cache_->Lookup(key, now) : cache_->Peek(key, now);
   if (index != nullptr) {
     if (top_level) {

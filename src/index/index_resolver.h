@@ -16,6 +16,14 @@ struct ResolverStats {
   uint64_t bitmap_words = 0;    ///< words touched by combine operations
 
   uint64_t TotalHits() const { return direct_hits + composed_hits; }
+
+  ResolverStats& operator+=(const ResolverStats& other) {
+    direct_hits += other.direct_hits;
+    composed_hits += other.composed_hits;
+    misses += other.misses;
+    bitmap_words += other.bitmap_words;
+    return *this;
+  }
 };
 
 /// Resolves a (block, conjunct) pair to a row bitmap using only cached

@@ -9,14 +9,14 @@ namespace feisu {
 namespace {
 
 const std::unordered_set<std::string>& Keywords() {
-  static const auto* kKeywords = new std::unordered_set<std::string>{
+  static const std::unordered_set<std::string> kKeywords{
       "SELECT", "FROM",   "WHERE",  "GROUP",    "BY",    "HAVING", "ORDER",
       "LIMIT",  "AS",     "AND",    "OR",       "NOT",   "JOIN",   "INNER",
       "LEFT",   "RIGHT",  "OUTER",  "CROSS",    "ON",    "ASC",    "DESC",
       "COUNT",  "SUM",    "MIN",    "MAX",      "AVG",   "WITHIN", "CONTAINS",
       "TRUE",   "FALSE",  "NULL",
   };
-  return *kKeywords;
+  return kKeywords;
 }
 
 bool IsIdentStart(char c) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -23,6 +24,9 @@ const char* CachePolicyName(CachePolicy policy);
 /// Simulated per-node SSD column cache. Keys are "<path>#<column>" strings;
 /// values are byte sizes (payloads stay in the backing storage system —
 /// only placement and cost are modeled).
+///
+/// Thread-safe: one leaf server's concurrent sub-plans share this cache, so
+/// every method synchronizes on an internal mutex.
 class SsdCache {
  public:
   SsdCache(uint64_t capacity_bytes, CachePolicy policy,
@@ -30,7 +34,10 @@ class SsdCache {
 
   CachePolicy policy() const { return policy_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
-  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_bytes_;
+  }
 
   /// True if `key` is cached; updates recency/frequency bookkeeping and
   /// the hit/miss counters.
@@ -51,16 +58,27 @@ class SsdCache {
   size_t InvalidatePrefix(const std::string& prefix);
 
   bool Contains(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return entries_.count(key) > 0;
   }
 
   /// SSD read cost for a cached object.
   SimTime ReadCost(uint64_t bytes) const { return ssd_cost_.ReadCost(bytes); }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
   double MissRate() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(misses_) / total;
   }
@@ -78,6 +96,7 @@ class SsdCache {
     return preferred_.count(key) > 0;
   }
 
+  mutable std::mutex mutex_;
   uint64_t capacity_bytes_;
   CachePolicy policy_;
   StorageCostModel ssd_cost_;

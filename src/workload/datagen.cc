@@ -3,12 +3,12 @@
 namespace feisu {
 
 const std::vector<PaperDataset>& PaperTableI() {
-  static const auto* kDatasets = new std::vector<PaperDataset>{
+  static const std::vector<PaperDataset> kDatasets{
       {"T1", 30.0, "62 TB", 200, "A"},
       {"T2", 130.0, "200 TB", 200, "B"},
       {"T3", 10.0, "7 TB", 57, "A"},
   };
-  return *kDatasets;
+  return kDatasets;
 }
 
 Schema MakeLogSchema(size_t num_fields) {

@@ -82,7 +82,9 @@ std::unique_ptr<FeisuEngine> MakeEngine(const FaultConfig& fault,
   Rng rng(77);
   for (size_t b = 0; b < kNumBlocks; ++b) {
     RecordBatch rows = GenerateRows(schema, kRowsPerBlock, &rng);
-    if (all_rows != nullptr) EXPECT_TRUE(all_rows->Append(rows).ok());
+    if (all_rows != nullptr) {
+      EXPECT_TRUE(all_rows->Append(rows).ok());
+    }
     EXPECT_TRUE(engine->Ingest("t1", rows).ok());
   }
   EXPECT_TRUE(engine->Flush("t1").ok());
@@ -172,6 +174,35 @@ TEST(FaultInjectorTest, ProfileLongestPrefixWins) {
   EXPECT_FALSE(injector.IsReplicaCorrupted("/hdfs/other/blk_0", 2));
   // Unmatched paths use the (fault-free) default profile.
   EXPECT_EQ(injector.OnBlockRead("/ffs/blk_0", 0), FaultKind::kNone);
+}
+
+TEST(FaultInjectorTest, CalibratedBackendProfilesMatchPersonalities) {
+  StorageFaultProfile hdfs = HdfsFaultProfile();
+  StorageFaultProfile fatman = FatmanFaultProfile();
+  StorageFaultProfile local = LocalFsFaultProfile();
+  // Fatman's volunteer cold disks make bit rot its dominant fault, well
+  // above the checksummed HDFS pipeline.
+  EXPECT_GT(fatman.corruption_rate, hdfs.corruption_rate);
+  EXPECT_GT(fatman.corruption_rate, fatman.read_error_rate / 2);
+  // HDFS fails transiently far more often than it silently corrupts.
+  EXPECT_GT(hdfs.read_error_rate, 10 * hdfs.corruption_rate);
+  // Local FS loses whole nodes, not single reads: lowest per-read rates.
+  EXPECT_LT(local.read_error_rate, hdfs.read_error_rate);
+  EXPECT_LT(local.corruption_rate, hdfs.corruption_rate);
+  // All rates are probabilities, and opt-in wiring works per prefix.
+  for (const auto& p : {hdfs, fatman, local}) {
+    EXPECT_GE(p.read_error_rate, 0.0);
+    EXPECT_LE(p.read_error_rate, 1.0);
+    EXPECT_GE(p.corruption_rate, 0.0);
+    EXPECT_LE(p.corruption_rate, 1.0);
+  }
+  FaultConfig config;
+  config.enabled = true;
+  config.profiles["/hdfs"] = hdfs;
+  config.profiles["/ffs"] = fatman;
+  config.profiles["/local"] = local;
+  FaultInjector injector(config);
+  EXPECT_TRUE(injector.enabled());
 }
 
 TEST(FaultInjectorTest, NodeEventsAreConsumedOnce) {

@@ -61,13 +61,16 @@ IndexCacheConfig SmallCache(uint64_t bytes = 10 * 1024,
   IndexCacheConfig config;
   config.capacity_bytes = bytes;
   config.ttl = ttl;
+  // Single shard: these tests pin exact LRU/eviction order, which only the
+  // unsharded cache guarantees (striping splits the budget per shard).
+  config.shards = 1;
   return config;
 }
 
 TEST(IndexCacheTest, InsertLookup) {
   IndexCache cache(SmallCache());
   cache.Insert({1, "(a > 1)"}, MakeBits("101"), 0);
-  const SmartIndex* hit = cache.Lookup({1, "(a > 1)"}, 10);
+  std::shared_ptr<const SmartIndex> hit = cache.Lookup({1, "(a > 1)"}, 10);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->matched_rows(), 2u);
   EXPECT_EQ(cache.Lookup({1, "(a > 2)"}, 10), nullptr);
@@ -170,37 +173,44 @@ TEST(IndexCacheTest, ReplaceUpdatesMemoryAccounting) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
-// Regression for a latent use-after-invalidation bug in LeafServer: a
-// pointer returned by Lookup/Peek is documented to stay valid only until
-// the next mutating call — Insert may rehash the underlying map or evict
-// the entry outright. Callers must copy the bits they need before
-// inserting (LeafServer::Execute now pushes its bitmap before feeding the
-// cache). This test pins the contract: data copied before the mutation
-// stays correct no matter how much churn follows.
-TEST(IndexCacheTest, LookupPointerInvalidatedByInsert) {
+// Ownership-contract regression (successor to the PR-1 pointer-contract
+// test). Lookup/Peek used to hand out raw pointers valid only "until the
+// next mutating call" — a dangling-pointer hazard once Insert could rehash
+// the map or LRU-evict the entry, and indefensible with sub-plans running
+// in parallel. The cache now returns a shared_ptr that OWNS the index:
+// a handle taken before arbitrary churn — including eviction of its own
+// entry — stays alive and bit-exact for as long as the caller holds it.
+TEST(IndexCacheTest, LookupHandleSurvivesInsertChurnAndEviction) {
   IndexCache cache(SmallCache(2000));
   BitVector original = MakeBits("0110100");
   cache.Insert({1, "(a > 1)"}, original, 0);
-  const SmartIndex* hit = cache.Lookup({1, "(a > 1)"}, 0);
+  std::shared_ptr<const SmartIndex> hit = cache.Lookup({1, "(a > 1)"}, 0);
   ASSERT_NE(hit, nullptr);
-  // Copy before any mutating call — the only safe usage pattern.
-  BitVector copied = hit->Bits();
 
-  // Churn the cache hard: many inserts force rehashes and LRU evictions,
-  // after which `hit` must be presumed dangling.
+  // Churn the cache hard: many inserts force rehashes and LRU evictions.
+  // The tiny budget guarantees entry {1, "(a > 1)"} is evicted along the
+  // way — yet `hit` keeps its index alive and unchanged.
   Rng rng(11);
   for (int i = 0; i < 64; ++i) {
     BitVector bits(4096, false);
     for (size_t j = 0; j < bits.size(); ++j) bits.Set(j, rng.NextBool(0.5));
     cache.Insert({100 + i, "(b > 1)"}, bits, 1);
   }
+  EXPECT_EQ(cache.Peek({1, "(a > 1)"}, 1), nullptr);  // evicted from cache
 
-  EXPECT_TRUE(copied == original);
-  // If the entry survived the churn, a fresh lookup still round-trips.
-  const SmartIndex* again = cache.Peek({1, "(a > 1)"}, 1);
-  if (again != nullptr) {
-    EXPECT_TRUE(again->Bits() == original);
-  }
+  EXPECT_TRUE(hit->Bits() == original);
+  EXPECT_EQ(hit->matched_rows(), 3u);
+
+  // Replacing a live entry detaches, not mutates: an old handle still sees
+  // the bits it was taken with after Insert overwrites the key.
+  cache.Insert({2, "(c > 1)"}, MakeBits("1111"), 2);
+  std::shared_ptr<const SmartIndex> before = cache.Lookup({2, "(c > 1)"}, 2);
+  ASSERT_NE(before, nullptr);
+  cache.Insert({2, "(c > 1)"}, MakeBits("0000"), 3);
+  EXPECT_TRUE(before->Bits() == MakeBits("1111"));
+  std::shared_ptr<const SmartIndex> after = cache.Lookup({2, "(c > 1)"}, 3);
+  ASSERT_NE(after, nullptr);
+  EXPECT_TRUE(after->Bits() == MakeBits("0000"));
 }
 
 // ---------- IndexResolver (Fig. 7 bitmap algebra) ----------

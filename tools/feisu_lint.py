@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""feisu-lint: project-specific static checks for the Feisu codebase.
+
+Rules (see docs/STATIC_ANALYSIS.md for rationale):
+
+  void-cast-call   No silencing of [[nodiscard]] results by casting a call
+                   expression to void: `(void)DoThing();` hides failures.
+                   Casting an already-bound *identifier* to void (to mark a
+                   deliberately unused variable) is fine.
+  naked-new        No raw `new` / `delete` outside arena/allocator code.
+                   Ownership must flow through smart pointers/containers.
+                   Justified exceptions carry an inline waiver comment:
+                   `// feisu-lint: allow(naked-new): <reason>`.
+  wall-clock       No wall-clock or ambient randomness (`std::time`,
+                   `rand`, `system_clock`, `random_device`, ...). The
+                   engine is a deterministic simulation: all time comes
+                   from SimClock, all randomness from the seeded Rng.
+  direct-output    No `std::cout` / `printf`-family output from library
+                   code in src/. Use common/logging.h so output is
+                   capturable and rate-controlled.
+  include-guard    Header guards must be FEISU_<PATH>_H_ derived from the
+                   path under src/ (e.g. src/index/index_cache.h =>
+                   FEISU_INDEX_INDEX_CACHE_H_).
+
+Exit status: 0 when no violations, 1 when violations were reported,
+2 on usage errors. `--self-test` checks the seeded fixture files under
+tools/lint_fixtures/ each trip exactly their intended rule.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
+
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+WAIVER_RE = re.compile(r"feisu-lint:\s*allow\(([a-z-]+)\)")
+
+# A call expression cast to void: `(void)Foo(...)`, `(void)obj.Method(...)`,
+# `(void)ns::Fn(...)`. `(void)identifier;` does not match (no call parens).
+VOID_CAST_CALL_RE = re.compile(
+    r"\(\s*void\s*\)\s*[A-Za-z_][A-Za-z0-9_]*"
+    r"(?:(?:\.|->|::)[A-Za-z_][A-Za-z0-9_]*)*\s*\(")
+
+NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
+NAKED_DELETE_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[A-Za-z_(*]")
+
+WALL_CLOCK_RES = [
+    re.compile(r"\bstd::time\b"),
+    re.compile(r"\bstd::rand\b"),
+    re.compile(r"\bstd::srand\b"),
+    re.compile(r"(?<![\w:.>])rand\s*\("),
+    re.compile(r"(?<![\w:.>])srand\s*\("),
+    re.compile(r"(?<![\w:.>])time\s*\("),
+    re.compile(r"\bgettimeofday\b"),
+    re.compile(r"\bclock_gettime\b"),
+    re.compile(r"\blocaltime\b"),
+    re.compile(r"\bstd::chrono::system_clock\b"),
+    re.compile(r"\bstd::random_device\b"),
+]
+
+DIRECT_OUTPUT_RES = [
+    re.compile(r"\bstd::cout\b"),
+    re.compile(r"\bstd::cerr\b"),
+    re.compile(r"(?<![\w:.>])f?printf\s*\("),
+    re.compile(r"(?<![\w:.>])puts\s*\("),
+]
+
+GUARD_IFNDEF_RE = re.compile(r"^\s*#ifndef\s+([A-Za-z0-9_]+)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return "%s:%d: [%s] %s" % (rel, self.line, self.rule, self.message)
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string-literal contents with spaces, keeping
+    line structure so reported line numbers stay accurate. Waiver comments
+    are honored by inspecting the raw line separately."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated; keep line structure
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(path):
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    parts = rel.split(os.sep)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return "FEISU_" + stem.upper() + "_"
+
+
+def is_arena_path(path):
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    return "arena" in rel.replace(os.sep, "/").split("/")
+
+
+def lint_file(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.split("\n")
+    code_lines = strip_comments_and_strings(raw).split("\n")
+    violations = []
+
+    def waived(lineno, rule):
+        # A waiver comment applies to its own line or to the line directly
+        # below it (for sites where the comment would overflow the line).
+        for idx in (lineno - 1, lineno - 2):
+            if idx < 0:
+                continue
+            m = WAIVER_RE.search(raw_lines[idx])
+            if m is not None and m.group(1) == rule:
+                return True
+        return False
+
+    for lineno, line in enumerate(code_lines, start=1):
+        if VOID_CAST_CALL_RE.search(line) and not waived(lineno,
+                                                        "void-cast-call"):
+            violations.append(Violation(
+                path, lineno, "void-cast-call",
+                "discarding a call result with (void) hides failures; "
+                "handle or propagate the Status/Result"))
+        if not is_arena_path(path):
+            if NAKED_NEW_RE.search(line) and not waived(lineno, "naked-new"):
+                violations.append(Violation(
+                    path, lineno, "naked-new",
+                    "raw `new` outside arena code; use make_unique/"
+                    "make_shared or a container"))
+            if NAKED_DELETE_RE.search(line) and not waived(lineno,
+                                                           "naked-new"):
+                violations.append(Violation(
+                    path, lineno, "naked-new",
+                    "raw `delete` outside arena code; ownership must flow "
+                    "through smart pointers"))
+        for pattern in WALL_CLOCK_RES:
+            if pattern.search(line) and not waived(lineno, "wall-clock"):
+                violations.append(Violation(
+                    path, lineno, "wall-clock",
+                    "wall-clock/ambient randomness breaks simulation "
+                    "determinism; use SimClock / the seeded Rng"))
+                break
+        for pattern in DIRECT_OUTPUT_RES:
+            if pattern.search(line) and not waived(lineno, "direct-output"):
+                violations.append(Violation(
+                    path, lineno, "direct-output",
+                    "direct console output from library code; use "
+                    "common/logging.h"))
+                break
+
+    if path.endswith((".h", ".hpp")):
+        guard = None
+        guard_line = 0
+        for lineno, line in enumerate(code_lines, start=1):
+            m = GUARD_IFNDEF_RE.match(line)
+            if m:
+                guard = m.group(1)
+                guard_line = lineno
+                break
+        want = expected_guard(path)
+        if guard is None:
+            violations.append(Violation(
+                path, 1, "include-guard",
+                "missing include guard; expected " + want))
+        elif guard != want and not waived(guard_line, "include-guard"):
+            violations.append(Violation(
+                path, guard_line, "include-guard",
+                "guard %s does not match path; expected %s" % (guard, want)))
+    return violations
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            print("feisu-lint: no such path: %s" % p, file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def run_self_test():
+    """Every fixture must trip exactly its intended rule (encoded in the
+    file name), proving the lint fails when it should."""
+    expected = {
+        "void_cast_discard.cc": "void-cast-call",
+        "naked_new.cc": "naked-new",
+        "wall_clock.cc": "wall-clock",
+        "direct_cout.cc": "direct-output",
+        "bad_include_guard.h": "include-guard",
+    }
+    failures = []
+    for name, rule in sorted(expected.items()):
+        path = os.path.join(FIXTURE_DIR, name)
+        if not os.path.isfile(path):
+            failures.append("missing fixture: " + name)
+            continue
+        rules_hit = {v.rule for v in lint_file(path)}
+        if rule not in rules_hit:
+            failures.append("fixture %s did not trip rule %s (hit: %s)" %
+                            (name, rule, sorted(rules_hit) or "none"))
+    if failures:
+        for f in failures:
+            print("feisu-lint self-test FAILED: " + f, file=sys.stderr)
+        return 1
+    print("feisu-lint self-test: %d fixtures each tripped their rule" %
+          len(expected))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: <repo>/src)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the seeded fixtures trip their rules")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(run_self_test())
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    violations = []
+    for path in collect_files(paths):
+        violations.extend(lint_file(path))
+    for v in violations:
+        print(str(v))
+    if violations:
+        print("feisu-lint: %d violation(s)" % len(violations),
+              file=sys.stderr)
+        sys.exit(1)
+    print("feisu-lint: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+// Seeded violation: include guard does not follow the FEISU_<PATH>_H_
+// convention for this file's path.
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace feisu {}
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,10 @@
+// Seeded violation: direct console output from library code.
+#include <iostream>
+
+namespace feisu {
+
+void Noisy() {
+  std::cout << "this belongs in common/logging.h\n";  // BAD
+}
+
+}  // namespace feisu

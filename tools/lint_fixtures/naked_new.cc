@@ -1,0 +1,9 @@
+// Seeded violation: raw new/delete outside arena code.
+namespace feisu {
+
+void Leaky() {
+  int* p = new int(3);  // BAD: naked new
+  delete p;             // BAD: naked delete
+}
+
+}  // namespace feisu

@@ -1,0 +1,16 @@
+// Seeded violation: silencing a [[nodiscard]] result with a (void) cast.
+// feisu-lint must flag the call-expression cast but not the identifier
+// cast below it.
+#include "common/status.h"
+
+namespace feisu {
+
+Status MightFail();
+
+void Caller() {
+  (void)MightFail();  // BAD: discards a Status
+  bool ok = true;
+  (void)ok;  // fine: marking a bound variable as deliberately unused
+}
+
+}  // namespace feisu

@@ -1,0 +1,13 @@
+// Seeded violation: wall-clock time and ambient randomness instead of
+// SimClock / the seeded Rng.
+#include <cstdlib>
+#include <ctime>
+
+namespace feisu {
+
+long AmbientEntropy() {
+  long t = static_cast<long>(std::time(nullptr));  // BAD: wall clock
+  return t + std::rand();                          // BAD: unseeded stream
+}
+
+}  // namespace feisu
