@@ -133,6 +133,151 @@ void BM_TopN(benchmark::State& state) {
 }
 BENCHMARK(BM_TopN)->Arg(4096)->Arg(65536);
 
+// --- Late materialization: selective decode vs decode-then-Filter. ---
+
+// Runs of 32 repeated values: the shape RLE exploits and selective decode
+// skips.
+ColumnVector MakeRunnyColumn(size_t n) {
+  Rng rng(9);
+  ColumnVector col(DataType::kInt64);
+  size_t i = 0;
+  while (i < n) {
+    int64_t v = rng.NextInt64(0, 50);
+    for (size_t k = 0; k < 32 && i < n; ++k, ++i) col.AppendInt64(v);
+  }
+  return col;
+}
+
+// ~1% selectivity, the SmartIndex-hit regime the paper optimizes for.
+BitVector SparseSelection(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n, false);
+  for (size_t i = 0; i < n; ++i) bits.Set(i, rng.NextBool(0.01));
+  return bits;
+}
+
+void ReportDecodeCounters(benchmark::State& state) {
+  DecodeCounters counters = GetDecodeCounters();
+  double iters = static_cast<double>(state.iterations());
+  state.counters["values_decoded_per_iter"] =
+      static_cast<double>(counters.values_materialized) / iters;
+  state.counters["values_skipped_per_iter"] =
+      static_cast<double>(counters.values_skipped) / iters;
+  state.counters["runs_skipped_per_iter"] =
+      static_cast<double>(counters.runs_skipped) / iters;
+}
+
+void BM_FullDecodeThenFilter(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  EncodedColumn encoded = EncodeColumn(MakeRunnyColumn(n));
+  BitVector selection = SparseSelection(n, 10);
+  ResetDecodeCounters();
+  for (auto _ : state) {
+    auto full = DecodeColumn(DataType::kInt64, encoded);
+    ColumnVector out = full->Filter(selection);
+    benchmark::DoNotOptimize(out);
+  }
+  ReportDecodeCounters(state);
+}
+BENCHMARK(BM_FullDecodeThenFilter)->Arg(4096)->Arg(65536);
+
+void BM_SelectiveDecode(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  EncodedColumn encoded = EncodeColumn(MakeRunnyColumn(n));
+  BitVector selection = SparseSelection(n, 10);
+  ResetDecodeCounters();
+  for (auto _ : state) {
+    auto out = DecodeColumn(DataType::kInt64, encoded, &selection);
+    benchmark::DoNotOptimize(out);
+  }
+  ReportDecodeCounters(state);
+}
+BENCHMARK(BM_SelectiveDecode)->Arg(4096)->Arg(65536);
+
+// --- SmartIndex combine: RLE domain vs inflate-combine-reserialize. ---
+
+// Whole-word runs of zeros/ones with mixed literal stretches: the shape
+// cached SmartIndex bitmaps actually have.
+BitVector BlockyBits(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n, false);
+  size_t i = 0;
+  while (i < n) {
+    uint64_t shape = rng.NextUint64(5);
+    size_t span = (1 + rng.NextUint64(4)) * 64;
+    for (size_t k = 0; k < span && i < n; ++k, ++i) {
+      bits.Set(i, shape < 2 ? false : (shape < 4 ? true : rng.NextBool(0.5)));
+    }
+  }
+  return bits;
+}
+
+void BM_RleDomainAnd(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  const std::string a = BlockyBits(n, 11).SerializeRle();
+  const std::string b = BlockyBits(n, 12).SerializeRle();
+  for (auto _ : state) {
+    std::string out;
+    BitVector::RleAnd(a, b, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RleDomainAnd)->Arg(65536)->Arg(1 << 20);
+
+void BM_InflateAndReserialize(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  const std::string a = BlockyBits(n, 11).SerializeRle();
+  const std::string b = BlockyBits(n, 12).SerializeRle();
+  for (auto _ : state) {
+    BitVector da;
+    BitVector db;
+    BitVector::DeserializeRle(a, &da);
+    BitVector::DeserializeRle(b, &db);
+    da.And(db);
+    std::string out = da.SerializeRle();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_InflateAndReserialize)->Arg(65536)->Arg(1 << 20);
+
+// --- Typed hash join (word keys + gather output, no per-cell boxing). ---
+
+void BM_HashJoinEqui(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Schema left_schema({{"k", DataType::kInt64, true},
+                      {"lv", DataType::kDouble, true}});
+  Schema right_schema({{"rk", DataType::kInt64, true},
+                       {"rv", DataType::kString, true}});
+  RecordBatch left(left_schema);
+  RecordBatch right(right_schema);
+  Rng rng(13);
+  for (size_t i = 0; i < n; ++i) {
+    left.AppendRow({Value::Int64(rng.NextInt64(0, 1024)),
+                    Value::Double(rng.NextDouble())})
+        .ok();
+  }
+  for (size_t i = 0; i < 1024; ++i) {
+    right
+        .AppendRow({Value::Int64(static_cast<int64_t>(i)),
+                    Value::String("r" + std::to_string(i))})
+        .ok();
+  }
+  HashJoinOptions options;
+  options.condition = Expr::Compare(CompareOp::kEq, Expr::ColumnRef("k"),
+                                    Expr::ColumnRef("rk"));
+  for (auto _ : state) {
+    auto out = HashJoinBatches(left, right, options);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HashJoinEqui)->Arg(4096)->Arg(65536);
+
 void BM_ParseSql(benchmark::State& state) {
   const std::string sql =
       "SELECT c0, COUNT(*) AS n FROM t1 WHERE c2 > 0 AND (c2 <= 5 OR "

@@ -35,16 +35,26 @@ std::vector<std::string> ExprColumns(const ExprPtr& expr) {
   return cols;
 }
 
-/// Decodes the task's data columns. When the task needs no data columns
+/// Decodes the task's data columns, pushing `selection` (may be null: all
+/// rows) down into the column decoders. When the task needs no data columns
 /// (e.g. `SELECT 1 FROM t WHERE ...`), a synthetic row-id column keeps the
-/// row count flowing through downstream operators.
+/// row count flowing through downstream operators — built only for the
+/// selected rows, not all num_rows of the block.
 Result<RecordBatch> DecodeDataBatch(const ColumnarBlock& block,
-                                    const std::vector<std::string>& columns) {
-  if (!columns.empty()) return block.DecodeBatch(columns);
+                                    const std::vector<std::string>& columns,
+                                    const BitVector* selection = nullptr) {
+  if (!columns.empty()) return block.DecodeBatch(columns, selection);
   ColumnVector rowid(DataType::kInt64);
-  rowid.Reserve(block.num_rows());
-  for (uint32_t i = 0; i < block.num_rows(); ++i) {
-    rowid.AppendInt64(static_cast<int64_t>(i));
+  if (selection != nullptr) {
+    rowid.Reserve(selection->CountOnes());
+    selection->ForEachSetBit([&rowid](size_t i) {
+      rowid.AppendInt64(static_cast<int64_t>(i));
+    });
+  } else {
+    rowid.Reserve(block.num_rows());
+    for (uint32_t i = 0; i < block.num_rows(); ++i) {
+      rowid.AppendInt64(static_cast<int64_t>(i));
+    }
   }
   std::vector<ColumnVector> cols;
   cols.push_back(std::move(rowid));
@@ -225,6 +235,14 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
       FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());
       return result;
     }
+    if (config_.enable_selection_pushdown) {
+      // Selective decode against an all-false selection touches no row
+      // data at all; only the schema comes out.
+      BitVector none(block->num_rows(), false);
+      FEISU_ASSIGN_OR_RETURN(result.batch,
+                             DecodeDataBatch(*block, task.columns, &none));
+      return result;
+    }
     FEISU_ASSIGN_OR_RETURN(RecordBatch batch,
                            DecodeDataBatch(*block, task.columns));
     result.batch = batch.Filter(BitVector(batch.num_rows(), false));
@@ -251,8 +269,12 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
       stats.index_composed_hits +=
           after.composed_hits - before.composed_hits;
       stats.index_misses += after.misses - before.misses;
+      // RLE-domain combines charge per compressed token, word-array
+      // inflation per word — the token charge is what makes conjunct
+      // combination scale with run count instead of row count.
       stats.cpu_time += static_cast<SimTime>(
-          static_cast<double>(after.bitmap_words - before.bitmap_words) *
+          static_cast<double>((after.bitmap_words - before.bitmap_words) +
+                              (after.rle_tokens - before.rle_tokens)) *
           config_.sim_data_scale *
           static_cast<double>(config_.cpu_per_bitmap_word));
       if (bits.has_value()) {
@@ -392,10 +414,20 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
                 static_cast<double>(num_rows == 0 ? 1 : num_rows);
   stats.io_time +=
       ChargeColumnRead(*block, task.block, to_charge, selectivity, &stats);
-  FEISU_ASSIGN_OR_RETURN(RecordBatch data,
-                         DecodeDataBatch(*block, task.columns));
-  RecordBatch filtered =
-      conjuncts.empty() ? data : data.Filter(selection);
+  // Selection pushdown: projection columns decode *through* the combined
+  // predicate bitmap, so only matching rows ever materialize. The fallback
+  // is the pre-pushdown path — full decode, then copy the survivors.
+  const BitVector* decode_selection =
+      !conjuncts.empty() && config_.enable_selection_pushdown ? &selection
+                                                             : nullptr;
+  FEISU_ASSIGN_OR_RETURN(
+      RecordBatch data,
+      DecodeDataBatch(*block, task.columns, decode_selection));
+  stats.values_decoded +=
+      static_cast<uint64_t>(data.num_rows()) * data.num_columns();
+  RecordBatch filtered = conjuncts.empty() || decode_selection != nullptr
+                             ? std::move(data)
+                             : data.Filter(selection);
   stats.cpu_time +=
       RowCost(filtered.num_rows(), config_.cpu_per_row_materialize);
 

@@ -21,6 +21,11 @@ struct LeafServerConfig {
   bool enable_smart_index = true;
   bool enable_btree_index = false;  ///< Fig. 9b baseline mode
   bool enable_zone_maps = true;     ///< min/max block skipping
+  /// Late materialization: resolve the predicate bitmap first, then decode
+  /// projection columns through it (selective decode) instead of decoding
+  /// every row and filtering the survivors. Off = the pre-pushdown
+  /// decode-then-Filter path (ablations; results are byte-identical).
+  bool enable_selection_pushdown = true;
 
   /// Optional SSD column cache; 0 disables it.
   uint64_t ssd_capacity_bytes = 0;

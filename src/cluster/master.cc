@@ -68,7 +68,7 @@ std::string FormatQueryStats(const QueryStats& stats) {
      << " backup, " << stats.remote_tasks << " remote\n";
   os << "leaf I/O: " << stats.leaf.bytes_read << " bytes read, "
      << stats.leaf.rows_scanned << " rows scanned, " << stats.leaf.rows_matched
-     << " matched\n";
+     << " matched, " << stats.leaf.values_decoded << " values decoded\n";
   os << "SmartIndex: " << stats.leaf.index_direct_hits << " direct + "
      << stats.leaf.index_composed_hits << " composed hits, "
      << stats.leaf.index_misses << " misses\n";

@@ -26,6 +26,7 @@ void TaskStats::Accumulate(const TaskStats& other) {
   bytes_read += other.bytes_read;
   rows_scanned += other.rows_scanned;
   rows_matched += other.rows_matched;
+  values_decoded += other.values_decoded;
   index_direct_hits += other.index_direct_hits;
   index_composed_hits += other.index_composed_hits;
   index_misses += other.index_misses;

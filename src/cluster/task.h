@@ -41,6 +41,10 @@ struct TaskStats {
   uint64_t bytes_read = 0;
   uint64_t rows_scanned = 0;           ///< rows whose predicate was evaluated
   uint64_t rows_matched = 0;
+  /// Values actually materialized for the output projection. With selection
+  /// pushdown this counts only selected rows × projected columns, so the
+  /// ratio to rows_scanned × columns shows the late-materialization win.
+  uint64_t values_decoded = 0;
   uint64_t index_direct_hits = 0;
   uint64_t index_composed_hits = 0;
   uint64_t index_misses = 0;

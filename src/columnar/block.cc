@@ -133,22 +133,27 @@ size_t ColumnarBlock::ByteSize() const {
   return bytes;
 }
 
-Result<ColumnVector> ColumnarBlock::DecodeColumnAt(size_t col) const {
+Result<ColumnVector> ColumnarBlock::DecodeColumnAt(
+    size_t col, const BitVector* selection) const {
   if (col >= columns_.size()) {
     return Status::InvalidArgument("column index out of range");
   }
-  return DecodeColumn(schema_.field(col).type, columns_[col]);
+  if (selection != nullptr && selection->size() != num_rows_) {
+    return Status::InvalidArgument("selection size does not match block");
+  }
+  return DecodeColumn(schema_.field(col).type, columns_[col], selection);
 }
 
 Result<ColumnVector> ColumnarBlock::DecodeColumnByName(
-    const std::string& name) const {
+    const std::string& name, const BitVector* selection) const {
   int idx = schema_.FieldIndex(name);
   if (idx < 0) return Status::NotFound("no such column: " + name);
-  return DecodeColumnAt(static_cast<size_t>(idx));
+  return DecodeColumnAt(static_cast<size_t>(idx), selection);
 }
 
 Result<RecordBatch> ColumnarBlock::DecodeBatch(
-    const std::vector<std::string>& names) const {
+    const std::vector<std::string>& names,
+    const BitVector* selection) const {
   std::vector<std::string> wanted = names;
   if (wanted.empty()) {
     for (const auto& f : schema_.fields()) wanted.push_back(f.name);
@@ -158,8 +163,9 @@ Result<RecordBatch> ColumnarBlock::DecodeBatch(
   for (const auto& name : wanted) {
     int idx = schema_.FieldIndex(name);
     if (idx < 0) return Status::NotFound("no such column: " + name);
-    FEISU_ASSIGN_OR_RETURN(ColumnVector col,
-                           DecodeColumnAt(static_cast<size_t>(idx)));
+    FEISU_ASSIGN_OR_RETURN(
+        ColumnVector col,
+        DecodeColumnAt(static_cast<size_t>(idx), selection));
     fields.push_back(schema_.field(idx));
     columns.push_back(std::move(col));
   }

@@ -45,15 +45,21 @@ class ColumnarBlock {
   /// Total serialized size.
   size_t ByteSize() const;
 
-  /// Decodes a single column by index.
-  Result<ColumnVector> DecodeColumnAt(size_t col) const;
+  /// Decodes a single column by index. With a non-null `selection`
+  /// (selection.size() == num_rows()) only selected rows materialize —
+  /// identical to full decode + Filter, but encodings skip unselected
+  /// runs/pages instead of decoding them.
+  Result<ColumnVector> DecodeColumnAt(
+      size_t col, const BitVector* selection = nullptr) const;
   /// Decodes a single column by name.
-  Result<ColumnVector> DecodeColumnByName(const std::string& name) const;
+  Result<ColumnVector> DecodeColumnByName(
+      const std::string& name, const BitVector* selection = nullptr) const;
 
   /// Decodes the named columns (all columns if `names` is empty) into a
-  /// RecordBatch.
+  /// RecordBatch, pushing `selection` down into every column decode.
   Result<RecordBatch> DecodeBatch(
-      const std::vector<std::string>& names = {}) const;
+      const std::vector<std::string>& names = {},
+      const BitVector* selection = nullptr) const;
 
   /// Whole-block (de)serialization — what actually lives in storage. The
   /// serialized form carries a trailing FNV-1a checksum over the body;

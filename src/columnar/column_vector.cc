@@ -103,26 +103,45 @@ ColumnVector ColumnVector::Filter(const BitVector& selection) const {
   assert(selection.size() == size());
   ColumnVector out(type_);
   out.Reserve(selection.CountOnes());
-  for (size_t i = 0; i < size(); ++i) {
-    if (!selection.Get(i)) continue;
-    if (IsNull(i)) {
-      out.AppendNull();
-      continue;
-    }
-    switch (type_) {
-      case DataType::kBool:
-        out.AppendBool(GetBool(i));
-        break;
-      case DataType::kInt64:
-        out.AppendInt64(GetInt64(i));
-        break;
-      case DataType::kDouble:
-        out.AppendDouble(GetDouble(i));
-        break;
-      case DataType::kString:
-        out.AppendString(GetString(i));
-        break;
-    }
+  // Word-scan over the selection (skipping all-zero words) with the type
+  // switch hoisted out of the per-row path.
+  switch (type_) {
+    case DataType::kBool:
+      selection.ForEachSetBit([&](size_t i) {
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendBool(bools_[i] != 0);
+        }
+      });
+      break;
+    case DataType::kInt64:
+      selection.ForEachSetBit([&](size_t i) {
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendInt64(ints_[i]);
+        }
+      });
+      break;
+    case DataType::kDouble:
+      selection.ForEachSetBit([&](size_t i) {
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendDouble(doubles_[i]);
+        }
+      });
+      break;
+    case DataType::kString:
+      selection.ForEachSetBit([&](size_t i) {
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendString(strings_[i]);
+        }
+      });
+      break;
   }
   return out;
 }
@@ -130,26 +149,92 @@ ColumnVector ColumnVector::Filter(const BitVector& selection) const {
 ColumnVector ColumnVector::Take(const std::vector<uint32_t>& indices) const {
   ColumnVector out(type_);
   out.Reserve(indices.size());
-  for (uint32_t i : indices) {
-    assert(i < size());
-    if (IsNull(i)) {
-      out.AppendNull();
-      continue;
-    }
-    switch (type_) {
-      case DataType::kBool:
-        out.AppendBool(GetBool(i));
-        break;
-      case DataType::kInt64:
-        out.AppendInt64(GetInt64(i));
-        break;
-      case DataType::kDouble:
-        out.AppendDouble(GetDouble(i));
-        break;
-      case DataType::kString:
-        out.AppendString(GetString(i));
-        break;
-    }
+  switch (type_) {
+    case DataType::kBool:
+      for (uint32_t i : indices) {
+        assert(i < size());
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendBool(bools_[i] != 0);
+        }
+      }
+      break;
+    case DataType::kInt64:
+      for (uint32_t i : indices) {
+        assert(i < size());
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendInt64(ints_[i]);
+        }
+      }
+      break;
+    case DataType::kDouble:
+      for (uint32_t i : indices) {
+        assert(i < size());
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendDouble(doubles_[i]);
+        }
+      }
+      break;
+    case DataType::kString:
+      for (uint32_t i : indices) {
+        assert(i < size());
+        if (IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendString(strings_[i]);
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+ColumnVector ColumnVector::GatherOrNull(
+    const std::vector<int64_t>& indices) const {
+  ColumnVector out(type_);
+  out.Reserve(indices.size());
+  switch (type_) {
+    case DataType::kBool:
+      for (int64_t i : indices) {
+        if (i < 0 || IsNull(static_cast<size_t>(i))) {
+          out.AppendNull();
+        } else {
+          out.AppendBool(bools_[static_cast<size_t>(i)] != 0);
+        }
+      }
+      break;
+    case DataType::kInt64:
+      for (int64_t i : indices) {
+        if (i < 0 || IsNull(static_cast<size_t>(i))) {
+          out.AppendNull();
+        } else {
+          out.AppendInt64(ints_[static_cast<size_t>(i)]);
+        }
+      }
+      break;
+    case DataType::kDouble:
+      for (int64_t i : indices) {
+        if (i < 0 || IsNull(static_cast<size_t>(i))) {
+          out.AppendNull();
+        } else {
+          out.AppendDouble(doubles_[static_cast<size_t>(i)]);
+        }
+      }
+      break;
+    case DataType::kString:
+      for (int64_t i : indices) {
+        if (i < 0 || IsNull(static_cast<size_t>(i))) {
+          out.AppendNull();
+        } else {
+          out.AppendString(strings_[static_cast<size_t>(i)]);
+        }
+      }
+      break;
   }
   return out;
 }

@@ -50,6 +50,10 @@ class ColumnVector {
   /// New vector with rows permuted/subset by `indices`.
   ColumnVector Take(const std::vector<uint32_t>& indices) const;
 
+  /// Like Take, but a negative index produces a NULL row — the shape
+  /// outer-join padding needs when gathering both sides from row lists.
+  ColumnVector GatherOrNull(const std::vector<int64_t>& indices) const;
+
   /// Approximate payload bytes (for cost accounting).
   size_t ByteSize() const;
 

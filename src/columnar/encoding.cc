@@ -1,12 +1,38 @@
 #include "columnar/encoding.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <unordered_map>
 
 namespace feisu {
 
 namespace {
+
+std::atomic<uint64_t> g_values_materialized{0};
+std::atomic<uint64_t> g_values_skipped{0};
+std::atomic<uint64_t> g_runs_skipped{0};
+
+/// Per-decode tally folded into the process counters once per column, so
+/// the hot loops never touch an atomic.
+struct DecodeTally {
+  uint64_t materialized = 0;
+  uint64_t skipped = 0;
+  uint64_t runs_skipped = 0;
+
+  ~DecodeTally() {
+    if (materialized != 0) {
+      g_values_materialized.fetch_add(materialized,
+                                      std::memory_order_relaxed);
+    }
+    if (skipped != 0) {
+      g_values_skipped.fetch_add(skipped, std::memory_order_relaxed);
+    }
+    if (runs_skipped != 0) {
+      g_runs_skipped.fetch_add(runs_skipped, std::memory_order_relaxed);
+    }
+  }
+};
 
 void AppendRaw(std::string* out, const void* data, size_t len) {
   out->append(static_cast<const char*>(data), len);
@@ -168,7 +194,15 @@ std::string EncodeBitPackInt64(const ColumnVector& col) {
   return out;
 }
 
-Result<ColumnVector> DecodeBitPack(DataType type, const std::string& in) {
+Status CheckSelection(const BitVector* selection, uint32_t num_rows) {
+  if (selection != nullptr && selection->size() != num_rows) {
+    return Status::InvalidArgument("selection size does not match column");
+  }
+  return Status::OK();
+}
+
+Result<ColumnVector> DecodeBitPack(DataType type, const std::string& in,
+                                   const BitVector* selection) {
   if (type != DataType::kInt64) {
     return Status::Corruption("bit-pack encoding on non-int64 type");
   }
@@ -178,6 +212,7 @@ Result<ColumnVector> DecodeBitPack(DataType type, const std::string& in) {
   if (!ReadHeader(in, &pos, &num_rows, &validity)) {
     return Status::Corruption("bad bit-pack column header");
   }
+  FEISU_RETURN_IF_ERROR(CheckSelection(selection, num_rows));
   int64_t min = 0;
   uint8_t width = 0;
   if (!ReadScalar(in, &pos, &min) || !ReadScalar(in, &pos, &width) ||
@@ -189,18 +224,44 @@ Result<ColumnVector> DecodeBitPack(DataType type, const std::string& in) {
   if (pos + words * sizeof(uint64_t) > in.size()) {
     return Status::Corruption("truncated bit-pack payload");
   }
+  DecodeTally tally;
   ColumnVector col(type);
+  auto word_at = [&](size_t idx) {
+    uint64_t w = 0;
+    std::memcpy(&w, in.data() + pos + idx * sizeof(uint64_t), sizeof(w));
+    return w;
+  };
+  if (selection != nullptr) {
+    // Random access: each selected slot touches at most two payload words,
+    // so unselected pages are never read.
+    size_t ones = selection->CountOnes();
+    col.Reserve(ones);
+    uint64_t value_mask =
+        width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    selection->ForEachSetBit([&](size_t i) {
+      if (!validity.Get(i)) {
+        col.AppendNull();
+        return;
+      }
+      size_t bit_off = i * width;
+      size_t word_idx = bit_off >> 6;
+      int shift = static_cast<int>(bit_off & 63);
+      uint64_t v = word_at(word_idx) >> shift;
+      if (shift + width > 64) {
+        v |= word_at(word_idx + 1) << (64 - shift);
+      }
+      v &= value_mask;
+      col.AppendInt64(min + static_cast<int64_t>(v));
+    });
+    tally.materialized = ones;
+    tally.skipped = num_rows - ones;
+    return col;
+  }
   col.Reserve(num_rows);
   uint64_t buffer = 0;
   int bits_in_buffer = 0;
   size_t word_idx = 0;
-  auto next_word = [&]() {
-    uint64_t w = 0;
-    std::memcpy(&w, in.data() + pos + word_idx * sizeof(uint64_t),
-                sizeof(w));
-    ++word_idx;
-    return w;
-  };
+  auto next_word = [&]() { return word_at(word_idx++); };
   for (uint32_t i = 0; i < num_rows; ++i) {
     uint64_t v = 0;
     int got = 0;
@@ -222,31 +283,43 @@ Result<ColumnVector> DecodeBitPack(DataType type, const std::string& in) {
       col.AppendInt64(min + static_cast<int64_t>(v));
     }
   }
+  tally.materialized = num_rows;
   return col;
 }
 
 // ---- decoders ----
 
-Result<ColumnVector> DecodePlain(DataType type, const std::string& in) {
+Result<ColumnVector> DecodePlain(DataType type, const std::string& in,
+                                 const BitVector* selection) {
   size_t pos = 0;
   uint32_t num_rows = 0;
   BitVector validity;
   if (!ReadHeader(in, &pos, &num_rows, &validity)) {
     return Status::Corruption("bad plain column header");
   }
+  FEISU_RETURN_IF_ERROR(CheckSelection(selection, num_rows));
+  DecodeTally tally;
   ColumnVector col(type);
-  col.Reserve(num_rows);
+  size_t ones = selection != nullptr ? selection->CountOnes() : num_rows;
+  col.Reserve(ones);
+  tally.materialized = ones;
+  tally.skipped = num_rows - ones;
   switch (type) {
     case DataType::kBool: {
       if (pos + num_rows > in.size()) {
         return Status::Corruption("truncated bool column");
       }
-      for (uint32_t i = 0; i < num_rows; ++i) {
+      auto append = [&](size_t i) {
         if (!validity.Get(i)) {
           col.AppendNull();
         } else {
           col.AppendBool(in[pos + i] != 0);
         }
+      };
+      if (selection != nullptr) {
+        selection->ForEachSetBit(append);
+      } else {
+        for (uint32_t i = 0; i < num_rows; ++i) append(i);
       }
       break;
     }
@@ -254,14 +327,19 @@ Result<ColumnVector> DecodePlain(DataType type, const std::string& in) {
       if (pos + num_rows * sizeof(int64_t) > in.size()) {
         return Status::Corruption("truncated int64 column");
       }
-      for (uint32_t i = 0; i < num_rows; ++i) {
-        int64_t v = 0;
-        std::memcpy(&v, in.data() + pos + i * sizeof(int64_t), sizeof(v));
+      auto append = [&](size_t i) {
         if (!validity.Get(i)) {
           col.AppendNull();
-        } else {
-          col.AppendInt64(v);
+          return;
         }
+        int64_t v = 0;
+        std::memcpy(&v, in.data() + pos + i * sizeof(int64_t), sizeof(v));
+        col.AppendInt64(v);
+      };
+      if (selection != nullptr) {
+        selection->ForEachSetBit(append);
+      } else {
+        for (uint32_t i = 0; i < num_rows; ++i) append(i);
       }
       break;
     }
@@ -269,28 +347,42 @@ Result<ColumnVector> DecodePlain(DataType type, const std::string& in) {
       if (pos + num_rows * sizeof(double) > in.size()) {
         return Status::Corruption("truncated double column");
       }
-      for (uint32_t i = 0; i < num_rows; ++i) {
-        double v = 0;
-        std::memcpy(&v, in.data() + pos + i * sizeof(double), sizeof(v));
+      auto append = [&](size_t i) {
         if (!validity.Get(i)) {
           col.AppendNull();
-        } else {
-          col.AppendDouble(v);
+          return;
         }
+        double v = 0;
+        std::memcpy(&v, in.data() + pos + i * sizeof(double), sizeof(v));
+        col.AppendDouble(v);
+      };
+      if (selection != nullptr) {
+        selection->ForEachSetBit(append);
+      } else {
+        for (uint32_t i = 0; i < num_rows; ++i) append(i);
       }
       break;
     }
     case DataType::kString: {
+      // Variable-width payload: the offsets aren't random-access, so the
+      // walk is sequential either way — but unselected rows skip the
+      // string construction and copy entirely.
       for (uint32_t i = 0; i < num_rows; ++i) {
-        std::string s;
-        if (!ReadLengthPrefixed(in, &pos, &s)) {
+        uint32_t len = 0;
+        if (!ReadScalar(in, &pos, &len) || pos + len > in.size()) {
           return Status::Corruption("truncated string column");
         }
-        if (!validity.Get(i)) {
-          col.AppendNull();
-        } else {
-          col.AppendString(std::move(s));
+        if (selection != nullptr && !selection->Get(i)) {
+          pos += len;
+          continue;
         }
+        if (!validity.Get(i)) {
+          pos += len;
+          col.AppendNull();
+          continue;
+        }
+        col.AppendString(std::string(in.data() + pos, len));
+        pos += len;
       }
       break;
     }
@@ -298,57 +390,80 @@ Result<ColumnVector> DecodePlain(DataType type, const std::string& in) {
   return col;
 }
 
-Result<ColumnVector> DecodeRle(DataType type, const std::string& in) {
+Result<ColumnVector> DecodeRle(DataType type, const std::string& in,
+                               const BitVector* selection) {
   size_t pos = 0;
   uint32_t num_rows = 0;
   BitVector validity;
   if (!ReadHeader(in, &pos, &num_rows, &validity)) {
     return Status::Corruption("bad RLE column header");
   }
+  FEISU_RETURN_IF_ERROR(CheckSelection(selection, num_rows));
+  DecodeTally tally;
   ColumnVector col(type);
-  col.Reserve(num_rows);
+  col.Reserve(selection != nullptr ? selection->CountOnes() : num_rows);
   uint32_t produced = 0;
   while (produced < num_rows) {
     uint32_t run = 0;
+    int64_t int_value = 0;
+    uint8_t bool_value = 0;
     if (type == DataType::kInt64) {
-      int64_t v = 0;
-      if (!ReadScalar(in, &pos, &v) || !ReadScalar(in, &pos, &run)) {
+      if (!ReadScalar(in, &pos, &int_value) || !ReadScalar(in, &pos, &run)) {
         return Status::Corruption("truncated RLE run");
-      }
-      if (produced + run > num_rows) {
-        return Status::Corruption("RLE overrun");
-      }
-      for (uint32_t k = 0; k < run; ++k) {
-        if (!validity.Get(produced + k)) {
-          col.AppendNull();
-        } else {
-          col.AppendInt64(v);
-        }
       }
     } else if (type == DataType::kBool) {
-      uint8_t v = 0;
-      if (!ReadScalar(in, &pos, &v) || !ReadScalar(in, &pos, &run)) {
+      if (!ReadScalar(in, &pos, &bool_value) || !ReadScalar(in, &pos, &run)) {
         return Status::Corruption("truncated RLE run");
-      }
-      if (produced + run > num_rows) {
-        return Status::Corruption("RLE overrun");
-      }
-      for (uint32_t k = 0; k < run; ++k) {
-        if (!validity.Get(produced + k)) {
-          col.AppendNull();
-        } else {
-          col.AppendBool(v != 0);
-        }
       }
     } else {
       return Status::Corruption("RLE encoding on non-RLE type");
+    }
+    if (produced + run > num_rows) {
+      return Status::Corruption("RLE overrun");
+    }
+    if (selection != nullptr) {
+      // A run whose whole row range is unselected is skipped without
+      // looking at a single row — this is where a sparse SmartIndex hit
+      // pays: decode cost scales with matches, not block size.
+      if (!selection->AnyInRange(produced, produced + run)) {
+        tally.skipped += run;
+        ++tally.runs_skipped;
+        produced += run;
+        continue;
+      }
+      size_t before = col.size();
+      selection->ForEachSetBitInRange(
+          produced, produced + run, [&](size_t i) {
+            if (!validity.Get(i)) {
+              col.AppendNull();
+            } else if (type == DataType::kInt64) {
+              col.AppendInt64(int_value);
+            } else {
+              col.AppendBool(bool_value != 0);
+            }
+          });
+      size_t appended = col.size() - before;
+      tally.materialized += appended;
+      tally.skipped += run - appended;
+    } else {
+      for (uint32_t k = 0; k < run; ++k) {
+        if (!validity.Get(produced + k)) {
+          col.AppendNull();
+        } else if (type == DataType::kInt64) {
+          col.AppendInt64(int_value);
+        } else {
+          col.AppendBool(bool_value != 0);
+        }
+      }
+      tally.materialized += run;
     }
     produced += run;
   }
   return col;
 }
 
-Result<ColumnVector> DecodeDict(DataType type, const std::string& in) {
+Result<ColumnVector> DecodeDict(DataType type, const std::string& in,
+                                const BitVector* selection) {
   if (type != DataType::kString) {
     return Status::Corruption("dict encoding on non-string type");
   }
@@ -358,6 +473,7 @@ Result<ColumnVector> DecodeDict(DataType type, const std::string& in) {
   if (!ReadHeader(in, &pos, &num_rows, &validity)) {
     return Status::Corruption("bad dict column header");
   }
+  FEISU_RETURN_IF_ERROR(CheckSelection(selection, num_rows));
   uint32_t dict_size = 0;
   if (!ReadScalar(in, &pos, &dict_size)) {
     return Status::Corruption("truncated dict size");
@@ -371,18 +487,35 @@ Result<ColumnVector> DecodeDict(DataType type, const std::string& in) {
   if (pos + num_rows * sizeof(uint32_t) > in.size()) {
     return Status::Corruption("truncated dict codes");
   }
+  DecodeTally tally;
   ColumnVector col(type);
-  col.Reserve(num_rows);
-  for (uint32_t i = 0; i < num_rows; ++i) {
+  Status bad_code = Status::OK();
+  auto append = [&](size_t i) {
     uint32_t code = 0;
     std::memcpy(&code, in.data() + pos + i * sizeof(uint32_t), sizeof(code));
-    if (code >= dict_size) return Status::Corruption("dict code OOB");
+    if (code >= dict_size) {
+      if (bad_code.ok()) bad_code = Status::Corruption("dict code OOB");
+      return;
+    }
     if (!validity.Get(i)) {
       col.AppendNull();
     } else {
       col.AppendString(dict[code]);
     }
+  };
+  if (selection != nullptr) {
+    // Codes are fixed width: jump straight to the selected slots.
+    size_t ones = selection->CountOnes();
+    col.Reserve(ones);
+    selection->ForEachSetBit(append);
+    tally.materialized = ones;
+    tally.skipped = num_rows - ones;
+  } else {
+    col.Reserve(num_rows);
+    for (uint32_t i = 0; i < num_rows; ++i) append(i);
+    tally.materialized = num_rows;
   }
+  FEISU_RETURN_IF_ERROR(bad_code);
   return col;
 }
 
@@ -469,19 +602,34 @@ EncodedColumn EncodeColumnAs(const ColumnVector& column, Encoding encoding) {
   return out;
 }
 
-Result<ColumnVector> DecodeColumn(DataType type,
-                                  const EncodedColumn& encoded) {
+Result<ColumnVector> DecodeColumn(DataType type, const EncodedColumn& encoded,
+                                  const BitVector* selection) {
   switch (encoded.encoding) {
     case Encoding::kPlain:
-      return DecodePlain(type, encoded.payload);
+      return DecodePlain(type, encoded.payload, selection);
     case Encoding::kRle:
-      return DecodeRle(type, encoded.payload);
+      return DecodeRle(type, encoded.payload, selection);
     case Encoding::kDict:
-      return DecodeDict(type, encoded.payload);
+      return DecodeDict(type, encoded.payload, selection);
     case Encoding::kBitPack:
-      return DecodeBitPack(type, encoded.payload);
+      return DecodeBitPack(type, encoded.payload, selection);
   }
   return Status::Corruption("unknown encoding");
+}
+
+DecodeCounters GetDecodeCounters() {
+  DecodeCounters out;
+  out.values_materialized =
+      g_values_materialized.load(std::memory_order_relaxed);
+  out.values_skipped = g_values_skipped.load(std::memory_order_relaxed);
+  out.runs_skipped = g_runs_skipped.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetDecodeCounters() {
+  g_values_materialized.store(0, std::memory_order_relaxed);
+  g_values_skipped.store(0, std::memory_order_relaxed);
+  g_runs_skipped.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace feisu

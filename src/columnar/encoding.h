@@ -35,7 +35,28 @@ EncodedColumn EncodeColumn(const ColumnVector& column);
 EncodedColumn EncodeColumnAs(const ColumnVector& column, Encoding encoding);
 
 /// Decodes an encoded chunk back into a column of `type`.
-Result<ColumnVector> DecodeColumn(DataType type, const EncodedColumn& encoded);
+///
+/// With a non-null `selection` (selection.size() == encoded row count) only
+/// rows whose bit is set are materialized, in row order — the result is
+/// byte-identical to a full decode followed by ColumnVector::Filter, minus
+/// the cost: RLE runs and bit-packed pages whose row range has no set bit
+/// are skipped outright, and fixed-width codecs random-access straight to
+/// the selected slots.
+Result<ColumnVector> DecodeColumn(DataType type, const EncodedColumn& encoded,
+                                  const BitVector* selection = nullptr);
+
+/// Process-wide decode instrumentation (relaxed atomics, cheap enough to
+/// stay on in production builds). `values_materialized` counts appended
+/// output values; `values_skipped` counts encoded slots passed over by a
+/// selection; `runs_skipped` counts whole RLE runs skipped without reading
+/// their row range.
+struct DecodeCounters {
+  uint64_t values_materialized = 0;
+  uint64_t values_skipped = 0;
+  uint64_t runs_skipped = 0;
+};
+DecodeCounters GetDecodeCounters();
+void ResetDecodeCounters();
 
 }  // namespace feisu
 

@@ -1,18 +1,23 @@
 #include "common/bit_vector.h"
 
-#include <bit>
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 
 namespace feisu {
 
 namespace {
-constexpr uint64_t kAllOnes = ~0ULL;
+constexpr uint64_t kAllOnesWord = ~0ULL;
 
 // RLE tags.
 constexpr uint8_t kRunZero = 0;
 constexpr uint8_t kRunOne = 1;
 constexpr uint8_t kLiteral = 2;
+
+// Word-array materializations performed by DeserializeRle; the RLE-domain
+// combine path must never bump this (asserted by tests).
+std::atomic<uint64_t> g_inflations{0};
 
 void AppendU32(std::string* out, uint32_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -32,10 +37,149 @@ bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
   *pos += sizeof(*v);
   return true;
 }
+
+/// Streams the token sequence of one SerializeRle payload.
+struct RleCursor {
+  const std::string* data = nullptr;
+  size_t pos = 0;
+  uint64_t bit_size = 0;
+  size_t words_total = 0;
+  size_t words_done = 0;   // words fully consumed by the merge
+  size_t tokens = 0;       // tokens read so far
+  uint8_t tag = kRunZero;
+  uint32_t remaining = 0;  // words left in the current token
+  uint64_t literal = 0;
+
+  bool Init(const std::string& d) {
+    data = &d;
+    pos = 0;
+    if (!ReadU64(d, &pos, &bit_size)) return false;
+    words_total = (static_cast<size_t>(bit_size) + 63) / 64;
+    return true;
+  }
+
+  /// Loads the next token; requires remaining == 0. False on truncation or
+  /// a bad tag.
+  bool NextToken() {
+    if (pos >= data->size()) return false;
+    tag = static_cast<uint8_t>((*data)[pos++]);
+    ++tokens;
+    if (tag == kRunZero || tag == kRunOne) {
+      if (!ReadU32(*data, &pos, &remaining)) return false;
+      return remaining > 0;
+    }
+    if (tag == kLiteral) {
+      if (!ReadU64(*data, &pos, &literal)) return false;
+      remaining = 1;
+      return true;
+    }
+    return false;
+  }
+
+  /// Word value of the current token (uniform tokens expand implicitly).
+  uint64_t Word() const {
+    if (tag == kRunZero) return 0;
+    if (tag == kRunOne) return kAllOnesWord;
+    return literal;
+  }
+
+  bool Exhausted() const {
+    return words_done == words_total && remaining == 0 &&
+           pos == data->size();
+  }
+};
+
+/// Builds a canonical SerializeRle payload: uniform words coalesce into
+/// maximal runs exactly like BitVector::SerializeRle would emit them.
+class RleBuilder {
+ public:
+  explicit RleBuilder(uint64_t size_bits) { AppendU64(&out_, size_bits); }
+
+  void AddUniform(uint8_t tag, uint32_t count) {
+    if (count == 0) return;
+    if (pending_count_ > 0 && pending_tag_ == tag) {
+      pending_count_ += count;
+      return;
+    }
+    Flush();
+    pending_tag_ = tag;
+    pending_count_ = count;
+  }
+
+  void AddWord(uint64_t w) {
+    if (w == 0) {
+      AddUniform(kRunZero, 1);
+    } else if (w == kAllOnesWord) {
+      AddUniform(kRunOne, 1);
+    } else {
+      Flush();
+      out_.push_back(static_cast<char>(kLiteral));
+      AppendU64(&out_, w);
+    }
+  }
+
+  std::string Finish() {
+    Flush();
+    return std::move(out_);
+  }
+
+ private:
+  void Flush() {
+    if (pending_count_ == 0) return;
+    out_.push_back(static_cast<char>(pending_tag_));
+    AppendU32(&out_, static_cast<uint32_t>(pending_count_));
+    pending_count_ = 0;
+  }
+
+  std::string out_;
+  uint8_t pending_tag_ = kRunZero;
+  uint64_t pending_count_ = 0;
+};
+
+enum class RleOp { kAnd, kOr };
+
+bool RleCombine(RleOp op, const std::string& a, const std::string& b,
+                std::string* out, size_t* tokens_processed) {
+  RleCursor ca;
+  RleCursor cb;
+  if (!ca.Init(a) || !cb.Init(b)) return false;
+  if (ca.bit_size != cb.bit_size) return false;
+  RleBuilder builder(ca.bit_size);
+  while (ca.words_done < ca.words_total) {
+    if (ca.remaining == 0 && !ca.NextToken()) return false;
+    if (cb.remaining == 0 && !cb.NextToken()) return false;
+    bool a_uniform = ca.tag != kLiteral;
+    bool b_uniform = cb.tag != kLiteral;
+    uint32_t n = std::min(ca.remaining, cb.remaining);
+    if (a_uniform && b_uniform) {
+      bool one;
+      if (op == RleOp::kAnd) {
+        one = ca.tag == kRunOne && cb.tag == kRunOne;
+      } else {
+        one = ca.tag == kRunOne || cb.tag == kRunOne;
+      }
+      builder.AddUniform(one ? kRunOne : kRunZero, n);
+    } else {
+      // At least one side is a literal, so n == 1.
+      uint64_t w = op == RleOp::kAnd ? (ca.Word() & cb.Word())
+                                     : (ca.Word() | cb.Word());
+      builder.AddWord(w);
+    }
+    ca.remaining -= n;
+    cb.remaining -= n;
+    ca.words_done += n;
+    cb.words_done += n;
+  }
+  if (!ca.Exhausted() || !cb.Exhausted()) return false;
+  if (tokens_processed != nullptr) *tokens_processed = ca.tokens + cb.tokens;
+  *out = builder.Finish();
+  return true;
+}
+
 }  // namespace
 
 BitVector::BitVector(size_t size, bool value) : size_(size) {
-  words_.assign((size + 63) / 64, value ? kAllOnes : 0);
+  words_.assign((size + 63) / 64, value ? kAllOnesWord : 0);
   ClearTrailingBits();
 }
 
@@ -64,6 +208,42 @@ size_t BitVector::CountOnes() const {
   size_t n = 0;
   for (uint64_t w : words_) n += std::popcount(w);
   return n;
+}
+
+bool BitVector::AllZeros() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector::AllOnes() const {
+  if (size_ == 0) return true;
+  size_t full_words = size_ / 64;
+  for (size_t i = 0; i < full_words; ++i) {
+    if (words_[i] != kAllOnesWord) return false;
+  }
+  size_t rem = size_ % 64;
+  if (rem != 0 && words_.back() != ((1ULL << rem) - 1)) return false;
+  return true;
+}
+
+bool BitVector::AnyInRange(size_t begin, size_t end) const {
+  if (end > size_) end = size_;
+  if (begin >= end) return false;
+  size_t first_word = begin >> 6;
+  size_t last_word = (end - 1) >> 6;
+  for (size_t w = first_word; w <= last_word; ++w) {
+    uint64_t word = words_[w];
+    if (w == first_word && (begin & 63) != 0) {
+      word &= ~0ULL << (begin & 63);
+    }
+    if (w == last_word && (end & 63) != 0) {
+      word &= (1ULL << (end & 63)) - 1;
+    }
+    if (word != 0) return true;
+  }
+  return false;
 }
 
 void BitVector::And(const BitVector& other) {
@@ -106,14 +286,9 @@ bool BitVector::operator==(const BitVector& other) const {
 std::vector<uint32_t> BitVector::SetIndices() const {
   std::vector<uint32_t> out;
   out.reserve(CountOnes());
-  for (size_t w = 0; w < words_.size(); ++w) {
-    uint64_t word = words_[w];
-    while (word != 0) {
-      int bit = std::countr_zero(word);
-      out.push_back(static_cast<uint32_t>(w * 64 + bit));
-      word &= word - 1;
-    }
-  }
+  ForEachSetBit([&out](size_t i) {
+    out.push_back(static_cast<uint32_t>(i));
+  });
   return out;
 }
 
@@ -123,10 +298,10 @@ std::string BitVector::SerializeRle() const {
   size_t i = 0;
   while (i < words_.size()) {
     uint64_t w = words_[i];
-    if (w == 0 || w == kAllOnes) {
-      // Note: the trailing word of a full vector may not be kAllOnes because
-      // trailing bits are cleared; it is then emitted as a literal, which is
-      // still correct.
+    if (w == 0 || w == kAllOnesWord) {
+      // Note: the trailing word of a full vector may not be kAllOnesWord
+      // because trailing bits are cleared; it is then emitted as a literal,
+      // which is still correct.
       size_t j = i + 1;
       while (j < words_.size() && words_[j] == w) ++j;
       out.push_back(static_cast<char>(w == 0 ? kRunZero : kRunOne));
@@ -142,6 +317,7 @@ std::string BitVector::SerializeRle() const {
 }
 
 bool BitVector::DeserializeRle(const std::string& data, BitVector* out) {
+  g_inflations.fetch_add(1, std::memory_order_relaxed);
   size_t pos = 0;
   uint64_t size = 0;
   if (!ReadU64(data, &pos, &size)) return false;
@@ -156,7 +332,7 @@ bool BitVector::DeserializeRle(const std::string& data, BitVector* out) {
       if (!ReadU32(data, &pos, &count)) return false;
       if (result.words_.size() + count > expected_words) return false;
       result.words_.insert(result.words_.end(), count,
-                           tag == kRunZero ? 0 : kAllOnes);
+                           tag == kRunZero ? 0 : kAllOnesWord);
     } else if (tag == kLiteral) {
       uint64_t w = 0;
       if (!ReadU64(data, &pos, &w)) return false;
@@ -177,7 +353,7 @@ size_t BitVector::CompressedByteSize() const {
   size_t i = 0;
   while (i < words_.size()) {
     uint64_t w = words_[i];
-    if (w == 0 || w == kAllOnes) {
+    if (w == 0 || w == kAllOnesWord) {
       size_t j = i + 1;
       while (j < words_.size() && words_[j] == w) ++j;
       bytes += 1 + sizeof(uint32_t);
@@ -188,6 +364,79 @@ size_t BitVector::CompressedByteSize() const {
     }
   }
   return bytes;
+}
+
+bool BitVector::RleAnd(const std::string& a, const std::string& b,
+                       std::string* out, size_t* tokens_processed) {
+  return RleCombine(RleOp::kAnd, a, b, out, tokens_processed);
+}
+
+bool BitVector::RleOr(const std::string& a, const std::string& b,
+                      std::string* out, size_t* tokens_processed) {
+  return RleCombine(RleOp::kOr, a, b, out, tokens_processed);
+}
+
+bool BitVector::RleNot(const std::string& a, std::string* out,
+                       size_t* tokens_processed) {
+  RleCursor cursor;
+  if (!cursor.Init(a)) return false;
+  RleBuilder builder(cursor.bit_size);
+  size_t rem = static_cast<size_t>(cursor.bit_size) % 64;
+  uint64_t last_mask = rem == 0 ? kAllOnesWord : ((1ULL << rem) - 1);
+  while (cursor.words_done < cursor.words_total) {
+    if (cursor.remaining == 0 && !cursor.NextToken()) return false;
+    uint32_t n = cursor.remaining;
+    uint64_t flipped = ~cursor.Word();
+    bool covers_last = cursor.words_done + n == cursor.words_total;
+    if (cursor.tag == kLiteral) {
+      builder.AddWord(covers_last ? (flipped & last_mask) : flipped);
+    } else {
+      uint8_t tag = cursor.tag == kRunZero ? kRunOne : kRunZero;
+      if (covers_last && last_mask != kAllOnesWord) {
+        // The trailing partial word must keep its out-of-range bits clear,
+        // so it leaves the run and re-classifies on its own.
+        builder.AddUniform(tag, n - 1);
+        builder.AddWord(flipped & last_mask);
+      } else {
+        builder.AddUniform(tag, n);
+      }
+    }
+    cursor.words_done += n;
+    cursor.remaining = 0;
+  }
+  if (!cursor.Exhausted()) return false;
+  if (tokens_processed != nullptr) *tokens_processed = cursor.tokens;
+  *out = builder.Finish();
+  return true;
+}
+
+size_t BitVector::RleCountOnes(const std::string& data) {
+  RleCursor cursor;
+  if (!cursor.Init(data)) return SIZE_MAX;
+  size_t ones = 0;
+  while (cursor.words_done < cursor.words_total) {
+    if (!cursor.NextToken()) return SIZE_MAX;
+    if (cursor.tag == kRunOne) {
+      ones += static_cast<size_t>(cursor.remaining) * 64;
+    } else if (cursor.tag == kLiteral) {
+      ones += static_cast<size_t>(std::popcount(cursor.literal));
+    }
+    cursor.words_done += cursor.remaining;
+    cursor.remaining = 0;
+  }
+  if (!cursor.Exhausted()) return SIZE_MAX;
+  return ones;
+}
+
+size_t BitVector::RleSize(const std::string& data) {
+  size_t pos = 0;
+  uint64_t size = 0;
+  if (!ReadU64(data, &pos, &size)) return SIZE_MAX;
+  return static_cast<size_t>(size);
+}
+
+uint64_t BitVector::inflation_count() {
+  return g_inflations.load(std::memory_order_relaxed);
 }
 
 std::string BitVector::ToString() const {

@@ -1,6 +1,7 @@
 #ifndef FEISU_COMMON_BIT_VECTOR_H_
 #define FEISU_COMMON_BIT_VECTOR_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -10,7 +11,9 @@ namespace feisu {
 
 /// A densely packed 0-1 vector with the bitwise algebra SmartIndex needs:
 /// AND / OR / NOT, popcount, and a word-level run-length compression used to
-/// estimate and reduce index memory footprint.
+/// estimate and reduce index memory footprint. The Rle* statics operate
+/// directly on the compressed form so two cached indexes can be combined
+/// without inflating either operand (paper §IV-C).
 class BitVector {
  public:
   BitVector() = default;
@@ -29,9 +32,14 @@ class BitVector {
   /// Number of set bits.
   size_t CountOnes() const;
 
-  /// True if every bit is zero / one.
-  bool AllZeros() const { return CountOnes() == 0; }
-  bool AllOnes() const { return CountOnes() == size_; }
+  /// True if every bit is zero / one. Early-exits on the first word that
+  /// disagrees instead of popcounting the whole vector.
+  bool AllZeros() const;
+  bool AllOnes() const;
+
+  /// True if any bit in [begin, end) is set. Word-scans, so skipping a
+  /// fully unselected range costs one load per 64 rows.
+  bool AnyInRange(size_t begin, size_t end) const;
 
   /// In-place bitwise ops; `other` must have the same size.
   void And(const BitVector& other);
@@ -48,6 +56,44 @@ class BitVector {
   /// Indices of all set bits, in increasing order.
   std::vector<uint32_t> SetIndices() const;
 
+  /// Calls `fn(index)` for every set bit in increasing order. Word-scan:
+  /// all-zero words cost one load, so iteration scales with the number of
+  /// set bits, not the vector length.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// ForEachSetBit restricted to [begin, end).
+  template <typename Fn>
+  void ForEachSetBitInRange(size_t begin, size_t end, Fn&& fn) const {
+    if (end > size_) end = size_;
+    if (begin >= end) return;
+    size_t first_word = begin >> 6;
+    size_t last_word = (end - 1) >> 6;
+    for (size_t w = first_word; w <= last_word; ++w) {
+      uint64_t word = words_[w];
+      if (w == first_word && (begin & 63) != 0) {
+        word &= ~0ULL << (begin & 63);
+      }
+      if (w == last_word && (end & 63) != 0) {
+        word &= (1ULL << (end & 63)) - 1;
+      }
+      while (word != 0) {
+        int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
   /// Uncompressed in-memory footprint in bytes (words only).
   size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
 
@@ -62,6 +108,34 @@ class BitVector {
 
   /// Size in bytes of the RLE-compressed form without materializing it.
   size_t CompressedByteSize() const;
+
+  // --- RLE-domain algebra over SerializeRle() payloads. ---
+  //
+  // These stream the two token sequences and emit a canonical payload
+  // (byte-identical to running the word-level op and re-serializing), so
+  // combine cost scales with run count, not row count, and neither operand
+  // is ever inflated into a word array — inflation_count() lets tests pin
+  // that down. All return false on malformed or size-mismatched input.
+  // `tokens_processed`, when non-null, receives the number of RLE tokens
+  // the merge consumed (the cost the resolver charges).
+
+  static bool RleAnd(const std::string& a, const std::string& b,
+                     std::string* out, size_t* tokens_processed = nullptr);
+  static bool RleOr(const std::string& a, const std::string& b,
+                    std::string* out, size_t* tokens_processed = nullptr);
+  static bool RleNot(const std::string& a, std::string* out,
+                     size_t* tokens_processed = nullptr);
+
+  /// Set-bit count of a payload without inflating it. Returns SIZE_MAX on
+  /// malformed input.
+  static size_t RleCountOnes(const std::string& data);
+
+  /// Bit size recorded in a payload header; SIZE_MAX on malformed input.
+  static size_t RleSize(const std::string& data);
+
+  /// Process-wide count of DeserializeRle word-array materializations.
+  /// Tests assert the RLE-domain combine path leaves this untouched.
+  static uint64_t inflation_count();
 
   /// Debug rendering, e.g. "01101".
   std::string ToString() const;

@@ -1,13 +1,81 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <unordered_map>
 
-#include "columnar/block.h"
+#include "common/hash.h"
 #include "expr/evaluator.h"
 
 namespace feisu {
+
+namespace {
+
+/// Precomputed, type-specialized key for one ORDER BY expression. Ordering
+/// matches Value::Compare exactly — NULLs sort before everything, numeric
+/// columns (bool/int64/double) compare through the same double conversion
+/// the boxed path used, strings lexicographically — without constructing a
+/// Value per comparison.
+class SortKey {
+ public:
+  explicit SortKey(ColumnVector col) : col_(std::move(col)) {
+    if (col_.type() == DataType::kString) return;
+    nums_.reserve(col_.size());
+    for (size_t i = 0; i < col_.size(); ++i) {
+      double v = 0.0;
+      if (!col_.IsNull(i)) {
+        switch (col_.type()) {
+          case DataType::kBool:
+            v = col_.GetBool(i) ? 1.0 : 0.0;
+            break;
+          case DataType::kInt64:
+            v = static_cast<double>(col_.GetInt64(i));
+            break;
+          case DataType::kDouble:
+            v = col_.GetDouble(i);
+            break;
+          case DataType::kString:
+            break;
+        }
+      }
+      nums_.push_back(v);
+    }
+  }
+
+  int Compare(uint32_t a, uint32_t b) const {
+    bool a_null = col_.IsNull(a);
+    bool b_null = col_.IsNull(b);
+    if (a_null || b_null) {
+      if (a_null && b_null) return 0;
+      return a_null ? -1 : 1;
+    }
+    if (col_.type() == DataType::kString) {
+      int cmp = col_.GetString(a).compare(col_.GetString(b));
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    if (nums_[a] < nums_[b]) return -1;
+    if (nums_[a] > nums_[b]) return 1;
+    return 0;
+  }
+
+ private:
+  ColumnVector col_;
+  std::vector<double> nums_;  ///< unused for string columns
+};
+
+Result<std::vector<SortKey>> MakeSortKeys(
+    const RecordBatch& input, const std::vector<OrderByItem>& order_by) {
+  std::vector<SortKey> keys;
+  keys.reserve(order_by.size());
+  for (const auto& item : order_by) {
+    FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*item.expr, input));
+    keys.emplace_back(std::move(col));
+  }
+  return keys;
+}
+
+}  // namespace
 
 Result<RecordBatch> FilterBatch(const RecordBatch& input,
                                 const ExprPtr& predicate) {
@@ -32,19 +100,14 @@ Result<RecordBatch> ProjectBatch(const RecordBatch& input,
 Result<RecordBatch> SortBatch(const RecordBatch& input,
                               const std::vector<OrderByItem>& order_by) {
   if (order_by.empty()) return input;
-  std::vector<ColumnVector> keys;
-  keys.reserve(order_by.size());
-  for (const auto& item : order_by) {
-    FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*item.expr, input));
-    keys.push_back(std::move(col));
-  }
+  FEISU_ASSIGN_OR_RETURN(std::vector<SortKey> keys,
+                         MakeSortKeys(input, order_by));
   std::vector<uint32_t> indices(input.num_rows());
   std::iota(indices.begin(), indices.end(), 0);
   std::stable_sort(indices.begin(), indices.end(),
                    [&](uint32_t a, uint32_t b) {
                      for (size_t k = 0; k < keys.size(); ++k) {
-                       int cmp = keys[k].GetValue(a).Compare(
-                           keys[k].GetValue(b));
+                       int cmp = keys[k].Compare(a, b);
                        if (cmp == 0) continue;
                        return order_by[k].descending ? cmp > 0 : cmp < 0;
                      }
@@ -70,17 +133,13 @@ Result<RecordBatch> TopNBatch(const RecordBatch& input,
     return LimitBatch(sorted, limit);
   }
   if (limit == 0) return input.Filter(BitVector(input.num_rows(), false));
-  std::vector<ColumnVector> keys;
-  keys.reserve(order_by.size());
-  for (const auto& item : order_by) {
-    FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*item.expr, input));
-    keys.push_back(std::move(col));
-  }
+  FEISU_ASSIGN_OR_RETURN(std::vector<SortKey> keys,
+                         MakeSortKeys(input, order_by));
   // less(a, b): a orders strictly before b; ties break on input position
   // for stability.
   auto less = [&](uint32_t a, uint32_t b) {
     for (size_t k = 0; k < keys.size(); ++k) {
-      int cmp = keys[k].GetValue(a).Compare(keys[k].GetValue(b));
+      int cmp = keys[k].Compare(a, b);
       if (cmp == 0) continue;
       return order_by[k].descending ? cmp > 0 : cmp < 0;
     }
@@ -188,17 +247,90 @@ void ClassifyConjuncts(const std::vector<ExprPtr>& conjuncts,
   }
 }
 
-std::string RowKey(const std::vector<ColumnVector>& cols, size_t row,
-                   bool* has_null) {
-  std::string out;
-  *has_null = false;
-  for (const auto& col : cols) {
-    Value v = col.GetValue(row);
-    if (v.is_null()) *has_null = true;
-    SerializeValue(&out, v);
+/// Type-specialized equi-join key columns for one side of a hash join.
+/// Each cell collapses to one 64-bit word (type switch hoisted out of the
+/// row loop); equality keeps the old serialized-Value byte-key semantics:
+/// the column type participates (an int64 key never matches a double key,
+/// even at the same numeric value), doubles compare bitwise, strings by
+/// content, and a NULL in any key column disqualifies the row.
+class JoinKeys {
+ public:
+  explicit JoinKeys(std::vector<ColumnVector> cols) : cols_(std::move(cols)) {
+    num_rows_ = cols_.empty() ? 0 : cols_[0].size();
+    words_.resize(cols_.size());
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      const ColumnVector& col = cols_[c];
+      std::vector<uint64_t>& w = words_[c];
+      w.reserve(num_rows_);
+      switch (col.type()) {
+        case DataType::kBool:
+          for (size_t i = 0; i < num_rows_; ++i) {
+            w.push_back(col.GetBool(i) ? 1 : 0);
+          }
+          break;
+        case DataType::kInt64:
+          for (size_t i = 0; i < num_rows_; ++i) {
+            w.push_back(static_cast<uint64_t>(col.GetInt64(i)));
+          }
+          break;
+        case DataType::kDouble:
+          for (size_t i = 0; i < num_rows_; ++i) {
+            w.push_back(std::bit_cast<uint64_t>(col.GetDouble(i)));
+          }
+          break;
+        case DataType::kString:
+          for (size_t i = 0; i < num_rows_; ++i) {
+            w.push_back(HashString(col.GetString(i)));
+          }
+          break;
+      }
+    }
+    hashes_.reserve(num_rows_);
+    has_null_.reserve(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      bool has_null = false;
+      uint64_t h = 0x9E3779B97F4A7C15ULL;
+      for (size_t c = 0; c < cols_.size(); ++c) {
+        if (cols_[c].IsNull(i)) {
+          has_null = true;
+          break;
+        }
+        h = HashCombine(h, static_cast<uint64_t>(cols_[c].type()));
+        h = HashCombine(h, words_[c][i]);
+      }
+      has_null_.push_back(has_null ? 1 : 0);
+      hashes_.push_back(has_null ? 0 : h);
+    }
   }
-  return out;
-}
+
+  bool HasNull(size_t row) const { return has_null_[row] != 0; }
+  uint64_t Hash(size_t row) const { return hashes_[row]; }
+
+  /// True iff the old byte keys would have been equal. The hash is only a
+  /// bucket address; candidates verify here (strings by actual content —
+  /// their word is just a content hash).
+  static bool RowsEqual(const JoinKeys& a, size_t ar, const JoinKeys& b,
+                        size_t br) {
+    for (size_t c = 0; c < a.cols_.size(); ++c) {
+      const ColumnVector& ac = a.cols_[c];
+      const ColumnVector& bc = b.cols_[c];
+      if (ac.type() != bc.type()) return false;
+      if (a.words_[c][ar] != b.words_[c][br]) return false;
+      if (ac.type() == DataType::kString &&
+          ac.GetString(ar) != bc.GetString(br)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<ColumnVector> cols_;
+  std::vector<std::vector<uint64_t>> words_;  ///< one word per cell
+  std::vector<uint64_t> hashes_;              ///< 0 for NULL-key rows
+  std::vector<uint8_t> has_null_;
+  size_t num_rows_ = 0;
+};
 
 }  // namespace
 
@@ -210,7 +342,6 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& left,
   Schema out_schema =
       JoinOutputSchema(left, right, options.left_prefix, options.right_prefix,
                        &left_names, &right_names);
-  RecordBatch out(out_schema);
 
   std::vector<ExprPtr> conjuncts;
   SplitConjuncts(options.condition, &conjuncts);
@@ -218,43 +349,50 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& left,
   std::vector<ExprPtr> residual;
   ClassifyConjuncts(conjuncts, left, right, &keys, &residual);
 
-  // Evaluate key expressions.
-  std::vector<ColumnVector> left_keys;
-  std::vector<ColumnVector> right_keys;
+  // Evaluate key expressions and collapse them into typed per-row words.
+  std::vector<ColumnVector> left_key_cols;
+  std::vector<ColumnVector> right_key_cols;
   for (const auto& key : keys) {
     FEISU_ASSIGN_OR_RETURN(ColumnVector lcol,
                            EvaluateExpr(*key.left_expr, left));
     FEISU_ASSIGN_OR_RETURN(ColumnVector rcol,
                            EvaluateExpr(*key.right_expr, right));
-    left_keys.push_back(std::move(lcol));
-    right_keys.push_back(std::move(rcol));
+    left_key_cols.push_back(std::move(lcol));
+    right_key_cols.push_back(std::move(rcol));
   }
+  JoinKeys left_keys(std::move(left_key_cols));
+  JoinKeys right_keys(std::move(right_key_cols));
 
-  // Build side: right.
-  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  // Build side: right, bucketed by key hash (candidates verify with
+  // RowsEqual at probe time).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> build;
   if (!keys.empty()) {
+    build.reserve(right.num_rows());
     for (size_t row = 0; row < right.num_rows(); ++row) {
-      bool has_null = false;
-      std::string key = RowKey(right_keys, row, &has_null);
-      if (has_null) continue;  // NULL keys never match
-      build[key].push_back(static_cast<uint32_t>(row));
+      if (right_keys.HasNull(row)) continue;  // NULL keys never match
+      build[right_keys.Hash(row)].push_back(static_cast<uint32_t>(row));
     }
   }
 
-  auto emit = [&](int64_t lrow, int64_t rrow) -> Status {
-    std::vector<Value> row;
-    row.reserve(out_schema.num_fields());
+  // Matches accumulate as row-id pairs (-1 = outer-join NULL padding);
+  // output columns materialize once at the end with a typed gather instead
+  // of boxing every cell through AppendRow.
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  auto emit = [&](int64_t lrow, int64_t rrow) {
+    left_rows.push_back(lrow);
+    right_rows.push_back(rrow);
+  };
+  auto materialize = [&]() -> RecordBatch {
+    std::vector<ColumnVector> out_cols;
+    out_cols.reserve(left.num_columns() + right.num_columns());
     for (size_t c = 0; c < left.num_columns(); ++c) {
-      row.push_back(lrow < 0 ? Value::Null()
-                             : left.column(c).GetValue(
-                                   static_cast<size_t>(lrow)));
+      out_cols.push_back(left.column(c).GatherOrNull(left_rows));
     }
     for (size_t c = 0; c < right.num_columns(); ++c) {
-      row.push_back(rrow < 0 ? Value::Null()
-                             : right.column(c).GetValue(
-                                   static_cast<size_t>(rrow)));
+      out_cols.push_back(right.column(c).GatherOrNull(right_rows));
     }
-    return out.AppendRow(row);
+    return RecordBatch(out_schema, std::move(out_cols));
   };
 
   // Residual evaluation happens on a single combined row; build a one-row
@@ -284,27 +422,25 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& left,
     for (size_t l = 0; l < left.num_rows(); ++l) {
       for (size_t r = 0; r < right.num_rows(); ++r) {
         FEISU_ASSIGN_OR_RETURN(bool ok, residual_ok(l, r));
-        if (ok) FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l),
-                                          static_cast<int64_t>(r)));
+        if (ok) emit(static_cast<int64_t>(l), static_cast<int64_t>(r));
       }
     }
-    return out;
+    return materialize();
   }
 
   for (size_t l = 0; l < left.num_rows(); ++l) {
     bool matched = false;
     if (!keys.empty()) {
-      bool has_null = false;
-      std::string key = RowKey(left_keys, l, &has_null);
-      if (!has_null) {
-        auto it = build.find(key);
+      if (!left_keys.HasNull(l)) {
+        auto it = build.find(left_keys.Hash(l));
         if (it != build.end()) {
           for (uint32_t r : it->second) {
+            if (!JoinKeys::RowsEqual(left_keys, l, right_keys, r)) continue;
             FEISU_ASSIGN_OR_RETURN(bool ok, residual_ok(l, r));
             if (!ok) continue;
             matched = true;
             right_matched[r] = true;
-            FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l), r));
+            emit(static_cast<int64_t>(l), r);
           }
         }
       }
@@ -315,22 +451,21 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& left,
         if (!ok) continue;
         matched = true;
         right_matched[r] = true;
-        FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l),
-                                   static_cast<int64_t>(r)));
+        emit(static_cast<int64_t>(l), static_cast<int64_t>(r));
       }
     }
     if (!matched && options.type == JoinType::kLeftOuter) {
-      FEISU_RETURN_IF_ERROR(emit(static_cast<int64_t>(l), -1));
+      emit(static_cast<int64_t>(l), -1);
     }
   }
   if (options.type == JoinType::kRightOuter) {
     for (size_t r = 0; r < right.num_rows(); ++r) {
       if (!right_matched[r]) {
-        FEISU_RETURN_IF_ERROR(emit(-1, static_cast<int64_t>(r)));
+        emit(-1, static_cast<int64_t>(r));
       }
     }
   }
-  return out;
+  return materialize();
 }
 
 }  // namespace feisu

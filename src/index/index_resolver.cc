@@ -7,22 +7,34 @@ namespace feisu {
 std::optional<BitVector> IndexResolver::Resolve(int64_t block_id,
                                                 const ExprPtr& conjunct,
                                                 SimTime now) {
-  std::optional<BitVector> result =
+  std::optional<std::string> payload =
       ResolveImpl(block_id, conjunct, now, /*top_level=*/true);
-  if (!result.has_value()) ++stats_.misses;
-  return result;
+  if (!payload.has_value()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // The single inflation of the resolution: everything below combined in
+  // the compressed domain.
+  BitVector bits;
+  if (!BitVector::DeserializeRle(*payload, &bits)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  stats_.bitmap_words += (bits.size() + 63) / 64;
+  return bits;
 }
 
-std::optional<BitVector> IndexResolver::ResolveImpl(int64_t block_id,
-                                                    const ExprPtr& expr,
-                                                    SimTime now,
-                                                    bool top_level) {
+std::optional<std::string> IndexResolver::ResolveImpl(int64_t block_id,
+                                                      const ExprPtr& expr,
+                                                      SimTime now,
+                                                      bool top_level) {
   // 1. Direct probe for this exact (sub)predicate. The top-level probe
   //    counts toward cache hit/miss statistics and refreshes LRU order;
-  //    inner compositional probes use Peek.
+  //    inner compositional probes use Peek. The hit hands back the stored
+  //    compressed payload — no inflation here.
   SmartIndexKey key{block_id, PredicateKey(expr)};
   // The shared_ptr keeps the index alive even if a concurrent insert on
-  // another thread evicts the cache entry while we decompress it.
+  // another thread evicts the cache entry while we copy the payload out.
   std::shared_ptr<const SmartIndex> index =
       top_level ? cache_->Lookup(key, now) : cache_->Peek(key, now);
   if (index != nullptr) {
@@ -31,8 +43,7 @@ std::optional<BitVector> IndexResolver::ResolveImpl(int64_t block_id,
     } else {
       ++stats_.composed_hits;
     }
-    stats_.bitmap_words += (index->num_rows() + 63) / 64;
-    return index->Bits();
+    return index->compressed_bits();
   }
 
   // 2. Atoms resolve only by direct key. Negated predicates still reuse
@@ -45,25 +56,23 @@ std::optional<BitVector> IndexResolver::ResolveImpl(int64_t block_id,
   // 3. AND/OR nodes: compose children (Kleene TRUE-set algebra: the TRUE
   //    set of a conjunction/disjunction is exactly the AND/OR of the
   //    children's TRUE sets). NOT has no safe bitmap composition and
-  //    resolves via the materialized dual above.
-  if (expr->kind() == ExprKind::kLogical) {
-    if (expr->logical_op() == LogicalOp::kNot) return std::nullopt;
-    std::optional<BitVector> lhs =
-        ResolveImpl(block_id, expr->child(0), now, false);
-    if (!lhs.has_value()) return std::nullopt;
-    std::optional<BitVector> rhs =
-        ResolveImpl(block_id, expr->child(1), now, false);
-    if (!rhs.has_value()) return std::nullopt;
-    if (expr->logical_op() == LogicalOp::kAnd) {
-      lhs->And(*rhs);
-    } else {
-      lhs->Or(*rhs);
-    }
-    stats_.bitmap_words += (lhs->size() + 63) / 64;
-    return lhs;
-  }
-
-  return std::nullopt;
+  //    resolves via the materialized dual above. The merge runs over the
+  //    children's RLE token streams, so its cost scales with run count.
+  if (expr->logical_op() == LogicalOp::kNot) return std::nullopt;
+  std::optional<std::string> lhs =
+      ResolveImpl(block_id, expr->child(0), now, false);
+  if (!lhs.has_value()) return std::nullopt;
+  std::optional<std::string> rhs =
+      ResolveImpl(block_id, expr->child(1), now, false);
+  if (!rhs.has_value()) return std::nullopt;
+  std::string combined;
+  size_t tokens = 0;
+  bool ok = expr->logical_op() == LogicalOp::kAnd
+                ? BitVector::RleAnd(*lhs, *rhs, &combined, &tokens)
+                : BitVector::RleOr(*lhs, *rhs, &combined, &tokens);
+  if (!ok) return std::nullopt;
+  stats_.rle_tokens += tokens;
+  return combined;
 }
 
 }  // namespace feisu

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "expr/expr.h"
 #include "index/index_cache.h"
@@ -11,9 +12,10 @@ namespace feisu {
 
 struct ResolverStats {
   uint64_t direct_hits = 0;     ///< whole conjunct found in the cache
-  uint64_t composed_hits = 0;   ///< derived via bit-NOT / bit-OR algebra
+  uint64_t composed_hits = 0;   ///< derived via RLE-domain bitmap algebra
   uint64_t misses = 0;          ///< predicate had to be evaluated
-  uint64_t bitmap_words = 0;    ///< words touched by combine operations
+  uint64_t bitmap_words = 0;    ///< words inflated into selection vectors
+  uint64_t rle_tokens = 0;      ///< compressed tokens streamed by combines
 
   uint64_t TotalHits() const { return direct_hits + composed_hits; }
 
@@ -22,6 +24,7 @@ struct ResolverStats {
     composed_hits += other.composed_hits;
     misses += other.misses;
     bitmap_words += other.bitmap_words;
+    rle_tokens += other.rle_tokens;
     return *this;
   }
 };
@@ -38,6 +41,11 @@ struct ResolverStats {
 ///     with bit-OR / bit-AND (sound in Kleene three-valued logic; bit-NOT
 ///     is not, which is why negation uses materialized duals instead).
 ///
+/// Composition runs entirely in the RLE domain (paper §IV-C): children
+/// resolve to compressed payloads, AND/OR merge the token streams
+/// (BitVector::RleAnd/RleOr) at a cost proportional to run count, and only
+/// the final selection vector is inflated into words.
+///
 /// Returns nullopt when the conjunct cannot be resolved from cache (the
 /// caller then scans, evaluates, and inserts a fresh index).
 class IndexResolver {
@@ -51,9 +59,10 @@ class IndexResolver {
   void ResetStats() { stats_ = ResolverStats(); }
 
  private:
-  std::optional<BitVector> ResolveImpl(int64_t block_id,
-                                       const ExprPtr& expr, SimTime now,
-                                       bool top_level);
+  /// Resolves to a compressed RLE payload without inflating it.
+  std::optional<std::string> ResolveImpl(int64_t block_id,
+                                         const ExprPtr& expr, SimTime now,
+                                         bool top_level);
 
   IndexCache* cache_;
   ResolverStats stats_;

@@ -182,11 +182,13 @@ TEST(IndexCacheConcurrencyTest, HandleOutlivesConcurrentEviction) {
 
 // ---------- Parallel leaf path: determinism ----------
 
-std::unique_ptr<FeisuEngine> MakeEngine(uint64_t seed, size_t parallelism) {
+std::unique_ptr<FeisuEngine> MakeEngine(uint64_t seed, size_t parallelism,
+                                        bool selection_pushdown = true) {
   EngineConfig config;
   config.num_leaf_nodes = 8;
   config.rows_per_block = 512;
   config.master.leaf_parallelism = parallelism;
+  config.leaf.enable_selection_pushdown = selection_pushdown;
   auto engine = std::make_unique<FeisuEngine>(config);
   engine->AddStorage("/hdfs", MakeHdfs(), /*is_default=*/true);
   engine->GrantAllDomains("ana");
@@ -262,6 +264,26 @@ TEST_P(ParallelDeterminism, ParallelIsDeterministicRunToRun) {
   auto first = MakeEngine(seed, /*parallelism=*/4);
   auto second = MakeEngine(seed, /*parallelism=*/4);
   EXPECT_EQ(RunWorkload(first.get()), RunWorkload(second.get()));
+}
+
+// Selection pushdown (selective decode through the predicate bitmap) must
+// not change a single output byte versus the pre-pushdown decode-then-
+// Filter path — in sequential and parallel mode, across the seed grid.
+TEST_P(ParallelDeterminism, SelectionPushdownIsByteIdentical) {
+  uint64_t seed = GetParam();
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    auto pushdown =
+        MakeEngine(seed, parallelism, /*selection_pushdown=*/true);
+    auto reference =
+        MakeEngine(seed, parallelism, /*selection_pushdown=*/false);
+    std::vector<std::string> push_prints = RunWorkload(pushdown.get());
+    std::vector<std::string> ref_prints = RunWorkload(reference.get());
+    ASSERT_EQ(push_prints.size(), ref_prints.size());
+    for (size_t i = 0; i < push_prints.size(); ++i) {
+      EXPECT_EQ(push_prints[i], ref_prints[i])
+          << "query diverged under pushdown: " << kDeterminismQueries[i];
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(SeedGrid, ParallelDeterminism,

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Runs the performance-tracking benches and emits BENCH_micro_ops.json.
+
+Invokes `bench_micro_ops` (google-benchmark, JSON format) and
+`bench_fig9a_smartindex` (paper-figure reproduction, text output) from an
+existing build tree, then writes one JSON artifact combining:
+
+  * every micro-op's wall time (ns) and reported counters — including the
+    `values_decoded_per_iter` / `values_skipped_per_iter` counters that
+    quantify the late-materialization win, and
+  * the fig9a stdout summary (speedup table + REPRODUCED verdict).
+
+CI uploads the artifact on every run so perf regressions are diffable
+across commits. Stdlib only; no third-party dependencies.
+
+Usage:
+  python3 tools/run_bench.py [--build-dir build] [--out BENCH_micro_ops.json]
+                             [--filter REGEX] [--skip-fig9a]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def run_micro_ops(build_dir: pathlib.Path, bench_filter: str) -> dict:
+    binary = build_dir / "bench" / "bench_micro_ops"
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found — build the repo first "
+                 f"(cmake --build {build_dir} --target bench_micro_ops)")
+    cmd = [str(binary), "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    report = json.loads(proc.stdout)
+    benchmarks = []
+    for entry in report.get("benchmarks", []):
+        row = {
+            "name": entry.get("name"),
+            "real_time_ns": entry.get("real_time"),
+            "cpu_time_ns": entry.get("cpu_time"),
+            "iterations": entry.get("iterations"),
+        }
+        # google-benchmark inlines user counters as extra numeric fields
+        # (values_decoded_per_iter, items_per_second, ...); keep them all.
+        for key, value in entry.items():
+            if key in row or key in ("run_name", "run_type", "repetitions",
+                                     "repetition_index", "threads",
+                                     "time_unit", "family_index",
+                                     "per_family_instance_index"):
+                continue
+            if isinstance(value, (int, float)):
+                row[key] = value
+        benchmarks.append(row)
+    return {"context": report.get("context", {}), "benchmarks": benchmarks}
+
+
+def run_fig9a(build_dir: pathlib.Path) -> dict:
+    binary = build_dir / "bench" / "bench_fig9a_smartindex"
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found — build the repo first "
+                 f"(cmake --build {build_dir} --target "
+                 f"bench_fig9a_smartindex)")
+    proc = subprocess.run([str(binary)], capture_output=True, text=True,
+                          check=True)
+    reproduced = "-> REPRODUCED" in proc.stdout
+    return {"stdout": proc.stdout, "reproduced": reproduced}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree with the bench binaries")
+    parser.add_argument("--out", default="BENCH_micro_ops.json",
+                        help="output artifact path")
+    parser.add_argument("--filter", default="",
+                        help="optional --benchmark_filter regex")
+    parser.add_argument("--skip-fig9a", action="store_true",
+                        help="skip the ~20s fig9a reproduction run")
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    artifact = {"micro_ops": run_micro_ops(build_dir, args.filter)}
+    if not args.skip_fig9a:
+        artifact["fig9a_smartindex"] = run_fig9a(build_dir)
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    # Human-readable pulse of the late-materialization counters.
+    for row in artifact["micro_ops"]["benchmarks"]:
+        if "values_decoded_per_iter" in row:
+            print(f"{row['name']}: {row['real_time_ns']:.0f} ns, "
+                  f"{row['values_decoded_per_iter']:.0f} values decoded "
+                  f"per iteration")
+    if not args.skip_fig9a:
+        verdict = ("REPRODUCED"
+                   if artifact["fig9a_smartindex"]["reproduced"]
+                   else "NOT reproduced")
+        print(f"fig9a SmartIndex speedup: {verdict}")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
