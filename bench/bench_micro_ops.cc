@@ -5,10 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
 #include "common/bit_vector.h"
 #include "common/rng.h"
+#include "columnar/block.h"
 #include "columnar/encoding.h"
+#include "exec/aggregate.h"
 #include "exec/operators.h"
+#include "expr/evaluator.h"
 #include "index/btree.h"
 #include "sql/parser.h"
 
@@ -277,6 +284,214 @@ void BM_HashJoinEqui(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_HashJoinEqui)->Arg(4096)->Arg(65536);
+
+// --- Hash aggregation: vectorized Aggregator vs the seed ordered map. ---
+
+// The ordered-map aggregator this repo's Aggregator replaced: boxed Values,
+// one serialized-key std::map lookup per row. Kept here (bench-only) as the
+// comparison baseline that BENCH_micro_ops.json tracks the speedup against.
+class SeedMapAggregator {
+ public:
+  SeedMapAggregator(std::vector<ExprPtr> group_by, std::vector<AggSpec> specs)
+      : group_by_(std::move(group_by)), specs_(std::move(specs)) {}
+
+  Status Consume(const RecordBatch& batch) {
+    size_t n = batch.num_rows();
+    if (n == 0) return Status::OK();
+    std::vector<ColumnVector> key_cols;
+    for (const auto& g : group_by_) {
+      FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*g, batch));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<ColumnVector> arg_cols;
+    std::vector<bool> has_arg(specs_.size(), false);
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      if (specs_[s].arg != nullptr) {
+        FEISU_ASSIGN_OR_RETURN(ColumnVector col,
+                               EvaluateExpr(*specs_[s].arg, batch));
+        arg_cols.push_back(std::move(col));
+        has_arg[s] = true;
+      } else {
+        arg_cols.emplace_back(DataType::kInt64);
+      }
+    }
+    std::vector<Value> keys(group_by_.size());
+    for (size_t row = 0; row < n; ++row) {
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        keys[k] = key_cols[k].GetValue(row);
+      }
+      Group& group = GroupFor(keys);
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        AggState& agg = group.states[s];
+        if (!has_arg[s]) {
+          ++agg.count;
+          continue;
+        }
+        Value v = arg_cols[s].GetValue(row);
+        if (v.is_null()) continue;
+        ++agg.count;
+        if (specs_[s].func == AggFunc::kSum ||
+            specs_[s].func == AggFunc::kAvg) {
+          agg.sum += v.AsDouble();
+        }
+        if (specs_[s].func == AggFunc::kMin ||
+            specs_[s].func == AggFunc::kMax) {
+          if (agg.min.is_null() || v.Compare(agg.min) < 0) agg.min = v;
+          if (agg.max.is_null() || v.Compare(agg.max) > 0) agg.max = v;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0;
+    Value min;
+    Value max;
+  };
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  Group& GroupFor(const std::vector<Value>& keys) {
+    std::string serialized;
+    for (const Value& key : keys) SerializeValue(&serialized, key);
+    auto it = groups_.find(serialized);
+    if (it == groups_.end()) {
+      Group group;
+      group.keys = keys;
+      group.states.resize(specs_.size());
+      it = groups_.emplace(std::move(serialized), std::move(group)).first;
+    }
+    return it->second;
+  }
+
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> specs_;
+  std::map<std::string, Group> groups_;
+};
+
+// 64k rows of (int64 key, double value); key cardinality is the bench arg.
+RecordBatch MakeAggInput(size_t rows, int64_t cardinality,
+                         double null_density) {
+  Schema schema({{"k", DataType::kInt64, true},
+                 {"v", DataType::kDouble, true}});
+  RecordBatch batch(schema);
+  batch.Reserve(rows);
+  Rng rng(14);
+  for (size_t i = 0; i < rows; ++i) {
+    Value v = rng.NextBool(null_density) ? Value::Null()
+                                         : Value::Double(rng.NextDouble());
+    batch.AppendRow({Value::Int64(rng.NextInt64(0, cardinality)), v}).ok();
+  }
+  return batch;
+}
+
+std::vector<AggSpec> AggBenchSpecs() {
+  std::vector<AggSpec> specs(4);
+  specs[0].func = AggFunc::kCount;
+  specs[0].output_name = "cnt";
+  specs[1].func = AggFunc::kSum;
+  specs[1].arg = Expr::ColumnRef("v");
+  specs[1].output_name = "sum_v";
+  specs[2].func = AggFunc::kMin;
+  specs[2].arg = Expr::ColumnRef("v");
+  specs[2].output_name = "min_v";
+  specs[3].func = AggFunc::kMax;
+  specs[3].arg = Expr::ColumnRef("v");
+  specs[3].output_name = "max_v";
+  return specs;
+}
+
+constexpr size_t kAggRows = 65536;
+
+void BM_AggConsume(benchmark::State& state) {
+  RecordBatch batch = MakeAggInput(kAggRows, state.range(0), 0.0);
+  std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  std::vector<AggSpec> specs = AggBenchSpecs();
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto agg = Aggregator::Make(group_by, specs, batch.schema());
+    agg->Consume(batch).ok();
+    groups = agg->num_groups();
+    benchmark::DoNotOptimize(groups);
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_AggConsume)->Arg(64)->Arg(32768);
+
+void BM_AggConsumeMapBaseline(benchmark::State& state) {
+  RecordBatch batch = MakeAggInput(kAggRows, state.range(0), 0.0);
+  std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  std::vector<AggSpec> specs = AggBenchSpecs();
+  size_t groups = 0;
+  for (auto _ : state) {
+    SeedMapAggregator agg(group_by, specs);
+    agg.Consume(batch).ok();
+    groups = agg.num_groups();
+    benchmark::DoNotOptimize(groups);
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_AggConsumeMapBaseline)->Arg(64)->Arg(32768);
+
+// 30% null arguments: exercises the per-row validity branch of the kernels
+// (the null-free fast path is off for every batch).
+void BM_AggConsumeNullArgs(benchmark::State& state) {
+  RecordBatch batch = MakeAggInput(kAggRows, state.range(0), 0.3);
+  std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  std::vector<AggSpec> specs = AggBenchSpecs();
+  for (auto _ : state) {
+    auto agg = Aggregator::Make(group_by, specs, batch.schema());
+    agg->Consume(batch).ok();
+    benchmark::DoNotOptimize(agg->num_groups());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_AggConsumeNullArgs)->Arg(64)->Arg(32768);
+
+// Ungrouped global aggregation: single group, pure accumulation kernels.
+void BM_AggConsumeUngrouped(benchmark::State& state) {
+  RecordBatch batch = MakeAggInput(kAggRows, 1024, 0.0);
+  std::vector<AggSpec> specs = AggBenchSpecs();
+  for (auto _ : state) {
+    auto agg = Aggregator::Make({}, specs, batch.schema());
+    agg->Consume(batch).ok();
+    benchmark::DoNotOptimize(agg->num_groups());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_AggConsumeUngrouped);
+
+// Stem-side merge: one high-cardinality partial batch re-grouped per
+// iteration, the hot loop of multi-level partial exchange.
+void BM_AggConsumePartial(benchmark::State& state) {
+  RecordBatch batch = MakeAggInput(kAggRows, state.range(0), 0.0);
+  std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  std::vector<AggSpec> specs = AggBenchSpecs();
+  auto leaf = Aggregator::Make(group_by, specs, batch.schema());
+  leaf->Consume(batch).ok();
+  RecordBatch partial = *leaf->PartialResult();
+  for (auto _ : state) {
+    auto stem = Aggregator::Make(group_by, specs, batch.schema());
+    stem->ConsumePartial(partial).ok();
+    benchmark::DoNotOptimize(stem->num_groups());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(partial.num_rows()));
+}
+BENCHMARK(BM_AggConsumePartial)->Arg(64)->Arg(32768);
 
 void BM_ParseSql(benchmark::State& state) {
   const std::string sql =

@@ -233,6 +233,7 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
           Aggregator agg,
           Aggregator::Make(task.group_by, task.aggregates, block->schema()));
       FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());
+      stats.AccumulateAgg(agg.stats());
       return result;
     }
     if (config_.enable_selection_pushdown) {
@@ -397,6 +398,7 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
         Aggregator::Make(task.group_by, task.aggregates, block->schema()));
     FEISU_RETURN_IF_ERROR(agg.ConsumeCount(stats.rows_matched));
     FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());
+    stats.AccumulateAgg(agg.stats());
     return result;
   }
 
@@ -458,6 +460,7 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
     stats.cpu_time +=
         RowCost(filtered.num_rows(), config_.cpu_per_row_aggregate);
     FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());
+    stats.AccumulateAgg(agg.stats());
   } else {
     result.batch = std::move(filtered);
   }

@@ -69,6 +69,10 @@ std::string FormatQueryStats(const QueryStats& stats) {
   os << "leaf I/O: " << stats.leaf.bytes_read << " bytes read, "
      << stats.leaf.rows_scanned << " rows scanned, " << stats.leaf.rows_matched
      << " matched, " << stats.leaf.values_decoded << " values decoded\n";
+  os << "aggregation: " << stats.leaf.agg_groups << " groups, "
+     << stats.leaf.agg_hash_probes << " hash probes, "
+     << stats.leaf.agg_rehashes << " rehashes, "
+     << stats.leaf.agg_null_fast_batches << " null-fast-path batches\n";
   os << "SmartIndex: " << stats.leaf.index_direct_hits << " direct + "
      << stats.leaf.index_composed_hits << " composed hits, "
      << stats.leaf.index_misses << " misses\n";
@@ -545,6 +549,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
     }
     FEISU_ASSIGN_OR_RETURN(StemResult merged,
                            stem.Merge(batches, times, stem_agg.get()));
+    if (stem_agg != nullptr) stats->leaf.AccumulateAgg(stem_agg->stats());
     stats->bytes_shuffled += merged.bytes_received;
     stem_batches.push_back(std::move(merged.batch));
     stem_finishes.push_back(merged.finish_time);
@@ -579,6 +584,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       }
       FEISU_ASSIGN_OR_RETURN(StemResult merged,
                              stem.Merge(batches, times, stem_agg.get()));
+      if (stem_agg != nullptr) stats->leaf.AccumulateAgg(stem_agg->stats());
       stats->bytes_shuffled += merged.bytes_received;
       upper_batches.push_back(std::move(merged.batch));
       upper_finishes.push_back(merged.finish_time);
@@ -623,6 +629,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       FEISU_RETURN_IF_ERROR(final_agg.ConsumePartial(batch));
     }
     FEISU_ASSIGN_OR_RETURN(staged.batch, final_agg.FinalResult());
+    stats->leaf.AccumulateAgg(final_agg.stats());
   } else {
     if (stem_batches.empty()) {
       // All tasks abandoned or table empty: synthesize an empty batch with
@@ -631,6 +638,9 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       staged.batch = RecordBatch(schema);
     } else {
       RecordBatch merged(stem_batches[0].schema());
+      size_t total_rows = 0;
+      for (const auto& batch : stem_batches) total_rows += batch.num_rows();
+      merged.Reserve(total_rows);
       for (const auto& batch : stem_batches) {
         FEISU_RETURN_IF_ERROR(merged.Append(batch));
       }

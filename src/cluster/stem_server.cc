@@ -38,6 +38,7 @@ Result<StemResult> StemServer::Merge(
   // Row concatenation for non-aggregate sub-plans.
   if (child_batches.empty()) return result;
   RecordBatch merged(child_batches[0].schema());
+  merged.Reserve(rows);
   for (const auto& batch : child_batches) {
     FEISU_RETURN_IF_ERROR(merged.Append(batch));
   }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "exec/aggregate.h"
+
 namespace feisu {
 
 std::string LeafTask::Signature() const {
@@ -32,8 +34,19 @@ void TaskStats::Accumulate(const TaskStats& other) {
   index_misses += other.index_misses;
   btree_probes += other.btree_probes;
   btree_builds += other.btree_builds;
+  agg_groups += other.agg_groups;
+  agg_hash_probes += other.agg_hash_probes;
+  agg_rehashes += other.agg_rehashes;
+  agg_null_fast_batches += other.agg_null_fast_batches;
   io_time += other.io_time;
   cpu_time += other.cpu_time;
+}
+
+void TaskStats::AccumulateAgg(const AggStats& agg) {
+  agg_groups += agg.groups_created;
+  agg_hash_probes += agg.hash_probes;
+  agg_rehashes += agg.rehashes;
+  agg_null_fast_batches += agg.null_fast_path_batches;
 }
 
 }  // namespace feisu

@@ -12,6 +12,8 @@
 
 namespace feisu {
 
+struct AggStats;  // exec/aggregate.h
+
 /// The unit of work a leaf server executes: one block of one table, with
 /// the pushed-down predicate, the pruned column set and (optionally) a
 /// partial-aggregation spec. Sub-plans are dissected into these by the
@@ -50,12 +52,21 @@ struct TaskStats {
   uint64_t index_misses = 0;
   uint64_t btree_probes = 0;
   uint64_t btree_builds = 0;
+  // Hash-aggregation counters (leaf Consume plus stem/master partial
+  // merges): distinct groups created, hash-table slot inspections, growth
+  // events, and batches that took the null-free kernel fast path.
+  uint64_t agg_groups = 0;
+  uint64_t agg_hash_probes = 0;
+  uint64_t agg_rehashes = 0;
+  uint64_t agg_null_fast_batches = 0;
   bool block_skipped = false;          ///< zone-map pruned
   SimTime io_time = 0;
   SimTime cpu_time = 0;
 
   SimTime TotalTime() const { return io_time + cpu_time; }
   void Accumulate(const TaskStats& other);
+  /// Folds one Aggregator's hot-path counters into this task's stats.
+  void AccumulateAgg(const AggStats& agg);
 };
 
 struct TaskResult {

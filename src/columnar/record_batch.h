@@ -34,7 +34,10 @@ class RecordBatch {
   /// Appends one row of boxed values (values.size() == num_columns()).
   Status AppendRow(const std::vector<Value>& values);
 
-  /// Appends all rows of `other` (schemas must be equal).
+  /// Reserves capacity for `rows` total rows in every column.
+  void Reserve(size_t rows);
+
+  /// Appends all rows of `other` (schemas must be equal) column-wise.
   Status Append(const RecordBatch& other);
 
   /// Keeps only selected rows.

@@ -1,5 +1,10 @@
 #include "exec/aggregate.h"
 
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/hash.h"
 #include "columnar/block.h"
 #include "expr/evaluator.h"
 
@@ -7,11 +12,8 @@ namespace feisu {
 
 namespace {
 
-std::string SerializeKeys(const std::vector<Value>& keys) {
-  std::string out;
-  for (const Value& key : keys) SerializeValue(&out, key);
-  return out;
-}
+constexpr uint64_t kKeyHashSeed = 0xCBF29CE484222325ULL;
+constexpr size_t kInitialSlots = 16;
 
 bool NeedsSum(AggFunc func) {
   return func == AggFunc::kSum || func == AggFunc::kAvg;
@@ -36,7 +38,44 @@ DataType FinalType(AggFunc func, DataType arg_type) {
   return DataType::kInt64;
 }
 
+/// One cell's numeric view, matching Value::AsDouble for the given type.
+double NumericWord(DataType type, uint64_t word) {
+  switch (type) {
+    case DataType::kBool:
+      return word != 0 ? 1.0 : 0.0;
+    case DataType::kInt64:
+      return static_cast<double>(static_cast<int64_t>(word));
+    case DataType::kDouble:
+      return std::bit_cast<double>(word);
+    case DataType::kString:
+      break;
+  }
+  return 0.0;
+}
+
+/// Replicates RecordBatch::AppendRow's per-cell type check (NULL always
+/// accepted, exact type match otherwise, numeric widened into a double
+/// column) so typed emission errors exactly where the row path did.
+Status AppendCell(ColumnVector* col, const Value& v,
+                  const std::string& field_name) {
+  if (!v.is_null() && v.type() != col->type() &&
+      !(v.is_numeric() && col->type() == DataType::kDouble)) {
+    return Status::InvalidArgument("type mismatch for column " + field_name);
+  }
+  col->AppendValue(v);
+  return Status::OK();
+}
+
 }  // namespace
+
+/// Typed per-row view of one batch's key columns: one word per cell plus
+/// one combined hash per row. Hash input covers the null flag, the runtime
+/// type tag and the word, mirroring what the serialized key bytes encode.
+struct Aggregator::BatchKeys {
+  std::vector<const ColumnVector*> cols;
+  std::vector<std::vector<uint64_t>> words;  ///< [col][row]
+  std::vector<uint64_t> hashes;              ///< [row]
+};
 
 Result<Aggregator> Aggregator::Make(std::vector<ExprPtr> group_by,
                                     std::vector<AggSpec> specs,
@@ -81,19 +120,309 @@ Result<Aggregator> Aggregator::Make(std::vector<ExprPtr> group_by,
   }
   agg.partial_schema_ = Schema(std::move(partial_fields));
   agg.final_schema_ = Schema(std::move(final_fields));
+  agg.key_cols_.resize(agg.group_by_.size());
+  agg.states_.resize(agg.specs_.size());
   return agg;
 }
 
-Aggregator::Group& Aggregator::GroupFor(const std::vector<Value>& keys) {
-  std::string serialized = SerializeKeys(keys);
-  auto it = groups_.find(serialized);
-  if (it == groups_.end()) {
-    Group group;
-    group.keys = keys;
-    group.states.resize(specs_.size());
-    it = groups_.emplace(std::move(serialized), std::move(group)).first;
+Aggregator::BatchKeys Aggregator::MakeBatchKeys(
+    std::vector<const ColumnVector*> cols, size_t n) const {
+  BatchKeys keys;
+  keys.cols = std::move(cols);
+  keys.words.resize(keys.cols.size());
+  for (size_t c = 0; c < keys.cols.size(); ++c) {
+    const ColumnVector& col = *keys.cols[c];
+    std::vector<uint64_t>& w = keys.words[c];
+    w.resize(n, 0);
+    switch (col.type()) {
+      case DataType::kBool:
+        for (size_t i = 0; i < n; ++i) w[i] = col.bools()[i] != 0 ? 1 : 0;
+        break;
+      case DataType::kInt64:
+        for (size_t i = 0; i < n; ++i) {
+          w[i] = static_cast<uint64_t>(col.ints()[i]);
+        }
+        break;
+      case DataType::kDouble:
+        for (size_t i = 0; i < n; ++i) {
+          w[i] = std::bit_cast<uint64_t>(col.doubles()[i]);
+        }
+        break;
+      case DataType::kString:
+        for (size_t i = 0; i < n; ++i) {
+          if (!col.IsNull(i)) w[i] = HashString(col.strings()[i]);
+        }
+        break;
+    }
   }
-  return it->second;
+  keys.hashes.assign(n, kKeyHashSeed);
+  for (size_t c = 0; c < keys.cols.size(); ++c) {
+    const ColumnVector& col = *keys.cols[c];
+    uint64_t type_tag = static_cast<uint64_t>(col.type()) + 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (col.IsNull(i)) {
+        keys.hashes[i] = HashCombine(keys.hashes[i], 0);
+      } else {
+        keys.hashes[i] = HashCombine(keys.hashes[i], type_tag);
+        keys.hashes[i] = HashCombine(keys.hashes[i], keys.words[c][i]);
+      }
+    }
+  }
+  return keys;
+}
+
+bool Aggregator::GroupEquals(uint32_t group, const BatchKeys& keys,
+                             size_t row) const {
+  for (size_t c = 0; c < keys.cols.size(); ++c) {
+    const ColumnVector& col = *keys.cols[c];
+    const KeyColumn& stored = key_cols_[c];
+    bool row_null = col.IsNull(row);
+    if (row_null != (stored.nulls[group] != 0)) return false;
+    if (row_null) continue;
+    if (col.type() != stored.types[group]) return false;
+    if (keys.words[c][row] != stored.words[group]) return false;
+    if (col.type() == DataType::kString &&
+        col.strings()[row] != stored.strings[group]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Aggregator::AppendGroupKeys(const BatchKeys& keys, size_t row) {
+  std::string serialized;
+  for (size_t c = 0; c < keys.cols.size(); ++c) {
+    const ColumnVector& col = *keys.cols[c];
+    KeyColumn& stored = key_cols_[c];
+    bool row_null = col.IsNull(row);
+    stored.nulls.push_back(row_null ? 1 : 0);
+    stored.types.push_back(col.type());
+    stored.words.push_back(row_null ? 0 : keys.words[c][row]);
+    stored.strings.emplace_back(
+        !row_null && col.type() == DataType::kString ? col.strings()[row]
+                                                     : std::string());
+    SerializeValue(&serialized, col.GetValue(row));
+  }
+  serialized_keys_.push_back(std::move(serialized));
+}
+
+void Aggregator::AppendStateSlots() {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    SpecState& st = states_[s];
+    st.counts.push_back(0);
+    if (NeedsSum(specs_[s].func)) st.sums.push_back(0.0);
+    if (NeedsMinMax(specs_[s].func)) {
+      st.min_boxed.emplace_back();
+      st.max_boxed.emplace_back();
+      st.min_num.push_back(0.0);
+      st.max_num.push_back(0.0);
+    }
+  }
+}
+
+void Aggregator::Grow(size_t capacity) {
+  if (!slots_.empty()) ++stats_.rehashes;
+  slots_.assign(capacity, 0);
+  slot_hashes_.assign(capacity, 0);
+  slot_mask_ = capacity - 1;
+  for (size_t g = 0; g < num_groups_; ++g) {
+    size_t idx = group_hashes_[g] & slot_mask_;
+    while (slots_[idx] != 0) idx = (idx + 1) & slot_mask_;
+    slots_[idx] = static_cast<uint32_t>(g) + 1;
+    slot_hashes_[idx] = group_hashes_[g];
+  }
+}
+
+uint32_t Aggregator::FindOrInsert(const BatchKeys& keys, size_t row) {
+  if (slots_.empty()) Grow(kInitialSlots);
+  uint64_t h = keys.hashes[row];
+  size_t idx = h & slot_mask_;
+  while (true) {
+    ++stats_.hash_probes;
+    uint32_t slot = slots_[idx];
+    if (slot == 0) break;
+    if (slot_hashes_[idx] == h && GroupEquals(slot - 1, keys, row)) {
+      return slot - 1;
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  uint32_t group = static_cast<uint32_t>(num_groups_++);
+  ++stats_.groups_created;
+  slots_[idx] = group + 1;
+  slot_hashes_[idx] = h;
+  group_hashes_.push_back(h);
+  AppendGroupKeys(keys, row);
+  AppendStateSlots();
+  // Keep the load factor under 0.7 so probe chains stay short.
+  if ((num_groups_ + 1) * 10 > slots_.size() * 7) Grow(slots_.size() * 2);
+  return group;
+}
+
+uint32_t Aggregator::EnsureGlobalGroup() {
+  if (num_groups_ == 0) {
+    if (slots_.empty()) Grow(kInitialSlots);
+    size_t idx = kKeyHashSeed & slot_mask_;
+    ++stats_.hash_probes;
+    slots_[idx] = 1;
+    slot_hashes_[idx] = kKeyHashSeed;
+    group_hashes_.push_back(kKeyHashSeed);
+    serialized_keys_.emplace_back();
+    AppendStateSlots();
+    num_groups_ = 1;
+    ++stats_.groups_created;
+  }
+  return 0;
+}
+
+namespace {
+
+/// min/max update: replicates `if (state.min.is_null() ||
+/// v.Compare(state.min) < 0) state.min = v;` with the Compare hoisted into
+/// a double comparison whenever the stored value is numeric. `dir` is -1
+/// for MIN, +1 for MAX.
+template <int dir>
+inline void UpdateMinMaxNumeric(std::vector<Value>& boxed,
+                                std::vector<double>& num, uint32_t g,
+                                double v_num, const Value& v_boxed) {
+  if (boxed[g].is_null()) {
+    boxed[g] = v_boxed;
+    num[g] = v_num;
+    return;
+  }
+  if (boxed[g].is_numeric()) {
+    if (dir < 0 ? v_num < num[g] : v_num > num[g]) {
+      boxed[g] = v_boxed;
+      num[g] = v_num;
+    }
+    return;
+  }
+  // Stored value is a string (mixed runtime types): defer to Value::Compare
+  // so the cross-type ordering matches the boxed path exactly.
+  int cmp = v_boxed.Compare(boxed[g]);
+  if (dir < 0 ? cmp < 0 : cmp > 0) {
+    boxed[g] = v_boxed;
+    num[g] = v_num;
+  }
+}
+
+template <int dir>
+inline void UpdateMinMaxString(std::vector<Value>& boxed,
+                               std::vector<double>& num, uint32_t g,
+                               const std::string& v) {
+  if (boxed[g].is_null()) {
+    boxed[g] = Value::String(v);
+    return;
+  }
+  if (boxed[g].type() == DataType::kString) {
+    int cmp = v.compare(boxed[g].string_value());
+    if (dir < 0 ? cmp < 0 : cmp > 0) boxed[g] = Value::String(v);
+    return;
+  }
+  Value v_boxed = Value::String(v);
+  int cmp = v_boxed.Compare(boxed[g]);
+  if (dir < 0 ? cmp < 0 : cmp > 0) {
+    boxed[g] = std::move(v_boxed);
+    num[g] = 0.0;
+  }
+}
+
+}  // namespace
+
+void Aggregator::AccumulateSpec(size_t s, const ColumnVector* arg,
+                                const std::vector<uint32_t>& gids) {
+  SpecState& st = states_[s];
+  size_t n = gids.size();
+  if (arg == nullptr) {  // COUNT(*)
+    for (size_t i = 0; i < n; ++i) ++st.counts[gids[i]];
+    return;
+  }
+  const AggFunc func = specs_[s].func;
+  const bool needs_sum = NeedsSum(func);
+  const bool needs_minmax = NeedsMinMax(func);
+  const bool null_free = arg->NullCount() == 0;
+
+  // SQL semantics: NULL arguments don't aggregate (skip count/sum/minmax).
+  auto for_each_valid = [&](auto&& fn) {
+    if (null_free) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (!arg->IsNull(i)) fn(i);
+      }
+    }
+  };
+
+  for_each_valid([&](size_t i) { ++st.counts[gids[i]]; });
+
+  if (needs_sum) {
+    switch (arg->type()) {
+      case DataType::kBool: {
+        const auto& v = arg->bools();
+        for_each_valid(
+            [&](size_t i) { st.sums[gids[i]] += v[i] != 0 ? 1.0 : 0.0; });
+        break;
+      }
+      case DataType::kInt64: {
+        const auto& v = arg->ints();
+        for_each_valid(
+            [&](size_t i) { st.sums[gids[i]] += static_cast<double>(v[i]); });
+        break;
+      }
+      case DataType::kDouble: {
+        const auto& v = arg->doubles();
+        for_each_valid([&](size_t i) { st.sums[gids[i]] += v[i]; });
+        break;
+      }
+      case DataType::kString:
+        break;  // rejected at Make time
+    }
+  }
+
+  if (needs_minmax) {
+    switch (arg->type()) {
+      case DataType::kBool: {
+        const auto& v = arg->bools();
+        for_each_valid([&](size_t i) {
+          bool b = v[i] != 0;
+          double d = b ? 1.0 : 0.0;
+          UpdateMinMaxNumeric<-1>(st.min_boxed, st.min_num, gids[i], d,
+                                  Value::Bool(b));
+          UpdateMinMaxNumeric<+1>(st.max_boxed, st.max_num, gids[i], d,
+                                  Value::Bool(b));
+        });
+        break;
+      }
+      case DataType::kInt64: {
+        const auto& v = arg->ints();
+        for_each_valid([&](size_t i) {
+          double d = static_cast<double>(v[i]);
+          UpdateMinMaxNumeric<-1>(st.min_boxed, st.min_num, gids[i], d,
+                                  Value::Int64(v[i]));
+          UpdateMinMaxNumeric<+1>(st.max_boxed, st.max_num, gids[i], d,
+                                  Value::Int64(v[i]));
+        });
+        break;
+      }
+      case DataType::kDouble: {
+        const auto& v = arg->doubles();
+        for_each_valid([&](size_t i) {
+          UpdateMinMaxNumeric<-1>(st.min_boxed, st.min_num, gids[i], v[i],
+                                  Value::Double(v[i]));
+          UpdateMinMaxNumeric<+1>(st.max_boxed, st.max_num, gids[i], v[i],
+                                  Value::Double(v[i]));
+        });
+        break;
+      }
+      case DataType::kString: {
+        const auto& v = arg->strings();
+        for_each_valid([&](size_t i) {
+          UpdateMinMaxString<-1>(st.min_boxed, st.min_num, gids[i], v[i]);
+          UpdateMinMaxString<+1>(st.max_boxed, st.max_num, gids[i], v[i]);
+        });
+        break;
+      }
+    }
+  }
 }
 
 Status Aggregator::Consume(const RecordBatch& batch) {
@@ -101,11 +430,13 @@ Status Aggregator::Consume(const RecordBatch& batch) {
   if (n == 0) return Status::OK();
   // Evaluate group keys and aggregate arguments once per batch.
   std::vector<ColumnVector> key_cols;
+  key_cols.reserve(group_by_.size());
   for (const auto& g : group_by_) {
     FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*g, batch));
     key_cols.push_back(std::move(col));
   }
   std::vector<ColumnVector> arg_cols;
+  arg_cols.reserve(specs_.size());
   std::vector<bool> has_arg(specs_.size(), false);
   for (size_t s = 0; s < specs_.size(); ++s) {
     if (specs_[s].arg != nullptr) {
@@ -117,27 +448,27 @@ Status Aggregator::Consume(const RecordBatch& batch) {
       arg_cols.emplace_back(DataType::kInt64);
     }
   }
-  std::vector<Value> keys(group_by_.size());
-  for (size_t row = 0; row < n; ++row) {
-    for (size_t k = 0; k < key_cols.size(); ++k) {
-      keys[k] = key_cols[k].GetValue(row);
-    }
-    Group& group = GroupFor(keys);
-    for (size_t s = 0; s < specs_.size(); ++s) {
-      AggState& state = group.states[s];
-      if (!has_arg[s]) {  // COUNT(*)
-        ++state.count;
-        continue;
-      }
-      Value v = arg_cols[s].GetValue(row);
-      if (v.is_null()) continue;  // SQL semantics: NULLs don't aggregate
-      ++state.count;
-      if (NeedsSum(specs_[s].func)) state.sum += v.AsDouble();
-      if (NeedsMinMax(specs_[s].func)) {
-        if (state.min.is_null() || v.Compare(state.min) < 0) state.min = v;
-        if (state.max.is_null() || v.Compare(state.max) > 0) state.max = v;
-      }
-    }
+
+  bool batch_null_free = true;
+  for (const auto& col : key_cols) {
+    if (col.NullCount() != 0) batch_null_free = false;
+  }
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (has_arg[s] && arg_cols[s].NullCount() != 0) batch_null_free = false;
+  }
+  if (batch_null_free) ++stats_.null_fast_path_batches;
+
+  // Vectorized grouping: typed key words + hashes, then one table probe
+  // per row producing the row -> group mapping.
+  std::vector<const ColumnVector*> key_ptrs;
+  key_ptrs.reserve(key_cols.size());
+  for (const auto& col : key_cols) key_ptrs.push_back(&col);
+  BatchKeys keys = MakeBatchKeys(std::move(key_ptrs), n);
+  std::vector<uint32_t> gids(n);
+  for (size_t i = 0; i < n; ++i) gids[i] = FindOrInsert(keys, i);
+
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    AccumulateSpec(s, has_arg[s] ? &arg_cols[s] : nullptr, gids);
   }
   return Status::OK();
 }
@@ -151,11 +482,112 @@ Status Aggregator::ConsumeCount(size_t rows) {
       return Status::InvalidArgument("ConsumeCount requires COUNT(*) only");
     }
   }
-  Group& group = GroupFor({});
-  for (AggState& state : group.states) {
-    state.count += static_cast<int64_t>(rows);
+  uint32_t group = EnsureGlobalGroup();
+  for (auto& st : states_) {
+    st.counts[group] += static_cast<int64_t>(rows);
   }
   return Status::OK();
+}
+
+void Aggregator::MergePartialSpec(size_t s, const RecordBatch& batch,
+                                  size_t* col,
+                                  const std::vector<uint32_t>& gids) {
+  SpecState& st = states_[s];
+  size_t n = gids.size();
+  {
+    const ColumnVector& counts = batch.column((*col)++);
+    const auto& v = counts.ints();
+    if (counts.NullCount() == 0) {
+      for (size_t i = 0; i < n; ++i) st.counts[gids[i]] += v[i];
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (!counts.IsNull(i)) st.counts[gids[i]] += v[i];
+      }
+    }
+  }
+  if (NeedsSum(specs_[s].func)) {
+    const ColumnVector& sums = batch.column((*col)++);
+    const auto& v = sums.doubles();
+    if (sums.NullCount() == 0) {
+      for (size_t i = 0; i < n; ++i) st.sums[gids[i]] += v[i];
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (!sums.IsNull(i)) st.sums[gids[i]] += v[i];
+      }
+    }
+  }
+  if (NeedsMinMax(specs_[s].func)) {
+    const ColumnVector& mins = batch.column((*col)++);
+    const ColumnVector& maxs = batch.column((*col)++);
+    // The partial min/max columns go through the same typed kernels as raw
+    // arguments: merging partials is aggregation over the partials.
+    auto merge = [&](const ColumnVector& arg, bool is_min) {
+      size_t rows = arg.size();
+      switch (arg.type()) {
+        case DataType::kBool: {
+          const auto& v = arg.bools();
+          for (size_t i = 0; i < rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            bool b = v[i] != 0;
+            double d = b ? 1.0 : 0.0;
+            if (is_min) {
+              UpdateMinMaxNumeric<-1>(st.min_boxed, st.min_num, gids[i], d,
+                                      Value::Bool(b));
+            } else {
+              UpdateMinMaxNumeric<+1>(st.max_boxed, st.max_num, gids[i], d,
+                                      Value::Bool(b));
+            }
+          }
+          break;
+        }
+        case DataType::kInt64: {
+          const auto& v = arg.ints();
+          for (size_t i = 0; i < rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            double d = static_cast<double>(v[i]);
+            if (is_min) {
+              UpdateMinMaxNumeric<-1>(st.min_boxed, st.min_num, gids[i], d,
+                                      Value::Int64(v[i]));
+            } else {
+              UpdateMinMaxNumeric<+1>(st.max_boxed, st.max_num, gids[i], d,
+                                      Value::Int64(v[i]));
+            }
+          }
+          break;
+        }
+        case DataType::kDouble: {
+          const auto& v = arg.doubles();
+          for (size_t i = 0; i < rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            if (is_min) {
+              UpdateMinMaxNumeric<-1>(st.min_boxed, st.min_num, gids[i],
+                                      v[i], Value::Double(v[i]));
+            } else {
+              UpdateMinMaxNumeric<+1>(st.max_boxed, st.max_num, gids[i],
+                                      v[i], Value::Double(v[i]));
+            }
+          }
+          break;
+        }
+        case DataType::kString: {
+          const auto& v = arg.strings();
+          for (size_t i = 0; i < rows; ++i) {
+            if (arg.IsNull(i)) continue;
+            if (is_min) {
+              UpdateMinMaxString<-1>(st.min_boxed, st.min_num, gids[i],
+                                     v[i]);
+            } else {
+              UpdateMinMaxString<+1>(st.max_boxed, st.max_num, gids[i],
+                                     v[i]);
+            }
+          }
+          break;
+        }
+      }
+    };
+    merge(mins, /*is_min=*/true);
+    merge(maxs, /*is_min=*/false);
+  }
 }
 
 Status Aggregator::ConsumePartial(const RecordBatch& batch) {
@@ -163,33 +595,75 @@ Status Aggregator::ConsumePartial(const RecordBatch& batch) {
     return Status::InvalidArgument("partial batch schema mismatch");
   }
   size_t n = batch.num_rows();
-  std::vector<Value> keys(group_by_.size());
-  for (size_t row = 0; row < n; ++row) {
-    for (size_t k = 0; k < group_by_.size(); ++k) {
-      keys[k] = batch.column(k).GetValue(row);
-    }
-    Group& group = GroupFor(keys);
-    size_t col = group_by_.size();
-    for (size_t s = 0; s < specs_.size(); ++s) {
-      AggState& state = group.states[s];
-      Value count = batch.column(col++).GetValue(row);
-      state.count += count.is_null() ? 0 : count.int64_value();
-      if (NeedsSum(specs_[s].func)) {
-        Value sum = batch.column(col++).GetValue(row);
-        state.sum += sum.is_null() ? 0 : sum.AsDouble();
+  if (n == 0) return Status::OK();
+
+  bool batch_null_free = true;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    if (batch.column(c).NullCount() != 0) batch_null_free = false;
+  }
+  if (batch_null_free) ++stats_.null_fast_path_batches;
+
+  std::vector<const ColumnVector*> key_ptrs;
+  key_ptrs.reserve(group_by_.size());
+  for (size_t k = 0; k < group_by_.size(); ++k) {
+    key_ptrs.push_back(&batch.column(k));
+  }
+  BatchKeys keys = MakeBatchKeys(std::move(key_ptrs), n);
+  std::vector<uint32_t> gids(n);
+  for (size_t i = 0; i < n; ++i) gids[i] = FindOrInsert(keys, i);
+
+  size_t col = group_by_.size();
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    MergePartialSpec(s, batch, &col, gids);
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> Aggregator::EmissionOrder() const {
+  std::vector<uint32_t> order(num_groups_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return serialized_keys_[a] < serialized_keys_[b];
+  });
+  return order;
+}
+
+Status Aggregator::EmitKeyColumns(const std::vector<uint32_t>& order,
+                                  RecordBatch* out) const {
+  for (size_t k = 0; k < group_by_.size(); ++k) {
+    const KeyColumn& stored = key_cols_[k];
+    ColumnVector* col = out->mutable_column(k);
+    col->Reserve(order.size());
+    DataType col_type = col->type();
+    for (uint32_t g : order) {
+      if (stored.nulls[g] != 0) {
+        col->AppendNull();
+        continue;
       }
-      if (NeedsMinMax(specs_[s].func)) {
-        Value vmin = batch.column(col++).GetValue(row);
-        Value vmax = batch.column(col++).GetValue(row);
-        if (!vmin.is_null() &&
-            (state.min.is_null() || vmin.Compare(state.min) < 0)) {
-          state.min = vmin;
+      DataType t = stored.types[g];
+      if (t == col_type) {
+        switch (t) {
+          case DataType::kBool:
+            col->AppendBool(stored.words[g] != 0);
+            break;
+          case DataType::kInt64:
+            col->AppendInt64(static_cast<int64_t>(stored.words[g]));
+            break;
+          case DataType::kDouble:
+            col->AppendDouble(std::bit_cast<double>(stored.words[g]));
+            break;
+          case DataType::kString:
+            col->AppendString(stored.strings[g]);
+            break;
         }
-        if (!vmax.is_null() &&
-            (state.max.is_null() || vmax.Compare(state.max) > 0)) {
-          state.max = vmax;
-        }
+        continue;
       }
+      if (t != DataType::kString && col_type == DataType::kDouble) {
+        col->AppendDouble(NumericWord(t, stored.words[g]));
+        continue;
+      }
+      return Status::InvalidArgument("type mismatch for column " +
+                                     group_names_[k]);
     }
   }
   return Status::OK();
@@ -197,20 +671,34 @@ Status Aggregator::ConsumePartial(const RecordBatch& batch) {
 
 Result<RecordBatch> Aggregator::PartialResult() const {
   RecordBatch out(partial_schema_);
-  for (const auto& [key, group] : groups_) {
-    std::vector<Value> row;
-    row.reserve(partial_schema_.num_fields());
-    for (const Value& v : group.keys) row.push_back(v);
-    for (size_t s = 0; s < specs_.size(); ++s) {
-      const AggState& state = group.states[s];
-      row.push_back(Value::Int64(state.count));
-      if (NeedsSum(specs_[s].func)) row.push_back(Value::Double(state.sum));
-      if (NeedsMinMax(specs_[s].func)) {
-        row.push_back(state.min);
-        row.push_back(state.max);
+  std::vector<uint32_t> order = EmissionOrder();
+  FEISU_RETURN_IF_ERROR(EmitKeyColumns(order, &out));
+  size_t col_idx = group_by_.size();
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const SpecState& st = states_[s];
+    {
+      ColumnVector* col = out.mutable_column(col_idx++);
+      col->Reserve(order.size());
+      for (uint32_t g : order) col->AppendInt64(st.counts[g]);
+    }
+    if (NeedsSum(specs_[s].func)) {
+      ColumnVector* col = out.mutable_column(col_idx++);
+      col->Reserve(order.size());
+      for (uint32_t g : order) col->AppendDouble(st.sums[g]);
+    }
+    if (NeedsMinMax(specs_[s].func)) {
+      ColumnVector* min_col = out.mutable_column(col_idx++);
+      ColumnVector* max_col = out.mutable_column(col_idx++);
+      min_col->Reserve(order.size());
+      max_col->Reserve(order.size());
+      const std::string& name = specs_[s].output_name;
+      for (uint32_t g : order) {
+        FEISU_RETURN_IF_ERROR(
+            AppendCell(min_col, st.min_boxed[g], name + "#min"));
+        FEISU_RETURN_IF_ERROR(
+            AppendCell(max_col, st.max_boxed[g], name + "#max"));
       }
     }
-    FEISU_RETURN_IF_ERROR(out.AppendRow(row));
   }
   return out;
 }
@@ -218,7 +706,7 @@ Result<RecordBatch> Aggregator::PartialResult() const {
 Result<RecordBatch> Aggregator::FinalResult() const {
   RecordBatch out(final_schema_);
   // A global aggregation (no GROUP BY) over zero rows still yields one row.
-  if (groups_.empty() && group_by_.empty()) {
+  if (num_groups_ == 0 && group_by_.empty()) {
     std::vector<Value> row;
     for (size_t s = 0; s < specs_.size(); ++s) {
       row.push_back(specs_[s].func == AggFunc::kCount ? Value::Int64(0)
@@ -227,40 +715,51 @@ Result<RecordBatch> Aggregator::FinalResult() const {
     FEISU_RETURN_IF_ERROR(out.AppendRow(row));
     return out;
   }
-  for (const auto& [key, group] : groups_) {
-    std::vector<Value> row;
-    row.reserve(final_schema_.num_fields());
-    for (const Value& v : group.keys) row.push_back(v);
-    for (size_t s = 0; s < specs_.size(); ++s) {
-      const AggState& state = group.states[s];
-      switch (specs_[s].func) {
-        case AggFunc::kCount:
-          row.push_back(Value::Int64(state.count));
-          break;
-        case AggFunc::kSum:
-          if (state.count == 0) {
-            row.push_back(Value::Null());
+  std::vector<uint32_t> order = EmissionOrder();
+  FEISU_RETURN_IF_ERROR(EmitKeyColumns(order, &out));
+  size_t col_idx = group_by_.size();
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const SpecState& st = states_[s];
+    ColumnVector* col = out.mutable_column(col_idx++);
+    col->Reserve(order.size());
+    switch (specs_[s].func) {
+      case AggFunc::kCount:
+        for (uint32_t g : order) col->AppendInt64(st.counts[g]);
+        break;
+      case AggFunc::kSum:
+        for (uint32_t g : order) {
+          if (st.counts[g] == 0) {
+            col->AppendNull();
           } else if (arg_types_[s] == DataType::kDouble) {
-            row.push_back(Value::Double(state.sum));
+            col->AppendDouble(st.sums[g]);
           } else {
-            row.push_back(Value::Int64(static_cast<int64_t>(state.sum)));
+            col->AppendInt64(static_cast<int64_t>(st.sums[g]));
           }
-          break;
-        case AggFunc::kAvg:
-          row.push_back(state.count == 0
-                            ? Value::Null()
-                            : Value::Double(state.sum /
-                                            static_cast<double>(state.count)));
-          break;
-        case AggFunc::kMin:
-          row.push_back(state.min);
-          break;
-        case AggFunc::kMax:
-          row.push_back(state.max);
-          break;
-      }
+        }
+        break;
+      case AggFunc::kAvg:
+        for (uint32_t g : order) {
+          if (st.counts[g] == 0) {
+            col->AppendNull();
+          } else {
+            col->AppendDouble(st.sums[g] /
+                              static_cast<double>(st.counts[g]));
+          }
+        }
+        break;
+      case AggFunc::kMin:
+        for (uint32_t g : order) {
+          FEISU_RETURN_IF_ERROR(
+              AppendCell(col, st.min_boxed[g], specs_[s].output_name));
+        }
+        break;
+      case AggFunc::kMax:
+        for (uint32_t g : order) {
+          FEISU_RETURN_IF_ERROR(
+              AppendCell(col, st.max_boxed[g], specs_[s].output_name));
+        }
+        break;
     }
-    FEISU_RETURN_IF_ERROR(out.AppendRow(row));
   }
   return out;
 }

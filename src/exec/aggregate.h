@@ -1,7 +1,7 @@
 #ifndef FEISU_EXEC_AGGREGATE_H_
 #define FEISU_EXEC_AGGREGATE_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,6 +10,21 @@
 #include "plan/logical_plan.h"
 
 namespace feisu {
+
+/// Hot-path counters for one Aggregator instance; folded into
+/// TaskStats/QueryStats so FormatQueryStats can report them alongside the
+/// decode counters.
+struct AggStats {
+  uint64_t groups_created = 0;
+  /// Slot inspections during find-or-insert (collisions show up as
+  /// probes > rows consumed).
+  uint64_t hash_probes = 0;
+  /// Table growth events that re-slotted existing groups.
+  uint64_t rehashes = 0;
+  /// Batches whose key and argument columns were all null-free, so every
+  /// kernel ran without per-row validity checks.
+  uint64_t null_fast_path_batches = 0;
+};
 
 /// Distributed-friendly hash aggregation. Leaf servers Consume() raw rows
 /// and emit PartialResult() batches; stem servers ConsumePartial() those
@@ -20,6 +35,15 @@ namespace feisu {
 /// expression), then per aggregate spec `<name>#count` (INT64),
 /// `<name>#sum` (DOUBLE, numeric aggs only) and `<name>#min` / `<name>#max`
 /// (arg type, MIN/MAX only).
+///
+/// Internally groups live in a flat open-addressing hash table keyed by
+/// typed per-row key words (one 64-bit word per key cell, string cells
+/// verified by content), and aggregate state is columnar: one
+/// count/sum/min/max array per spec, accumulated by batch-at-a-time typed
+/// kernels. Emission sorts groups by their serialized key bytes, which is
+/// exactly the iteration order of the ordered-map implementation this
+/// replaced — partial and final batches are byte-identical to it, and the
+/// output never depends on hash-table iteration order.
 ///
 /// The parsed WITHIN scope of an aggregate is accepted and carried but — as
 /// ingested data is already flattened to columns — aggregation within a
@@ -56,23 +80,84 @@ class Aggregator {
   /// Schema of FinalResult batches.
   const Schema& final_schema() const { return final_schema_; }
 
-  size_t num_groups() const { return groups_.size(); }
+  size_t num_groups() const { return num_groups_; }
+
+  const AggStats& stats() const { return stats_; }
 
  private:
-  struct AggState {
-    int64_t count = 0;
-    double sum = 0;
-    Value min;
-    Value max;
+  /// Typed per-group key storage, struct-of-arrays: one KeyColumn per group
+  /// expression, one entry per group. `words` collapses every cell to one
+  /// 64-bit word (bool 0/1, int64 bits, double bit pattern, string content
+  /// hash); equality additionally requires the runtime type to match and
+  /// string content to compare equal, which reproduces the serialized-byte
+  /// key equality of the previous implementation exactly.
+  struct KeyColumn {
+    std::vector<uint64_t> words;
+    std::vector<uint8_t> nulls;
+    std::vector<DataType> types;      ///< runtime type of the stored value
+    std::vector<std::string> strings; ///< content for kString cells
   };
-  struct Group {
-    std::vector<Value> keys;
-    std::vector<AggState> states;
+
+  /// Columnar accumulator arrays for one aggregate spec (indexed by group).
+  /// min/max keep the authoritative boxed Value (so emission and
+  /// cross-type ordering match Value::Compare bit for bit) plus a cached
+  /// numeric view so the typed kernels compare doubles, not variants.
+  struct SpecState {
+    std::vector<int64_t> counts;
+    std::vector<double> sums;       ///< NeedsSum specs only
+    std::vector<Value> min_boxed;   ///< MIN/MAX specs only
+    std::vector<Value> max_boxed;
+    std::vector<double> min_num;    ///< AsDouble cache, valid when numeric
+    std::vector<double> max_num;
   };
+
+  /// Per-row typed key view of one input batch; defined in aggregate.cc.
+  struct BatchKeys;
 
   Aggregator() = default;
 
-  Group& GroupFor(const std::vector<Value>& keys);
+  /// Builds words + combined hashes for the given key columns over `n`
+  /// rows (`n` is explicit so a key-less global aggregation still gets one
+  /// hash per input row).
+  BatchKeys MakeBatchKeys(std::vector<const ColumnVector*> cols,
+                          size_t n) const;
+
+  /// Probes the flat table for the row's key; inserts a new group (typed
+  /// key data, serialized key bytes, zeroed state slots) on miss.
+  uint32_t FindOrInsert(const BatchKeys& keys, size_t row);
+
+  bool GroupEquals(uint32_t group, const BatchKeys& keys, size_t row) const;
+
+  /// Appends the row's key cells as a new group and its serialized bytes.
+  void AppendGroupKeys(const BatchKeys& keys, size_t row);
+
+  /// Appends one zeroed state slot to every spec's arrays.
+  void AppendStateSlots();
+
+  /// Creates (if needed) the single key-less group of a global aggregation.
+  uint32_t EnsureGlobalGroup();
+
+  /// Re-slots every group into a table of `capacity` slots (a power of 2).
+  void Grow(size_t capacity);
+
+  /// Typed accumulation of one spec over one batch. `arg` may be null for
+  /// COUNT(*). `gids` maps batch row -> group id.
+  void AccumulateSpec(size_t s, const ColumnVector* arg,
+                      const std::vector<uint32_t>& gids);
+
+  /// Merges one partial batch's state columns for spec `s`, starting at
+  /// column index `*col` of `batch` (advanced past the consumed columns).
+  void MergePartialSpec(size_t s, const RecordBatch& batch, size_t* col,
+                        const std::vector<uint32_t>& gids);
+
+  /// Group ids sorted by serialized key bytes — the deterministic emission
+  /// order (identical to the ordered-map order this class replaced).
+  std::vector<uint32_t> EmissionOrder() const;
+
+  /// Emits the key columns for groups in `order` into `out` (columns
+  /// [0, group_by_.size())), replicating AppendRow's type checking.
+  Status EmitKeyColumns(const std::vector<uint32_t>& order,
+                        RecordBatch* out) const;
 
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> specs_;
@@ -80,7 +165,20 @@ class Aggregator {
   std::vector<std::string> group_names_;
   Schema partial_schema_;
   Schema final_schema_;
-  std::map<std::string, Group> groups_;  // serialized key -> group
+
+  // Flat open-addressing table (linear probing, power-of-two capacity).
+  // slots_[i] holds group_id + 1; 0 means empty.
+  std::vector<uint32_t> slots_;
+  std::vector<uint64_t> slot_hashes_;
+  size_t slot_mask_ = 0;
+  size_t num_groups_ = 0;
+
+  std::vector<KeyColumn> key_cols_;          // one per group expression
+  std::vector<uint64_t> group_hashes_;       // per group, for re-slotting
+  std::vector<std::string> serialized_keys_; // per group, emission ordering
+  std::vector<SpecState> states_;            // one per spec
+
+  AggStats stats_;
 };
 
 }  // namespace feisu

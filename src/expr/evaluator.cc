@@ -47,6 +47,36 @@ bool CompareValues(CompareOp op, const Value& lhs, const Value& rhs) {
   return false;
 }
 
+// A null-free numeric column viewed as a contiguous double array, matching
+// the per-row Value::AsDouble view exactly (bool -> 0/1, int64 -> cast).
+// Non-double columns convert into `scratch`; doubles alias their storage.
+const double* AsDoubleArray(const ColumnVector& col,
+                            std::vector<double>* scratch) {
+  switch (col.type()) {
+    case DataType::kDouble:
+      return col.doubles().data();
+    case DataType::kInt64: {
+      const auto& v = col.ints();
+      scratch->resize(v.size());
+      for (size_t i = 0; i < v.size(); ++i) {
+        (*scratch)[i] = static_cast<double>(v[i]);
+      }
+      return scratch->data();
+    }
+    case DataType::kBool: {
+      const auto& v = col.bools();
+      scratch->resize(v.size());
+      for (size_t i = 0; i < v.size(); ++i) {
+        (*scratch)[i] = v[i] != 0 ? 1.0 : 0.0;
+      }
+      return scratch->data();
+    }
+    case DataType::kString:
+      break;
+  }
+  return nullptr;
+}
+
 // Fast path: <int64 column> OP <numeric literal> and string CONTAINS,
 // producing full three-valued output. Returns true if handled.
 bool TryFastCompare(const Expr& expr, const RecordBatch& batch,
@@ -192,6 +222,55 @@ Result<ColumnVector> EvaluateExpr(const Expr& expr,
                              InferType(expr, batch.schema()));
       ColumnVector out(out_type);
       out.Reserve(n);
+      // Null-free fast path: read both inputs as typed double arrays with
+      // no per-row boxing. Arithmetic stays in the double domain with the
+      // same casts as the boxed loop below, so results are bit-identical.
+      if (lhs.NullCount() == 0 && rhs.NullCount() == 0 &&
+          lhs.type() != DataType::kString &&
+          rhs.type() != DataType::kString) {
+        std::vector<double> lscratch, rscratch;
+        const double* a = AsDoubleArray(lhs, &lscratch);
+        const double* b = AsDoubleArray(rhs, &rscratch);
+        const bool int_out = out_type == DataType::kInt64;
+        auto emit = [&](double v) {
+          if (int_out) {
+            out.AppendInt64(static_cast<int64_t>(v));
+          } else {
+            out.AppendDouble(v);
+          }
+        };
+        switch (expr.arith_op()) {
+          case ArithOp::kAdd:
+            for (size_t i = 0; i < n; ++i) emit(a[i] + b[i]);
+            break;
+          case ArithOp::kSub:
+            for (size_t i = 0; i < n; ++i) emit(a[i] - b[i]);
+            break;
+          case ArithOp::kMul:
+            for (size_t i = 0; i < n; ++i) emit(a[i] * b[i]);
+            break;
+          case ArithOp::kDiv:  // out_type is always kDouble for division
+            for (size_t i = 0; i < n; ++i) {
+              if (b[i] == 0) {
+                out.AppendNull();
+              } else {
+                out.AppendDouble(a[i] / b[i]);
+              }
+            }
+            break;
+          case ArithOp::kMod:
+            for (size_t i = 0; i < n; ++i) {
+              int64_t d = static_cast<int64_t>(b[i]);
+              if (d == 0) {
+                out.AppendNull();
+              } else {
+                emit(static_cast<double>(static_cast<int64_t>(a[i]) % d));
+              }
+            }
+            break;
+        }
+        return out;
+      }
       for (size_t i = 0; i < n; ++i) {
         if (lhs.IsNull(i) || rhs.IsNull(i)) {
           out.AppendNull();
@@ -285,11 +364,87 @@ Result<TriStateVector> EvaluatePredicate3VL(const Expr& expr,
       TriStateVector out;
       out.is_true = BitVector(n, false);
       out.is_false = BitVector(n, false);
+      const CompareOp op = expr.compare_op();
+      // Null-free typed fast paths mirroring CompareValues/Value::Compare:
+      // numerics compare in the common double domain, strings by content.
+      // Mixed string/numeric inputs keep the boxed path (type-ordered).
+      if (lhs.NullCount() == 0 && rhs.NullCount() == 0) {
+        if (lhs.type() != DataType::kString &&
+            rhs.type() != DataType::kString && op != CompareOp::kContains) {
+          std::vector<double> lscratch, rscratch;
+          const double* a = AsDoubleArray(lhs, &lscratch);
+          const double* b = AsDoubleArray(rhs, &rscratch);
+          for (size_t i = 0; i < n; ++i) {
+            bool match = false;
+            switch (op) {
+              case CompareOp::kEq:
+                match = a[i] == b[i];
+                break;
+              case CompareOp::kNe:
+                match = a[i] != b[i];
+                break;
+              case CompareOp::kLt:
+                match = a[i] < b[i];
+                break;
+              case CompareOp::kLe:
+                match = a[i] <= b[i];
+                break;
+              case CompareOp::kGt:
+                match = a[i] > b[i];
+                break;
+              case CompareOp::kGe:
+                match = a[i] >= b[i];
+                break;
+              case CompareOp::kContains:
+                break;
+            }
+            (match ? out.is_true : out.is_false).Set(i, true);
+          }
+          return out;
+        }
+        if (lhs.type() == DataType::kString &&
+            rhs.type() == DataType::kString) {
+          const auto& a = lhs.strings();
+          const auto& b = rhs.strings();
+          for (size_t i = 0; i < n; ++i) {
+            bool match = false;
+            if (op == CompareOp::kContains) {
+              match = a[i].find(b[i]) != std::string::npos;
+            } else {
+              int cmp = a[i].compare(b[i]);
+              switch (op) {
+                case CompareOp::kEq:
+                  match = cmp == 0;
+                  break;
+                case CompareOp::kNe:
+                  match = cmp != 0;
+                  break;
+                case CompareOp::kLt:
+                  match = cmp < 0;
+                  break;
+                case CompareOp::kLe:
+                  match = cmp <= 0;
+                  break;
+                case CompareOp::kGt:
+                  match = cmp > 0;
+                  break;
+                case CompareOp::kGe:
+                  match = cmp >= 0;
+                  break;
+                case CompareOp::kContains:
+                  break;
+              }
+            }
+            (match ? out.is_true : out.is_false).Set(i, true);
+          }
+          return out;
+        }
+      }
       for (size_t i = 0; i < n; ++i) {
         Value a = lhs.GetValue(i);
         Value b = rhs.GetValue(i);
         if (a.is_null() || b.is_null()) continue;  // UNKNOWN
-        bool match = CompareValues(expr.compare_op(), a, b);
+        bool match = CompareValues(op, a, b);
         (match ? out.is_true : out.is_false).Set(i, true);
       }
       return out;

@@ -1,0 +1,584 @@
+// Differential tests for the vectorized hash Aggregator: every partial and
+// final batch must be byte-identical to the ordered-map implementation it
+// replaced (OracleAggregator below is a faithful copy of that seed code).
+// Byte-identity is what keeps the leaf -> stem -> master partial exchange
+// compatible across versions, so it is asserted on serialized block bytes,
+// not on logical equality.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "columnar/block.h"
+#include "common/rng.h"
+#include "exec/aggregate.h"
+#include "expr/evaluator.h"
+
+namespace feisu {
+namespace {
+
+// ---------- Oracle: the seed std::map aggregator, verbatim semantics ----
+
+std::string SerializeKeys(const std::vector<Value>& keys) {
+  std::string out;
+  for (const Value& key : keys) SerializeValue(&out, key);
+  return out;
+}
+
+bool OracleNeedsSum(AggFunc func) {
+  return func == AggFunc::kSum || func == AggFunc::kAvg;
+}
+bool OracleNeedsMinMax(AggFunc func) {
+  return func == AggFunc::kMin || func == AggFunc::kMax;
+}
+
+class OracleAggregator {
+ public:
+  static Result<OracleAggregator> Make(std::vector<ExprPtr> group_by,
+                                       std::vector<AggSpec> specs,
+                                       const Schema& input_schema) {
+    // Schemas come from the production Make (they are pinned by dedicated
+    // schema tests in exec_test); the oracle only re-implements execution.
+    FEISU_ASSIGN_OR_RETURN(Aggregator shape,
+                           Aggregator::Make(group_by, specs, input_schema));
+    OracleAggregator agg;
+    agg.group_by_ = std::move(group_by);
+    agg.specs_ = std::move(specs);
+    agg.partial_schema_ = shape.partial_schema();
+    agg.final_schema_ = shape.final_schema();
+    for (const auto& spec : agg.specs_) {
+      DataType arg_type = DataType::kInt64;
+      if (spec.arg != nullptr) {
+        FEISU_ASSIGN_OR_RETURN(arg_type,
+                               InferType(*spec.arg, input_schema));
+      }
+      agg.arg_types_.push_back(arg_type);
+    }
+    return agg;
+  }
+
+  Status Consume(const RecordBatch& batch) {
+    size_t n = batch.num_rows();
+    if (n == 0) return Status::OK();
+    std::vector<ColumnVector> key_cols;
+    for (const auto& g : group_by_) {
+      FEISU_ASSIGN_OR_RETURN(ColumnVector col, EvaluateExpr(*g, batch));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<ColumnVector> arg_cols;
+    std::vector<bool> has_arg(specs_.size(), false);
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      if (specs_[s].arg != nullptr) {
+        FEISU_ASSIGN_OR_RETURN(ColumnVector col,
+                               EvaluateExpr(*specs_[s].arg, batch));
+        arg_cols.push_back(std::move(col));
+        has_arg[s] = true;
+      } else {
+        arg_cols.emplace_back(DataType::kInt64);
+      }
+    }
+    std::vector<Value> keys(group_by_.size());
+    for (size_t row = 0; row < n; ++row) {
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        keys[k] = key_cols[k].GetValue(row);
+      }
+      Group& group = GroupFor(keys);
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        AggState& state = group.states[s];
+        if (!has_arg[s]) {
+          ++state.count;
+          continue;
+        }
+        Value v = arg_cols[s].GetValue(row);
+        if (v.is_null()) continue;
+        ++state.count;
+        if (OracleNeedsSum(specs_[s].func)) state.sum += v.AsDouble();
+        if (OracleNeedsMinMax(specs_[s].func)) {
+          if (state.min.is_null() || v.Compare(state.min) < 0) state.min = v;
+          if (state.max.is_null() || v.Compare(state.max) > 0) state.max = v;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ConsumeCount(size_t rows) {
+    Group& group = GroupFor({});
+    for (AggState& state : group.states) {
+      state.count += static_cast<int64_t>(rows);
+    }
+    return Status::OK();
+  }
+
+  Status ConsumePartial(const RecordBatch& batch) {
+    if (!(batch.schema() == partial_schema_)) {
+      return Status::InvalidArgument("partial batch schema mismatch");
+    }
+    size_t n = batch.num_rows();
+    std::vector<Value> keys(group_by_.size());
+    for (size_t row = 0; row < n; ++row) {
+      for (size_t k = 0; k < group_by_.size(); ++k) {
+        keys[k] = batch.column(k).GetValue(row);
+      }
+      Group& group = GroupFor(keys);
+      size_t col = group_by_.size();
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        AggState& state = group.states[s];
+        Value count = batch.column(col++).GetValue(row);
+        state.count += count.is_null() ? 0 : count.int64_value();
+        if (OracleNeedsSum(specs_[s].func)) {
+          Value sum = batch.column(col++).GetValue(row);
+          state.sum += sum.is_null() ? 0 : sum.AsDouble();
+        }
+        if (OracleNeedsMinMax(specs_[s].func)) {
+          Value vmin = batch.column(col++).GetValue(row);
+          Value vmax = batch.column(col++).GetValue(row);
+          if (!vmin.is_null() &&
+              (state.min.is_null() || vmin.Compare(state.min) < 0)) {
+            state.min = vmin;
+          }
+          if (!vmax.is_null() &&
+              (state.max.is_null() || vmax.Compare(state.max) > 0)) {
+            state.max = vmax;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<RecordBatch> PartialResult() const {
+    RecordBatch out(partial_schema_);
+    for (const auto& [key, group] : groups_) {
+      std::vector<Value> row;
+      for (const Value& v : group.keys) row.push_back(v);
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        const AggState& state = group.states[s];
+        row.push_back(Value::Int64(state.count));
+        if (OracleNeedsSum(specs_[s].func)) {
+          row.push_back(Value::Double(state.sum));
+        }
+        if (OracleNeedsMinMax(specs_[s].func)) {
+          row.push_back(state.min);
+          row.push_back(state.max);
+        }
+      }
+      FEISU_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+    return out;
+  }
+
+  Result<RecordBatch> FinalResult() const {
+    RecordBatch out(final_schema_);
+    if (groups_.empty() && group_by_.empty()) {
+      std::vector<Value> row;
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        row.push_back(specs_[s].func == AggFunc::kCount ? Value::Int64(0)
+                                                        : Value::Null());
+      }
+      FEISU_RETURN_IF_ERROR(out.AppendRow(row));
+      return out;
+    }
+    for (const auto& [key, group] : groups_) {
+      std::vector<Value> row;
+      for (const Value& v : group.keys) row.push_back(v);
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        const AggState& state = group.states[s];
+        switch (specs_[s].func) {
+          case AggFunc::kCount:
+            row.push_back(Value::Int64(state.count));
+            break;
+          case AggFunc::kSum:
+            if (state.count == 0) {
+              row.push_back(Value::Null());
+            } else if (arg_types_[s] == DataType::kDouble) {
+              row.push_back(Value::Double(state.sum));
+            } else {
+              row.push_back(Value::Int64(static_cast<int64_t>(state.sum)));
+            }
+            break;
+          case AggFunc::kAvg:
+            row.push_back(state.count == 0
+                              ? Value::Null()
+                              : Value::Double(
+                                    state.sum /
+                                    static_cast<double>(state.count)));
+            break;
+          case AggFunc::kMin:
+            row.push_back(state.min);
+            break;
+          case AggFunc::kMax:
+            row.push_back(state.max);
+            break;
+        }
+      }
+      FEISU_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+    return out;
+  }
+
+  const Schema& partial_schema() const { return partial_schema_; }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0;
+    Value min;
+    Value max;
+  };
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  Group& GroupFor(const std::vector<Value>& keys) {
+    std::string serialized = SerializeKeys(keys);
+    auto it = groups_.find(serialized);
+    if (it == groups_.end()) {
+      Group group;
+      group.keys = keys;
+      group.states.resize(specs_.size());
+      it = groups_.emplace(std::move(serialized), std::move(group)).first;
+    }
+    return it->second;
+  }
+
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> specs_;
+  std::vector<DataType> arg_types_;
+  Schema partial_schema_;
+  Schema final_schema_;
+  std::map<std::string, Group> groups_;
+};
+
+// ---------- Differential harness ----------
+
+std::string Fingerprint(const RecordBatch& batch) {
+  return ColumnarBlock::FromBatch(0, batch).Serialize();
+}
+
+struct PipelineOutput {
+  std::vector<std::string> leaf_partials;  ///< per-leaf PartialResult bytes
+  std::string stem_partial;                ///< merged stem PartialResult
+  std::string final_result;                ///< master FinalResult bytes
+};
+
+// Runs the distributed topology both implementations share: one aggregator
+// per leaf batch, a stem merging all leaf partials, and a master finalizing
+// the stem partial. Identical consume order on both sides keeps
+// floating-point sums comparable bit for bit.
+template <typename A>
+PipelineOutput RunPipeline(const std::vector<ExprPtr>& group_by,
+                           const std::vector<AggSpec>& specs,
+                           const Schema& schema,
+                           const std::vector<RecordBatch>& batches) {
+  PipelineOutput out;
+  std::vector<RecordBatch> partials;
+  for (const auto& batch : batches) {
+    auto leaf = A::Make(group_by, specs, schema);
+    EXPECT_TRUE(leaf.ok()) << leaf.status().ToString();
+    EXPECT_TRUE(leaf->Consume(batch).ok());
+    auto partial = leaf->PartialResult();
+    EXPECT_TRUE(partial.ok()) << partial.status().ToString();
+    out.leaf_partials.push_back(Fingerprint(*partial));
+    partials.push_back(std::move(*partial));
+  }
+  auto stem = A::Make(group_by, specs, schema);
+  EXPECT_TRUE(stem.ok());
+  for (const auto& partial : partials) {
+    EXPECT_TRUE(stem->ConsumePartial(partial).ok());
+  }
+  auto stem_partial = stem->PartialResult();
+  EXPECT_TRUE(stem_partial.ok()) << stem_partial.status().ToString();
+  out.stem_partial = Fingerprint(*stem_partial);
+  auto master = A::Make(group_by, specs, schema);
+  EXPECT_TRUE(master.ok());
+  EXPECT_TRUE(master->ConsumePartial(*stem_partial).ok());
+  auto final_batch = master->FinalResult();
+  EXPECT_TRUE(final_batch.ok()) << final_batch.status().ToString();
+  out.final_result = Fingerprint(*final_batch);
+  return out;
+}
+
+void ExpectPipelinesIdentical(const std::vector<ExprPtr>& group_by,
+                              const std::vector<AggSpec>& specs,
+                              const Schema& schema,
+                              const std::vector<RecordBatch>& batches,
+                              const std::string& label) {
+  PipelineOutput vec =
+      RunPipeline<Aggregator>(group_by, specs, schema, batches);
+  PipelineOutput oracle =
+      RunPipeline<OracleAggregator>(group_by, specs, schema, batches);
+  ASSERT_EQ(vec.leaf_partials.size(), oracle.leaf_partials.size()) << label;
+  for (size_t i = 0; i < vec.leaf_partials.size(); ++i) {
+    EXPECT_EQ(vec.leaf_partials[i], oracle.leaf_partials[i])
+        << label << " leaf " << i;
+  }
+  EXPECT_EQ(vec.stem_partial, oracle.stem_partial) << label << " stem";
+  EXPECT_EQ(vec.final_result, oracle.final_result) << label << " final";
+}
+
+std::vector<AggSpec> Specs(
+    std::initializer_list<std::pair<AggFunc, const char*>> list) {
+  std::vector<AggSpec> specs;
+  int i = 0;
+  for (const auto& [func, col] : list) {
+    AggSpec spec;
+    spec.func = func;
+    spec.arg = col == nullptr ? nullptr : Expr::ColumnRef(col);
+    spec.output_name = "out" + std::to_string(i++);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+Value RandomKey(DataType type, uint64_t cardinality, Rng* rng) {
+  uint64_t pick = rng->NextUint64(cardinality);
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(pick % 2 == 0);
+    case DataType::kInt64:
+      return Value::Int64(static_cast<int64_t>(pick) - 7);
+    case DataType::kDouble:
+      return Value::Double(static_cast<double>(pick) * 0.75 - 3.0);
+    case DataType::kString:
+      return Value::String("key_" + std::to_string(pick));
+  }
+  return Value::Null();
+}
+
+Value RandomArg(DataType type, Rng* rng) {
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(rng->NextBool(0.5));
+    case DataType::kInt64:
+      return Value::Int64(rng->NextInt64(-1000, 1000));
+    case DataType::kDouble:
+      return Value::Double(rng->NextDouble() * 200.0 - 100.0);
+    case DataType::kString:
+      return Value::String("v" +
+                           std::to_string(rng->NextUint64(1000)));
+  }
+  return Value::Null();
+}
+
+// Batches over schema {k: key_type, a: arg_type} with the given group-key
+// cardinality and NULL density on both columns.
+std::vector<RecordBatch> MakeGrid(DataType key_type, DataType arg_type,
+                                  uint64_t cardinality, double null_density,
+                                  size_t num_batches, size_t rows_per_batch,
+                                  uint64_t seed) {
+  Schema schema({{"k", key_type, true}, {"a", arg_type, true}});
+  Rng rng(seed);
+  std::vector<RecordBatch> batches;
+  for (size_t b = 0; b < num_batches; ++b) {
+    RecordBatch batch(schema);
+    for (size_t i = 0; i < rows_per_batch; ++i) {
+      Value key = rng.NextBool(null_density)
+                      ? Value::Null()
+                      : RandomKey(key_type, cardinality, &rng);
+      Value arg = rng.NextBool(null_density) ? Value::Null()
+                                             : RandomArg(arg_type, &rng);
+      EXPECT_TRUE(batch.AppendRow({key, arg}).ok());
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+// ---------- The grid: func x type x null-density x cardinality ----------
+
+TEST(AggregateDifferentialTest, GridNumericArgs) {
+  const std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  uint64_t seed = 1;
+  for (DataType key_type : {DataType::kInt64, DataType::kDouble,
+                            DataType::kString, DataType::kBool}) {
+    for (DataType arg_type : {DataType::kInt64, DataType::kDouble}) {
+      for (double null_density : {0.0, 0.3}) {
+        for (uint64_t cardinality : {4ull, 500ull}) {
+          auto batches = MakeGrid(key_type, arg_type, cardinality,
+                                  null_density, 4, 257, seed++);
+          ExpectPipelinesIdentical(
+              group_by,
+              Specs({{AggFunc::kCount, nullptr},
+                     {AggFunc::kCount, "a"},
+                     {AggFunc::kSum, "a"},
+                     {AggFunc::kAvg, "a"},
+                     {AggFunc::kMin, "a"},
+                     {AggFunc::kMax, "a"}}),
+              batches[0].schema(), batches,
+              "key=" + std::to_string(static_cast<int>(key_type)) +
+                  " arg=" + std::to_string(static_cast<int>(arg_type)) +
+                  " nulls=" + std::to_string(null_density) +
+                  " card=" + std::to_string(cardinality));
+        }
+      }
+    }
+  }
+}
+
+TEST(AggregateDifferentialTest, GridStringArgs) {
+  const std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  uint64_t seed = 100;
+  for (double null_density : {0.0, 0.3}) {
+    for (uint64_t cardinality : {4ull, 500ull}) {
+      auto batches = MakeGrid(DataType::kInt64, DataType::kString,
+                              cardinality, null_density, 4, 257, seed++);
+      ExpectPipelinesIdentical(group_by,
+                               Specs({{AggFunc::kCount, "a"},
+                                      {AggFunc::kMin, "a"},
+                                      {AggFunc::kMax, "a"}}),
+                               batches[0].schema(), batches,
+                               "string-arg nulls=" +
+                                   std::to_string(null_density) +
+                                   " card=" + std::to_string(cardinality));
+    }
+  }
+}
+
+TEST(AggregateDifferentialTest, MultiColumnKeysAndUngrouped) {
+  Schema schema({{"k1", DataType::kString, true},
+                 {"k2", DataType::kInt64, true},
+                 {"a", DataType::kDouble, true}});
+  Rng rng(7);
+  std::vector<RecordBatch> batches;
+  for (size_t b = 0; b < 3; ++b) {
+    RecordBatch batch(schema);
+    for (size_t i = 0; i < 200; ++i) {
+      Value k1 = rng.NextBool(0.1)
+                     ? Value::Null()
+                     : Value::String("g" + std::to_string(rng.NextUint64(5)));
+      Value k2 = rng.NextBool(0.1)
+                     ? Value::Null()
+                     : Value::Int64(rng.NextInt64(0, 9));
+      Value a = rng.NextBool(0.2) ? Value::Null()
+                                  : Value::Double(rng.NextDouble() * 10);
+      EXPECT_TRUE(batch.AppendRow({k1, k2, a}).ok());
+    }
+    batches.push_back(std::move(batch));
+  }
+  auto specs = Specs({{AggFunc::kCount, nullptr},
+                      {AggFunc::kSum, "a"},
+                      {AggFunc::kMin, "a"},
+                      {AggFunc::kMax, "a"}});
+  ExpectPipelinesIdentical({Expr::ColumnRef("k1"), Expr::ColumnRef("k2")},
+                           specs, schema, batches, "two keys");
+  ExpectPipelinesIdentical({}, specs, schema, batches, "ungrouped");
+}
+
+// The serialized group key is byte-exact over double bit patterns: -0.0
+// and +0.0 are distinct groups, and NaN keys group with themselves. The
+// flat table's typed key words must reproduce that, not IEEE equality.
+TEST(AggregateDifferentialTest, DoubleKeyBitPatterns) {
+  Schema schema({{"k", DataType::kDouble, true},
+                 {"a", DataType::kInt64, true}});
+  RecordBatch batch(schema);
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double k : {0.0, -0.0, nan, 1.0, nan, -0.0, 0.0}) {
+    ASSERT_TRUE(batch.AppendRow({Value::Double(k), Value::Int64(1)}).ok());
+  }
+  ExpectPipelinesIdentical({Expr::ColumnRef("k")},
+                           Specs({{AggFunc::kCount, nullptr},
+                                  {AggFunc::kSum, "a"}}),
+                           schema, {batch}, "double bit patterns");
+}
+
+TEST(AggregateDifferentialTest, EmptyInputGroupedAndUngrouped) {
+  Schema schema({{"k", DataType::kString, true},
+                 {"a", DataType::kInt64, true}});
+  RecordBatch empty(schema);
+  auto specs = Specs({{AggFunc::kCount, nullptr},
+                      {AggFunc::kSum, "a"},
+                      {AggFunc::kMin, "a"},
+                      {AggFunc::kMax, "a"},
+                      {AggFunc::kAvg, "a"}});
+  // Grouped over zero rows: zero groups everywhere.
+  ExpectPipelinesIdentical({Expr::ColumnRef("k")}, specs, schema, {empty},
+                           "empty grouped");
+  // Ungrouped over zero rows: the one-row COUNT=0 / NULL special case.
+  ExpectPipelinesIdentical({}, specs, schema, {empty}, "empty ungrouped");
+}
+
+TEST(AggregateDifferentialTest, ConsumeCountFastPath) {
+  Schema schema({{"a", DataType::kInt64, true}});
+  auto specs = Specs({{AggFunc::kCount, nullptr}, {AggFunc::kCount, nullptr}});
+  auto vec = Aggregator::Make({}, specs, schema);
+  auto oracle = OracleAggregator::Make({}, specs, schema);
+  ASSERT_TRUE(vec.ok() && oracle.ok());
+  for (size_t rows : {0u, 17u, 4096u}) {
+    ASSERT_TRUE(vec->ConsumeCount(rows).ok());
+    ASSERT_TRUE(oracle->ConsumeCount(rows).ok());
+  }
+  auto vp = vec->PartialResult();
+  auto op = oracle->PartialResult();
+  ASSERT_TRUE(vp.ok() && op.ok());
+  EXPECT_EQ(Fingerprint(*vp), Fingerprint(*op));
+  auto vf = vec->FinalResult();
+  auto of = oracle->FinalResult();
+  ASSERT_TRUE(vf.ok() && of.ok());
+  EXPECT_EQ(Fingerprint(*vf), Fingerprint(*of));
+}
+
+// ---------- Hash-table behavior and stats counters ----------
+
+TEST(AggregateStatsTest, CountersTrackTableActivity) {
+  auto batches = MakeGrid(DataType::kInt64, DataType::kInt64, 500, 0.0, 4,
+                          500, 42);
+  auto agg = Aggregator::Make({Expr::ColumnRef("k")},
+                              Specs({{AggFunc::kSum, "a"}}),
+                              batches[0].schema());
+  ASSERT_TRUE(agg.ok());
+  for (const auto& batch : batches) ASSERT_TRUE(agg->Consume(batch).ok());
+  const AggStats& stats = agg->stats();
+  EXPECT_EQ(stats.groups_created, agg->num_groups());
+  EXPECT_GE(agg->num_groups(), 400u);
+  // 500 groups do not fit the initial 16-slot table at 0.7 load.
+  EXPECT_GT(stats.rehashes, 0u);
+  // Every row probes at least one slot.
+  EXPECT_GE(stats.hash_probes, 4u * 500u);
+  // All four batches were null-free on key and argument.
+  EXPECT_EQ(stats.null_fast_path_batches, 4u);
+}
+
+TEST(AggregateStatsTest, NullBatchesSkipFastPath) {
+  auto batches = MakeGrid(DataType::kInt64, DataType::kInt64, 10, 0.5, 3,
+                          100, 43);
+  auto agg = Aggregator::Make({Expr::ColumnRef("k")},
+                              Specs({{AggFunc::kSum, "a"}}),
+                              batches[0].schema());
+  ASSERT_TRUE(agg.ok());
+  for (const auto& batch : batches) ASSERT_TRUE(agg->Consume(batch).ok());
+  EXPECT_EQ(agg->stats().null_fast_path_batches, 0u);
+}
+
+// Emission order must be the serialized-key order regardless of insertion
+// or hash order: consuming the same rows in reversed batch order yields
+// byte-identical COUNT/MIN/MAX output (sums are kept out: their float
+// accumulation order legitimately differs).
+TEST(AggregateStatsTest, EmissionOrderInsensitiveToInsertionOrder) {
+  auto batches = MakeGrid(DataType::kString, DataType::kInt64, 50, 0.1, 4,
+                          200, 44);
+  auto specs = Specs({{AggFunc::kCount, nullptr},
+                      {AggFunc::kMin, "a"},
+                      {AggFunc::kMax, "a"}});
+  auto forward = Aggregator::Make({Expr::ColumnRef("k")}, specs,
+                                  batches[0].schema());
+  auto backward = Aggregator::Make({Expr::ColumnRef("k")}, specs,
+                                   batches[0].schema());
+  ASSERT_TRUE(forward.ok() && backward.ok());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(forward->Consume(batch).ok());
+  }
+  for (auto it = batches.rbegin(); it != batches.rend(); ++it) {
+    ASSERT_TRUE(backward->Consume(*it).ok());
+  }
+  auto f = forward->FinalResult();
+  auto b = backward->FinalResult();
+  ASSERT_TRUE(f.ok() && b.ok());
+  EXPECT_EQ(Fingerprint(*f), Fingerprint(*b));
+}
+
+}  // namespace
+}  // namespace feisu

@@ -210,6 +210,11 @@ const char* const kDeterminismQueries[] = {
     "SELECT c0, COUNT(*) FROM t1 WHERE c2 >= 10 GROUP BY c0",
     "SELECT c0, c2 FROM t1 WHERE c0 > 50",
     "SELECT c0, c1 FROM t1 WHERE c2 >= 10 ORDER BY c0 LIMIT 40",
+    // Grouped aggregation through the vectorized hash table: every agg
+    // kernel, string and numeric group keys, and a grouping expression.
+    "SELECT c1, COUNT(*), SUM(c0), MIN(c2), MAX(c2), AVG(c3) "
+    "FROM t1 GROUP BY c1",
+    "SELECT c0 % 5 AS b, SUM(c3), MIN(c1), MAX(c1) FROM t1 GROUP BY c0 % 5",
 };
 
 // Serializes a batch through the columnar codec: a byte-exact fingerprint
@@ -288,6 +293,32 @@ TEST_P(ParallelDeterminism, SelectionPushdownIsByteIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(SeedGrid, ParallelDeterminism,
                          ::testing::Values(1, 7, 42, 1234, 99991));
+
+// Grouped aggregation hammered through parallel leaves: many GROUP BY
+// queries against one engine while the pool fans leaf sub-plans out. Under
+// the TSan lane this doubles as a race check on the per-leaf Aggregator
+// and on the stats plumbing; everywhere it pins run-to-run byte equality
+// and the aggregation counters' visibility in the query stats.
+TEST(ParallelGroupedAggregationTest, RepeatedGroupByIsStableUnderParallelism) {
+  auto engine = MakeEngine(/*seed=*/7, /*parallelism=*/4);
+  const char* sql =
+      "SELECT c1, COUNT(*), SUM(c0), MIN(c3), MAX(c3) FROM t1 GROUP BY c1";
+  std::string expected;
+  SimTime at = kSimMinute;
+  for (int round = 0; round < 8; ++round) {
+    auto result = engine->QueryAt("ana", sql, at);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->stats.leaf.agg_groups, 0u);
+    EXPECT_GT(result->stats.leaf.agg_hash_probes, 0u);
+    std::string print = Fingerprint(result->batch);
+    if (round == 0) {
+      expected = print;
+    } else {
+      EXPECT_EQ(print, expected) << "round " << round << " diverged";
+    }
+    at += kSimMinute;
+  }
+}
 
 // The parallel path must survive fault injection: results may be partial
 // (lost blocks degrade gracefully) but never crash or deadlock, and the

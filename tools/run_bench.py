@@ -57,6 +57,29 @@ def run_micro_ops(build_dir: pathlib.Path, bench_filter: str) -> dict:
     return {"context": report.get("context", {}), "benchmarks": benchmarks}
 
 
+def agg_speedups(micro_ops: dict) -> dict:
+    """Vectorized-vs-map-baseline aggregation speedups, per cardinality.
+
+    Pairs BM_AggConsume/<card> with BM_AggConsumeMapBaseline/<card>; the
+    high-cardinality entry is the PR 4 acceptance number (>= 2x)."""
+    times = {row["name"]: row.get("real_time_ns")
+             for row in micro_ops.get("benchmarks", [])}
+    speedups = {}
+    for name, t in times.items():
+        prefix = "BM_AggConsume/"
+        if not name.startswith(prefix) or not t:
+            continue
+        card = name[len(prefix):]
+        baseline = times.get(f"BM_AggConsumeMapBaseline/{card}")
+        if baseline:
+            speedups[card] = {
+                "map_baseline_ns": baseline,
+                "vectorized_ns": t,
+                "speedup": baseline / t,
+            }
+    return speedups
+
+
 def run_fig9a(build_dir: pathlib.Path) -> dict:
     binary = build_dir / "bench" / "bench_fig9a_smartindex"
     if not binary.exists():
@@ -83,6 +106,9 @@ def main() -> int:
 
     build_dir = pathlib.Path(args.build_dir)
     artifact = {"micro_ops": run_micro_ops(build_dir, args.filter)}
+    speedups = agg_speedups(artifact["micro_ops"])
+    if speedups:
+        artifact["agg_consume_speedup"] = speedups
     if not args.skip_fig9a:
         artifact["fig9a_smartindex"] = run_fig9a(build_dir)
 
@@ -95,6 +121,10 @@ def main() -> int:
             print(f"{row['name']}: {row['real_time_ns']:.0f} ns, "
                   f"{row['values_decoded_per_iter']:.0f} values decoded "
                   f"per iteration")
+    for card, row in sorted(speedups.items(), key=lambda kv: int(kv[0])):
+        print(f"agg Consume x{card} groups: {row['vectorized_ns']:.0f} ns "
+              f"vectorized vs {row['map_baseline_ns']:.0f} ns map baseline "
+              f"-> {row['speedup']:.2f}x")
     if not args.skip_fig9a:
         verdict = ("REPRODUCED"
                    if artifact["fig9a_smartindex"]["reproduced"]
