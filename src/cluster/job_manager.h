@@ -38,6 +38,13 @@ struct JobInfo {
 /// identical-task result-reuse cache: before a new job's tasks enter the
 /// candidate queue, tasks whose signature matches a recently computed task
 /// reuse that result instead of executing.
+///
+/// Concurrency: deliberately unsynchronized. The job table and reuse cache
+/// are only ever touched from the master's single-threaded control path —
+/// the parallel leaf pool's workers write exclusively to their own result
+/// slot (see MasterServer::ExecuteLeafTaskParallel) and never reach this
+/// class. Any future cross-thread access must migrate it to the annotated
+/// lock wrappers in common/annotations.h first.
 class JobManager {
  public:
   explicit JobManager(size_t reuse_cache_capacity = 4096)

@@ -95,19 +95,19 @@ uint32_t LeafServer::PickSourceReplica(const std::string& path) const {
 }
 
 ResolverStats LeafServer::resolver_stats() const {
-  std::lock_guard<std::mutex> lock(resolver_stats_mutex_);
+  MutexLock lock(resolver_stats_mutex_);
   return resolver_stats_;
 }
 
 void LeafServer::MergeResolverStats(const ResolverStats& stats) {
-  std::lock_guard<std::mutex> lock(resolver_stats_mutex_);
+  MutexLock lock(resolver_stats_mutex_);
   resolver_stats_ += stats;
 }
 
 Result<const ColumnarBlock*> LeafServer::LoadBlock(
     const TableBlockMeta& meta) {
   {
-    std::lock_guard<std::mutex> lock(decoded_mutex_);
+    MutexLock lock(decoded_mutex_);
     auto it = decoded_blocks_.find(meta.path);
     if (it != decoded_blocks_.end()) return &it->second;
   }
@@ -142,7 +142,7 @@ Result<const ColumnarBlock*> LeafServer::LoadBlock(
                          ColumnarBlock::Deserialize(*payload));
   // Decode happened outside the lock; if a concurrent task decoded the same
   // path first, emplace keeps the winner and our copy is dropped.
-  std::lock_guard<std::mutex> lock(decoded_mutex_);
+  MutexLock lock(decoded_mutex_);
   auto [inserted, ok] = decoded_blocks_.emplace(meta.path, std::move(block));
   return &inserted->second;
 }

@@ -2,10 +2,10 @@
 #define FEISU_CLUSTER_LEAF_SERVER_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "cluster/task.h"
+#include "common/annotations.h"
 #include "common/result.h"
 #include "index/btree_index.h"
 #include "index/index_cache.h"
@@ -82,14 +82,14 @@ class LeafServer {
   IndexCache& index_cache() { return index_cache_; }
   /// Aggregated over every finished Execute call (snapshot by value; a
   /// per-task resolver merges into this under a mutex when the task ends).
-  ResolverStats resolver_stats() const;
+  ResolverStats resolver_stats() const FEISU_EXCLUDES(resolver_stats_mutex_);
   BTreeIndexManager& btree_manager() { return btree_manager_; }
   SsdCache* ssd_cache() { return ssd_cache_.get(); }
 
   /// Drops cached decoded blocks (host-memory optimization, not simulated
   /// state).
-  void DropDecodedBlocks() {
-    std::lock_guard<std::mutex> lock(decoded_mutex_);
+  void DropDecodedBlocks() FEISU_EXCLUDES(decoded_mutex_) {
+    MutexLock lock(decoded_mutex_);
     decoded_blocks_.clear();
   }
 
@@ -121,8 +121,11 @@ class LeafServer {
   }
 
   /// Folds one finished task's resolver statistics into the aggregate.
-  void MergeResolverStats(const ResolverStats& stats);
+  void MergeResolverStats(const ResolverStats& stats)
+      FEISU_EXCLUDES(resolver_stats_mutex_);
 
+  // node_id_, router_ and config_ are immutable after construction; the
+  // caches are internally synchronized (their own annotated mutexes).
   uint32_t node_id_;
   PathRouter* router_;
   LeafServerConfig config_;
@@ -130,12 +133,13 @@ class LeafServer {
   BTreeIndexManager btree_manager_;
   std::unique_ptr<SsdCache> ssd_cache_;
   /// Aggregate of per-task resolver stats, guarded by its own mutex.
-  mutable std::mutex resolver_stats_mutex_;
-  ResolverStats resolver_stats_;
+  mutable Mutex resolver_stats_mutex_;
+  ResolverStats resolver_stats_ FEISU_GUARDED_BY(resolver_stats_mutex_);
   /// Host-memory memo of decoded blocks; pointer-stable (node-based map),
   /// so a reference handed out under the lock stays valid afterwards.
-  mutable std::mutex decoded_mutex_;
-  std::unordered_map<std::string, ColumnarBlock> decoded_blocks_;
+  mutable Mutex decoded_mutex_;
+  std::unordered_map<std::string, ColumnarBlock> decoded_blocks_
+      FEISU_GUARDED_BY(decoded_mutex_);
 };
 
 }  // namespace feisu

@@ -217,6 +217,11 @@ class MasterServer {
   EntryGuard entry_guard_;
   JobScheduler scheduler_;
   /// Workers for the parallel leaf path; null when leaf_parallelism <= 1.
+  /// Shared-state discipline: pool workers may touch only (a) their own
+  /// PendingLeafTask slot, (b) the internally synchronized leaf-server
+  /// caches, and (c) read-only master state (cluster_, leaves_, config_).
+  /// job_manager_, scheduler_ and QueryStats stay single-threaded — the
+  /// commit phase applies the workers' outcomes in block order.
   std::unique_ptr<ThreadPool> pool_;
 };
 

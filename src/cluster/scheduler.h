@@ -41,6 +41,12 @@ struct Placement {
 /// holder; otherwise the least-loaded alive server (paying a network
 /// transfer). Tracks per-node slot availability so concurrent tasks queue,
 /// honoring each storage system's resource agreement.
+///
+/// Concurrency: deliberately unsynchronized, like JobManager. Placement and
+/// slot bookkeeping run only in the master's single-threaded commit phase;
+/// pool workers must never call into the scheduler (compile-time locking
+/// cannot see this phase discipline, so it is enforced by code review and
+/// the comment on MasterServer::ExecuteLeafTaskParallel).
 class JobScheduler {
  public:
   JobScheduler(ClusterManager* cluster, PathRouter* router,

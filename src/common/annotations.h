@@ -1,0 +1,197 @@
+#ifndef FEISU_COMMON_ANNOTATIONS_H_
+#define FEISU_COMMON_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Clang Thread Safety Analysis annotations and the annotated lock types
+/// every mutex-holding class in src/ must use (enforced by the feisu-lint
+/// `raw-mutex` rule). Under Clang with -Wthread-safety the annotations turn
+/// the project's locking discipline — which mutex guards which field, which
+/// private methods require the lock — into compile-time errors on *all*
+/// paths, not just the ones TSan's dynamic coverage happens to execute.
+/// Under GCC (or any compiler without the attributes) every macro expands
+/// to nothing and the wrappers compile down to the plain std primitives.
+///
+/// How to annotate a class, when FEISU_NO_THREAD_SAFETY_ANALYSIS is
+/// acceptable, and the full macro table: docs/STATIC_ANALYSIS.md.
+
+#if defined(__clang__)
+#define FEISU_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FEISU_THREAD_ANNOTATION(x)  // not supported: compiles out
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" by convention).
+#define FEISU_CAPABILITY(x) FEISU_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires in its constructor and releases in
+/// its destructor.
+#define FEISU_SCOPED_CAPABILITY FEISU_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding the given mutex.
+#define FEISU_GUARDED_BY(x) FEISU_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding the
+/// given mutex (the pointer itself is unguarded).
+#define FEISU_PT_GUARDED_BY(x) FEISU_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the given mutex(es) to be held exclusively on entry
+/// (and does not release them).
+#define FEISU_REQUIRES(...) \
+  FEISU_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires at least shared (reader) access on entry.
+#define FEISU_REQUIRES_SHARED(...) \
+  FEISU_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) exclusively and holds them on return.
+#define FEISU_ACQUIRE(...) \
+  FEISU_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires shared (reader) access and holds it on return.
+#define FEISU_ACQUIRE_SHARED(...) \
+  FEISU_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es) (exclusive or shared) before returning.
+#define FEISU_RELEASE(...) \
+  FEISU_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases shared (reader) access before returning.
+#define FEISU_RELEASE_SHARED(...) \
+  FEISU_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability in whatever mode it was acquired
+/// (exclusive or shared). For scoped-guard destructors, which must not
+/// assert a mode: a ReaderLock holds shared access, a WriterLock
+/// exclusive, and the destructor annotation is shared between them.
+#define FEISU_RELEASE_GENERIC(...) \
+  FEISU_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the lock; the first argument is the return value that
+/// means "acquired".
+#define FEISU_TRY_ACQUIRE(...) \
+  FEISU_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the given mutex(es): the function acquires them
+/// itself (deadlock guard for self-locking public APIs).
+#define FEISU_EXCLUDES(...) FEISU_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given mutex (lock-accessor pattern).
+#define FEISU_RETURN_CAPABILITY(x) FEISU_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use MUST carry an
+/// adjacent justification comment (feisu-lint `no-analysis` rule);
+/// legitimate reasons are constructors/destructors of the lock wrappers
+/// themselves and provably single-threaded init paths the analysis cannot
+/// see. Never use it to silence a finding on shared state.
+#define FEISU_NO_THREAD_SAFETY_ANALYSIS \
+  FEISU_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace feisu {
+
+/// std::mutex with capability annotations. Prefer the scoped MutexLock;
+/// call Lock/Unlock directly only where RAII genuinely cannot express the
+/// critical section.
+class FEISU_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FEISU_ACQUIRE() { mu_.lock(); }
+  void Unlock() FEISU_RELEASE() { mu_.unlock(); }
+  bool TryLock() FEISU_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability annotations: one writer or many
+/// readers. Use WriterLock / ReaderLock for scoping.
+class FEISU_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() FEISU_ACQUIRE() { mu_.lock(); }
+  void Unlock() FEISU_RELEASE() { mu_.unlock(); }
+  void LockShared() FEISU_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() FEISU_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class WriterLock;
+  friend class ReaderLock;
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over Mutex (the std::lock_guard replacement).
+/// Holds a std::unique_lock underneath so CondVar can wait on it.
+class FEISU_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FEISU_ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() FEISU_RELEASE_GENERIC() {}  // lock_'s destructor unlocks
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped exclusive (writer) lock over SharedMutex. The bodies operate on
+/// the raw std primitive (via friendship): the attributes assert the
+/// boundary behavior, and the per-function analysis has nothing inside to
+/// second-guess — the same pattern the std wrappers in Chromium/Abseil use.
+class FEISU_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) FEISU_ACQUIRE(mu) : mu_(mu.mu_) {
+    mu_.lock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() FEISU_RELEASE_GENERIC() { mu_.unlock(); }
+
+ private:
+  std::shared_mutex& mu_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class FEISU_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) FEISU_ACQUIRE_SHARED(mu)
+      : mu_(mu.mu_) {
+    mu_.lock_shared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() FEISU_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex& mu_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Wait() atomically
+/// releases the lock while blocked and reacquires it before returning —
+/// the analysis treats the capability as held across the call, which is
+/// sound for the caller's pre/post state.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_COMMON_ANNOTATIONS_H_

@@ -56,16 +56,26 @@ FaultInjector::FaultInjector(FaultConfig config) {
 }
 
 void FaultInjector::Configure(FaultConfig config) {
+  // Pre-annotation latent race: config_ was assigned here without the
+  // mutex while concurrent queries read it through ProfileFor/UnitDraw.
+  // The whole swap now happens under the lock; enabled_ is the published
+  // atomic snapshot for the lock-free fast path.
+  MutexLock lock(mutex_);
   config_ = std::move(config);
   std::stable_sort(config_.node_events.begin(), config_.node_events.end(),
                    [](const NodeFaultEvent& a, const NodeFaultEvent& b) {
                      return a.at < b.at;
                    });
-  Reset();
+  enabled_.store(config_.enabled, std::memory_order_release);
+  ResetLocked();
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
+  ResetLocked();
+}
+
+void FaultInjector::ResetLocked() {
   stats_ = FaultStats();
   next_event_ = 0;
   read_seq_.clear();
@@ -92,8 +102,8 @@ double FaultInjector::UnitDraw(uint64_t salt, uint64_t a, uint64_t b) const {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-bool FaultInjector::IsReplicaCorrupted(const std::string& path,
-                                       uint32_t source_node) const {
+bool FaultInjector::IsReplicaCorruptedLocked(const std::string& path,
+                                             uint32_t source_node) const {
   if (!config_.enabled) return false;
   const StorageFaultProfile& profile = ProfileFor(path);
   if (profile.corruption_rate <= 0.0) return false;
@@ -101,11 +111,17 @@ bool FaultInjector::IsReplicaCorrupted(const std::string& path,
          profile.corruption_rate;
 }
 
+bool FaultInjector::IsReplicaCorrupted(const std::string& path,
+                                       uint32_t source_node) const {
+  MutexLock lock(mutex_);
+  return IsReplicaCorruptedLocked(path, source_node);
+}
+
 FaultKind FaultInjector::OnBlockRead(const std::string& path,
                                      uint32_t source_node) {
+  MutexLock lock(mutex_);
   if (!config_.enabled) return FaultKind::kNone;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (IsReplicaCorrupted(path, source_node)) {
+  if (IsReplicaCorruptedLocked(path, source_node)) {
     ++stats_.injected_corrupt_reads;
     return FaultKind::kCorruption;
   }
@@ -122,8 +138,8 @@ FaultKind FaultInjector::OnBlockRead(const std::string& path,
 }
 
 bool FaultInjector::DropHeartbeat(uint32_t node_id, SimTime now) {
+  MutexLock lock(mutex_);
   if (!config_.enabled || config_.heartbeat_drop_rate <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
   if (UnitDraw(kHeartbeatSalt, node_id, static_cast<uint64_t>(now)) <
       config_.heartbeat_drop_rate) {
     ++stats_.dropped_heartbeats;
@@ -134,8 +150,8 @@ bool FaultInjector::DropHeartbeat(uint32_t node_id, SimTime now) {
 
 std::vector<NodeFaultEvent> FaultInjector::TakeDueNodeEvents(SimTime now) {
   std::vector<NodeFaultEvent> due;
+  MutexLock lock(mutex_);
   if (!config_.enabled) return due;
-  std::lock_guard<std::mutex> lock(mutex_);
   while (next_event_ < config_.node_events.size() &&
          config_.node_events[next_event_].at <= now) {
     const NodeFaultEvent& event = config_.node_events[next_event_++];
@@ -152,29 +168,32 @@ std::vector<NodeFaultEvent> FaultInjector::TakeDueNodeEvents(SimTime now) {
 std::optional<SimTime> FaultInjector::CrashWithin(uint32_t node_id,
                                                   SimTime start,
                                                   SimTime end) const {
+  MutexLock lock(mutex_);
   if (!config_.enabled || end <= start) return std::nullopt;
   // Replay the node's crash/recovery schedule and report the earliest
   // moment in (start, end] at which it is down. A crash scheduled before
   // `start` still counts while no recovery precedes the window: the
   // cluster manager may simply not have noticed the death yet.
-  std::optional<SimTime> down_since;
+  bool down = false;
+  SimTime down_since = 0;
   for (const NodeFaultEvent& event : config_.node_events) {
     if (event.at > end) break;
     if (event.node_id != node_id) continue;
     if (event.crash) {
-      if (!down_since.has_value()) down_since = event.at;
+      if (!down) {
+        down = true;
+        down_since = event.at;
+      }
     } else {
       // Recovery ends the outage [down_since, event.at).
-      if (down_since.has_value()) {
-        SimTime moment = std::max(*down_since, start + 1);
+      if (down) {
+        SimTime moment = std::max(down_since, start + 1);
         if (event.at > moment) return moment;
       }
-      down_since = std::nullopt;
+      down = false;
     }
   }
-  if (down_since.has_value()) {
-    return std::max(*down_since, start + 1);
-  }
+  if (down) return std::max(down_since, start + 1);
   return std::nullopt;
 }
 

@@ -1,14 +1,15 @@
 #ifndef FEISU_COMMON_FAULT_INJECTOR_H_
 #define FEISU_COMMON_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/sim_clock.h"
 
 namespace feisu {
@@ -86,11 +87,13 @@ struct FaultConfig {
 /// failures regardless of which subsystem asks first — the invariant the
 /// chaos suite's determinism property checks.
 ///
-/// Thread safety: the mutating entry points (OnBlockRead, DropHeartbeat,
-/// TakeDueNodeEvents) synchronize on an internal mutex so concurrent leaf
-/// sub-plans share one coherent fault universe; per-path read-attempt
-/// sequences stay deterministic because each path is read by exactly one
-/// task at a time. Configure/Reset must not race with queries.
+/// Thread safety: every public method, including Configure/Reset, is safe
+/// to call concurrently — the configuration and all per-run state live
+/// under one internal mutex (enforced at compile time by -Wthread-safety).
+/// Only `enabled()` bypasses it, reading an atomic snapshot, so the
+/// hot-path "is injection even on?" probe stays lock-free. Per-path
+/// read-attempt sequences stay deterministic because each path is read by
+/// exactly one task at a time.
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -100,56 +103,76 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Replaces the configuration and resets all per-run state.
-  void Configure(FaultConfig config);
+  void Configure(FaultConfig config) FEISU_EXCLUDES(mutex_);
   /// Clears counters and replays the node schedule from the beginning
   /// without changing the configuration.
-  void Reset();
+  void Reset() FEISU_EXCLUDES(mutex_);
 
-  bool enabled() const { return config_.enabled; }
-  const FaultConfig& config() const { return config_; }
+  /// Lock-free: an atomic snapshot of config().enabled, maintained by
+  /// Configure. Pool threads probe this on every block read.
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+  /// Snapshot of the configuration (by value: Configure may race).
+  FaultConfig config() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return config_;
+  }
   /// Snapshot of the fault counters (by value: they move concurrently).
-  FaultStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  FaultStats stats() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
   /// Decides the fate of one physical block read of `path` whose bytes
   /// come from `source_node`'s replica. Counts injected faults.
-  FaultKind OnBlockRead(const std::string& path, uint32_t source_node);
+  FaultKind OnBlockRead(const std::string& path, uint32_t source_node)
+      FEISU_EXCLUDES(mutex_);
 
   /// Stateless query: is `source_node`'s copy of `path` corrupted? Used by
   /// the master to decide whether any healthy replica remains before
   /// declaring a block lost. Does not touch statistics.
-  bool IsReplicaCorrupted(const std::string& path,
-                          uint32_t source_node) const;
+  bool IsReplicaCorrupted(const std::string& path, uint32_t source_node) const
+      FEISU_EXCLUDES(mutex_);
 
   /// True if the heartbeat `node_id` sends at `now` should be lost.
-  bool DropHeartbeat(uint32_t node_id, SimTime now);
+  bool DropHeartbeat(uint32_t node_id, SimTime now) FEISU_EXCLUDES(mutex_);
 
   /// Returns (and consumes) every scheduled node event with `at` <= now.
   /// The caller applies them to its ClusterManager; the injector stays
   /// free of cluster-layer dependencies.
-  std::vector<NodeFaultEvent> TakeDueNodeEvents(SimTime now);
+  std::vector<NodeFaultEvent> TakeDueNodeEvents(SimTime now)
+      FEISU_EXCLUDES(mutex_);
 
   /// Earliest moment in (start, end] at which the crash/recovery schedule
   /// has `node_id` down (a crash before `start` with no intervening
   /// recovery counts: the cluster manager may not have noticed it yet).
   /// Lets the master detect that a task's host died mid-execution.
   std::optional<SimTime> CrashWithin(uint32_t node_id, SimTime start,
-                                     SimTime end) const;
+                                     SimTime end) const
+      FEISU_EXCLUDES(mutex_);
 
  private:
-  const StorageFaultProfile& ProfileFor(const std::string& path) const;
+  /// Lock-held core of Reset/Configure.
+  void ResetLocked() FEISU_REQUIRES(mutex_);
+  /// Lock-held core of IsReplicaCorrupted (OnBlockRead calls it with the
+  /// mutex already held).
+  bool IsReplicaCorruptedLocked(const std::string& path,
+                                uint32_t source_node) const
+      FEISU_REQUIRES(mutex_);
+  const StorageFaultProfile& ProfileFor(const std::string& path) const
+      FEISU_REQUIRES(mutex_);
   /// Uniform double in [0, 1) from a hash of the mixed identities.
-  double UnitDraw(uint64_t salt, uint64_t a, uint64_t b) const;
+  double UnitDraw(uint64_t salt, uint64_t a, uint64_t b) const
+      FEISU_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  FaultConfig config_;
-  FaultStats stats_;
-  size_t next_event_ = 0;
+  mutable Mutex mutex_;
+  FaultConfig config_ FEISU_GUARDED_BY(mutex_);
+  /// Mirrors config_.enabled for the lock-free enabled() fast path.
+  std::atomic<bool> enabled_{false};
+  FaultStats stats_ FEISU_GUARDED_BY(mutex_);
+  size_t next_event_ FEISU_GUARDED_BY(mutex_) = 0;
   /// Per-path read attempt counters: transient read errors depend on the
   /// attempt number, so a retry rolls a fresh (but reproducible) die.
-  std::unordered_map<std::string, uint64_t> read_seq_;
+  std::unordered_map<std::string, uint64_t> read_seq_ FEISU_GUARDED_BY(mutex_);
 };
 
 }  // namespace feisu

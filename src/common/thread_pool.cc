@@ -15,43 +15,42 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() {
   Drain();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_workers_.notify_all();
+  wake_workers_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return in_flight_;
 }
 
 void ThreadPool::Enqueue(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(fn));
     ++in_flight_;
   }
-  wake_workers_.notify_one();
+  wake_workers_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_workers_.wait(lock,
-                         [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wake_workers_.Wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();  // packaged_task captures exceptions into the future
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) idle_.notify_all();
+      if (in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -75,8 +74,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this]() { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.Wait(lock);
 }
 
 }  // namespace feisu

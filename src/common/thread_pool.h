@@ -1,17 +1,17 @@
 #ifndef FEISU_COMMON_THREAD_POOL_H_
 #define FEISU_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace feisu {
 
@@ -58,19 +58,21 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Blocks until the queue is empty and no task is running.
-  void Drain();
+  void Drain() FEISU_EXCLUDES(mutex_);
 
  private:
-  void Enqueue(std::function<void()> fn);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> fn) FEISU_EXCLUDES(mutex_);
+  void WorkerLoop() FEISU_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_workers_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mutex_;
+  CondVar wake_workers_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ FEISU_GUARDED_BY(mutex_);
+  /// Written only by the constructor and joined by the destructor; never
+  /// touched from worker threads, so it needs no guard.
   std::vector<std::thread> workers_;
-  size_t in_flight_ = 0;  ///< queued + currently executing
-  bool stopping_ = false;
+  size_t in_flight_ FEISU_GUARDED_BY(mutex_) = 0;  ///< queued + executing
+  bool stopping_ FEISU_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace feisu

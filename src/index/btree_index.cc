@@ -86,7 +86,7 @@ size_t ColumnBTreeIndex::MemoryBytes() const {
 
 const ColumnBTreeIndex* BTreeIndexManager::Find(
     int64_t block_id, const std::string& column) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++lookups_;
   auto it = indices_.find({block_id, column});
   return it == indices_.end() ? nullptr : &it->second;
@@ -97,7 +97,7 @@ const ColumnBTreeIndex* BTreeIndexManager::BuildAndStore(
   // Build outside the lock (tree construction is the expensive part), then
   // let the first finisher win; a racing loser's tree is simply dropped.
   ColumnBTreeIndex index = ColumnBTreeIndex::Build(values);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = indices_.find({block_id, column});
   if (it != indices_.end()) return &it->second;
   memory_bytes_ += index.MemoryBytes();

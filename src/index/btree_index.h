@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "columnar/column_vector.h"
+#include "common/annotations.h"
 #include "expr/expr.h"
 #include "index/btree.h"
 
@@ -44,43 +44,48 @@ class ColumnBTreeIndex {
 /// built lazily on first use (mirroring how the Fig. 9b experiment
 /// "implemented B-tree index in Feisu").
 ///
-/// Thread-safe: concurrent sub-plans on one leaf may probe and build
-/// indices at the same time. Returned pointers stay valid for the manager's
-/// lifetime (std::map nodes never move, and indices are never dropped).
+/// Thread-safe (compile-time checked): concurrent sub-plans on one leaf may
+/// probe and build indices at the same time. Returned pointers stay valid
+/// for the manager's lifetime (std::map nodes never move, indices are never
+/// dropped, and a stored ColumnBTreeIndex is immutable), so dereferencing
+/// them outside the lock is safe.
 class BTreeIndexManager {
  public:
   const ColumnBTreeIndex* Find(int64_t block_id,
-                               const std::string& column) const;
+                               const std::string& column) const
+      FEISU_EXCLUDES(mutex_);
   /// Builds from `values` and stores, unless another thread won the race —
   /// then the existing index is returned and `values` is ignored (both
   /// builders read the same immutable block, so the trees are identical).
   const ColumnBTreeIndex* BuildAndStore(int64_t block_id,
                                         const std::string& column,
-                                        const ColumnVector& values);
+                                        const ColumnVector& values)
+      FEISU_EXCLUDES(mutex_);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return indices_.size();
   }
-  size_t MemoryBytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t MemoryBytes() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return memory_bytes_;
   }
-  uint64_t lookups() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t lookups() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return lookups_;
   }
-  uint64_t builds() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t builds() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return builds_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::pair<int64_t, std::string>, ColumnBTreeIndex> indices_;
-  size_t memory_bytes_ = 0;
-  mutable uint64_t lookups_ = 0;
-  uint64_t builds_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::pair<int64_t, std::string>, ColumnBTreeIndex> indices_
+      FEISU_GUARDED_BY(mutex_);
+  size_t memory_bytes_ FEISU_GUARDED_BY(mutex_) = 0;
+  mutable uint64_t lookups_ FEISU_GUARDED_BY(mutex_) = 0;
+  uint64_t builds_ FEISU_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace feisu

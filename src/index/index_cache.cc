@@ -25,8 +25,8 @@ uint64_t IndexCache::ShardCapacity() const {
 }
 
 bool IndexCache::IsPreferred(const SmartIndexKey& key) const {
-  std::lock_guard<std::mutex> lock(preferred_mutex_);
-  return preferred_predicates_.count(key.predicate) > 0;
+  ReaderLock lock(preferred_mutex_);
+  return preferred_predicates_.contains(key.predicate);
 }
 
 bool IndexCache::IsExpired(const Shard& shard, const SmartIndex& index,
@@ -43,7 +43,7 @@ bool IndexCache::IsExpired(const Shard& shard, const SmartIndex& index,
 std::shared_ptr<const SmartIndex> IndexCache::Lookup(const SmartIndexKey& key,
                                                      SimTime now) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
@@ -65,7 +65,7 @@ std::shared_ptr<const SmartIndex> IndexCache::Lookup(const SmartIndexKey& key,
 std::shared_ptr<const SmartIndex> IndexCache::Peek(const SmartIndexKey& key,
                                                    SimTime now) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return nullptr;
   if (IsExpired(shard, *it->second.index, now)) return nullptr;
@@ -78,7 +78,7 @@ void IndexCache::Insert(const SmartIndexKey& key, const BitVector& bits,
   auto index = std::make_shared<const SmartIndex>(key, bits, now);
   uint64_t bytes = index->MemoryBytes();
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   RemoveLocked(&shard, key);
   if (bytes > ShardCapacity()) return;
   EvictForSpaceLocked(&shard, bytes);
@@ -91,7 +91,7 @@ void IndexCache::Insert(const SmartIndexKey& key, const BitVector& bits,
 }
 
 void IndexCache::SetPreference(const std::string& predicate, bool preferred) {
-  std::lock_guard<std::mutex> lock(preferred_mutex_);
+  WriterLock lock(preferred_mutex_);
   if (preferred) {
     preferred_predicates_.insert(predicate);
   } else {
@@ -102,7 +102,7 @@ void IndexCache::SetPreference(const std::string& predicate, bool preferred) {
 void IndexCache::EvictExpired(SimTime now) {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     std::vector<SmartIndexKey> victims;
     for (const auto& [key, entry] : shard.entries) {
       if (IsExpired(shard, *entry.index, now)) victims.push_back(key);
@@ -117,7 +117,7 @@ void IndexCache::EvictExpired(SimTime now) {
 void IndexCache::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.entries.clear();
     shard.lru.clear();
     shard.memory_bytes = 0;
@@ -127,7 +127,7 @@ void IndexCache::Clear() {
 uint64_t IndexCache::memory_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->memory_bytes;
   }
   return total;
@@ -136,7 +136,7 @@ uint64_t IndexCache::memory_bytes() const {
 size_t IndexCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->entries.size();
   }
   return total;
@@ -145,7 +145,7 @@ size_t IndexCache::size() const {
 IndexCacheStats IndexCache::stats() const {
   IndexCacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->stats;
   }
   return total;
@@ -153,7 +153,7 @@ IndexCacheStats IndexCache::stats() const {
 
 void IndexCache::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     shard->stats = IndexCacheStats();
   }
 }

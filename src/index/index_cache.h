@@ -4,12 +4,12 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "index/smart_index.h"
 
 namespace feisu {
@@ -55,12 +55,27 @@ struct IndexCacheStats {
 /// the TTL — except that preferred (pinned) indices survive TTL expiry as
 /// long as memory is not under pressure.
 ///
-/// Thread safety: every public method is safe to call concurrently; the key
-/// space is striped over independently locked shards. Lookup/Peek return a
-/// shared_ptr that keeps the index alive even if a concurrent Insert evicts
-/// the entry — the old "pointer valid until the next mutating call"
-/// contract is gone (it was a dangling-pointer hazard under LRU eviction,
-/// and indefensible once sub-plans run in parallel).
+/// Thread safety (compile-time checked via the annotations below): every
+/// public method is safe to call concurrently; the key space is striped
+/// over independently locked shards. Lookup/Peek return a shared_ptr that
+/// keeps the index alive even if a concurrent Insert evicts the entry —
+/// the old "pointer valid until the next mutating call" contract is gone
+/// (it was a dangling-pointer hazard under LRU eviction, and indefensible
+/// once sub-plans run in parallel).
+///
+/// Handle/ownership contract, member by member:
+///  - `config_` and `shards_` (the vector itself, not the Shards) are
+///    immutable after construction — read freely from any thread.
+///  - `capacity_bytes_` is an atomic: set_capacity_bytes may race with
+///    readers by design (the budget is advisory between operations).
+///  - Everything inside a `Shard` (entries, lru, memory_bytes, stats) is
+///    guarded by that shard's own mutex.
+///  - `preferred_predicates_` is guarded by `preferred_mutex_`, a
+///    reader/writer lock: IsPreferred takes shared access on the hot
+///    lookup/eviction paths, SetPreference takes exclusive access.
+///  - The `SmartIndex` objects handed out by Lookup/Peek are immutable;
+///    the shared_ptr is the lifetime token, valid for as long as the
+///    caller holds it, no matter what the cache does afterwards.
 class IndexCache {
  public:
   explicit IndexCache(IndexCacheConfig config = {});
@@ -95,7 +110,8 @@ class IndexCache {
   /// User preference hook (paper: "interfaces for users to set preferences
   /// and retire strategies on indices"). Preferred predicates survive TTL
   /// expiry under low memory pressure and are evicted last.
-  void SetPreference(const std::string& predicate, bool preferred);
+  void SetPreference(const std::string& predicate, bool preferred)
+      FEISU_EXCLUDES(preferred_mutex_);
 
   /// Drops every entry whose TTL expired at `now` (periodic maintenance).
   void EvictExpired(SimTime now);
@@ -117,28 +133,38 @@ class IndexCache {
 
   /// One independently locked LRU domain.
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<SmartIndexKey, Entry, SmartIndexKeyHash> entries;
-    std::list<SmartIndexKey> lru;  // front = most recently used
-    uint64_t memory_bytes = 0;
-    IndexCacheStats stats;
+    mutable Mutex mutex;
+    std::unordered_map<SmartIndexKey, Entry, SmartIndexKeyHash> entries
+        FEISU_GUARDED_BY(mutex);
+    std::list<SmartIndexKey> lru
+        FEISU_GUARDED_BY(mutex);  // front = most recently used
+    uint64_t memory_bytes FEISU_GUARDED_BY(mutex) = 0;
+    IndexCacheStats stats FEISU_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(const SmartIndexKey& key);
   const Shard& ShardFor(const SmartIndexKey& key) const;
   uint64_t ShardCapacity() const;
   bool IsExpired(const Shard& shard, const SmartIndex& index,
-                 SimTime now) const;
-  bool IsPreferred(const SmartIndexKey& key) const;
-  /// Both helpers require `shard.mutex` to be held by the caller.
-  void RemoveLocked(Shard* shard, const SmartIndexKey& key);
-  void EvictForSpaceLocked(Shard* shard, uint64_t incoming_bytes);
+                 SimTime now) const FEISU_REQUIRES(shard.mutex);
+  bool IsPreferred(const SmartIndexKey& key) const
+      FEISU_EXCLUDES(preferred_mutex_);
+  /// Both helpers require `shard->mutex` to be held by the caller
+  /// (compile-time enforced).
+  void RemoveLocked(Shard* shard, const SmartIndexKey& key)
+      FEISU_REQUIRES(shard->mutex);
+  void EvictForSpaceLocked(Shard* shard, uint64_t incoming_bytes)
+      FEISU_REQUIRES(shard->mutex);
 
+  /// Immutable after construction.
   IndexCacheConfig config_;
   std::atomic<uint64_t> capacity_bytes_;
+  /// The vector is immutable after construction; per-shard state is
+  /// guarded by each Shard's own mutex.
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::mutex preferred_mutex_;
-  std::set<std::string> preferred_predicates_;
+  mutable SharedMutex preferred_mutex_;
+  std::set<std::string> preferred_predicates_
+      FEISU_GUARDED_BY(preferred_mutex_);
 };
 
 }  // namespace feisu

@@ -21,7 +21,7 @@ SsdCache::SsdCache(uint64_t capacity_bytes, CachePolicy policy,
     : capacity_bytes_(capacity_bytes), policy_(policy), ssd_cost_(ssd_cost) {}
 
 bool SsdCache::Lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -36,7 +36,7 @@ bool SsdCache::Lookup(const std::string& key) {
 }
 
 void SsdCache::Admit(const std::string& key, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (bytes > capacity_bytes_) return;
   if (entries_.count(key) > 0) return;
   if (policy_ == CachePolicy::kManual && !IsPreferred(key)) return;
@@ -52,7 +52,7 @@ void SsdCache::Admit(const std::string& key, uint64_t bytes) {
 }
 
 void SsdCache::SetPreference(const std::string& key, bool preferred) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (preferred) {
     preferred_.insert(key);
   } else {
@@ -61,7 +61,7 @@ void SsdCache::SetPreference(const std::string& key, bool preferred) {
 }
 
 size_t SsdCache::InvalidatePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -77,7 +77,7 @@ size_t SsdCache::InvalidatePrefix(const std::string& prefix) {
 }
 
 void SsdCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;

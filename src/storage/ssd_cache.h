@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/sim_clock.h"
 #include "storage/storage_system.h"
 
@@ -25,8 +25,10 @@ const char* CachePolicyName(CachePolicy policy);
 /// values are byte sizes (payloads stay in the backing storage system —
 /// only placement and cost are modeled).
 ///
-/// Thread-safe: one leaf server's concurrent sub-plans share this cache, so
-/// every method synchronizes on an internal mutex.
+/// Thread-safe (compile-time checked): one leaf server's concurrent
+/// sub-plans share this cache, so every method synchronizes on the internal
+/// mutex. `capacity_bytes_`, `policy_` and `ssd_cost_` are immutable after
+/// construction and need no guard.
 class SsdCache {
  public:
   SsdCache(uint64_t capacity_bytes, CachePolicy policy,
@@ -34,55 +36,56 @@ class SsdCache {
 
   CachePolicy policy() const { return policy_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
-  uint64_t used_bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t used_bytes() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return used_bytes_;
   }
 
   /// True if `key` is cached; updates recency/frequency bookkeeping and
   /// the hit/miss counters.
-  bool Lookup(const std::string& key);
+  bool Lookup(const std::string& key) FEISU_EXCLUDES(mutex_);
 
   /// Offers `key` to the cache after a miss. Admission depends on policy:
   /// LRU/LFU always admit (evicting per policy); kManual admits only
   /// preferred keys. Objects larger than capacity are rejected.
-  void Admit(const std::string& key, uint64_t bytes);
+  void Admit(const std::string& key, uint64_t bytes) FEISU_EXCLUDES(mutex_);
 
   /// Marks a key as business-preferred (manual policy admits it; all
   /// policies refuse to evict preferred keys while unpreferred ones exist).
-  void SetPreference(const std::string& key, bool preferred);
+  void SetPreference(const std::string& key, bool preferred)
+      FEISU_EXCLUDES(mutex_);
 
   /// Drops every entry whose key starts with `prefix` (e.g. "<path>#" to
   /// purge all columns of one block after its replica proved corrupt).
   /// Returns the number of entries removed; not counted as evictions.
-  size_t InvalidatePrefix(const std::string& prefix);
+  size_t InvalidatePrefix(const std::string& prefix) FEISU_EXCLUDES(mutex_);
 
-  bool Contains(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool Contains(const std::string& key) const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return entries_.count(key) > 0;
   }
 
   /// SSD read cost for a cached object.
   SimTime ReadCost(uint64_t bytes) const { return ssd_cost_.ReadCost(bytes); }
 
-  uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t hits() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return hits_;
   }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t misses() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return misses_;
   }
-  uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t evictions() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return evictions_;
   }
-  double MissRate() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  double MissRate() const FEISU_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(misses_) / total;
   }
-  void ResetStats();
+  void ResetStats() FEISU_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -91,22 +94,23 @@ class SsdCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictUntilFits(uint64_t incoming_bytes);
-  bool IsPreferred(const std::string& key) const {
+  void EvictUntilFits(uint64_t incoming_bytes) FEISU_REQUIRES(mutex_);
+  bool IsPreferred(const std::string& key) const FEISU_REQUIRES(mutex_) {
     return preferred_.count(key) > 0;
   }
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
+  // Immutable after construction.
   uint64_t capacity_bytes_;
   CachePolicy policy_;
   StorageCostModel ssd_cost_;
-  uint64_t used_bytes_ = 0;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
-  std::set<std::string> preferred_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  uint64_t used_bytes_ FEISU_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::string, Entry> entries_ FEISU_GUARDED_BY(mutex_);
+  std::list<std::string> lru_ FEISU_GUARDED_BY(mutex_);  // front = most recent
+  std::set<std::string> preferred_ FEISU_GUARDED_BY(mutex_);
+  uint64_t hits_ FEISU_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ FEISU_GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ FEISU_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace feisu

@@ -1,0 +1,31 @@
+// Positive control for the thread-safety try_compile matrix: a correctly
+// locked counter MUST compile cleanly under -Wthread-safety -Werror. If
+// this file fails, the harness (not the analysis) is broken and the
+// negative results below would be meaningless.
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    feisu::MutexLock lock(mutex_);
+    ++count_;
+  }
+  int Get() const {
+    feisu::MutexLock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable feisu::Mutex mutex_;
+  int count_ FEISU_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return counter.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// Negative fixture for the thread-safety try_compile matrix: calls a
+// FEISU_REQUIRES private helper without holding the mutex it names — the
+// lock-requiring-method contract every *Locked helper in src/ relies on.
+// -Wthread-safety -Werror MUST reject this translation unit.
+#include "common/annotations.h"
+
+namespace {
+
+class Table {
+ public:
+  void Clear() { ClearLocked(); }  // racy: helper demands mutex_ held
+
+ private:
+  void ClearLocked() FEISU_REQUIRES(mutex_) { size_ = 0; }
+
+  feisu::Mutex mutex_;
+  int size_ FEISU_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.Clear();
+  return 0;
+}

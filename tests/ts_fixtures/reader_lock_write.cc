@@ -1,0 +1,27 @@
+// Negative fixture for the thread-safety try_compile matrix: mutates a
+// field guarded by a SharedMutex while holding only shared (reader)
+// access. Readers may alias; writing under a ReaderLock is a data race.
+// -Wthread-safety -Werror MUST reject this translation unit.
+#include "common/annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Grow() {
+    feisu::ReaderLock lock(mutex_);
+    ++entries_;  // racy: writing needs exclusive (WriterLock) access
+  }
+
+ private:
+  feisu::SharedMutex mutex_;
+  int entries_ FEISU_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  registry.Grow();
+  return 0;
+}

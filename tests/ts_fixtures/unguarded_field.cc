@@ -1,0 +1,24 @@
+// Negative fixture for the thread-safety try_compile matrix: writes a
+// FEISU_GUARDED_BY field without holding its mutex — a real data race once
+// Bump runs on two threads. -Wthread-safety -Werror MUST reject this
+// translation unit; tests/CMakeLists.txt fails the configure if it builds.
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++count_; }  // racy: no lock held
+
+ private:
+  feisu::Mutex mutex_;
+  int count_ FEISU_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}

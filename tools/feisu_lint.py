@@ -21,6 +21,21 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
   include-guard    Header guards must be FEISU_<PATH>_H_ derived from the
                    path under src/ (e.g. src/index/index_cache.h =>
                    FEISU_INDEX_INDEX_CACHE_H_).
+  raw-mutex        No raw std locking primitives (`std::mutex`,
+                   `std::lock_guard`, `std::condition_variable`, ...)
+                   outside src/common/. Use the annotated wrappers in
+                   common/annotations.h so -Wthread-safety can see every
+                   lock; a raw mutex is invisible to the analysis.
+  no-analysis      `FEISU_NO_THREAD_SAFETY_ANALYSIS` must carry a
+                   justification comment on the same line or the line
+                   above. Opting out of the analysis silently is how
+                   races come back.
+  detached-thread  No ad-hoc thread spawning (`std::thread`,
+                   `std::jthread`, `std::async`) or `.detach()` outside
+                   src/common/. All host-level parallelism flows through
+                   ThreadPool so lifetimes are joined and task order is
+                   reasoned about in one place. Test code under tests/
+                   is exempt (hammer tests spawn raw threads on purpose).
 
 Exit status: 0 when no violations, 1 when violations were reported,
 2 on usage errors. `--self-test` checks the seeded fixture files under
@@ -70,6 +85,19 @@ DIRECT_OUTPUT_RES = [
 ]
 
 GUARD_IFNDEF_RE = re.compile(r"^\s*#ifndef\s+([A-Za-z0-9_]+)")
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|condition_variable(?:_any)?)\b")
+
+THREAD_SPAWN_RES = [
+    re.compile(r"\bstd::(?:thread|jthread)\b"),
+    re.compile(r"\bstd::async\b"),
+    re.compile(r"\.\s*detach\s*\(\s*\)"),
+]
+
+NO_ANALYSIS_RE = re.compile(r"\bFEISU_NO_THREAD_SAFETY_ANALYSIS\b")
 
 
 class Violation:
@@ -163,6 +191,15 @@ def is_arena_path(path):
     return "arena" in rel.replace(os.sep, "/").split("/")
 
 
+def is_concurrency_exempt_path(path):
+    """Paths allowed to touch raw std threading primitives: src/common/
+    (the annotated wrappers and ThreadPool are implemented there) and
+    tests/ (hammer tests spawn raw threads to exercise the wrappers)."""
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    rel = rel.replace(os.sep, "/")
+    return rel.startswith("src/common/") or rel.startswith("tests/")
+
+
 def lint_file(path):
     with open(path, "r", encoding="utf-8", errors="replace") as f:
         raw = f.read()
@@ -214,6 +251,39 @@ def lint_file(path):
                     "direct console output from library code; use "
                     "common/logging.h"))
                 break
+        if not is_concurrency_exempt_path(path):
+            if RAW_MUTEX_RE.search(line) and not waived(lineno, "raw-mutex"):
+                violations.append(Violation(
+                    path, lineno, "raw-mutex",
+                    "raw std locking primitive is invisible to "
+                    "-Wthread-safety; use the annotated wrappers in "
+                    "common/annotations.h"))
+            for pattern in THREAD_SPAWN_RES:
+                if pattern.search(line) and not waived(lineno,
+                                                       "detached-thread"):
+                    violations.append(Violation(
+                        path, lineno, "detached-thread",
+                        "ad-hoc thread/async outside ThreadPool; route "
+                        "host-level parallelism through common/"
+                        "thread_pool.h so lifetimes are joined"))
+                    break
+        if NO_ANALYSIS_RE.search(line):
+            # The macro's own #define (annotations.h) is not a use.
+            stripped = line.lstrip()
+            is_define = stripped.startswith("#")
+            prev_code = code_lines[lineno - 2] if lineno >= 2 else ""
+            is_continuation = prev_code.rstrip().endswith("\\")
+            if not is_define and not is_continuation:
+                has_comment = any(
+                    marker in raw_lines[idx]
+                    for idx in (lineno - 1, lineno - 2) if idx >= 0
+                    for marker in ("//", "/*"))
+                if not has_comment and not waived(lineno, "no-analysis"):
+                    violations.append(Violation(
+                        path, lineno, "no-analysis",
+                        "FEISU_NO_THREAD_SAFETY_ANALYSIS without a "
+                        "justification comment on this line or the line "
+                        "above; say why the analysis is wrong here"))
 
     if path.endswith((".h", ".hpp")):
         guard = None
@@ -262,7 +332,13 @@ def run_self_test():
         "wall_clock.cc": "wall-clock",
         "direct_cout.cc": "direct-output",
         "bad_include_guard.h": "include-guard",
+        "raw_mutex.cc": "raw-mutex",
+        "no_analysis_unjustified.cc": "no-analysis",
+        "detached_thread.cc": "detached-thread",
     }
+    # Fixtures that must lint CLEAN: they contain would-be violations that
+    # are properly waived, proving the waiver machinery works per rule.
+    expected_clean = ["raw_mutex_waived.cc"]
     failures = []
     for name, rule in sorted(expected.items()):
         path = os.path.join(FIXTURE_DIR, name)
@@ -273,12 +349,22 @@ def run_self_test():
         if rule not in rules_hit:
             failures.append("fixture %s did not trip rule %s (hit: %s)" %
                             (name, rule, sorted(rules_hit) or "none"))
+    for name in expected_clean:
+        path = os.path.join(FIXTURE_DIR, name)
+        if not os.path.isfile(path):
+            failures.append("missing fixture: " + name)
+            continue
+        hits = lint_file(path)
+        if hits:
+            failures.append("waived fixture %s tripped: %s" %
+                            (name, sorted({v.rule for v in hits})))
     if failures:
         for f in failures:
             print("feisu-lint self-test FAILED: " + f, file=sys.stderr)
         return 1
-    print("feisu-lint self-test: %d fixtures each tripped their rule" %
-          len(expected))
+    print("feisu-lint self-test: %d fixtures tripped their rule, "
+          "%d waived fixtures stayed clean" %
+          (len(expected), len(expected_clean)))
     return 0
 
 

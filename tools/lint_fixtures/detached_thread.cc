@@ -1,0 +1,14 @@
+// Seeded violation: ad-hoc thread spawning outside ThreadPool.
+#include <future>
+#include <thread>
+
+namespace feisu {
+
+void SpawnLoose() {
+  std::thread worker([]() {});  // BAD: raw std::thread
+  worker.detach();              // BAD: detach loses the lifetime
+  auto f = std::async([]() { return 1; });  // BAD: std::async
+  f.get();
+}
+
+}  // namespace feisu

@@ -1,0 +1,17 @@
+// Seeded violation: opting out of -Wthread-safety without saying why.
+#define FEISU_NO_THREAD_SAFETY_ANALYSIS __attribute__((no_thread_safety_analysis))
+
+namespace feisu {
+
+class Registry {
+ public:
+  // This use is fine: the justification comment sits directly above.
+  // feisu-lint's no-analysis rule accepts any adjacent comment.
+  void JustifiedBypass() FEISU_NO_THREAD_SAFETY_ANALYSIS {}
+
+  int count_ = 0;
+
+  void UnjustifiedBypass() FEISU_NO_THREAD_SAFETY_ANALYSIS { ++count_; }
+};
+
+}  // namespace feisu

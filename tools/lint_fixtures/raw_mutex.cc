@@ -1,0 +1,23 @@
+// Seeded violation: raw std locking primitives outside src/common/.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace feisu {
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mutex_);  // BAD: raw lock_guard
+    ++count_;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;              // BAD: raw mutex
+  std::shared_mutex rw_mutex_;    // BAD: raw shared_mutex
+  std::condition_variable cv_;    // BAD: raw condition_variable
+  int count_ = 0;
+};
+
+}  // namespace feisu

@@ -1,0 +1,29 @@
+// Waiver exercise: every would-be raw-mutex / detached-thread violation
+// below carries a justified waiver comment, so this file must lint CLEAN.
+// The self-test uses it to prove waivers are honored per rule.
+#include <mutex>
+#include <thread>
+
+namespace feisu {
+
+class LegacyBridge {
+ public:
+  void Touch() {
+    // feisu-lint: allow(raw-mutex): interop with a pre-wrapper vendor API
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+
+  void FireAndForget() {
+    // feisu-lint: allow(detached-thread): one-shot fixture, joins via scope
+    std::thread worker([]() {});
+    worker.join();
+  }
+
+ private:
+  // feisu-lint: allow(raw-mutex): interop with a pre-wrapper vendor API
+  std::mutex mutex_;
+  int count_ = 0;
+};
+
+}  // namespace feisu
