@@ -45,17 +45,11 @@ const JobInfo* JobManager::Find(int64_t job_id) const {
   return it == jobs_.end() ? nullptr : &it->second;
 }
 
-void JobManager::RecordRecovery(int64_t job_id, uint64_t task_retries,
-                                uint64_t corrupt_blocks,
-                                uint64_t failed_nodes, uint64_t lost_blocks,
-                                double processed_ratio) {
+void JobManager::RecordRecovery(int64_t job_id,
+                                const JobRecoveryRecord& record) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
-  it->second.task_retries = task_retries;
-  it->second.corrupt_blocks = corrupt_blocks;
-  it->second.failed_nodes = failed_nodes;
-  it->second.lost_blocks = lost_blocks;
-  it->second.processed_ratio = processed_ratio;
+  it->second.recovery = record;
 }
 
 std::vector<JobInfo> JobManager::SnapshotJobs() const {

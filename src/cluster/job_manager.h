@@ -17,6 +17,21 @@ enum class JobState { kQueued, kRunning, kFinished, kFailed };
 
 const char* JobStateName(JobState state);
 
+/// Per-job recovery/speculation accounting, mirrored from QueryStats so a
+/// checkpoint/monitoring view carries the job's fault history.
+struct JobRecoveryRecord {
+  uint64_t task_retries = 0;
+  uint64_t corrupt_blocks = 0;
+  uint64_t failed_nodes = 0;
+  uint64_t lost_blocks = 0;
+  uint64_t backup_tasks_launched = 0;
+  uint64_t backup_tasks_won = 0;
+  uint64_t tasks_terminated_early = 0;
+  uint64_t partitioned_tasks = 0;
+  uint64_t stem_retries = 0;
+  double processed_ratio = 1.0;
+};
+
 struct JobInfo {
   int64_t job_id = 0;
   std::string user;
@@ -25,13 +40,7 @@ struct JobInfo {
   SimTime submit_time = 0;
   SimTime finish_time = 0;
   std::string error;
-  // Failure-driven recovery accounting, mirrored from QueryStats so a
-  // checkpoint/monitoring view carries the job's fault history.
-  uint64_t task_retries = 0;
-  uint64_t corrupt_blocks = 0;
-  uint64_t failed_nodes = 0;
-  uint64_t lost_blocks = 0;
-  double processed_ratio = 1.0;
+  JobRecoveryRecord recovery;
 };
 
 /// Maintains running job information (paper §III-C "Job manager") and the
@@ -58,9 +67,7 @@ class JobManager {
   size_t NumJobs() const { return jobs_.size(); }
 
   /// Mirrors a finished query's recovery counters onto its job record.
-  void RecordRecovery(int64_t job_id, uint64_t task_retries,
-                      uint64_t corrupt_blocks, uint64_t failed_nodes,
-                      uint64_t lost_blocks, double processed_ratio);
+  void RecordRecovery(int64_t job_id, const JobRecoveryRecord& record);
 
   /// Primary/backup support: the job table travels with the master
   /// checkpoint so a promoted backup can resume in-flight jobs.

@@ -1,9 +1,11 @@
 #include "cluster/master.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <set>
 
+#include "cluster/timeout_manager.h"
 #include "exec/operators.h"
 #include "plan/optimizer.h"
 #include "plan/planner.h"
@@ -64,8 +66,12 @@ std::string FormatQueryStats(const QueryStats& stats) {
      << " ms)\n";
   os << "tasks: " << stats.total_tasks << " total, " << stats.reused_tasks
      << " reused, " << stats.skipped_blocks << " zone-map skipped, "
-     << stats.abandoned_tasks << " abandoned, " << stats.backup_tasks
-     << " backup, " << stats.remote_tasks << " remote\n";
+     << stats.abandoned_tasks << " abandoned ("
+     << stats.tasks_terminated_early << " by deadline), "
+     << stats.remote_tasks << " remote\n";
+  os << "speculation: " << stats.straggler_tasks << " stragglers, "
+     << stats.backup_tasks_launched << " backups launched, "
+     << stats.backup_tasks_won << " won\n";
   os << "leaf I/O: " << stats.leaf.bytes_read << " bytes read, "
      << stats.leaf.rows_scanned << " rows scanned, " << stats.leaf.rows_matched
      << " matched, " << stats.leaf.values_decoded << " values decoded\n";
@@ -82,7 +88,10 @@ std::string FormatQueryStats(const QueryStats& stats) {
   os << "recovery: " << stats.task_retries << " retries, "
      << stats.corrupt_blocks << " corrupt reads, " << stats.io_errors
      << " I/O errors, " << stats.failed_nodes << " nodes failed, "
-     << stats.lost_blocks << " blocks lost; processed "
+     << stats.partitioned_tasks << " partition-hit tasks, "
+     << stats.lost_blocks << " blocks lost, " << stats.stem_failures
+     << " stem deaths (" << stats.stem_retries
+     << " merges reassigned); processed "
      << stats.processed_ratio * 100.0 << "%"
      << (stats.partial ? " (PARTIAL result)" : "") << "\n";
   os << "plan:\n" << stats.plan_text;
@@ -192,9 +201,18 @@ Result<QueryResult> MasterServer::RunPlannedQuery(const SelectStatement& stmt,
                                       stats.lost_blocks) /
                       static_cast<double>(stats.total_tasks);
   stats.partial = stats.processed_ratio < 1.0;
-  job_manager_.RecordRecovery(job_id, stats.task_retries,
-                              stats.corrupt_blocks, stats.failed_nodes,
-                              stats.lost_blocks, stats.processed_ratio);
+  JobRecoveryRecord record;
+  record.task_retries = stats.task_retries;
+  record.corrupt_blocks = stats.corrupt_blocks;
+  record.failed_nodes = stats.failed_nodes;
+  record.lost_blocks = stats.lost_blocks;
+  record.backup_tasks_launched = stats.backup_tasks_launched;
+  record.backup_tasks_won = stats.backup_tasks_won;
+  record.tasks_terminated_early = stats.tasks_terminated_early;
+  record.partitioned_tasks = stats.partitioned_tasks;
+  record.stem_retries = stats.stem_retries;
+  record.processed_ratio = stats.processed_ratio;
+  job_manager_.RecordRecovery(job_id, record);
   stats.response_time = staged->finish_time - now;
   job_manager_.SetState(job_id, JobState::kFinished, staged->finish_time);
 
@@ -436,6 +454,24 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       ++stats->lost_blocks;
       continue;
     }
+    if (faults != nullptr &&
+        faults->IsPartitioned(p.placement.node_id, attempt_time)) {
+      // PlaceTask avoids partitioned hosts, so landing on one means no
+      // reachable candidate existed; wait out a heartbeat interval for a
+      // heal and run the recovery loop.
+      ++stats->partitioned_tasks;
+      FEISU_ASSIGN_OR_RETURN(
+          bool recovered,
+          ExecuteTaskWithRecovery(max_tasks_per_node,
+                                  attempt_time + cluster_->heartbeat_interval(),
+                                  {}, stats, &p));
+      if (!recovered) {
+        ++stats->lost_blocks;
+        continue;
+      }
+      pending.push_back(std::move(p));
+      continue;
+    }
     p.duration = p.result.stats.TotalTime();
     if (!p.placement.local) {
       // Remote read: the block bytes cross the network on the read flow.
@@ -472,6 +508,28 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
         pending.push_back(std::move(p));
         continue;
       }
+      // Partition mid-task: the host stays alive (no MarkDead) but its
+      // result cannot reach the master; reschedule elsewhere after one
+      // heartbeat interval, like an orphaned task.
+      std::optional<SimTime> cut = faults->PartitionedWithin(
+          p.placement.node_id, p.placement.start_time,
+          p.placement.finish_time);
+      if (cut.has_value()) {
+        ++stats->partitioned_tasks;
+        SimTime resume =
+            std::max(attempt_time, *cut + cluster_->heartbeat_interval());
+        std::set<uint32_t> excluded{p.placement.node_id};
+        FEISU_ASSIGN_OR_RETURN(
+            bool recovered,
+            ExecuteTaskWithRecovery(max_tasks_per_node, resume, excluded,
+                                    stats, &p));
+        if (!recovered) {
+          ++stats->lost_blocks;
+          continue;
+        }
+        pending.push_back(std::move(p));
+        continue;
+      }
     }
     if (p.placement.straggled) ++stats->straggler_tasks;
     if (p.result.stats.block_skipped) ++stats->skipped_blocks;
@@ -482,28 +540,20 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
     pending.push_back(std::move(p));
   }
 
-  // --- Speculative backup tasks for stragglers. ---
-  {
-    std::vector<Placement> placements;
-    std::vector<SimTime> durations;
-    std::vector<std::vector<uint32_t>> replicas;
-    for (const auto& p : pending) {
-      placements.push_back(p.placement);
-      durations.push_back(p.duration);
-      replicas.push_back(p.replicas);
-    }
-    size_t backups =
-        scheduler_.ApplyBackupTasks(&placements, durations, replicas, now);
-    stats->backup_tasks += backups;
-    for (size_t i = 0; i < pending.size(); ++i) {
-      pending[i].placement = placements[i];
-    }
-  }
+  // --- Speculative backup tasks for stragglers (first-commit-wins). ---
+  LaunchSpeculativeBackups(&pending, max_tasks_per_node, now, stats);
 
   // --- Early termination: processed-ratio / deadline knobs. ---
-  std::vector<SimTime> finishes;
-  for (const auto& p : pending) finishes.push_back(p.placement.finish_time);
-  std::vector<SimTime> sorted = finishes;
+  // Deadline bookkeeping goes through the TimeoutManager (deterministic,
+  // SimTime-keyed): every task's projected finish is armed as a deadline,
+  // and the tokens popped at the cutoff instant form the survivor set.
+  TimeoutManager timeouts;
+  std::vector<SimTime> sorted;
+  sorted.reserve(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    timeouts.Arm(i, pending[i].placement.finish_time);
+    sorted.push_back(pending[i].placement.finish_time);
+  }
   std::sort(sorted.begin(), sorted.end());
   SimTime cutoff = sorted.empty() ? now : sorted.back();
   if (config_.processed_ratio < 1.0 && !sorted.empty()) {
@@ -513,15 +563,37 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
     keep = std::min(keep, sorted.size());
     cutoff = sorted[keep - 1];
   }
-  if (config_.response_deadline > 0) {
-    cutoff = std::min(cutoff, now + config_.response_deadline);
+  // The deadline cuts whatever has not finished — but never below the
+  // min_processed_ratio floor: the master keeps waiting past the deadline
+  // until enough tasks are in to honor the floor.
+  SimTime deadline_cutoff = sorted.empty() ? now : sorted.back();
+  if (config_.response_deadline > 0 && !sorted.empty()) {
+    deadline_cutoff = now + config_.response_deadline;
+    if (config_.min_processed_ratio > 0.0) {
+      size_t floor_keep = static_cast<size_t>(
+          std::ceil(config_.min_processed_ratio *
+                    static_cast<double>(sorted.size())));
+      floor_keep = std::min(floor_keep, sorted.size());
+      if (floor_keep > 0) {
+        deadline_cutoff = std::max(deadline_cutoff, sorted[floor_keep - 1]);
+      }
+    }
+    cutoff = std::min(cutoff, deadline_cutoff);
   }
+  std::vector<uint64_t> due = timeouts.PopDue(cutoff);
+  std::set<uint64_t> survivors(due.begin(), due.end());
 
-  // --- Stem merge. Leaves are grouped into stems by node id. ---
+  // --- Stem merge. Leaves are grouped into stems by node id; surviving
+  // tasks keep block order inside each group so the concatenated bytes
+  // never depend on which timeout token popped first. ---
   std::map<uint32_t, std::vector<size_t>> by_stem;
   for (size_t i = 0; i < pending.size(); ++i) {
-    if (pending[i].placement.finish_time > cutoff) {
+    if (survivors.count(i) == 0) {
       ++stats->abandoned_tasks;
+      if (config_.response_deadline > 0 &&
+          pending[i].placement.finish_time > deadline_cutoff) {
+        ++stats->tasks_terminated_early;
+      }
       continue;
     }
     uint32_t stem_id = static_cast<uint32_t>(
@@ -530,8 +602,12 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
     by_stem[stem_id].push_back(i);
   }
 
+  // Replacement stems for mid-merge deaths get ids from a reserved range,
+  // handed out in (deterministic) merge order.
+  uint32_t next_replacement_id = 0xC0000000u;
   std::vector<RecordBatch> stem_batches;
   std::vector<SimTime> stem_finishes;
+  std::vector<uint64_t> stem_task_counts;
   for (const auto& [stem_id, task_indices] : by_stem) {
     std::vector<RecordBatch> batches;
     std::vector<SimTime> times;
@@ -539,20 +615,20 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       batches.push_back(pending[idx].result.batch);
       times.push_back(pending[idx].placement.finish_time);
     }
-    StemServer stem(stem_id, config_.network);
-    std::unique_ptr<Aggregator> stem_agg;
-    if (has_aggregate) {
-      FEISU_ASSIGN_OR_RETURN(
-          Aggregator a,
-          Aggregator::Make(group_by, aggregates, meta->schema()));
-      stem_agg = std::make_unique<Aggregator>(std::move(a));
+    FEISU_ASSIGN_OR_RETURN(
+        std::optional<StemResult> merged,
+        MergeWithStemRecovery(stem_id, batches, times, has_aggregate,
+                              group_by, aggregates, meta->schema(),
+                              &next_replacement_id, stats));
+    if (!merged.has_value()) {
+      // The stem and every replacement died: the subtree's results are
+      // gone; degrade to an honest partial.
+      stats->abandoned_tasks += task_indices.size();
+      continue;
     }
-    FEISU_ASSIGN_OR_RETURN(StemResult merged,
-                           stem.Merge(batches, times, stem_agg.get()));
-    if (stem_agg != nullptr) stats->leaf.AccumulateAgg(stem_agg->stats());
-    stats->bytes_shuffled += merged.bytes_received;
-    stem_batches.push_back(std::move(merged.batch));
-    stem_finishes.push_back(merged.finish_time);
+    stem_batches.push_back(std::move(merged->batch));
+    stem_finishes.push_back(merged->finish_time);
+    stem_task_counts.push_back(task_indices.size());
   }
 
   // Very large clusters need more than one stem level: keep collapsing
@@ -564,6 +640,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
   while (stem_batches.size() > collapse_fanout) {
     std::vector<RecordBatch> upper_batches;
     std::vector<SimTime> upper_finishes;
+    std::vector<uint64_t> upper_task_counts;
     for (size_t start = 0; start < stem_batches.size();
          start += collapse_fanout) {
       size_t stop = std::min(stem_batches.size(),
@@ -574,23 +651,25 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       std::vector<SimTime> times(
           stem_finishes.begin() + static_cast<long>(start),
           stem_finishes.begin() + static_cast<long>(stop));
-      StemServer stem(next_stem_id++, config_.network);
-      std::unique_ptr<Aggregator> stem_agg;
-      if (has_aggregate) {
-        FEISU_ASSIGN_OR_RETURN(
-            Aggregator a,
-            Aggregator::Make(group_by, aggregates, meta->schema()));
-        stem_agg = std::make_unique<Aggregator>(std::move(a));
+      uint64_t group_tasks = 0;
+      for (size_t i = start; i < stop; ++i) group_tasks += stem_task_counts[i];
+      FEISU_ASSIGN_OR_RETURN(
+          std::optional<StemResult> merged,
+          MergeWithStemRecovery(next_stem_id++, batches, times,
+                                has_aggregate, group_by, aggregates,
+                                meta->schema(), &next_replacement_id,
+                                stats));
+      if (!merged.has_value()) {
+        stats->abandoned_tasks += group_tasks;
+        continue;
       }
-      FEISU_ASSIGN_OR_RETURN(StemResult merged,
-                             stem.Merge(batches, times, stem_agg.get()));
-      if (stem_agg != nullptr) stats->leaf.AccumulateAgg(stem_agg->stats());
-      stats->bytes_shuffled += merged.bytes_received;
-      upper_batches.push_back(std::move(merged.batch));
-      upper_finishes.push_back(merged.finish_time);
+      upper_batches.push_back(std::move(merged->batch));
+      upper_finishes.push_back(merged->finish_time);
+      upper_task_counts.push_back(group_tasks);
     }
     stem_batches = std::move(upper_batches);
     stem_finishes = std::move(upper_finishes);
+    stem_task_counts = std::move(upper_task_counts);
   }
 
   // --- Master-level final merge. ---
@@ -670,6 +749,17 @@ Result<bool> MasterServer::ExecuteTaskWithRecovery(
         !node->alive || excluded.count(p->placement.node_id) > 0) {
       break;  // every eligible node has already failed this task
     }
+    if (faults != nullptr &&
+        faults->IsPartitioned(p->placement.node_id, attempt_time)) {
+      // PlaceTask avoids partitioned hosts, so landing on one means no
+      // reachable candidate exists right now. Wait out one heartbeat
+      // interval for a heal, burning a retry so the loop stays bounded.
+      ++stats->partitioned_tasks;
+      if (attempt >= config_.max_task_retries) break;
+      ++stats->task_retries;
+      attempt_time += cluster_->heartbeat_interval();
+      continue;
+    }
     LeafServer* leaf = (*leaves_)[p->placement.node_id].get();
     Result<TaskResult> executed = leaf->Execute(p->task, attempt_time);
     Status failure = executed.ok() ? Status::OK() : executed.status();
@@ -699,6 +789,19 @@ Result<bool> MasterServer::ExecuteTaskWithRecovery(
           attempt_time = std::max(
               attempt_time, *crash + cluster_->heartbeat_interval());
           failure = Status::Unavailable("leaf crashed mid-task");
+        } else {
+          // Partition mid-task: the host stays alive (no MarkDead) but
+          // its result cannot reach the master; reschedule elsewhere
+          // after one heartbeat interval, like an orphaned task.
+          std::optional<SimTime> cut = faults->PartitionedWithin(
+              p->placement.node_id, p->placement.start_time,
+              p->placement.finish_time);
+          if (cut.has_value()) {
+            ++stats->partitioned_tasks;
+            attempt_time = std::max(
+                attempt_time, *cut + cluster_->heartbeat_interval());
+            failure = Status::Unavailable("leaf partitioned mid-task");
+          }
         }
       }
     }
@@ -713,7 +816,7 @@ Result<bool> MasterServer::ExecuteTaskWithRecovery(
     }
     if (!IsRetryableTaskFailure(failure)) return failure;
     if (executed.ok()) {
-      // Crash-induced: already counted via failed_nodes.
+      // Crash- or partition-induced: counted above.
     } else if (failure.code() == StatusCode::kCorruption) {
       ++stats->corrupt_blocks;
     } else {
@@ -785,6 +888,115 @@ void MasterServer::ExecuteLeafTaskParallel(PendingLeafTask* p, SimTime now) {
       p->backoff_total += backoff;
     }
   }
+}
+
+void MasterServer::LaunchSpeculativeBackups(
+    std::vector<PendingLeafTask>* pending, int max_tasks_per_node,
+    SimTime now, QueryStats* stats) {
+  (void)now;
+  if (!scheduler_.config().enable_backup_tasks) return;
+  // Detect over the non-reused placements only: reused tasks cost one
+  // control round trip and would drag the typical runtime toward zero.
+  std::vector<size_t> candidates;
+  std::vector<Placement> placements;
+  for (size_t i = 0; i < pending->size(); ++i) {
+    if ((*pending)[i].reused) continue;
+    candidates.push_back(i);
+    placements.push_back((*pending)[i].placement);
+  }
+  FaultInjector* faults = router_->fault_injector();
+  for (const StragglerVerdict& v : scheduler_.DetectStragglers(placements)) {
+    PendingLeafTask& p = (*pending)[candidates[v.index]];
+    std::optional<uint32_t> alt = scheduler_.PickBackupNode(
+        p.replicas, p.placement.node_id, v.detect_time);
+    if (!alt.has_value() || *alt >= leaves_->size()) continue;
+    ++stats->backup_tasks_launched;
+    p.placement.backup_launched = true;
+    LeafServer* leaf = (*leaves_)[*alt].get();
+    Result<TaskResult> executed = leaf->Execute(p.task, v.detect_time);
+    if (!executed.ok()) continue;  // backup hit a fault; original stands
+    Placement backup;
+    backup.node_id = *alt;
+    backup.local = std::find(p.replicas.begin(), p.replicas.end(), *alt) !=
+                   p.replicas.end();
+    backup.start_time = v.detect_time;
+    backup.backup_launched = true;
+    SimTime duration = executed->stats.TotalTime();
+    if (!backup.local) {
+      duration += config_.network.Transfer(executed->stats.bytes_read,
+                                           TrafficClass::kRead);
+    }
+    scheduler_.CommitTask(&backup, duration, max_tasks_per_node,
+                          v.detect_time);
+    if (faults != nullptr) {
+      // A backup whose host dies or partitions away mid-run never reports
+      // back; the original copy simply stands.
+      if (faults
+              ->CrashWithin(backup.node_id, backup.start_time,
+                            backup.finish_time)
+              .has_value() ||
+          faults
+              ->PartitionedWithin(backup.node_id, backup.start_time,
+                                  backup.finish_time)
+              .has_value()) {
+        continue;
+      }
+    }
+    // First-commit-wins through the ordered slot: the earlier finisher's
+    // result occupies it. Every leaf reads the same blocks through the
+    // router, so the bytes are identical regardless of the winner.
+    if (backup.finish_time < p.placement.finish_time) {
+      ++stats->backup_tasks_won;
+      if (!backup.local) ++stats->remote_tasks;
+      p.placement = backup;
+      p.result = std::move(*executed);
+      p.duration = duration;
+    }
+  }
+}
+
+Result<std::optional<StemResult>> MasterServer::MergeWithStemRecovery(
+    uint32_t stem_id, const std::vector<RecordBatch>& batches,
+    std::vector<SimTime> times, bool has_aggregate,
+    const std::vector<ExprPtr>& group_by,
+    const std::vector<AggSpec>& aggregates, const Schema& schema,
+    uint32_t* next_replacement_id, QueryStats* stats) {
+  FaultInjector* faults = router_->fault_injector();
+  uint32_t current_id = stem_id;
+  for (int attempt = 0; attempt <= config_.max_task_retries; ++attempt) {
+    // A fresh aggregator per attempt: a replacement stem restarts the
+    // partial merge from the children's resent partials.
+    StemServer stem(current_id, config_.network);
+    std::unique_ptr<Aggregator> stem_agg;
+    if (has_aggregate) {
+      FEISU_ASSIGN_OR_RETURN(Aggregator a,
+                             Aggregator::Make(group_by, aggregates, schema));
+      stem_agg = std::make_unique<Aggregator>(std::move(a));
+    }
+    FEISU_ASSIGN_OR_RETURN(StemResult merged,
+                           stem.Merge(batches, times, stem_agg.get()));
+    if (faults != nullptr) {
+      std::optional<SimTime> crash = faults->StemCrashWithin(
+          current_id, merged.start_time, merged.finish_time);
+      if (crash.has_value()) {
+        // The stem died holding the partial merge. A replacement takes
+        // over one heartbeat interval later; the children resend their
+        // partials then (modeled by bumping their ready times).
+        ++stats->stem_failures;
+        if (attempt >= config_.max_task_retries) break;
+        ++stats->stem_retries;
+        SimTime resume = *crash + cluster_->heartbeat_interval();
+        for (SimTime& t : times) t = std::max(t, resume);
+        current_id = (*next_replacement_id)++;
+        continue;
+      }
+    }
+    if (stem_agg != nullptr) stats->leaf.AccumulateAgg(stem_agg->stats());
+    stats->bytes_shuffled += merged.bytes_received;
+    return std::optional<StemResult>(std::move(merged));
+  }
+  // Every replacement died too: the subtree's partials are lost.
+  return std::optional<StemResult>();
 }
 
 MasterCheckpoint MasterServer::Checkpoint() const {

@@ -2,6 +2,7 @@
 #define FEISU_CLUSTER_MASTER_H_
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -33,6 +34,10 @@ struct MasterConfig {
   /// (0 = none). Unfinished tasks are abandoned.
   double processed_ratio = 1.0;
   SimTime response_deadline = 0;
+  /// Honesty floor for deadline termination: the deadline may not cut the
+  /// result below this fraction of tasks — the master keeps waiting past
+  /// the deadline until the floor is met. 0 = the deadline always wins.
+  double min_processed_ratio = 0.0;
   bool enable_task_result_reuse = true;
   size_t task_result_cache_capacity = 4096;
   /// Read-data-flow management (paper §V-C): an intermediate result larger
@@ -71,9 +76,15 @@ struct QueryStats {
   SimTime stem_finish_time = 0;
   uint64_t total_tasks = 0;
   uint64_t reused_tasks = 0;
-  uint64_t backup_tasks = 0;
+  /// Speculation accounting: backups launched for detected stragglers, and
+  /// how many of them beat the original copy (first-commit-wins).
+  uint64_t backup_tasks_launched = 0;
+  uint64_t backup_tasks_won = 0;
   uint64_t straggler_tasks = 0;
   uint64_t abandoned_tasks = 0;
+  /// Subset of abandoned_tasks cut specifically by the response deadline
+  /// (as opposed to the planned processed_ratio target).
+  uint64_t tasks_terminated_early = 0;
   uint64_t skipped_blocks = 0;
   uint64_t remote_tasks = 0;
   uint64_t bytes_shuffled = 0;
@@ -85,6 +96,9 @@ struct QueryStats {
   uint64_t io_errors = 0;       ///< transient read errors observed
   uint64_t failed_nodes = 0;    ///< leaf crashes detected mid-query
   uint64_t lost_blocks = 0;     ///< blocks with no healthy replica left
+  uint64_t partitioned_tasks = 0;  ///< tasks cut off by a network partition
+  uint64_t stem_failures = 0;   ///< stem servers that died mid-merge
+  uint64_t stem_retries = 0;    ///< partial merges reassigned to a new stem
   /// Fraction of tasks whose results made it into the answer; < 1 when
   /// early termination abandoned tasks or replicas were lost.
   double processed_ratio = 1.0;
@@ -203,6 +217,29 @@ class MasterServer {
   /// task's slot. Touches no scheduler or stats state — those are applied
   /// by the single-threaded commit phase, in block order.
   void ExecuteLeafTaskParallel(PendingLeafTask* p, SimTime now);
+
+  /// Speculative execution (paper §1 item 3): detects stragglers among the
+  /// committed placements (runtime quantile vs. peers), launches a real
+  /// backup copy of each on a different replica, and resolves
+  /// first-commit-wins through the ordered slots — the earlier finisher's
+  /// result stays in the slot, so result bytes are independent of the
+  /// winner. Runs in the single-threaded commit phase.
+  void LaunchSpeculativeBackups(std::vector<PendingLeafTask>* pending,
+                                int max_tasks_per_node, SimTime now,
+                                QueryStats* stats);
+
+  /// Stem-level merge with death recovery: when the stem-death schedule
+  /// kills `stem_id` inside its merge window (start_time, finish_time],
+  /// the partial merge is reassigned to a replacement stem — the children
+  /// resend their partials one heartbeat interval after the crash — up to
+  /// max_task_retries times. Returns nullopt (not an error) when every
+  /// replacement dies too; the caller abandons the subtree honestly.
+  Result<std::optional<StemResult>> MergeWithStemRecovery(
+      uint32_t stem_id, const std::vector<RecordBatch>& batches,
+      std::vector<SimTime> times, bool has_aggregate,
+      const std::vector<ExprPtr>& group_by,
+      const std::vector<AggSpec>& aggregates, const Schema& schema,
+      uint32_t* next_replacement_id, QueryStats* stats);
 
   SimTime ChargeMasterRows(uint64_t rows) const {
     return static_cast<SimTime>(rows) * config_.cpu_per_row_master;

@@ -1,6 +1,13 @@
 #include "cluster/network.h"
 
+#include "common/fault_injector.h"
+
 namespace feisu {
+
+bool Reachability::Reachable(uint32_t node_id, SimTime now) const {
+  if (injector_ == nullptr) return true;
+  return !injector_->IsPartitioned(node_id, now);
+}
 
 const char* TrafficClassName(TrafficClass traffic_class) {
   switch (traffic_class) {

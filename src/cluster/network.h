@@ -7,6 +7,8 @@
 
 namespace feisu {
 
+class FaultInjector;
+
 /// Feisu's three traffic classes, in descending priority (paper §V-C):
 /// control/state flow (cluster commands, heartbeats) reserves bandwidth via
 /// switch TOS flags; write data flow (intermediate results to global
@@ -32,6 +34,26 @@ struct NetworkModel {
 
   /// One control round trip (heartbeat, task dispatch ack).
   SimTime ControlRoundTrip() const { return rtt; }
+};
+
+/// Connectivity view of the fabric: a node can be alive (its process keeps
+/// running, its disks keep serving local reads) yet unreachable from the
+/// master's side of a network partition. Crash state lives in the
+/// ClusterManager; partition state is injected, so this wrapper folds the
+/// FaultInjector's partition schedule into one "can I talk to this node
+/// right now?" query that the scheduler and master share.
+class Reachability {
+ public:
+  /// `injector` may be null (no injection configured): every node is
+  /// reachable then. Does not take ownership.
+  explicit Reachability(const FaultInjector* injector) : injector_(injector) {}
+
+  /// True when the master can reach `node_id` at simulated time `now`.
+  /// Only consults the partition schedule; liveness is a separate axis.
+  bool Reachable(uint32_t node_id, SimTime now) const;
+
+ private:
+  const FaultInjector* injector_;
 };
 
 }  // namespace feisu

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/fault_injector.h"
+
 namespace feisu {
 
 JobScheduler::JobScheduler(ClusterManager* cluster, PathRouter* router,
@@ -47,8 +49,12 @@ void JobScheduler::BookSlot(uint32_t node_id, int slots, SimTime start,
 Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
                                   int max_tasks_per_node, SimTime now,
                                   const std::set<uint32_t>* excluded) {
-  auto is_excluded = [excluded](uint32_t node_id) {
-    return excluded != nullptr && excluded->count(node_id) > 0;
+  // A partitioned node is alive but cannot receive a dispatch right now,
+  // so placement treats it exactly like an excluded one.
+  Reachability reach(router_->fault_injector());
+  auto is_excluded = [excluded, &reach, now](uint32_t node_id) {
+    if (excluded != nullptr && excluded->count(node_id) > 0) return true;
+    return !reach.Reachable(node_id, now);
   };
   Placement placement;
   // 1. Prefer the replica whose slots free up earliest.
@@ -105,8 +111,20 @@ void JobScheduler::CommitTask(Placement* placement, SimTime duration,
     factor *= config_.straggler_slowdown;
     placement->straggled = true;
   }
+  // Injected slow-node personality (contended host / sick disk): every
+  // task committed to the node runs slower and pays a fixed stall.
+  SimTime stall = 0;
+  if (FaultInjector* faults = router_->fault_injector()) {
+    SlowNodeProfile slow =
+        faults->NodeSlowProfile(placement->node_id, /*count=*/true);
+    if (slow.latency_multiplier > 1.0 || slow.stall > 0) {
+      factor *= std::max(1.0, slow.latency_multiplier);
+      stall = slow.stall;
+      placement->straggled = true;
+    }
+  }
   SimTime effective =
-      static_cast<SimTime>(static_cast<double>(duration) * factor);
+      static_cast<SimTime>(static_cast<double>(duration) * factor) + stall;
   // Dispatch costs one control round trip.
   SimTime start =
       std::max(placement->start_time, now + network_.ControlRoundTrip());
@@ -118,56 +136,51 @@ void JobScheduler::CommitTask(Placement* placement, SimTime duration,
   BookSlot(placement->node_id, slots, start, placement->finish_time);
 }
 
-size_t JobScheduler::ApplyBackupTasks(
-    std::vector<Placement>* placements, const std::vector<SimTime>& durations,
-    const std::vector<std::vector<uint32_t>>& replicas, SimTime now) {
-  if (!config_.enable_backup_tasks || placements->empty()) return 0;
-  // Mean *intended* duration defines the straggler detection horizon.
-  double mean = 0;
-  for (SimTime d : durations) mean += static_cast<double>(d);
-  mean /= static_cast<double>(durations.size());
-  SimTime detect_after =
-      static_cast<SimTime>(mean * config_.backup_threshold);
-  size_t backups = 0;
-  for (size_t i = 0; i < placements->size(); ++i) {
-    Placement& p = (*placements)[i];
-    SimTime elapsed = p.finish_time - p.start_time;
-    if (elapsed <= detect_after) continue;
-    // Find an alternative alive replica.
-    uint32_t alt = p.node_id;
-    bool found = false;
-    for (uint32_t node_id : replicas[i]) {
-      const NodeInfo* node = cluster_->Node(node_id);
-      if (node_id != p.node_id && node != nullptr && node->alive) {
-        alt = node_id;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      // Any alive leaf will do (remote read implied).
-      for (uint32_t node_id : cluster_->AliveLeafNodes()) {
-        if (node_id != p.node_id) {
-          alt = node_id;
-          found = true;
-          break;
-        }
-      }
-    }
-    if (!found) continue;
-    const NodeInfo* alt_node = cluster_->Node(alt);
-    double alt_factor = alt_node != nullptr ? alt_node->slowdown_factor : 1.0;
-    SimTime backup_start = std::max(p.start_time + detect_after, now);
-    SimTime backup_finish =
-        backup_start + static_cast<SimTime>(
-                           static_cast<double>(durations[i]) * alt_factor);
-    if (backup_finish < p.finish_time) {
-      p.finish_time = backup_finish;
-      p.backup_launched = true;
-      ++backups;
-    }
+std::vector<StragglerVerdict> JobScheduler::DetectStragglers(
+    const std::vector<Placement>& placements) const {
+  std::vector<StragglerVerdict> verdicts;
+  if (!config_.enable_backup_tasks || placements.size() < 2) return verdicts;
+  // The typical runtime is the backup_quantile-quantile of the peers'
+  // elapsed times; a straggler is anything beyond threshold x typical.
+  std::vector<SimTime> elapsed;
+  elapsed.reserve(placements.size());
+  for (const Placement& p : placements) {
+    elapsed.push_back(p.finish_time - p.start_time);
   }
-  return backups;
+  std::vector<SimTime> sorted = elapsed;
+  std::sort(sorted.begin(), sorted.end());
+  double q = std::clamp(config_.backup_quantile, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  SimTime typical = sorted[idx];
+  if (typical <= 0) return verdicts;
+  SimTime horizon = static_cast<SimTime>(
+      static_cast<double>(typical) * std::max(1.0, config_.backup_threshold));
+  for (size_t i = 0; i < placements.size(); ++i) {
+    if (elapsed[i] <= horizon) continue;
+    verdicts.push_back(
+        StragglerVerdict{i, placements[i].start_time + horizon});
+  }
+  return verdicts;
+}
+
+std::optional<uint32_t> JobScheduler::PickBackupNode(
+    const std::vector<uint32_t>& replicas, uint32_t original,
+    SimTime now) const {
+  Reachability reach(router_->fault_injector());
+  auto usable = [&](uint32_t node_id) {
+    if (node_id == original) return false;
+    const NodeInfo* node = cluster_->Node(node_id);
+    return node != nullptr && node->alive && reach.Reachable(node_id, now);
+  };
+  // Prefer another replica holder (local read); otherwise any alive
+  // reachable leaf pays a remote read.
+  for (uint32_t node_id : replicas) {
+    if (usable(node_id)) return node_id;
+  }
+  for (uint32_t node_id : cluster_->AliveLeafNodes()) {
+    if (usable(node_id)) return node_id;
+  }
+  return std::nullopt;
 }
 
 }  // namespace feisu

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -17,9 +18,12 @@ namespace feisu {
 struct ScheduleConfig {
   bool prefer_data_locality = true;
   bool enable_backup_tasks = true;
-  /// A task slower than `backup_threshold` x the job's mean task time gets
-  /// a speculative copy on another replica.
+  /// Straggler detection is quantile-based (paper: task runtime vs. peers):
+  /// a task whose elapsed runtime exceeds `backup_threshold` x the
+  /// `backup_quantile`-quantile of its peers' runtimes gets a speculative
+  /// copy on another replica.
   double backup_threshold = 2.0;
+  double backup_quantile = 0.5;
   /// Fault/performance injection: fraction of task executions hit by a
   /// transient slowdown of `straggler_slowdown`.
   double straggler_probability = 0.0;
@@ -34,6 +38,14 @@ struct Placement {
   SimTime finish_time = 0;
   bool straggled = false;
   bool backup_launched = false;
+};
+
+/// One straggler identified by DetectStragglers: which placement, and the
+/// simulated instant the master notices it (the moment the task's elapsed
+/// runtime crosses the detection horizon).
+struct StragglerVerdict {
+  size_t index = 0;
+  SimTime detect_time = 0;
 };
 
 /// Creates scheduling plans for candidate jobs (paper §III-C "Job
@@ -66,18 +78,26 @@ class JobScheduler {
 
   /// Books `duration` of work on `placement`'s node starting no earlier
   /// than `placement.start_time`; fills start/finish, applying the node's
-  /// slowdown factor and straggler injection.
+  /// slowdown factor, the injector's slow-node profile (latency multiplier
+  /// plus fixed stall) and probabilistic straggler injection.
   void CommitTask(Placement* placement, SimTime duration,
                   int max_tasks_per_node, SimTime now);
 
-  /// Applies speculative-execution recovery to a job's placements: any
-  /// task beyond backup_threshold x mean duration is re-run on an
-  /// alternative node (modelled as finishing at detection + fresh
-  /// duration). Returns the number of backup tasks launched.
-  size_t ApplyBackupTasks(std::vector<Placement>* placements,
-                          const std::vector<SimTime>& durations,
-                          const std::vector<std::vector<uint32_t>>& replicas,
-                          SimTime now);
+  /// Quantile-based straggler detection over one job's committed
+  /// placements: a task whose elapsed runtime exceeds backup_threshold x
+  /// the backup_quantile-quantile of peer runtimes is a straggler, noticed
+  /// at start + horizon. Pure query — launching the backup copy (real
+  /// execution, first-commit-wins) is the master's job. Verdicts come back
+  /// in placement order, so replays are deterministic.
+  std::vector<StragglerVerdict> DetectStragglers(
+      const std::vector<Placement>& placements) const;
+
+  /// Picks the host for a straggler's backup copy: an alive, reachable
+  /// replica other than `original`, else any alive reachable leaf. Returns
+  /// nullopt when the cluster has no candidate (backup not launched).
+  std::optional<uint32_t> PickBackupNode(
+      const std::vector<uint32_t>& replicas, uint32_t original,
+      SimTime now) const;
 
   /// Clears per-node booking state between benchmark phases.
   void ResetLoad() { node_slots_.clear(); }

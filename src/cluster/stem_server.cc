@@ -15,17 +15,22 @@ Result<StemResult> StemServer::Merge(
     const std::vector<SimTime>& child_finish_times, Aggregator* aggregator) {
   StemResult result;
   SimTime ready = 0;
+  SimTime first_arrival = 0;
+  bool any_child = false;
   uint64_t rows = 0;
   for (size_t i = 0; i < child_batches.size(); ++i) {
     uint64_t bytes = child_batches[i].ByteSize();
     result.bytes_received += bytes;
     SimTime finish = i < child_finish_times.size() ? child_finish_times[i] : 0;
     // Each child's partial result travels on the read data flow.
-    ready = std::max(ready,
-                     finish + network_.Transfer(bytes, TrafficClass::kRead));
+    SimTime arrival = finish + network_.Transfer(bytes, TrafficClass::kRead);
+    ready = std::max(ready, arrival);
+    if (!any_child || arrival < first_arrival) first_arrival = arrival;
+    any_child = true;
     rows += child_batches[i].num_rows();
   }
   SimTime combine = static_cast<SimTime>(rows) * cpu_per_row_merge_;
+  result.start_time = any_child ? first_arrival : 0;
   result.finish_time = ready + combine;
 
   if (aggregator != nullptr) {

@@ -11,9 +11,13 @@
 namespace feisu {
 
 /// Result of one stem-level merge: the merged batch plus the simulated
-/// time at which this stem finished (input arrival + transfer + combine).
+/// window over which this stem worked — `start_time` is the arrival of the
+/// first child partial (the stem holds state from then on, so a crash
+/// inside (start_time, finish_time] loses the partial merge),
+/// `finish_time` is input arrival + transfer + combine.
 struct StemResult {
   RecordBatch batch;
+  SimTime start_time = 0;
   SimTime finish_time = 0;
   uint64_t bytes_received = 0;
 };

@@ -1,0 +1,55 @@
+#include "cluster/timeout_manager.h"
+
+#include <algorithm>
+
+namespace feisu {
+
+std::optional<SimTime> TimeoutManager::ArmedDeadline(uint64_t token) const {
+  for (const auto& [armed_token, deadline] : armed_) {
+    if (armed_token == token) return deadline;
+  }
+  return std::nullopt;
+}
+
+void TimeoutManager::Arm(uint64_t token, SimTime deadline) {
+  queue_.push(Entry{deadline, token});
+  for (auto& [armed_token, armed_deadline] : armed_) {
+    if (armed_token == token) {
+      armed_deadline = deadline;
+      return;
+    }
+  }
+  armed_.emplace_back(token, deadline);
+}
+
+void TimeoutManager::Cancel(uint64_t token) {
+  armed_.erase(std::remove_if(armed_.begin(), armed_.end(),
+                              [token](const auto& entry) {
+                                return entry.first == token;
+                              }),
+               armed_.end());
+}
+
+std::vector<uint64_t> TimeoutManager::PopDue(SimTime now) {
+  std::vector<uint64_t> due;
+  while (!queue_.empty() && queue_.top().deadline <= now) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    // Stale if the token was cancelled or re-armed to another deadline.
+    std::optional<SimTime> armed = ArmedDeadline(entry.token);
+    if (!armed || *armed != entry.deadline) continue;
+    Cancel(entry.token);
+    due.push_back(entry.token);
+  }
+  return due;
+}
+
+std::optional<SimTime> TimeoutManager::NextDeadline() const {
+  std::optional<SimTime> next;
+  for (const auto& [token, deadline] : armed_) {
+    if (!next || deadline < *next) next = deadline;
+  }
+  return next;
+}
+
+}  // namespace feisu

@@ -1,0 +1,65 @@
+#ifndef FEISU_CLUSTER_TIMEOUT_MANAGER_H_
+#define FEISU_CLUSTER_TIMEOUT_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace feisu {
+
+/// Deterministic deadline bookkeeping for the master's control loop
+/// (prun's TimeoutManager idiom, re-keyed to simulated time). Callers
+/// arm a deadline per token (task index, query id, ...) and later drain
+/// everything that has expired at the current simulated instant. All
+/// ordering is (deadline, token) — no wall clock, no timer threads —
+/// so a replay with the same schedule pops the same tokens in the same
+/// order, which the chaos determinism property depends on.
+///
+/// Not thread-safe by design: it belongs to the single-threaded commit /
+/// control phase of the master, the same place the ordered-slot commit
+/// lives. Pool workers never touch it.
+class TimeoutManager {
+ public:
+  /// Arms (or re-arms) `token` to fire at `deadline`. Re-arming does not
+  /// remove the older entry; stale pops are filtered against the latest
+  /// armed deadline, so the most recent Arm always wins.
+  void Arm(uint64_t token, SimTime deadline);
+
+  /// Disarms `token`; a pending entry for it will be skipped on pop.
+  void Cancel(uint64_t token);
+
+  /// Pops every token whose deadline is <= `now`, in (deadline, token)
+  /// order. Each token fires at most once per Arm.
+  std::vector<uint64_t> PopDue(SimTime now);
+
+  /// Earliest armed deadline still pending, if any — the control loop's
+  /// next wake-up instant.
+  std::optional<SimTime> NextDeadline() const;
+
+  size_t armed() const { return armed_.size(); }
+
+ private:
+  struct Entry {
+    SimTime deadline;
+    uint64_t token;
+    bool operator>(const Entry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return token > other.token;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  /// token -> currently armed deadline; entries in queue_ that disagree
+  /// are stale and get dropped lazily.
+  std::vector<std::pair<uint64_t, SimTime>> armed_;
+
+  std::optional<SimTime> ArmedDeadline(uint64_t token) const;
+};
+
+}  // namespace feisu
+
+#endif  // FEISU_CLUSTER_TIMEOUT_MANAGER_H_

@@ -62,10 +62,13 @@ void FaultInjector::Configure(FaultConfig config) {
   // atomic snapshot for the lock-free fast path.
   MutexLock lock(mutex_);
   config_ = std::move(config);
+  auto by_time = [](const NodeFaultEvent& a, const NodeFaultEvent& b) {
+    return a.at < b.at;
+  };
   std::stable_sort(config_.node_events.begin(), config_.node_events.end(),
-                   [](const NodeFaultEvent& a, const NodeFaultEvent& b) {
-                     return a.at < b.at;
-                   });
+                   by_time);
+  std::stable_sort(config_.stem_events.begin(), config_.stem_events.end(),
+                   by_time);
   enabled_.store(config_.enabled, std::memory_order_release);
   ResetLocked();
 }
@@ -165,18 +168,16 @@ std::vector<NodeFaultEvent> FaultInjector::TakeDueNodeEvents(SimTime now) {
   return due;
 }
 
-std::optional<SimTime> FaultInjector::CrashWithin(uint32_t node_id,
-                                                  SimTime start,
-                                                  SimTime end) const {
-  MutexLock lock(mutex_);
-  if (!config_.enabled || end <= start) return std::nullopt;
+std::optional<SimTime> FaultInjector::DownWithinSchedule(
+    const std::vector<NodeFaultEvent>& events, uint32_t node_id, SimTime start,
+    SimTime end) {
   // Replay the node's crash/recovery schedule and report the earliest
   // moment in (start, end] at which it is down. A crash scheduled before
   // `start` still counts while no recovery precedes the window: the
   // cluster manager may simply not have noticed the death yet.
   bool down = false;
   SimTime down_since = 0;
-  for (const NodeFaultEvent& event : config_.node_events) {
+  for (const NodeFaultEvent& event : events) {
     if (event.at > end) break;
     if (event.node_id != node_id) continue;
     if (event.crash) {
@@ -195,6 +196,64 @@ std::optional<SimTime> FaultInjector::CrashWithin(uint32_t node_id,
   }
   if (down) return std::max(down_since, start + 1);
   return std::nullopt;
+}
+
+std::optional<SimTime> FaultInjector::CrashWithin(uint32_t node_id,
+                                                  SimTime start,
+                                                  SimTime end) const {
+  MutexLock lock(mutex_);
+  if (!config_.enabled || end <= start) return std::nullopt;
+  return DownWithinSchedule(config_.node_events, node_id, start, end);
+}
+
+std::optional<SimTime> FaultInjector::StemCrashWithin(uint32_t stem_id,
+                                                      SimTime start,
+                                                      SimTime end) const {
+  MutexLock lock(mutex_);
+  if (!config_.enabled || end <= start) return std::nullopt;
+  return DownWithinSchedule(config_.stem_events, stem_id, start, end);
+}
+
+SlowNodeProfile FaultInjector::NodeSlowProfile(uint32_t node_id, bool count) {
+  MutexLock lock(mutex_);
+  SlowNodeProfile identity{node_id, 1.0, 0};
+  if (!config_.enabled) return identity;
+  for (const SlowNodeProfile& profile : config_.slow_nodes) {
+    if (profile.node_id != node_id) continue;
+    const bool degrades = profile.latency_multiplier > 1.0 || profile.stall > 0;
+    if (degrades && count) ++stats_.slowed_tasks;
+    return profile;
+  }
+  return identity;
+}
+
+bool FaultInjector::IsPartitioned(uint32_t node_id, SimTime now) const {
+  MutexLock lock(mutex_);
+  if (!config_.enabled) return false;
+  for (const PartitionSpec& spec : config_.partitions) {
+    if (spec.node_id != node_id) continue;
+    if (now < spec.start) continue;
+    if (spec.end <= spec.start || now < spec.end) return true;
+  }
+  return false;
+}
+
+std::optional<SimTime> FaultInjector::PartitionedWithin(uint32_t node_id,
+                                                        SimTime start,
+                                                        SimTime end) const {
+  MutexLock lock(mutex_);
+  if (!config_.enabled || end <= start) return std::nullopt;
+  std::optional<SimTime> earliest;
+  for (const PartitionSpec& spec : config_.partitions) {
+    if (spec.node_id != node_id) continue;
+    // Earliest instant in (start, end] that the spec covers.
+    SimTime moment = std::max(spec.start, start + 1);
+    if (moment > end) continue;
+    const bool heals = spec.end > spec.start;
+    if (heals && moment >= spec.end) continue;
+    if (!earliest || moment < *earliest) earliest = moment;
+  }
+  return earliest;
 }
 
 }  // namespace feisu

@@ -57,12 +57,33 @@ struct NodeFaultEvent {
   bool crash = true;  ///< false = the node recovers (process restarted)
 };
 
+/// Per-node performance degradation (straggler injection): every task the
+/// scheduler commits to `node_id` runs `latency_multiplier` times slower
+/// and pays a fixed `stall` on top — the slow-disk / contended-host
+/// personality that speculative backup tasks exist to defeat.
+struct SlowNodeProfile {
+  uint32_t node_id = 0;
+  double latency_multiplier = 1.0;
+  SimTime stall = 0;
+};
+
+/// A network partition: the node stays alive (its process keeps running)
+/// but is unreachable from the master's side during [start, end).
+/// `end` <= `start` means the partition never heals.
+struct PartitionSpec {
+  uint32_t node_id = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
 struct FaultStats {
   uint64_t injected_read_errors = 0;
   uint64_t injected_corrupt_reads = 0;
   uint64_t dropped_heartbeats = 0;
   uint64_t crashes_delivered = 0;
   uint64_t recoveries_delivered = 0;
+  /// Task commits that were stretched by a SlowNodeProfile.
+  uint64_t slowed_tasks = 0;
 };
 
 /// Everything the injector may do, in one declarative bundle so a test can
@@ -78,6 +99,16 @@ struct FaultConfig {
   std::map<std::string, StorageFaultProfile> profiles;
   /// Crash/recovery schedule, applied when simulated time passes `at`.
   std::vector<NodeFaultEvent> node_events;
+  /// Per-node latency degradation; nodes without an entry run at speed.
+  std::vector<SlowNodeProfile> slow_nodes;
+  /// Network-partition schedule: the named nodes are alive but
+  /// unreachable from the master while a spec covers the current time.
+  std::vector<PartitionSpec> partitions;
+  /// Stem-server death schedule, replayed read-only like CrashWithin:
+  /// a stem whose merge window overlaps an outage dies mid-merge and the
+  /// master must reassign the partial merge. Ids match the stem ids the
+  /// master derives (leaf node / stem_fanout; upper levels >= 1<<20).
+  std::vector<NodeFaultEvent> stem_events;
 };
 
 /// Deterministic, seedable fault injection for the whole deployment
@@ -150,6 +181,32 @@ class FaultInjector {
                                      SimTime end) const
       FEISU_EXCLUDES(mutex_);
 
+  /// The slow-node personality of `node_id`; identity (multiplier 1.0,
+  /// no stall) when the node has no entry or injection is disabled.
+  /// `count` bumps FaultStats::slowed_tasks when the profile degrades —
+  /// the scheduler passes true once per committed task.
+  SlowNodeProfile NodeSlowProfile(uint32_t node_id, bool count = false)
+      FEISU_EXCLUDES(mutex_);
+
+  /// True when a partition spec makes `node_id` unreachable at `now`.
+  bool IsPartitioned(uint32_t node_id, SimTime now) const
+      FEISU_EXCLUDES(mutex_);
+
+  /// Earliest moment in (start, end] at which `node_id` is partitioned
+  /// away (mirror of CrashWithin for connectivity): lets the master
+  /// detect that a task's host became unreachable mid-execution even
+  /// though the process is still alive.
+  std::optional<SimTime> PartitionedWithin(uint32_t node_id, SimTime start,
+                                           SimTime end) const
+      FEISU_EXCLUDES(mutex_);
+
+  /// Earliest moment in (start, end] at which the stem-death schedule has
+  /// `stem_id` down — a stem dying while it aggregates partials. Replayed
+  /// read-only so retries on replacement stems stay deterministic.
+  std::optional<SimTime> StemCrashWithin(uint32_t stem_id, SimTime start,
+                                         SimTime end) const
+      FEISU_EXCLUDES(mutex_);
+
  private:
   /// Lock-held core of Reset/Configure.
   void ResetLocked() FEISU_REQUIRES(mutex_);
@@ -160,6 +217,10 @@ class FaultInjector {
       FEISU_REQUIRES(mutex_);
   const StorageFaultProfile& ProfileFor(const std::string& path) const
       FEISU_REQUIRES(mutex_);
+  /// Shared replay core of CrashWithin/StemCrashWithin over one schedule.
+  static std::optional<SimTime> DownWithinSchedule(
+      const std::vector<NodeFaultEvent>& events, uint32_t node_id,
+      SimTime start, SimTime end);
   /// Uniform double in [0, 1) from a hash of the mixed identities.
   double UnitDraw(uint64_t salt, uint64_t a, uint64_t b) const
       FEISU_REQUIRES(mutex_);

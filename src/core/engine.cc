@@ -240,18 +240,34 @@ void FeisuEngine::RunMaintenance(SimTime now) {
   for (const NodeFaultEvent& event : fault_injector_.TakeDueNodeEvents(now)) {
     if (event.crash) {
       cluster_.MarkDead(event.node_id);
+      // The process is really gone now; a later partition heal must not
+      // resurrect it (only a recovery event may).
+      partition_suppressed_.erase(event.node_id);
     } else {
       cluster_.MarkAlive(event.node_id, now);
     }
   }
   for (const auto& leaf : leaves_) {
-    const NodeInfo* node = cluster_.Node(leaf->node_id());
+    const uint32_t id = leaf->node_id();
+    const NodeInfo* node = cluster_.Node(id);
     // Crashed processes stop heartbeating; the sweep below notices. A
     // heartbeat lost in the control plane has the same effect for this
-    // round.
-    if (node != nullptr && node->alive &&
-        !fault_injector_.DropHeartbeat(leaf->node_id(), now)) {
-      cluster_.Heartbeat(leaf->node_id(), now);
+    // round. A partitioned node keeps running but its heartbeats never
+    // arrive — a long enough partition gets it swept dead, and because
+    // suppression (not a crash) caused that, the first heartbeat after
+    // the heal revives it.
+    if (node != nullptr) {
+      if (fault_injector_.IsPartitioned(id, now)) {
+        if (node->alive || partition_suppressed_.count(id) > 0) {
+          partition_suppressed_.insert(id);
+        }
+      } else {
+        const bool healed = partition_suppressed_.erase(id) > 0;
+        if ((node->alive || healed) &&
+            !fault_injector_.DropHeartbeat(id, now)) {
+          cluster_.Heartbeat(id, now);
+        }
+      }
     }
     leaf->index_cache().EvictExpired(now);
   }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,11 @@ class FeisuEngine {
   std::vector<std::unique_ptr<LeafServer>> leaves_;
   std::unique_ptr<MasterServer> master_;
   std::map<std::string, IngestState> ingest_;
+  /// Leaves whose heartbeats maintenance is currently suppressing because
+  /// of a network partition (the process itself keeps running). A node
+  /// swept dead for this reason revives on the first heartbeat after the
+  /// partition heals; a node that actually crashed does not.
+  std::set<uint32_t> partition_suppressed_;
   int64_t next_global_block_id_ = 0;
 };
 

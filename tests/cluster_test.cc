@@ -237,29 +237,44 @@ TEST(SchedulerTest, SlowdownFactorStretchesTasks) {
   EXPECT_GE(p.finish_time - p.start_time, 3 * kSimSecond);
 }
 
-TEST(SchedulerTest, BackupTasksRescueStragglers) {
+TEST(SchedulerTest, DetectStragglersFlagsQuantileOutlier) {
   ClusterManager cluster;
   cluster.AddNode(false);
   cluster.AddNode(false);
   PathRouter router;
   ScheduleConfig config;
   config.backup_threshold = 2.0;
+  config.backup_quantile = 0.5;
   JobScheduler scheduler(&cluster, &router, NetworkModel(), config, 1);
 
   std::vector<Placement> placements(3);
-  std::vector<SimTime> durations = {kSimSecond, kSimSecond, kSimSecond};
-  std::vector<std::vector<uint32_t>> replicas = {{0, 1}, {0, 1}, {0, 1}};
   for (auto& p : placements) {
     p.node_id = 0;
     p.start_time = 0;
     p.finish_time = kSimSecond;
   }
   placements[2].finish_time = 10 * kSimSecond;  // straggler
-  size_t backups =
-      scheduler.ApplyBackupTasks(&placements, durations, replicas, 0);
-  EXPECT_EQ(backups, 1u);
-  EXPECT_TRUE(placements[2].backup_launched);
-  EXPECT_LT(placements[2].finish_time, 10 * kSimSecond);
+  std::vector<StragglerVerdict> verdicts =
+      scheduler.DetectStragglers(placements);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].index, 2u);
+  // Detection fires at start + threshold x median elapsed (= 2s), long
+  // before the straggler would have finished on its own.
+  EXPECT_EQ(verdicts[0].detect_time, 2 * kSimSecond);
+}
+
+TEST(SchedulerTest, DetectStragglersUniformRuntimesClean) {
+  ClusterManager cluster;
+  cluster.AddNode(false);
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  std::vector<Placement> placements(4);
+  for (auto& p : placements) {
+    p.start_time = 0;
+    p.finish_time = kSimSecond;
+  }
+  EXPECT_TRUE(scheduler.DetectStragglers(placements).empty());
 }
 
 TEST(SchedulerTest, BackupDisabledByConfig) {
@@ -270,12 +285,29 @@ TEST(SchedulerTest, BackupDisabledByConfig) {
   ScheduleConfig config;
   config.enable_backup_tasks = false;
   JobScheduler scheduler(&cluster, &router, NetworkModel(), config, 1);
-  std::vector<Placement> placements(1);
-  placements[0].finish_time = 100 * kSimSecond;
-  std::vector<SimTime> durations = {kSimSecond};
-  std::vector<std::vector<uint32_t>> replicas = {{0, 1}};
-  EXPECT_EQ(scheduler.ApplyBackupTasks(&placements, durations, replicas, 0),
-            0u);
+  std::vector<Placement> placements(2);
+  placements[0].finish_time = kSimSecond;
+  placements[1].finish_time = 100 * kSimSecond;
+  EXPECT_TRUE(scheduler.DetectStragglers(placements).empty());
+}
+
+TEST(SchedulerTest, PickBackupNodePrefersOtherReplica) {
+  ClusterManager cluster;
+  for (int i = 0; i < 3; ++i) cluster.AddNode(false);
+  PathRouter router;
+  JobScheduler scheduler(&cluster, &router, NetworkModel(), ScheduleConfig(),
+                         1);
+  auto alt = scheduler.PickBackupNode({0, 1}, 0, 0);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(*alt, 1u);
+  // Replica dead: fall back to any other alive leaf.
+  cluster.MarkDead(1);
+  alt = scheduler.PickBackupNode({0, 1}, 0, 0);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(*alt, 2u);
+  // Nothing but the original left: no backup.
+  cluster.MarkDead(2);
+  EXPECT_FALSE(scheduler.PickBackupNode({0, 1}, 0, 0).has_value());
 }
 
 // ---------- StemServer ----------

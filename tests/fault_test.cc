@@ -364,8 +364,8 @@ TEST(FaultSuite, AllReplicasLostYieldsHonestPartialResult) {
   // The job record carries the fault history for monitoring/checkpoints.
   const JobInfo* job = engine->master().job_manager().Find(1);
   ASSERT_NE(job, nullptr);
-  EXPECT_EQ(job->lost_blocks, 1u);
-  EXPECT_LT(job->processed_ratio, 1.0);
+  EXPECT_EQ(job->recovery.lost_blocks, 1u);
+  EXPECT_LT(job->recovery.processed_ratio, 1.0);
 }
 
 // A leaf dies while its first task is in flight: the master notices via

@@ -232,6 +232,13 @@ std::unique_ptr<FeisuEngine> BuildChaosEngine(uint64_t fault_seed,
   config.fault.default_profile.read_error_rate = 0.2;
   config.fault.default_profile.corruption_rate = 0.1;
   config.fault.node_events.push_back({3 * kSimSecond, 1, true});
+  // Every injectable fault type participates in the replay property:
+  // a degraded node (speculation fodder), a healing partition, and a
+  // doomed primary stem whose merges all fail over to replacements.
+  config.fault.slow_nodes.push_back({2, 5.0, 50 * kSimMillisecond});
+  config.fault.partitions.push_back(
+      {0, 2 * kSimSecond, 4 * kSimSecond});
+  config.fault.stem_events.push_back({1, 0, true});
   auto engine = std::make_unique<FeisuEngine>(config);
   engine->AddStorage("/hdfs", MakeHdfs(), true);
   engine->GrantAllDomains("prop");
@@ -271,6 +278,16 @@ TEST_P(FaultDeterminismProperty, SameSeedReplaysByteIdentically) {
     EXPECT_EQ(ra->stats.io_errors, rb->stats.io_errors) << q.sql;
     EXPECT_EQ(ra->stats.failed_nodes, rb->stats.failed_nodes) << q.sql;
     EXPECT_EQ(ra->stats.lost_blocks, rb->stats.lost_blocks) << q.sql;
+    EXPECT_EQ(ra->stats.backup_tasks_launched,
+              rb->stats.backup_tasks_launched) << q.sql;
+    EXPECT_EQ(ra->stats.backup_tasks_won, rb->stats.backup_tasks_won)
+        << q.sql;
+    EXPECT_EQ(ra->stats.tasks_terminated_early,
+              rb->stats.tasks_terminated_early) << q.sql;
+    EXPECT_EQ(ra->stats.partitioned_tasks, rb->stats.partitioned_tasks)
+        << q.sql;
+    EXPECT_EQ(ra->stats.stem_failures, rb->stats.stem_failures) << q.sql;
+    EXPECT_EQ(ra->stats.stem_retries, rb->stats.stem_retries) << q.sql;
     EXPECT_EQ(ra->stats.partial, rb->stats.partial) << q.sql;
     EXPECT_DOUBLE_EQ(ra->stats.processed_ratio, rb->stats.processed_ratio)
         << q.sql;
@@ -280,6 +297,7 @@ TEST_P(FaultDeterminismProperty, SameSeedReplaysByteIdentically) {
   EXPECT_EQ(fa.injected_read_errors, fb.injected_read_errors);
   EXPECT_EQ(fa.injected_corrupt_reads, fb.injected_corrupt_reads);
   EXPECT_EQ(fa.crashes_delivered, fb.crashes_delivered);
+  EXPECT_EQ(fa.slowed_tasks, fb.slowed_tasks);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultDeterminismProperty,

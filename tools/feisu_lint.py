@@ -36,6 +36,14 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                    ThreadPool so lifetimes are joined and task order is
                    reasoned about in one place. Test code under tests/
                    is exempt (hammer tests spawn raw threads on purpose).
+  sim-clock        No raw monotonic clocks or sleeps (`steady_clock`,
+                   `high_resolution_clock`, `sleep_for`, `usleep`, ...)
+                   in src/cluster/: scheduling, straggler detection and
+                   deadline bookkeeping must be keyed to SimTime (SimClock
+                   / TimeoutManager) so fault schedules replay
+                   byte-identically. The repo-wide wall-clock rule already
+                   bans calendar time; this closes the monotonic loophole
+                   where it matters most.
 
 Exit status: 0 when no violations, 1 when violations were reported,
 2 on usage errors. `--self-test` checks the seeded fixture files under
@@ -98,6 +106,14 @@ THREAD_SPAWN_RES = [
 ]
 
 NO_ANALYSIS_RE = re.compile(r"\bFEISU_NO_THREAD_SAFETY_ANALYSIS\b")
+
+SIM_CLOCK_RES = [
+    re.compile(r"\bstd::chrono::steady_clock\b"),
+    re.compile(r"\bstd::chrono::high_resolution_clock\b"),
+    re.compile(r"\bstd::this_thread::sleep_(?:for|until)\b"),
+    re.compile(r"(?<![\w:.>])(?:usleep|nanosleep)\s*\("),
+    re.compile(r"(?<![\w:.>])sleep\s*\("),
+]
 
 
 class Violation:
@@ -191,6 +207,16 @@ def is_arena_path(path):
     return "arena" in rel.replace(os.sep, "/").split("/")
 
 
+def is_sim_clock_scoped_path(path):
+    """Paths where the sim-clock rule applies: the cluster layer (master,
+    scheduler, straggler detection, timeout bookkeeping) plus its seeded
+    lint fixtures."""
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    rel = rel.replace(os.sep, "/")
+    return (rel.startswith("src/cluster/") or
+            rel.startswith("tools/lint_fixtures/cluster/"))
+
+
 def is_concurrency_exempt_path(path):
     """Paths allowed to touch raw std threading primitives: src/common/
     (the annotated wrappers and ThreadPool are implemented there) and
@@ -267,6 +293,16 @@ def lint_file(path):
                         "host-level parallelism through common/"
                         "thread_pool.h so lifetimes are joined"))
                     break
+        if is_sim_clock_scoped_path(path):
+            for pattern in SIM_CLOCK_RES:
+                if pattern.search(line) and not waived(lineno, "sim-clock"):
+                    violations.append(Violation(
+                        path, lineno, "sim-clock",
+                        "cluster-layer code must keep time in SimTime "
+                        "(SimClock / TimeoutManager); raw monotonic clocks "
+                        "and sleeps make straggler detection and deadline "
+                        "bookkeeping nondeterministic"))
+                    break
         if NO_ANALYSIS_RE.search(line):
             # The macro's own #define (annotations.h) is not a use.
             stripped = line.lstrip()
@@ -335,10 +371,12 @@ def run_self_test():
         "raw_mutex.cc": "raw-mutex",
         "no_analysis_unjustified.cc": "no-analysis",
         "detached_thread.cc": "detached-thread",
+        os.path.join("cluster", "chrono_scheduler.cc"): "sim-clock",
     }
     # Fixtures that must lint CLEAN: they contain would-be violations that
     # are properly waived, proving the waiver machinery works per rule.
-    expected_clean = ["raw_mutex_waived.cc"]
+    expected_clean = ["raw_mutex_waived.cc",
+                      os.path.join("cluster", "sim_clock_waived.cc")]
     failures = []
     for name, rule in sorted(expected.items()):
         path = os.path.join(FIXTURE_DIR, name)

@@ -1,0 +1,14 @@
+// Clean twin of chrono_scheduler.cc: the same monotonic-clock read, but
+// carrying an explicit waiver — proving the sim-clock rule honors the
+// standard waiver machinery.
+#include <chrono>
+
+namespace feisu {
+
+long long HostNanosForDiagnostics() {
+  // feisu-lint: allow(sim-clock): host diagnostics, never fed to scheduling
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+}  // namespace feisu
