@@ -588,7 +588,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
   // never depend on which timeout token popped first. ---
   std::map<uint32_t, std::vector<size_t>> by_stem;
   for (size_t i = 0; i < pending.size(); ++i) {
-    if (survivors.count(i) == 0) {
+    if (!survivors.contains(i)) {
       ++stats->abandoned_tasks;
       if (config_.response_deadline > 0 &&
           pending[i].placement.finish_time > deadline_cutoff) {
@@ -746,7 +746,7 @@ Result<bool> MasterServer::ExecuteTaskWithRecovery(
         excluded.empty() ? nullptr : &excluded);
     const NodeInfo* node = cluster_->Node(p->placement.node_id);
     if (p->placement.node_id >= leaves_->size() || node == nullptr ||
-        !node->alive || excluded.count(p->placement.node_id) > 0) {
+        !node->alive || excluded.contains(p->placement.node_id)) {
       break;  // every eligible node has already failed this task
     }
     if (faults != nullptr &&
@@ -846,13 +846,13 @@ void MasterServer::ExecuteLeafTaskParallel(PendingLeafTask* p, SimTime now) {
     for (uint32_t r : p->replicas) {
       const NodeInfo* node = cluster_->Node(r);
       if (r < leaves_->size() && node != nullptr && node->alive &&
-          excluded.count(r) == 0) {
+          !excluded.contains(r)) {
         return static_cast<int64_t>(r);
       }
     }
     for (uint32_t id = 0; id < leaves_->size(); ++id) {
       const NodeInfo* node = cluster_->Node(id);
-      if (node != nullptr && node->alive && excluded.count(id) == 0) {
+      if (node != nullptr && node->alive && !excluded.contains(id)) {
         return static_cast<int64_t>(id);
       }
     }

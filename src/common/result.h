@@ -21,7 +21,9 @@ class [[nodiscard]] Result {
       : value_(std::move(value)) {}
 
   /// Constructs a failed result. `status` must be non-OK.
-  Result(Status status)  // NOLINT(google-explicit-constructor)
+  Result(Status status)  // NOLINT(google-explicit-constructor): lets
+                         // `return Status::NotFound(...)` convert, so
+                         // error propagation reads like plain Status code
       : status_(std::move(status)) {
     assert(!status_.ok());
   }

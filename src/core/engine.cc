@@ -258,7 +258,7 @@ void FeisuEngine::RunMaintenance(SimTime now) {
     // the heal revives it.
     if (node != nullptr) {
       if (fault_injector_.IsPartitioned(id, now)) {
-        if (node->alive || partition_suppressed_.count(id) > 0) {
+        if (node->alive || partition_suppressed_.contains(id)) {
           partition_suppressed_.insert(id);
         }
       } else {

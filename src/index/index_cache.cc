@@ -104,6 +104,9 @@ void IndexCache::EvictExpired(SimTime now) {
     Shard& shard = *shard_ptr;
     MutexLock lock(shard.mutex);
     std::vector<SmartIndexKey> victims;
+    // All expired entries are removed under this same lock, so collection
+    // order affects no observable state (counters bump once per victim).
+    // feisu-analyze: allow(unordered-iter): removal set, order unobservable
     for (const auto& [key, entry] : shard.entries) {
       if (IsExpired(shard, *entry.index, now)) victims.push_back(key);
     }

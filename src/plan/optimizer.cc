@@ -323,7 +323,7 @@ PlanPtr PruneColumns(PlanPtr plan, const Catalog& catalog) {
     if (meta == nullptr) continue;
     scan->columns.clear();
     for (const auto& field : meta->schema().fields()) {
-      if (needed.count(field.name) > 0) scan->columns.push_back(field.name);
+      if (needed.contains(field.name)) scan->columns.push_back(field.name);
     }
     // A scan that feeds COUNT(*) with no referenced columns still needs
     // row counts; an empty column list means "no data columns".

@@ -47,7 +47,7 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
       std::transform(upper.begin(), upper.end(), upper.begin(), [](char ch) {
         return static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
       });
-      if (Keywords().count(upper) > 0) {
+      if (Keywords().contains(upper)) {
         tokens.push_back({TokenType::kKeyword, upper, start});
       } else {
         tokens.push_back({TokenType::kIdentifier, word, start});

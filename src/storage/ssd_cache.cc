@@ -38,7 +38,7 @@ bool SsdCache::Lookup(const std::string& key) {
 void SsdCache::Admit(const std::string& key, uint64_t bytes) {
   MutexLock lock(mutex_);
   if (bytes > capacity_bytes_) return;
-  if (entries_.count(key) > 0) return;
+  if (entries_.contains(key)) return;
   if (policy_ == CachePolicy::kManual && !IsPreferred(key)) return;
   EvictUntilFits(bytes);
   if (used_bytes_ + bytes > capacity_bytes_) return;  // all survivors pinned
@@ -87,13 +87,19 @@ void SsdCache::EvictUntilFits(uint64_t incoming_bytes) {
   while (used_bytes_ + incoming_bytes > capacity_bytes_ && !entries_.empty()) {
     std::string victim;
     if (policy_ == CachePolicy::kLfu) {
+      // Lowest frequency wins among unpreferred entries; frequency ties
+      // break toward the least recently used. Walking the recency list
+      // (back = least recent) instead of the hash map keeps the victim
+      // deterministic — iteration order of entries_ is hash order, which
+      // once made the tie-break depend on the std::unordered_map
+      // implementation.
       uint64_t min_freq = std::numeric_limits<uint64_t>::max();
-      // Prefer unpreferred victims; among those pick the lowest frequency.
-      for (const auto& [key, entry] : entries_) {
-        if (IsPreferred(key)) continue;
-        if (entry.frequency < min_freq) {
-          min_freq = entry.frequency;
-          victim = key;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        if (IsPreferred(*it)) continue;
+        uint64_t freq = entries_.find(*it)->second.frequency;
+        if (freq < min_freq) {
+          min_freq = freq;
+          victim = *it;
         }
       }
     } else {

@@ -62,7 +62,7 @@ class SsdCache {
 
   bool Contains(const std::string& key) const FEISU_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
-    return entries_.count(key) > 0;
+    return entries_.contains(key);
   }
 
   /// SSD read cost for a cached object.
@@ -96,7 +96,7 @@ class SsdCache {
 
   void EvictUntilFits(uint64_t incoming_bytes) FEISU_REQUIRES(mutex_);
   bool IsPreferred(const std::string& key) const FEISU_REQUIRES(mutex_) {
-    return preferred_.count(key) > 0;
+    return preferred_.contains(key);
   }
 
   mutable Mutex mutex_;

@@ -13,7 +13,7 @@ void SsoAuthenticator::RegisterUser(const std::string& user) {
 }
 
 bool SsoAuthenticator::IsRegistered(const std::string& user) const {
-  return user_domains_.count(user) > 0;
+  return user_domains_.contains(user);
 }
 
 void SsoAuthenticator::GrantDomain(const std::string& user,
@@ -42,7 +42,7 @@ Result<JobCredential> SsoAuthenticator::Authenticate(const std::string& user) {
 
 bool SsoAuthenticator::Authorize(const JobCredential& credential,
                                  const std::string& domain) const {
-  if (live_tokens_.count(credential.token) == 0) return false;
+  if (!live_tokens_.contains(credential.token)) return false;
   return credential.HasDomain(domain);
 }
 

@@ -80,7 +80,7 @@ Result<const std::string*> StorageSystem::Get(const std::string& path) const {
 }
 
 bool StorageSystem::Exists(const std::string& path) const {
-  return files_.count(path) > 0;
+  return files_.contains(path);
 }
 
 Status StorageSystem::Delete(const std::string& path) {

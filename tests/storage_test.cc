@@ -244,6 +244,32 @@ TEST(SsdCacheTest, LfuEvictsLeastFrequent) {
   EXPECT_FALSE(cache.Contains("cold"));
 }
 
+// Regression: LFU victim selection used to scan the unordered entry map,
+// so a frequency tie was broken by hash iteration order — the evicted key
+// could differ between standard library implementations. Ties must break
+// toward the least recently used entry, deterministically.
+TEST(SsdCacheTest, LfuFrequencyTieBreaksTowardLeastRecentlyUsed) {
+  SsdCache cache(900, CachePolicy::kLfu, SsdCostModel());
+  cache.Admit("a", 300);
+  cache.Admit("b", 300);
+  cache.Admit("c", 300);
+  EXPECT_TRUE(cache.Lookup("c"));  // c: frequency 2; a and b tie at 1
+  cache.Admit("d", 300);           // must evict a: lowest freq, least recent
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+
+  // A unique minimum must still win over recency.
+  EXPECT_TRUE(cache.Lookup("b"));  // b: 2, c: 2, d stays at 1
+  cache.Admit("e", 300);           // d is the unique minimum despite being
+                                   // more recent than b and c
+  EXPECT_FALSE(cache.Contains("d"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("e"));
+}
+
 TEST(SsdCacheTest, ManualPolicyAdmitsOnlyPreferred) {
   SsdCache cache(1000, CachePolicy::kManual, SsdCostModel());
   cache.Admit("random", 100);

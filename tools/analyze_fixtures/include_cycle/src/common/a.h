@@ -1,0 +1,5 @@
+#ifndef FEISU_FIXTURE_A_H_
+#define FEISU_FIXTURE_A_H_
+#include "common/b.h"
+struct A { B* b; };
+#endif

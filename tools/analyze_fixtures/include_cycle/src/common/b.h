@@ -1,0 +1,5 @@
+#ifndef FEISU_FIXTURE_B_H_
+#define FEISU_FIXTURE_B_H_
+#include "common/a.h"
+struct B { A* a; };
+#endif

@@ -1,0 +1,4 @@
+#ifndef FEISU_FIXTURE_EXTRA_H_
+#define FEISU_FIXTURE_EXTRA_H_
+inline int Extra() { return 3; }
+#endif

@@ -1,0 +1,5 @@
+#ifndef FEISU_FIXTURE_VEC_H_
+#define FEISU_FIXTURE_VEC_H_
+#include "common/base.h"
+inline int Vec() { return Base() + 1; }
+#endif

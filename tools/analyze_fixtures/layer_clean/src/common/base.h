@@ -1,0 +1,6 @@
+#ifndef FEISU_FIXTURE_BASE_H_
+#define FEISU_FIXTURE_BASE_H_
+// feisu-analyze: allow(layering): fixture exercising a justified waiver
+#include "columnar/extra.h"
+inline int Base() { return Extra() + 1; }
+#endif

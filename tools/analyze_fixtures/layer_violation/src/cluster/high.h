@@ -1,0 +1,4 @@
+#ifndef FEISU_FIXTURE_HIGH_H_
+#define FEISU_FIXTURE_HIGH_H_
+inline int High() { return 42; }
+#endif

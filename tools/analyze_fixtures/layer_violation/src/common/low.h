@@ -1,0 +1,6 @@
+#ifndef FEISU_FIXTURE_LOW_H_
+#define FEISU_FIXTURE_LOW_H_
+// Upward include: the foundation band must not depend on the cluster band.
+#include "cluster/high.h"
+inline int Low() { return High() + 1; }
+#endif

@@ -1,0 +1,35 @@
+// Fixture: the deadlock hides behind a call — Refresh holds map_mutex_
+// and calls Touch, which locks stats_mutex_; Report holds stats_mutex_
+// (declared via FEISU_REQUIRES on its prototype annotation) and locks
+// map_mutex_. No single function shows both orders.
+#include <cstdint>
+
+#define FEISU_REQUIRES(...)
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class Registry {
+ public:
+  void Refresh() {
+    MutexLock l(map_mutex_);
+    Touch();  // map -> stats, one call deep
+  }
+  void Touch() {
+    MutexLock l(stats_mutex_);
+    ++touches_;
+  }
+  void Report() FEISU_REQUIRES(stats_mutex_) {
+    MutexLock l(map_mutex_);  // stats -> map: closes the cycle
+    ++reports_;
+  }
+
+ private:
+  Mutex map_mutex_;
+  Mutex stats_mutex_;
+  uint64_t touches_ = 0;
+  uint64_t reports_ = 0;
+};

@@ -1,0 +1,30 @@
+// Fixture: a classic AB/BA deadlock expressed as two nested lock scopes
+// in one class. -Wthread-safety accepts both functions individually;
+// only the whole-program acquisition graph sees the cycle.
+#include <cstdint>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class Ledger {
+ public:
+  void Credit() {
+    MutexLock a(accounts_mutex_);
+    MutexLock b(audit_mutex_);  // accounts -> audit
+    ++credits_;
+  }
+  void Audit() {
+    MutexLock b(audit_mutex_);
+    MutexLock a(accounts_mutex_);  // audit -> accounts: cycle
+    ++audits_;
+  }
+
+ private:
+  Mutex accounts_mutex_;
+  Mutex audit_mutex_;
+  uint64_t credits_ = 0;
+  uint64_t audits_ = 0;
+};

@@ -1,0 +1,26 @@
+// Fixture: order-insensitive folds over unordered containers — counting,
+// summing, erasing — must pass without a waiver.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+uint64_t TotalBytes(const std::unordered_map<std::string, uint64_t>& sizes) {
+  uint64_t total = 0;
+  for (const auto& [key, bytes] : sizes) {
+    total += bytes;
+  }
+  return total;
+}
+
+size_t DropEmpty(std::unordered_map<std::string, uint64_t>& sizes) {
+  size_t removed = 0;
+  for (auto it = sizes.begin(); it != sizes.end();) {
+    if (it->second == 0) {
+      it = sizes.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}

@@ -1,0 +1,15 @@
+// Fixture: iterating an unordered_map to build an ordered output — the
+// result depends on hash iteration order, so the determinism pass must
+// flag it.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> SnapshotNames(
+    const std::unordered_map<std::string, int>& table) {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : table) {
+    names.push_back(name);  // order-dependent: output order = hash order
+  }
+  return names;
+}

@@ -1,0 +1,45 @@
+// Fixture: would-be violations of both graph passes, each carrying a
+// justified waiver — proving the waiver machinery suppresses exactly the
+// annotated site and nothing else.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class Pool {
+ public:
+  void Grow() {
+    MutexLock a(alloc_mutex_);
+    // feisu-analyze: allow(lock-order): fixture; reverse order in Shrink
+    MutexLock b(free_mutex_);
+    ++grows_;
+  }
+  void Shrink() {
+    MutexLock b(free_mutex_);
+    // feisu-analyze: allow(lock-order): fixture — see Grow
+    MutexLock a(alloc_mutex_);
+    ++shrinks_;
+  }
+
+ private:
+  Mutex alloc_mutex_;
+  Mutex free_mutex_;
+  uint64_t grows_ = 0;
+  uint64_t shrinks_ = 0;
+};
+
+std::vector<std::string> DebugDump(
+    const std::unordered_map<std::string, int>& table) {
+  std::vector<std::string> out;
+  // feisu-analyze: allow(unordered-iter): debug-only dump, not a result path
+  for (const auto& [key, value] : table) {
+    out.push_back(key);
+  }
+  return out;
+}

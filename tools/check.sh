@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Run every static gate locally, in the same order as the CI `static` job:
+#
+#   1. feisu-lint   self-test, then src/          (blocking)
+#   2. feisu-analyze self-test, then src/         (blocking)
+#   3. clang-tidy   over src/ via compile_commands (blocking; skipped with
+#                   a warning when clang-tidy is not installed)
+#   4. clang-format --dry-run                     (advisory, like CI)
+#
+# Usage: tools/check.sh [--changed-only]
+#   --changed-only  restrict feisu-lint and feisu-analyze's file-scoped
+#                   findings to files changed vs. git HEAD (fast pre-commit
+#                   mode; whole-program cycle checks still see everything)
+#
+# Exit status: 0 when every available blocking gate passed, 1 otherwise.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+CHANGED_ONLY=""
+for arg in "$@"; do
+  case "$arg" in
+    --changed-only) CHANGED_ONLY="--changed-only" ;;
+    *)
+      echo "usage: tools/check.sh [--changed-only]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+FAILED=0
+
+run_gate() {
+  local label="$1"
+  shift
+  echo "==> $label"
+  if ! "$@"; then
+    echo "FAIL: $label" >&2
+    FAILED=1
+  fi
+}
+
+run_gate "feisu-lint self-test" python3 tools/feisu_lint.py --self-test
+run_gate "feisu-lint src/" python3 tools/feisu_lint.py $CHANGED_ONLY
+run_gate "feisu-analyze self-test" python3 tools/feisu_analyze.py --self-test
+run_gate "feisu-analyze src/" python3 tools/feisu_analyze.py $CHANGED_ONLY
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  TIDY_BUILD=""
+  for dir in build-tidy build; do
+    if [ -f "$dir/compile_commands.json" ]; then
+      TIDY_BUILD="$dir"
+      break
+    fi
+  done
+  if [ -n "$TIDY_BUILD" ]; then
+    run_gate "clang-tidy src/" \
+      run-clang-tidy -p "$TIDY_BUILD" -quiet "$REPO_ROOT/src/.*"
+  else
+    echo "warning: no compile_commands.json (configure with" \
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON); skipping clang-tidy" >&2
+  fi
+else
+  echo "warning: run-clang-tidy not installed; skipping clang-tidy" >&2
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "==> clang-format (advisory)"
+  if ! git ls-files '*.h' '*.cc' '*.cpp' \
+      | xargs clang-format --dry-run -Werror 2>/dev/null; then
+    echo "warning: clang-format found differences (advisory, not a gate)" >&2
+  fi
+else
+  echo "warning: clang-format not installed; skipping format check" >&2
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "tools/check.sh: one or more static gates FAILED" >&2
+  exit 1
+fi
+echo "tools/check.sh: all available static gates passed"

@@ -1,0 +1,1184 @@
+#!/usr/bin/env python3
+"""feisu-analyze: whole-program static analysis for the Feisu codebase.
+
+Where feisu-lint checks single lines, feisu-analyze checks properties that
+only exist across files (CI Gate 5; see docs/STATIC_ANALYSIS.md):
+
+  layering        The `#include` graph of src/ must match the layer DAG
+                  declared in tools/feisu_layers.toml: every cross-module
+                  edge is allowlisted, allowlisted edges never point to a
+                  higher band, the allowlist itself is acyclic, and the
+                  file-level include graph has no cycles. The observed
+                  graph is emitted as DOT (--dot-dir) for review.
+
+  lock-order      Every FEISU_REQUIRES/FEISU_ACQUIRE annotation and every
+                  nested MutexLock/WriterLock/ReaderLock scope is folded
+                  into one global acquisition-order graph (edges follow
+                  name-resolved calls, so A-held -> f() -> lock B is an
+                  A -> B edge). Any cycle is a potential deadlock that
+                  -Wthread-safety cannot see, because it reasons one
+                  function at a time. Mutexes are qualified by owning
+                  class, so `mutex_` in two classes never unifies; locks
+                  reached through a member object of another class
+                  (`other_->mutex_`) stay qualified by the referencing
+                  class — the analysis over-approximates call targets by
+                  name and under-approximates aliasing, which can miss
+                  exotic cycles but does not invent edges.
+
+  determinism     Iterating a `std::unordered_map`/`unordered_set`
+                  produces hash order, which is not part of the repo's
+                  byte-determinism contract. Any range-for or .begin()
+                  loop over an unordered container must either be an
+                  order-insensitive fold (the loop body only accumulates
+                  commutatively: ++/--, +=/-=/|=/&=/^=, min/max
+                  self-assign, erase, continue) or carry a waiver.
+
+Waivers: `// feisu-analyze: allow(<pass>): <reason>` on the offending
+line or the line directly above, with pass one of `layering`,
+`lock-order`, `unordered-iter`. A waiver without a reason is a violation.
+
+Exit status: 0 clean, 1 violations, 2 usage error. `--self-test` runs the
+seeded fixtures under tools/analyze_fixtures/ (each must trip exactly its
+intended pass; waived/fold fixtures must stay clean). `--changed-only`
+restricts file-scoped reporting (layering include sites, determinism) to
+files changed vs. git HEAD; graph-level results (include cycles,
+lock-order cycles) always consider the whole program, since a local edit
+can close a cycle through unchanged files.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from feisu_lint import strip_comments_and_strings  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "analyze_fixtures")
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+PASSES = ("layering", "lock-order", "determinism")
+
+WAIVER_RE = re.compile(r"feisu-analyze:\s*allow\(([a-z-]+)\)\s*(:\s*\S.*)?")
+
+
+class Violation:
+    def __init__(self, path, line, pass_name, message):
+        self.path = path
+        self.line = line
+        self.pass_name = pass_name
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root) if self.path else "<global>"
+        return "%s:%d: [%s] %s" % (rel, self.line, self.pass_name,
+                                   self.message)
+
+
+def make_waiver_lookup(raw_lines):
+    """Returns waived(lineno, pass_name): a waiver comment applies to its
+    own line or the line directly below it. A waiver with no reason text
+    is treated as absent (and separately reported)."""
+    def waived(lineno, pass_name):
+        for idx in (lineno - 1, lineno - 2):
+            if idx < 0 or idx >= len(raw_lines):
+                continue
+            m = WAIVER_RE.search(raw_lines[idx])
+            if m is not None and m.group(1) == pass_name and m.group(2):
+                return True
+        return False
+    return waived
+
+
+def collect_reasonless_waivers(path, raw_lines):
+    out = []
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = WAIVER_RE.search(line)
+        if m is not None and not m.group(2):
+            out.append(Violation(
+                path, lineno, m.group(1),
+                "waiver without a reason; write `feisu-analyze: "
+                "allow(%s): <why this is safe>`" % m.group(1)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shared source model
+# ---------------------------------------------------------------------------
+
+class SourceFile:
+    def __init__(self, path):
+        self.path = path
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read()
+        self.raw_lines = self.raw.split("\n")
+        self.code = strip_comments_and_strings(self.raw)
+        self.code_lines = self.code.split("\n")
+        self.waived = make_waiver_lookup(self.raw_lines)
+        # Map text offset -> line number (1-based).
+        self._line_starts = [0]
+        for i, c in enumerate(self.code):
+            if c == "\n":
+                self._line_starts.append(i + 1)
+        # Matching-brace map over the stripped text.
+        self.brace_match = {}
+        stack = []
+        for i, c in enumerate(self.code):
+            if c == "{":
+                stack.append(i)
+            elif c == "}" and stack:
+                self.brace_match[stack.pop()] = i
+
+    def line_of(self, offset):
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def enclosing_block_end(self, offset, limit):
+        """End offset of the innermost brace block containing `offset`,
+        bounded by `limit` (the end of the surrounding function body).
+        The smallest enclosing block wins."""
+        best_span = None
+        for open_pos, close_pos in self.brace_match.items():
+            if open_pos < offset < close_pos <= limit:
+                span = close_pos - open_pos
+                if best_span is None or span < best_span[1] - best_span[0]:
+                    best_span = (open_pos, close_pos)
+        return best_span[1] if best_span else limit
+
+
+def collect_source_files(src_dir):
+    files = []
+    for root, dirs, names in os.walk(src_dir):
+        dirs.sort()
+        for name in sorted(names):
+            if name.endswith(SOURCE_EXTENSIONS):
+                files.append(os.path.join(root, name))
+    return files
+
+
+def git_changed_files(root):
+    """Source files changed vs. HEAD (staged, unstaged, and untracked)."""
+    changed = set()
+    cmds = [
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for cmd in cmds:
+        try:
+            out = subprocess.run(cmd, cwd=root, capture_output=True,
+                                 text=True, check=False)
+        except OSError:
+            return None
+        if out.returncode != 0:
+            return None
+        for rel in out.stdout.splitlines():
+            rel = rel.strip()
+            if rel.endswith(SOURCE_EXTENSIONS):
+                changed.add(os.path.abspath(os.path.join(root, rel)))
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Minimal TOML loader (tomllib when available, else a subset parser that
+# covers feisu_layers.toml: [[array-of-tables]], [table], string arrays)
+# ---------------------------------------------------------------------------
+
+def load_toml(path):
+    try:
+        import tomllib
+        with open(path, "rb") as f:
+            return tomllib.load(f)
+    except ImportError:
+        pass
+    data = {}
+    current = data
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    # Join multi-line arrays.
+    text = re.sub(r"\[\s*\n", "[", text)
+    lines = []
+    buf = ""
+    for line in text.split("\n"):
+        line = line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        buf += " " + line if buf else line
+        if buf.count("[") > buf.count("]") and "=" in buf:
+            continue  # unclosed array literal; keep accumulating
+        lines.append(buf.strip())
+        buf = ""
+    for line in lines:
+        m = re.match(r"^\[\[([A-Za-z0-9_.-]+)\]\]$", line)
+        if m:
+            data.setdefault(m.group(1), []).append({})
+            current = data[m.group(1)][-1]
+            continue
+        m = re.match(r"^\[([A-Za-z0-9_.-]+)\]$", line)
+        if m:
+            current = data.setdefault(m.group(1), {})
+            continue
+        m = re.match(r"^([A-Za-z0-9_-]+)\s*=\s*(.+)$", line)
+        if m:
+            key, value = m.group(1), m.group(2).strip()
+            if value.startswith("["):
+                items = re.findall(r'"([^"]*)"', value)
+                current[key] = items
+            elif value.startswith('"'):
+                current[key] = value.strip('"')
+            else:
+                current[key] = value
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: layering
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
+
+
+def find_cycle(graph):
+    """Returns one cycle as a list of nodes, or None. `graph` is
+    {node: iterable-of-neighbors}."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    parent = {}
+
+    for start in sorted(graph):
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(sorted(graph.get(start, ()))))]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(graph.get(nxt, ())))))
+                    advanced = True
+                    break
+                if color[nxt] == GRAY:
+                    cycle = [nxt, node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+        # restart loop; explicit continue not needed
+    return None
+
+
+class LayeringResult:
+    def __init__(self):
+        self.violations = []
+        self.module_edges = {}   # mod -> {dep: (path, line)} first site
+        self.bands = []          # [(name, [modules])]
+        self.band_of = {}
+
+
+def run_layering(files, src_dir, layers_path, report_paths):
+    result = LayeringResult()
+    violations = result.violations
+
+    if not os.path.isfile(layers_path):
+        violations.append(Violation(
+            layers_path, 1, "layering", "missing layer declaration file"))
+        return result
+    config = load_toml(layers_path)
+    bands = [(b.get("name", "band%d" % i), b.get("modules", []))
+             for i, b in enumerate(config.get("bands", []))]
+    deps = config.get("deps", {})
+    band_of = {}
+    for rank, (name, modules) in enumerate(bands):
+        for mod in modules:
+            if mod in band_of:
+                violations.append(Violation(
+                    layers_path, 1, "layering",
+                    "module %s assigned to two bands" % mod))
+            band_of[mod] = rank
+    result.bands = bands
+    result.band_of = band_of
+
+    # The declared allowlist must itself be a DAG with no upward edges.
+    for mod, allowed in sorted(deps.items()):
+        if mod not in band_of:
+            violations.append(Violation(
+                layers_path, 1, "layering",
+                "module %s has deps but no band assignment" % mod))
+            continue
+        for dep in allowed:
+            if dep not in band_of:
+                violations.append(Violation(
+                    layers_path, 1, "layering",
+                    "allowlisted dep %s -> %s names an unassigned module"
+                    % (mod, dep)))
+            elif band_of[dep] > band_of[mod]:
+                violations.append(Violation(
+                    layers_path, 1, "layering",
+                    "allowlisted dep %s -> %s points to a higher band "
+                    "(%s -> %s)" % (mod, dep, bands[band_of[mod]][0],
+                                    bands[band_of[dep]][0])))
+    allow_graph = {m: set(deps.get(m, [])) & set(band_of)
+                   for m in band_of}
+    cycle = find_cycle(allow_graph)
+    if cycle:
+        violations.append(Violation(
+            layers_path, 1, "layering",
+            "declared dependency allowlist contains a cycle: %s"
+            % " -> ".join(cycle)))
+
+    # Observed include graph (file-level and module-level).
+    src_dir = os.path.abspath(src_dir)
+    file_graph = {}
+    module_edges = result.module_edges
+    for path in files:
+        rel = os.path.relpath(os.path.abspath(path), src_dir)
+        mod = rel.split(os.sep)[0]
+        if mod not in band_of:
+            violations.append(Violation(
+                path, 1, "layering",
+                "module %s is not assigned to any band in %s"
+                % (mod, os.path.basename(layers_path))))
+            continue
+        sf = SourceFile(path)
+        file_graph.setdefault(rel.replace(os.sep, "/"), set())
+        # Raw lines: the comment/string stripper blanks include paths.
+        for lineno, line in enumerate(sf.raw_lines, start=1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = m.group(1)
+            if not os.path.isfile(os.path.join(src_dir, target)):
+                continue  # system or third-party include
+            tmod = target.split("/")[0]
+            file_graph[rel.replace(os.sep, "/")].add(target)
+            if tmod == mod:
+                continue
+            module_edges.setdefault(mod, {}).setdefault(
+                tmod, (path, lineno))
+            if tmod not in band_of:
+                continue  # already reported above
+            allowed = set(deps.get(mod, []))
+            if tmod not in allowed and not sf.waived(lineno, "layering"):
+                if band_of[tmod] > band_of[mod]:
+                    why = ("upward include: %s (band %s) must not depend "
+                           "on %s (band %s)"
+                           % (mod, bands[band_of[mod]][0], tmod,
+                              bands[band_of[tmod]][0]))
+                else:
+                    why = ("include edge %s -> %s is not in the %s "
+                           "allowlist; add it there (same commit) if the "
+                           "architecture change is intended"
+                           % (mod, tmod, os.path.basename(layers_path)))
+                if report_paths is None or os.path.abspath(path) \
+                        in report_paths:
+                    violations.append(Violation(path, lineno, "layering",
+                                                why))
+
+    # File-level include cycles (always whole-program).
+    cycle = find_cycle(file_graph)
+    if cycle:
+        violations.append(Violation(
+            None, 0, "layering",
+            "include cycle: %s" % " -> ".join(cycle)))
+    return result
+
+
+def write_include_dot(result, out_path):
+    lines = ["digraph feisu_includes {",
+             '  rankdir=BT;',
+             '  node [shape=box, fontname="monospace"];']
+    for rank, (name, modules) in enumerate(result.bands):
+        lines.append("  subgraph cluster_band%d {" % rank)
+        lines.append('    label="band %d: %s"; style=dashed;' % (rank, name))
+        for mod in modules:
+            lines.append('    "%s";' % mod)
+        lines.append("  }")
+    for mod in sorted(result.module_edges):
+        for dep in sorted(result.module_edges[mod]):
+            lines.append('  "%s" -> "%s";' % (mod, dep))
+    lines.append("}")
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: lock-order
+# ---------------------------------------------------------------------------
+
+LOCK_DECL_RE = re.compile(
+    r"\b(MutexLock|WriterLock|ReaderLock)\s+[A-Za-z_]\w*\s*\(([^()]*)\)")
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
+                      r"(?::[^;{]*)?\{")
+FUNC_RE = re.compile(
+    r"(?:^|\n)[ \t]*(?:template\s*<[^\n]*>[ \t]*\n[ \t]*)?"
+    r"(?P<ret>[A-Za-z_][\w:<>,&*\s\[\]]*?[\s&*>])"
+    r"(?P<name>~?[A-Za-z_]\w*(?:::~?[A-Za-z_]\w*)*)[ \t]*\(")
+CTOR_RE = re.compile(
+    r"(?:^|\n)[ \t]*(?P<cls>[A-Za-z_]\w*)::(?P<name>~?[A-Za-z_]\w*)[ \t]*\(")
+REQUIRES_RE = re.compile(r"\bFEISU_REQUIRES(?:_SHARED)?\s*\(([^)]*)\)")
+ACQUIRE_RE = re.compile(r"\bFEISU_ACQUIRE(?:_SHARED)?\s*\(([^)]*)\)")
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+# Method names that are overwhelmingly std-container calls at dotted call
+# sites; never resolved to repo classes through an object expression.
+STL_METHOD_NAMES = {
+    "size", "empty", "begin", "end", "cbegin", "cend", "rbegin", "rend",
+    "find", "count", "contains", "erase", "insert", "emplace",
+    "emplace_back", "push_back", "pop_back", "push_front", "pop_front",
+    "clear", "at", "front", "back", "reserve", "resize", "data", "swap",
+    "get", "reset", "load", "store", "exchange", "str", "c_str", "substr",
+    "append", "compare", "length", "lock", "unlock", "try_lock", "wait",
+    "notify_one", "notify_all", "value", "value_or", "has_value", "first",
+    "second", "merge", "assign", "ok",
+}
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "throw", "else", "do", "case", "alignof", "decltype",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "defined", "assert", "static_assert", "using", "namespace", "typedef",
+    "operator", "noexcept", "co_await", "co_return", "co_yield",
+}
+
+
+def normalize_mutex(expr):
+    expr = expr.strip().replace("->", ".")
+    expr = re.sub(r"\s+", "", expr)
+    expr = re.sub(r"^this\.", "", expr)
+    expr = re.sub(r"^\*", "", expr)
+    return expr
+
+
+class Function:
+    def __init__(self, qname, scope, path, body_span, sig_span, sf):
+        self.qname = qname          # Scope::name
+        self.name = qname.rsplit("::", 1)[-1]
+        self.scope = scope          # owning class, or file-stem pseudo-scope
+        self.path = path
+        self.body_span = body_span  # (open_brace, close_brace) offsets
+        self.sig_span = sig_span    # (match_start, open_brace) offsets
+        self.sf = sf
+        self.requires = set()       # mutex ids held on entry
+        self.acquires = set()       # direct acquisitions (decl + ACQUIRE)
+        self.lock_sites = []        # (mutex_id, pos, scope_end, line, waived)
+        self.calls = []             # (callee_name, pos)
+
+
+def class_spans(sf):
+    """[(class_name, open, close)] for every class/struct body."""
+    spans = []
+    for m in CLASS_RE.finditer(sf.code):
+        open_pos = sf.code.find("{", m.start())
+        # CLASS_RE consumes the '{'; recover its position precisely.
+        open_pos = m.end() - 1
+        close_pos = sf.brace_match.get(open_pos)
+        if close_pos is not None:
+            spans.append((m.group(1), open_pos, close_pos))
+    return spans
+
+
+def enclosing_class(spans, pos):
+    best = None
+    for name, open_pos, close_pos in spans:
+        if open_pos < pos < close_pos:
+            if best is None or open_pos > best[1]:
+                best = (name, open_pos)
+    return best[0] if best else None
+
+
+def param_list_end(code, open_paren):
+    depth = 0
+    for i in range(open_paren, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def extract_functions(sf, module_stem):
+    """Finds function definitions (with bodies) in one file."""
+    functions = []
+    spans = class_spans(sf)
+    seen_bodies = set()
+    for regex in (FUNC_RE, CTOR_RE):
+        for m in regex.finditer(sf.code):
+            name = m.group("name")
+            last = name.rsplit("::", 1)[-1].lstrip("~")
+            if last in CPP_KEYWORDS or name.split("::")[0] in CPP_KEYWORDS:
+                continue
+            if regex is FUNC_RE:
+                ret = m.group("ret").strip()
+                if ret.split()[-1:] and ret.split()[-1] in ("return",
+                                                           "else", "do"):
+                    continue
+            open_paren = m.end() - 1
+            close_paren = param_list_end(sf.code, open_paren)
+            if close_paren < 0:
+                continue
+            # Scan the qualifier region for the body '{' or a ';'.
+            i = close_paren + 1
+            body_open = -1
+            qual_end = len(sf.code)
+            while i < len(sf.code):
+                c = sf.code[i]
+                if c == "{":
+                    body_open = i
+                    qual_end = i
+                    break
+                if c in ";=":
+                    break  # declaration / deleted / pure-virtual
+                if c == "(":   # annotation argument list, e.g. REQUIRES(m)
+                    i = param_list_end(sf.code, i)
+                    if i < 0:
+                        break
+                i += 1
+            if body_open < 0 or i < 0:
+                continue
+            body_close = sf.brace_match.get(body_open)
+            if body_close is None or body_open in seen_bodies:
+                continue
+            seen_bodies.add(body_open)
+            if "::" in name:
+                scope = name.rsplit("::", 1)[0]
+                fname = name.rsplit("::", 1)[-1]
+            else:
+                scope = enclosing_class(spans, m.start())
+                fname = name
+                if scope is None:
+                    scope = module_stem
+            fn = Function("%s::%s" % (scope, fname), scope, sf.path,
+                          (body_open, body_close),
+                          (m.start(), body_open), sf)
+            sig_text = sf.code[close_paren:body_open]
+            for rm in REQUIRES_RE.finditer(sig_text):
+                for arg in rm.group(1).split(","):
+                    if arg.strip():
+                        fn.requires.add(
+                            "%s::%s" % (scope, normalize_mutex(arg)))
+            for am in ACQUIRE_RE.finditer(sig_text):
+                for arg in am.group(1).split(","):
+                    if arg.strip():
+                        fn.acquires.add(
+                            "%s::%s" % (scope, normalize_mutex(arg)))
+            functions.append(fn)
+    return functions
+
+
+def index_declared_annotations(sf, module_stem):
+    """Annotations on declarations (usually in headers): maps
+    Scope::name -> (requires, acquires) so definitions in .cc files
+    inherit the contract declared on the prototype."""
+    out = {}
+    spans = class_spans(sf)
+    decl_re = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+    for m in decl_re.finditer(sf.code):
+        name = m.group(1)
+        if name in CPP_KEYWORDS:
+            continue
+        close_paren = param_list_end(sf.code, m.end() - 1)
+        if close_paren < 0:
+            continue
+        # Qualifier region up to the statement end.
+        i = close_paren + 1
+        qual_start = i
+        while i < len(sf.code) and sf.code[i] not in ";{":
+            if sf.code[i] == "(":
+                i = param_list_end(sf.code, i)
+                if i < 0:
+                    break
+            i += 1
+        if i < 0 or i >= len(sf.code):
+            continue
+        qual = sf.code[qual_start:i + 1]
+        if "FEISU_REQUIRES" not in qual and "FEISU_ACQUIRE" not in qual:
+            continue
+        scope = enclosing_class(spans, m.start()) or module_stem
+        req, acq = set(), set()
+        for rm in REQUIRES_RE.finditer(qual):
+            for arg in rm.group(1).split(","):
+                if arg.strip():
+                    req.add("%s::%s" % (scope, normalize_mutex(arg)))
+        for am in ACQUIRE_RE.finditer(qual):
+            for arg in am.group(1).split(","):
+                if arg.strip():
+                    acq.add("%s::%s" % (scope, normalize_mutex(arg)))
+        key = "%s::%s" % (scope, name)
+        prev = out.get(key, (set(), set()))
+        out[key] = (prev[0] | req, prev[1] | acq)
+    return out
+
+
+class LockOrderResult:
+    def __init__(self):
+        self.violations = []
+        self.edges = {}  # (held, acquired) -> (path, line)
+
+
+def run_lock_order(files):
+    result = LockOrderResult()
+    functions = []
+    decl_annotations = {}
+    for path in files:
+        sf = SourceFile(path)
+        stem = os.path.splitext(os.path.basename(path))[0]
+        functions.extend(extract_functions(sf, stem))
+        for k, v in index_declared_annotations(sf, stem).items():
+            prev = decl_annotations.get(k, (set(), set()))
+            decl_annotations[k] = (prev[0] | v[0], prev[1] | v[1])
+
+    by_name = {}
+    for fn in functions:
+        req, acq = decl_annotations.get(fn.qname, (set(), set()))
+        fn.requires |= req
+        fn.acquires |= acq
+        by_name.setdefault(fn.name, []).append(fn)
+
+    def resolve_call(caller, name, dotted):
+        """Call-target resolution. Undotted calls bind to the caller's own
+        class when it defines the name (else any candidate: free functions
+        and unqualified calls). Dotted calls (`obj.f()`) bind only when
+        exactly one class in the program defines `f` and `f` is not an STL
+        container method name — otherwise `x.size()` would alias every
+        repo class with a `size()` and invent lock edges."""
+        candidates = by_name.get(name, ())
+        if not candidates:
+            return ()
+        if not dotted:
+            own = [c for c in candidates if c.scope == caller.scope]
+            return own if own else candidates
+        if name in STL_METHOD_NAMES:
+            return ()
+        scopes = {c.scope for c in candidates}
+        return candidates if len(scopes) == 1 else ()
+
+    # Per-function lock sites and call sites.
+    for fn in functions:
+        sf = fn.sf
+        body = sf.code[fn.body_span[0]:fn.body_span[1]]
+        base = fn.body_span[0]
+        for m in LOCK_DECL_RE.finditer(body):
+            pos = base + m.start()
+            mutex = "%s::%s" % (fn.scope, normalize_mutex(m.group(2)))
+            line = sf.line_of(pos)
+            scope_end = sf.enclosing_block_end(pos, fn.body_span[1])
+            waived = sf.waived(line, "lock-order")
+            fn.lock_sites.append((mutex, pos, scope_end, line, waived))
+            if not waived:
+                fn.acquires.add(mutex)
+        for m in CALL_RE.finditer(body):
+            name = m.group(1)
+            if name in CPP_KEYWORDS or name not in by_name:
+                continue
+            before = body[:m.start()].rstrip()
+            dotted = before.endswith(".") or before.endswith("->")
+            targets = resolve_call(fn, name, dotted)
+            if targets:
+                fn.calls.append((targets, base + m.start()))
+
+    # Transitive acquisition summaries (fixpoint over name-resolved calls).
+    summary = {id(fn): set(fn.acquires) for fn in functions}
+    changed = True
+    iterations = 0
+    while changed and iterations < 50:
+        changed = False
+        iterations += 1
+        for fn in functions:
+            s = summary[id(fn)]
+            before = len(s)
+            for targets, _pos in fn.calls:
+                for callee in targets:
+                    if callee is fn:
+                        continue
+                    s |= summary[id(callee)]
+            if len(s) != before:
+                changed = True
+
+    # Edges: for every acquisition (direct or via call) under a held lock.
+    edges = result.edges
+
+    def add_edge(held, acquired, path, line):
+        if held == acquired:
+            return  # same lock object; re-entrancy is -Wthread-safety's job
+        edges.setdefault((held, acquired), (path, line))
+
+    for fn in functions:
+        held_base = set(fn.requires)
+        for mutex, pos, scope_end, line, waived in fn.lock_sites:
+            if waived:
+                continue
+            held = set(held_base)
+            for omutex, opos, oend, _oline, owaived in fn.lock_sites:
+                if owaived:
+                    continue
+                if opos < pos < oend:
+                    held.add(omutex)
+            for h in held:
+                add_edge(h, mutex, fn.path, line)
+        for targets, pos in fn.calls:
+            held = set(held_base)
+            for omutex, opos, oend, _oline, owaived in fn.lock_sites:
+                if owaived:
+                    continue
+                if opos < pos < oend:
+                    held.add(omutex)
+            if not held:
+                continue
+            acquired = set()
+            for callee in targets:
+                if callee is not fn:
+                    acquired |= summary[id(callee)]
+            line = fn.sf.line_of(pos)
+            for h in held:
+                for a in acquired:
+                    add_edge(h, a, fn.path, line)
+
+    graph = {}
+    for (held, acquired) in edges:
+        graph.setdefault(held, set()).add(acquired)
+        graph.setdefault(acquired, set())
+    cycle = find_cycle(graph)
+    if cycle:
+        sites = []
+        for a, b in zip(cycle, cycle[1:]):
+            path, line = edges.get((a, b), (None, 0))
+            if path:
+                sites.append("%s acquired while holding %s at %s:%d"
+                             % (b, a, os.path.relpath(path, REPO_ROOT),
+                                line))
+        result.violations.append(Violation(
+            None, 0, "lock-order",
+            "acquisition-order cycle (potential deadlock): %s%s"
+            % (" -> ".join(cycle),
+               ("; " + "; ".join(sites)) if sites else "")))
+    return result
+
+
+def write_lock_dot(result, out_path):
+    lines = ["digraph feisu_lock_order {",
+             '  node [shape=ellipse, fontname="monospace"];']
+    nodes = set()
+    for (held, acquired), (path, line) in sorted(result.edges.items()):
+        nodes.add(held)
+        nodes.add(acquired)
+        label = "%s:%d" % (os.path.basename(path), line)
+        lines.append('  "%s" -> "%s" [label="%s"];'
+                     % (held, acquired, label))
+    for n in sorted(nodes):
+        lines.append('  "%s";' % n)
+    lines.append("}")
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: determinism
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+BEGIN_CALL_RE = re.compile(r"\b([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*"
+                           r"\.\s*c?begin\s*\(")
+
+# Statements allowed inside an order-insensitive fold. Anything else in a
+# loop over an unordered container needs a waiver.
+FOLD_ALLOWED_RES = [
+    re.compile(r"^(\+\+|--)[\w.\->\[\]]+$"),
+    re.compile(r"^[\w.\->\[\]]+(\+\+|--)$"),
+    re.compile(r"^[\w.\->\[\]()]+\s*[-+|&^]=[^=].*$"),
+    re.compile(r"^[\w.\->\[\]]+\s*=\s*std::(?:max|min)\s*\(.*$"),
+    re.compile(r"^([\w.\->\[\]]+\s*=\s*)?[\w.\->\[\]]*\.?erase\s*\(.*$"),
+    re.compile(r"^continue$"),
+]
+
+
+def matched_angle_span(text, start):
+    depth = 0
+    i = start
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif c in ";{":
+            return -1
+        i += 1
+    return -1
+
+
+class UnorderedIndex:
+    """Scope-aware index of names declared with unordered container types.
+
+    A loop over `name` is only matched against declarations that could
+    plausibly be in scope: declarations inside the same function (locals
+    and parameters), or class/namespace-scope declarations in the same
+    file or its `.h`/`.cc` pair. This keeps a local `std::vector entries`
+    in one file from aliasing an `unordered_map entries` member in an
+    unrelated class. Members reached through a third class's header are a
+    known miss; the tradeoff is documented in docs/STATIC_ANALYSIS.md."""
+
+    def __init__(self, files):
+        self.file_scope = {}   # path -> set(names) at class/namespace scope
+        self.func_scope = {}   # path -> [(name, start, end)]
+        alias_names = []
+        for path in files:
+            sf = SourceFile(path)
+            self._scan(path, sf, UNORDERED_DECL_RE, alias_names)
+        if alias_names:
+            alias_decl = re.compile(
+                r"\b(?:%s)\s*<?" % "|".join(sorted(set(alias_names))))
+            for path in files:
+                sf = SourceFile(path)
+                self._scan(path, sf, alias_decl, None)
+
+    def _scan(self, path, sf, decl_re, alias_out):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        spans = [(fn.sig_span[0], fn.body_span[1])
+                 for fn in extract_functions(sf, stem)]
+        text = sf.code
+        self.file_scope.setdefault(path, set())
+        self.func_scope.setdefault(path, [])
+        for m in decl_re.finditer(text):
+            if text[m.end() - 1] == "<":
+                close = matched_angle_span(text, m.end() - 1)
+                if close < 0:
+                    continue
+            else:
+                close = m.end() - 1
+            rest = text[close + 1:close + 200]
+            dm = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)", rest)
+            if not dm:
+                continue
+            name = dm.group(1)
+            if alias_out is not None:
+                before = text[max(0, m.start() - 120):m.start()]
+                am = re.search(r"using\s+([A-Za-z_]\w*)\s*=\s*$", before)
+                if am:
+                    alias_out.append(am.group(1))
+            enclosing = None
+            for start, end in spans:
+                if start <= m.start() < end:
+                    if enclosing is None or start > enclosing[0]:
+                        enclosing = (start, end)
+            if enclosing is None:
+                self.file_scope[path].add(name)
+            else:
+                self.func_scope[path].append(
+                    (name, enclosing[0], enclosing[1]))
+
+    def _pair_paths(self, path):
+        stem, ext = os.path.splitext(path)
+        if ext in (".cc", ".cpp"):
+            return [stem + ".h", stem + ".hpp"]
+        return [stem + ".cc", stem + ".cpp"]
+
+    def is_unordered_here(self, path, name, pos):
+        if name in self.file_scope.get(path, ()):
+            return True
+        for other in self._pair_paths(path):
+            if name in self.file_scope.get(other, ()):
+                return True
+        for dname, start, end in self.func_scope.get(path, ()):
+            if dname == name and start <= pos < end:
+                return True
+        return False
+
+
+def loop_body_span(sf, for_pos):
+    """(body_start, body_end) offsets for the statement controlled by the
+    `for` at for_pos: a brace block or a single statement up to `;`."""
+    open_paren = sf.code.find("(", for_pos)
+    if open_paren < 0:
+        return None
+    close_paren = param_list_end(sf.code, open_paren)
+    if close_paren < 0:
+        return None
+    i = close_paren + 1
+    while i < len(sf.code) and sf.code[i] in " \t\n":
+        i += 1
+    if i < len(sf.code) and sf.code[i] == "{":
+        end = sf.brace_match.get(i)
+        if end is None:
+            return None
+        return (i + 1, end)
+    end = sf.code.find(";", i)
+    if end < 0:
+        return None
+    return (i, end + 1)
+
+
+def body_is_order_insensitive_fold(body):
+    """True when every statement in the loop body is a commutative
+    accumulation. Nested braces and if(...)/else control structure are
+    stripped; their contained statements are classified individually."""
+    text = body
+    # Drop control headers but keep their bodies' statements.
+    text = re.sub(r"\bif\s*\(", "(", text)
+    # Remove parenthesized condition groups entirely.
+    out = []
+    depth = 0
+    for c in text:
+        if c == "(":
+            depth += 1
+            continue
+        if c == ")":
+            depth = max(0, depth - 1)
+            continue
+        if depth == 0:
+            out.append(c)
+        else:
+            out.append("\x00")  # placeholder: contents of parens
+    text = "".join(out)
+    statements = []
+    for chunk in re.split(r"[;{}]", text):
+        chunk = re.sub(r"\x00+", "(_)", chunk)
+        chunk = re.sub(r"\s+", " ", chunk).strip()
+        chunk = re.sub(r"^else\b\s*", "", chunk)
+        if not chunk or chunk == "(_)":
+            continue  # pure if-condition residue, not a statement
+        statements.append(chunk)
+    for stmt in statements:
+        if any(r.match(stmt) for r in FOLD_ALLOWED_RES):
+            continue
+        return False, stmt
+    return True, None
+
+
+def run_determinism(files, unordered, report_paths):
+    violations = []
+    for path in files:
+        if report_paths is not None and os.path.abspath(path) \
+                not in report_paths:
+            continue
+        sf = SourceFile(path)
+        loop_positions = []
+        for m in RANGE_FOR_RE.finditer(sf.code):
+            open_paren = sf.code.find("(", m.start())
+            close_paren = param_list_end(sf.code, open_paren)
+            if close_paren < 0:
+                continue
+            header = sf.code[open_paren + 1:close_paren]
+            target = None
+            if ":" in header and ";" not in header:
+                range_expr = header.rsplit(":", 1)[1].strip()
+                tm = re.search(r"([A-Za-z_]\w*)\s*(?:\(\s*\))?\s*$",
+                               range_expr)
+                if tm:
+                    target = tm.group(1)
+            else:
+                bm = BEGIN_CALL_RE.search(header)
+                if bm:
+                    target = bm.group(1).replace("->", ".") \
+                                        .rsplit(".", 1)[-1]
+            if target and unordered.is_unordered_here(path, target,
+                                                      m.start()):
+                loop_positions.append((m.start(), target))
+        for pos, target in loop_positions:
+            line = sf.line_of(pos)
+            if sf.waived(line, "unordered-iter"):
+                continue
+            span = loop_body_span(sf, pos)
+            if span is None:
+                continue
+            ok, offending = body_is_order_insensitive_fold(
+                sf.code[span[0]:span[1]])
+            if ok:
+                continue
+            violations.append(Violation(
+                path, line, "determinism",
+                "iteration over unordered container `%s` is not an "
+                "order-insensitive fold (first order-dependent statement: "
+                "`%s`); hash order is not deterministic across "
+                "implementations — iterate a sorted copy, restructure as "
+                "a commutative fold, or waive with `feisu-analyze: "
+                "allow(unordered-iter): <reason>`" % (target, offending)))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def run_passes(root, src_dir, layers_path, passes, dot_dir=None,
+               changed_only=False):
+    files = collect_source_files(src_dir)
+    report_paths = None
+    if changed_only:
+        changed = git_changed_files(root)
+        if changed is None:
+            print("feisu-analyze: --changed-only needs a git checkout; "
+                  "scanning everything", file=sys.stderr)
+        else:
+            report_paths = changed
+    violations = []
+    for path in files:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().split("\n")
+        violations.extend(collect_reasonless_waivers(path, raw_lines))
+
+    if "layering" in passes:
+        layering = run_layering(files, src_dir, layers_path, report_paths)
+        violations.extend(layering.violations)
+        if dot_dir:
+            write_include_dot(layering,
+                              os.path.join(dot_dir, "include_graph.dot"))
+    if "lock-order" in passes:
+        lock = run_lock_order(files)
+        violations.extend(lock.violations)
+        if dot_dir:
+            write_lock_dot(lock, os.path.join(dot_dir, "lock_order.dot"))
+    if "determinism" in passes:
+        violations.extend(run_determinism(files, UnorderedIndex(files),
+                                          report_paths))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test over seeded fixtures
+# ---------------------------------------------------------------------------
+
+def fixture_passes(root, passes, layers=None):
+    src = os.path.join(root, "src") if os.path.isdir(
+        os.path.join(root, "src")) else root
+    layers_path = layers or os.path.join(root, "feisu_layers.toml")
+    return run_passes(root, src, layers_path, passes)
+
+
+def run_self_test():
+    failures = []
+
+    def expect(name, violations, must_hit, clean=False):
+        hit = {v.pass_name for v in violations}
+        if clean:
+            if violations:
+                failures.append("fixture %s expected clean but tripped: %s"
+                                % (name, sorted(hit)))
+        elif must_hit not in hit:
+            failures.append("fixture %s did not trip pass %s (hit: %s)"
+                            % (name, must_hit, sorted(hit) or "none"))
+
+    # Directory fixtures (layering needs a tree + its own layer file).
+    d = os.path.join(FIXTURE_DIR, "layer_violation")
+    expect("layer_violation", fixture_passes(d, ("layering",)), "layering")
+    d = os.path.join(FIXTURE_DIR, "include_cycle")
+    expect("include_cycle", fixture_passes(d, ("layering",)), "layering")
+    d = os.path.join(FIXTURE_DIR, "layer_clean")
+    expect("layer_clean", fixture_passes(d, ("layering",)), None, clean=True)
+
+    # File fixtures: lock-order and determinism run over single dirs.
+    def file_fixture(subdir, passes):
+        d = os.path.join(FIXTURE_DIR, subdir)
+        files = collect_source_files(d)
+        violations = []
+        for path in files:
+            with open(path, "r", encoding="utf-8",
+                      errors="replace") as f:
+                violations.extend(
+                    collect_reasonless_waivers(path, f.read().split("\n")))
+        if "lock-order" in passes:
+            violations.extend(run_lock_order(files).violations)
+        if "determinism" in passes:
+            violations.extend(
+                run_determinism(files, UnorderedIndex(files), None))
+        return violations
+
+    expect("lock_cycle_nested",
+           file_fixture("lock_cycle_nested", ("lock-order",)), "lock-order")
+    expect("lock_cycle_interproc",
+           file_fixture("lock_cycle_interproc", ("lock-order",)),
+           "lock-order")
+    expect("unordered_iter",
+           file_fixture("unordered_iter", ("determinism",)), "determinism")
+    expect("unordered_fold",
+           file_fixture("unordered_fold", ("determinism",)), None,
+           clean=True)
+    expect("waived_clean",
+           file_fixture("waived_clean", ("lock-order", "determinism")),
+           None, clean=True)
+
+    if failures:
+        for f in failures:
+            print("feisu-analyze self-test FAILED: " + f, file=sys.stderr)
+        return 1
+    print("feisu-analyze self-test: 5 tripping fixtures, 3 clean fixtures, "
+          "all behaved")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root (default: repo)")
+    parser.add_argument("--src", default=None,
+                        help="source tree to analyze (default: <root>/src)")
+    parser.add_argument("--layers", default=None,
+                        help="layer declaration file "
+                             "(default: <root>/tools/feisu_layers.toml)")
+    parser.add_argument("--passes", default=",".join(PASSES),
+                        help="comma-separated subset of: %s"
+                             % ", ".join(PASSES))
+    parser.add_argument("--dot-dir", default=None,
+                        help="write include_graph.dot and lock_order.dot "
+                             "into this directory")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report file-scoped findings only for files "
+                             "changed vs. git HEAD (graph cycles are "
+                             "always whole-program)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the seeded fixtures under "
+                             "tools/analyze_fixtures/")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(run_self_test())
+
+    passes = tuple(p.strip() for p in args.passes.split(",") if p.strip())
+    for p in passes:
+        if p not in PASSES:
+            print("feisu-analyze: unknown pass: %s" % p, file=sys.stderr)
+            sys.exit(2)
+    root = os.path.abspath(args.root)
+    src_dir = args.src or os.path.join(root, "src")
+    layers = args.layers or os.path.join(root, "tools", "feisu_layers.toml")
+    if not os.path.isdir(src_dir):
+        print("feisu-analyze: no such source dir: %s" % src_dir,
+              file=sys.stderr)
+        sys.exit(2)
+    if args.dot_dir:
+        os.makedirs(args.dot_dir, exist_ok=True)
+
+    violations = run_passes(root, src_dir, layers, passes,
+                            dot_dir=args.dot_dir,
+                            changed_only=args.changed_only)
+    for v in violations:
+        print(v.render(root))
+    if violations:
+        print("feisu-analyze: %d violation(s)" % len(violations),
+              file=sys.stderr)
+        sys.exit(1)
+    print("feisu-analyze: clean (%s)" % ", ".join(passes))
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -44,15 +44,23 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                    byte-identically. The repo-wide wall-clock rule already
                    bans calendar time; this closes the monotonic loophole
                    where it matters most.
+  bare-nolint      Every clang-tidy suppression must name the check it
+                   silences and say why: `// NOLINT(check-name): reason`.
+                   A bare `NOLINT`, a wildcard check set, or a named check
+                   with no justification turns off analysis silently and
+                   keeps doing so after the original cause is gone.
 
 Exit status: 0 when no violations, 1 when violations were reported,
 2 on usage errors. `--self-test` checks the seeded fixture files under
 tools/lint_fixtures/ each trip exactly their intended rule.
+`--changed-only` restricts linting to files changed vs. HEAD (staged,
+unstaged, and untracked) for fast pre-commit runs.
 """
 
 import argparse
 import os
 import re
+import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -106,6 +114,10 @@ THREAD_SPAWN_RES = [
 ]
 
 NO_ANALYSIS_RE = re.compile(r"\bFEISU_NO_THREAD_SAFETY_ANALYSIS\b")
+
+# clang-tidy suppression tokens. NOLINTEND is exempt (it closes a BEGIN
+# whose check list and justification are validated at the BEGIN site).
+NOLINT_TOKEN_RE = re.compile(r"\bNOLINT(NEXTLINE|BEGIN|END)?\b")
 
 SIM_CLOCK_RES = [
     re.compile(r"\bstd::chrono::steady_clock\b"),
@@ -226,6 +238,25 @@ def is_concurrency_exempt_path(path):
     return rel.startswith("src/common/") or rel.startswith("tests/")
 
 
+def nolint_problem(raw_line, match):
+    """Returns a complaint string when a NOLINT token is bare, wildcarded,
+    or unjustified; None when it is well-formed (or a NOLINTEND)."""
+    if match.group(1) == "END":
+        return None
+    rest = raw_line[match.end():]
+    paren = re.match(r"\(([^)]*)\)", rest)
+    if paren is None:
+        return "names no check; every suppression must be NOLINT(check): why"
+    checks = paren.group(1).strip()
+    if not checks:
+        return "has an empty check list; name the check being silenced"
+    if "*" in checks:
+        return "suppresses a wildcard check set; name the specific check"
+    if re.match(r"\s*:\s*\S", rest[paren.end():]) is None:
+        return "carries no justification; append `: <why this is OK here>`"
+    return None
+
+
 def lint_file(path):
     with open(path, "r", encoding="utf-8", errors="replace") as f:
         raw = f.read()
@@ -321,6 +352,16 @@ def lint_file(path):
                         "justification comment on this line or the line "
                         "above; say why the analysis is wrong here"))
 
+    # NOLINT lives inside comments, so this rule reads the raw lines.
+    for lineno, raw_line in enumerate(raw_lines, start=1):
+        for m in NOLINT_TOKEN_RE.finditer(raw_line):
+            problem = nolint_problem(raw_line, m)
+            if problem is not None and not waived(lineno, "bare-nolint"):
+                violations.append(Violation(
+                    path, lineno, "bare-nolint",
+                    "clang-tidy suppression " + problem))
+                break
+
     if path.endswith((".h", ".hpp")):
         guard = None
         guard_line = 0
@@ -359,6 +400,30 @@ def collect_files(paths):
     return files
 
 
+def git_changed_files():
+    """Source files changed vs. HEAD (staged, unstaged, and untracked).
+    Returns None when git is unavailable or this is not a checkout."""
+    changed = set()
+    cmds = [
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for cmd in cmds:
+        try:
+            out = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True,
+                                 text=True, check=False)
+        except OSError:
+            return None
+        if out.returncode != 0:
+            return None
+        for rel in out.stdout.splitlines():
+            rel = rel.strip()
+            if rel.endswith(SOURCE_EXTENSIONS):
+                changed.add(os.path.abspath(os.path.join(REPO_ROOT, rel)))
+    return changed
+
+
 def run_self_test():
     """Every fixture must trip exactly its intended rule (encoded in the
     file name), proving the lint fails when it should."""
@@ -372,10 +437,12 @@ def run_self_test():
         "no_analysis_unjustified.cc": "no-analysis",
         "detached_thread.cc": "detached-thread",
         os.path.join("cluster", "chrono_scheduler.cc"): "sim-clock",
+        "bare_nolint.cc": "bare-nolint",
     }
     # Fixtures that must lint CLEAN: they contain would-be violations that
     # are properly waived, proving the waiver machinery works per rule.
     expected_clean = ["raw_mutex_waived.cc",
+                      "nolint_justified.cc",
                       os.path.join("cluster", "sim_clock_waived.cc")]
     failures = []
     for name, rule in sorted(expected.items()):
@@ -413,14 +480,25 @@ def main():
                              "(default: <repo>/src)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the seeded fixtures trip their rules")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only files changed vs. HEAD (staged, "
+                             "unstaged, and untracked)")
     args = parser.parse_args()
 
     if args.self_test:
         sys.exit(run_self_test())
 
     paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    files = collect_files(paths)
+    if args.changed_only:
+        changed = git_changed_files()
+        if changed is None:
+            print("feisu-lint: --changed-only needs a git checkout; "
+                  "linting everything", file=sys.stderr)
+        else:
+            files = [f for f in files if os.path.abspath(f) in changed]
     violations = []
-    for path in collect_files(paths):
+    for path in files:
         violations.extend(lint_file(path))
     for v in violations:
         print(str(v))

@@ -1,0 +1,23 @@
+// Fixture for the bare-nolint rule: suppressions that hide which check is
+// silenced, silence everything, or give no reason must be flagged.
+#include <cstdint>
+
+namespace feisu {
+
+int NarrowWithoutSayingWhy(int64_t wide) {
+  int narrow = static_cast<int>(wide);  // NOLINT
+  return narrow;
+}
+
+int NarrowWithWildcard(int64_t wide) {
+  int narrow = static_cast<int>(wide);  // NOLINT(bugprone-*)
+  return narrow;
+}
+
+int NarrowWithoutReason(int64_t wide) {
+  // NOLINTNEXTLINE(bugprone-narrowing-conversions)
+  int narrow = static_cast<int>(wide);
+  return narrow;
+}
+
+}  // namespace feisu

@@ -1,0 +1,25 @@
+// Fixture proving well-formed clang-tidy suppressions lint clean: each
+// names its check and carries a justification after the check list.
+#include <cstdint>
+
+namespace feisu {
+
+class Wrapper {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design so
+  // call sites read `Wrapper w = 3;` like the raw integer it adapts
+  Wrapper(int value) : value_(value) {}
+
+  int value() const { return value_; }
+
+ private:
+  int value_;
+};
+
+int Truncate(int64_t wide) {
+  // NOLINT(bugprone-narrowing-conversions): caller guarantees the value
+  // fits; this is the single sanctioned narrowing point
+  return static_cast<int>(wide);
+}
+
+}  // namespace feisu
