@@ -493,6 +493,160 @@ void BM_AggConsumePartial(benchmark::State& state) {
 }
 BENCHMARK(BM_AggConsumePartial)->Arg(64)->Arg(32768);
 
+// --- Compressed-domain execution: predicate kernels + group-by on codes.
+// Each encoded bench pairs with a decode-then-evaluate baseline over the
+// same data; tools/run_bench.py records the ratios as
+// compressed_eval_speedup. Results are byte-identical between the pairs
+// (tests/materialize_test.cc pins the grid); only the work differs.
+
+// Low-cardinality string column — the shape the encoder dictionary-codes.
+ColumnVector MakeDictStringColumn(size_t n, int64_t cardinality) {
+  Rng rng(15);
+  ColumnVector col(DataType::kString);
+  for (size_t i = 0; i < n; ++i) {
+    col.AppendString("s_" + std::to_string(rng.NextInt64(0, cardinality)));
+  }
+  return col;
+}
+
+void BM_DictPredicateEncoded(benchmark::State& state) {
+  EncodedColumn encoded =
+      EncodeColumnAs(MakeDictStringColumn(kAggRows, state.range(0)),
+                     Encoding::kDict);
+  Value lit = Value::String("s_7");
+  for (auto _ : state) {
+    EncodedPredicateBits bits;
+    auto handled = TryEvaluateEncodedCompare(
+        DataType::kString, encoded, EncodedCompareOp::kEq, lit, &bits);
+    benchmark::DoNotOptimize(handled);
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_DictPredicateEncoded)->Arg(64)->Arg(4096);
+
+void BM_DictPredicateDecode(benchmark::State& state) {
+  EncodedColumn encoded =
+      EncodeColumnAs(MakeDictStringColumn(kAggRows, state.range(0)),
+                     Encoding::kDict);
+  Schema schema({{"c", DataType::kString, true}});
+  ExprPtr pred = Expr::Compare(CompareOp::kEq, Expr::ColumnRef("c"),
+                               Expr::Literal(Value::String("s_7")));
+  for (auto _ : state) {
+    auto col = DecodeColumn(DataType::kString, encoded);
+    std::vector<ColumnVector> cols;
+    cols.push_back(std::move(*col));
+    RecordBatch batch(schema, std::move(cols));
+    auto tri = EvaluatePredicate3VL(*pred, batch);
+    benchmark::DoNotOptimize(tri);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_DictPredicateDecode)->Arg(64)->Arg(4096);
+
+void BM_RlePredicateEncoded(benchmark::State& state) {
+  EncodedColumn encoded =
+      EncodeColumnAs(MakeRunnyColumn(kAggRows), Encoding::kRle);
+  Value lit = Value::Int64(25);
+  for (auto _ : state) {
+    EncodedPredicateBits bits;
+    auto handled = TryEvaluateEncodedCompare(
+        DataType::kInt64, encoded, EncodedCompareOp::kLt, lit, &bits);
+    benchmark::DoNotOptimize(handled);
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_RlePredicateEncoded);
+
+void BM_RlePredicateDecode(benchmark::State& state) {
+  EncodedColumn encoded =
+      EncodeColumnAs(MakeRunnyColumn(kAggRows), Encoding::kRle);
+  Schema schema({{"c", DataType::kInt64, true}});
+  ExprPtr pred = Expr::Compare(CompareOp::kLt, Expr::ColumnRef("c"),
+                               Expr::Literal(Value::Int64(25)));
+  for (auto _ : state) {
+    auto col = DecodeColumn(DataType::kInt64, encoded);
+    std::vector<ColumnVector> cols;
+    cols.push_back(std::move(*col));
+    RecordBatch batch(schema, std::move(cols));
+    auto tri = EvaluatePredicate3VL(*pred, batch);
+    benchmark::DoNotOptimize(tri);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_RlePredicateDecode);
+
+// (string key, double value) input for the dict-keyed group-by pair; the
+// key column's encoded form rides along for code extraction.
+RecordBatch MakeDictAggInput(size_t rows, int64_t cardinality,
+                             EncodedColumn* encoded_key) {
+  Schema schema({{"k", DataType::kString, true},
+                 {"v", DataType::kDouble, true}});
+  RecordBatch batch(schema);
+  batch.Reserve(rows);
+  Rng rng(16);
+  for (size_t i = 0; i < rows; ++i) {
+    batch
+        .AppendRow({Value::String("s_" +
+                                  std::to_string(rng.NextInt64(
+                                      0, cardinality))),
+                    Value::Double(rng.NextDouble())})
+        .ok();
+  }
+  *encoded_key = EncodeColumnAs(batch.column(0), Encoding::kDict);
+  return batch;
+}
+
+// Group-by on dict codes, including per-batch code extraction (the work
+// the leaf path actually does): key strings hash once per distinct code,
+// repeats resolve through the code -> group memo.
+void BM_AggConsumeDictCodes(benchmark::State& state) {
+  EncodedColumn encoded_key;
+  RecordBatch batch =
+      MakeDictAggInput(kAggRows, state.range(0), &encoded_key);
+  std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  std::vector<AggSpec> specs = AggBenchSpecs();
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto agg = Aggregator::Make(group_by, specs, batch.schema());
+    DictColumnCodes codes;
+    TryExtractDictCodes(encoded_key, nullptr, &codes).ok();
+    agg->ConsumeDictKeyed(batch, codes).ok();
+    groups = agg->num_groups();
+    benchmark::DoNotOptimize(groups);
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_AggConsumeDictCodes)->Arg(64)->Arg(4096);
+
+// Decode-side baseline: same input, same Aggregator, keys hashed from
+// string bytes row by row.
+void BM_AggConsumeStringKeys(benchmark::State& state) {
+  EncodedColumn encoded_key;
+  RecordBatch batch =
+      MakeDictAggInput(kAggRows, state.range(0), &encoded_key);
+  std::vector<ExprPtr> group_by = {Expr::ColumnRef("k")};
+  std::vector<AggSpec> specs = AggBenchSpecs();
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto agg = Aggregator::Make(group_by, specs, batch.schema());
+    agg->Consume(batch).ok();
+    groups = agg->num_groups();
+    benchmark::DoNotOptimize(groups);
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kAggRows));
+}
+BENCHMARK(BM_AggConsumeStringKeys)->Arg(64)->Arg(4096);
+
 void BM_ParseSql(benchmark::State& state) {
   const std::string sql =
       "SELECT c0, COUNT(*) AS n FROM t1 WHERE c2 > 0 AND (c2 <= 5 OR "

@@ -330,18 +330,59 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
       if (charged_columns.insert(col).second) to_charge.push_back(col);
     }
     FEISU_ASSIGN_OR_RETURN(const ColumnarBlock* block, LoadBlock(task.block));
+    // The columnar-I/O charge covers every scanned conjunct's columns
+    // whether the compressed-domain kernels answer them or not: the leaf
+    // still reads those bytes off storage, it just evaluates them without
+    // decoding. Simulated costs stay identical to the decode path by
+    // design — the compressed-domain win is host wall-clock, and keeping
+    // the timing model unchanged keeps every seed-swept chaos/straggler
+    // schedule byte-stable across the enable_compressed_eval ablation.
     stats.io_time +=
         ChargeColumnRead(*block, task.block, to_charge, 1.0, &stats);
-    FEISU_ASSIGN_OR_RETURN(
-        RecordBatch pred_batch,
-        block->DecodeBatch(std::vector<std::string>(needed.begin(),
-                                                    needed.end())));
-    for (const auto& conjunct : missing) {
-      FEISU_ASSIGN_OR_RETURN(TriStateVector tri,
-                             EvaluatePredicate3VL(*conjunct, pred_batch));
-      stats.rows_scanned += pred_batch.num_rows();
-      stats.cpu_time +=
-          RowCost(pred_batch.num_rows(), config_.cpu_per_row_predicate);
+    std::vector<std::optional<TriStateVector>> encoded(missing.size());
+    if (config_.enable_compressed_eval) {
+      for (size_t m = 0; m < missing.size(); ++m) {
+        TriStateVector tri;
+        FEISU_ASSIGN_OR_RETURN(
+            bool handled,
+            TryEvaluatePredicateEncoded(*missing[m], *block, &tri));
+        if (handled) encoded[m] = std::move(tri);
+      }
+    }
+    // Decode only what the fallback conjuncts actually reference; when
+    // every conjunct was answered in the compressed domain, nothing
+    // materializes at all.
+    std::optional<RecordBatch> pred_batch;
+    {
+      std::set<std::string> decode_cols;
+      bool any_fallback = false;
+      for (size_t m = 0; m < missing.size(); ++m) {
+        if (encoded[m].has_value()) continue;
+        any_fallback = true;
+        for (const auto& col : ExprColumns(missing[m])) {
+          decode_cols.insert(col);
+        }
+      }
+      if (any_fallback) {
+        FEISU_ASSIGN_OR_RETURN(
+            RecordBatch batch,
+            block->DecodeBatch(std::vector<std::string>(decode_cols.begin(),
+                                                        decode_cols.end())));
+        pred_batch = std::move(batch);
+      }
+    }
+    for (size_t m = 0; m < missing.size(); ++m) {
+      const ExprPtr& conjunct = missing[m];
+      TriStateVector tri;
+      if (encoded[m].has_value()) {
+        tri = std::move(*encoded[m]);
+        stats.values_skipped_encoded += num_rows;
+      } else {
+        FEISU_ASSIGN_OR_RETURN(tri,
+                               EvaluatePredicate3VL(*conjunct, *pred_batch));
+      }
+      stats.rows_scanned += num_rows;
+      stats.cpu_time += RowCost(num_rows, config_.cpu_per_row_predicate);
       // Take our own copy of the TRUE bitmap before touching the cache:
       // IndexCache::Insert is a mutating call, and any pointer previously
       // obtained from the cache (Lookup/Peek) is invalidated by it. Pushing
@@ -456,7 +497,37 @@ Result<TaskResult> LeafServer::Execute(const LeafTask& task, SimTime now) {
     FEISU_ASSIGN_OR_RETURN(
         Aggregator agg,
         Aggregator::Make(task.group_by, task.aggregates, block->schema()));
-    FEISU_RETURN_IF_ERROR(agg.Consume(filtered));
+    // Code-domain group-by: a single dictionary-encoded group key feeds the
+    // aggregator raw uint32 codes (through the same selection the batch
+    // was filtered by), so no string is hashed or compared per row. Codes
+    // stay leaf-local — the partial batch emitted below carries the
+    // materialized strings, byte-identical to the decode path.
+    bool dict_keyed = false;
+    if (config_.enable_compressed_eval && task.group_by.size() == 1 &&
+        task.group_by[0]->kind() == ExprKind::kColumnRef) {
+      const Expr& key = *task.group_by[0];
+      int idx = -1;
+      if (!key.table().empty()) {
+        idx = block->schema().FieldIndex(key.QualifiedName());
+      }
+      if (idx < 0) idx = block->schema().FieldIndex(key.column());
+      if (idx >= 0 && block->ColumnEncoding(static_cast<size_t>(idx)) ==
+                          Encoding::kDict) {
+        DictColumnCodes codes;
+        FEISU_ASSIGN_OR_RETURN(
+            bool ok,
+            TryExtractDictCodes(
+                block->encoded_column(static_cast<size_t>(idx)),
+                conjuncts.empty() ? nullptr : &selection, &codes));
+        if (ok && codes.codes.size() == filtered.num_rows()) {
+          FEISU_RETURN_IF_ERROR(agg.ConsumeDictKeyed(filtered, codes));
+          dict_keyed = true;
+        }
+      }
+    }
+    if (!dict_keyed) {
+      FEISU_RETURN_IF_ERROR(agg.Consume(filtered));
+    }
     stats.cpu_time +=
         RowCost(filtered.num_rows(), config_.cpu_per_row_aggregate);
     FEISU_ASSIGN_OR_RETURN(result.batch, agg.PartialResult());

@@ -26,6 +26,13 @@ struct LeafServerConfig {
   /// every row and filtering the survivors. Off = the pre-pushdown
   /// decode-then-Filter path (ablations; results are byte-identical).
   bool enable_selection_pushdown = true;
+  /// Compressed-domain execution: answer predicate conjuncts directly over
+  /// encoded columns (dict codes / RLE runs / bit-packed words) and key
+  /// single-column dictionary group-bys on codes, falling back to
+  /// decode-then-evaluate per conjunct when no kernel applies. Results and
+  /// *simulated* costs are byte-identical either way (the win is host
+  /// wall-clock; see docs/PERFORMANCE.md); off = always decode (ablations).
+  bool enable_compressed_eval = true;
 
   /// Optional SSD column cache; 0 disables it.
   uint64_t ssd_capacity_bytes = 0;

@@ -74,8 +74,11 @@ std::string FormatQueryStats(const QueryStats& stats) {
      << stats.backup_tasks_won << " won\n";
   os << "leaf I/O: " << stats.leaf.bytes_read << " bytes read, "
      << stats.leaf.rows_scanned << " rows scanned, " << stats.leaf.rows_matched
-     << " matched, " << stats.leaf.values_decoded << " values decoded\n";
-  os << "aggregation: " << stats.leaf.agg_groups << " groups, "
+     << " matched, " << stats.leaf.values_decoded << " values decoded, "
+     << stats.leaf.values_skipped_encoded
+     << " values filtered without decode\n";
+  os << "aggregation: " << stats.leaf.agg_groups << " groups ("
+     << stats.leaf.agg_code_domain_groups << " via dict codes), "
      << stats.leaf.agg_hash_probes << " hash probes, "
      << stats.leaf.agg_rehashes << " rehashes, "
      << stats.leaf.agg_null_fast_batches << " null-fast-path batches\n";

@@ -29,6 +29,7 @@ void TaskStats::Accumulate(const TaskStats& other) {
   rows_scanned += other.rows_scanned;
   rows_matched += other.rows_matched;
   values_decoded += other.values_decoded;
+  values_skipped_encoded += other.values_skipped_encoded;
   index_direct_hits += other.index_direct_hits;
   index_composed_hits += other.index_composed_hits;
   index_misses += other.index_misses;
@@ -38,6 +39,7 @@ void TaskStats::Accumulate(const TaskStats& other) {
   agg_hash_probes += other.agg_hash_probes;
   agg_rehashes += other.agg_rehashes;
   agg_null_fast_batches += other.agg_null_fast_batches;
+  agg_code_domain_groups += other.agg_code_domain_groups;
   io_time += other.io_time;
   cpu_time += other.cpu_time;
 }
@@ -47,6 +49,7 @@ void TaskStats::AccumulateAgg(const AggStats& agg) {
   agg_hash_probes += agg.hash_probes;
   agg_rehashes += agg.rehashes;
   agg_null_fast_batches += agg.null_fast_path_batches;
+  agg_code_domain_groups += agg.code_domain_groups;
 }
 
 }  // namespace feisu

@@ -47,6 +47,10 @@ struct TaskStats {
   /// pushdown this counts only selected rows × projected columns, so the
   /// ratio to rows_scanned × columns shows the late-materialization win.
   uint64_t values_decoded = 0;
+  /// Values whose predicate was answered in the compressed domain (dict
+  /// codes / RLE runs / bit-packed words) and therefore never decoded for
+  /// filtering: rows × conjuncts served by an encoded kernel.
+  uint64_t values_skipped_encoded = 0;
   uint64_t index_direct_hits = 0;
   uint64_t index_composed_hits = 0;
   uint64_t index_misses = 0;
@@ -59,6 +63,9 @@ struct TaskStats {
   uint64_t agg_hash_probes = 0;
   uint64_t agg_rehashes = 0;
   uint64_t agg_null_fast_batches = 0;
+  /// Groups created via the dictionary-code group-by path (key string
+  /// hashed once per distinct code per batch instead of once per row).
+  uint64_t agg_code_domain_groups = 0;
   bool block_skipped = false;          ///< zone-map pruned
   SimTime io_time = 0;
   SimTime cpu_time = 0;

@@ -42,6 +42,13 @@ class ColumnarBlock {
   }
   Encoding ColumnEncoding(size_t col) const { return columns_[col].encoding; }
 
+  /// The raw encoded chunk of one column — what the compressed-domain
+  /// predicate kernels (TryEvaluateEncodedCompare) and the code-domain
+  /// group-by (TryExtractDictCodes) operate on without decoding.
+  const EncodedColumn& encoded_column(size_t col) const {
+    return columns_[col];
+  }
+
   /// Total serialized size.
   size_t ByteSize() const;
 

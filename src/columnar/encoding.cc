@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
+
+#include "common/annotations.h"
 
 namespace feisu {
 
@@ -12,6 +15,9 @@ namespace {
 std::atomic<uint64_t> g_values_materialized{0};
 std::atomic<uint64_t> g_values_skipped{0};
 std::atomic<uint64_t> g_runs_skipped{0};
+std::atomic<uint64_t> g_values_skipped_encoded{0};
+std::atomic<uint64_t> g_predicates_encoded{0};
+std::atomic<uint64_t> g_predicates_fallback{0};
 
 /// Per-decode tally folded into the process counters once per column, so
 /// the hot loops never touch an atomic.
@@ -19,6 +25,8 @@ struct DecodeTally {
   uint64_t materialized = 0;
   uint64_t skipped = 0;
   uint64_t runs_skipped = 0;
+  uint64_t skipped_encoded = 0;
+  uint64_t predicates_encoded = 0;
 
   ~DecodeTally() {
     if (materialized != 0) {
@@ -30,6 +38,14 @@ struct DecodeTally {
     }
     if (runs_skipped != 0) {
       g_runs_skipped.fetch_add(runs_skipped, std::memory_order_relaxed);
+    }
+    if (skipped_encoded != 0) {
+      g_values_skipped_encoded.fetch_add(skipped_encoded,
+                                         std::memory_order_relaxed);
+    }
+    if (predicates_encoded != 0) {
+      g_predicates_encoded.fetch_add(predicates_encoded,
+                                     std::memory_order_relaxed);
     }
   }
 };
@@ -519,6 +535,388 @@ Result<ColumnVector> DecodeDict(DataType type, const std::string& in,
   return col;
 }
 
+// ---- compressed-domain predicate kernels ----
+
+bool EncodedDoubleMatches(EncodedCompareOp op, double v, double rhs) {
+  switch (op) {
+    case EncodedCompareOp::kEq:
+      return v == rhs;
+    case EncodedCompareOp::kNe:
+      return v != rhs;
+    case EncodedCompareOp::kLt:
+      return v < rhs;
+    case EncodedCompareOp::kLe:
+      return v <= rhs;
+    case EncodedCompareOp::kGt:
+      return v > rhs;
+    case EncodedCompareOp::kGe:
+      return v >= rhs;
+    case EncodedCompareOp::kContains:
+      break;
+  }
+  return false;
+}
+
+// Final Kleene step shared by every kernel: TRUE = match on a valid row,
+// FALSE = mismatch on a valid row, NULL rows set neither bit. Word-level
+// AND/NOT, no per-row work.
+void FinishPredicateBits(BitVector match, const BitVector& validity,
+                         EncodedPredicateBits* out) {
+  out->is_true = BitVector::And(match, validity);
+  match.Not();
+  out->is_false = BitVector::And(match, validity);
+}
+
+// Both bitmaps all-zero: every row UNKNOWN (NULL literal).
+void AllUnknownBits(uint32_t num_rows, EncodedPredicateBits* out) {
+  out->is_true = BitVector(num_rows, false);
+  out->is_false = BitVector(num_rows, false);
+}
+
+// Dictionary kernel: translate the literal into code space once (one match
+// flag per dictionary entry), then compare uint32 codes per row. A
+// dictionary miss on equality never touches the code array at all — the
+// short-circuit the block-skipping layers above rely on.
+Result<bool> EncodedCompareDict(const std::string& in, EncodedCompareOp op,
+                                const Value& literal,
+                                EncodedPredicateBits* out) {
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad dict column header");
+  }
+  DecodeTally tally;
+  if (literal.is_null()) {
+    AllUnknownBits(num_rows, out);
+    tally.skipped_encoded = num_rows;
+    ++tally.predicates_encoded;
+    return true;
+  }
+  if (literal.type() != DataType::kString) return false;
+  uint32_t dict_size = 0;
+  if (!ReadScalar(in, &pos, &dict_size)) {
+    return Status::Corruption("truncated dict size");
+  }
+  std::vector<std::string> dict(dict_size);
+  for (auto& s : dict) {
+    if (!ReadLengthPrefixed(in, &pos, &s)) {
+      return Status::Corruption("truncated dict entry");
+    }
+  }
+  if (pos + static_cast<size_t>(num_rows) * sizeof(uint32_t) > in.size()) {
+    return Status::Corruption("truncated dict codes");
+  }
+  // Literal -> code space: the per-entry comparisons mirror the decode
+  // path exactly (std::string::compare / find, same as Value::Compare).
+  const std::string& lit = literal.string_value();
+  std::vector<uint8_t> table(dict_size, 0);
+  uint32_t match_count = 0;
+  for (uint32_t c = 0; c < dict_size; ++c) {
+    bool m = false;
+    if (op == EncodedCompareOp::kContains) {
+      m = dict[c].find(lit) != std::string::npos;
+    } else {
+      int cmp = dict[c].compare(lit);
+      m = EncodedDoubleMatches(op, static_cast<double>(cmp), 0.0);
+    }
+    table[c] = m ? 1 : 0;
+    if (m) ++match_count;
+  }
+  tally.skipped_encoded = num_rows;
+  ++tally.predicates_encoded;
+  if (match_count == 0) {
+    // Dictionary miss: no row can match. AllZeros TRUE set, every valid
+    // row FALSE — without reading a single code.
+    out->is_true = BitVector(num_rows, false);
+    out->is_false = validity;
+    return true;
+  }
+  if (match_count == dict_size) {
+    out->is_true = validity;
+    out->is_false = BitVector(num_rows, false);
+    return true;
+  }
+  // Codes live unaligned in the payload; one memcpy gives the contiguous
+  // uint32 array the vectorized loops below want.
+  std::vector<uint32_t> codes(num_rows);
+  std::memcpy(codes.data(), in.data() + pos,
+              static_cast<size_t>(num_rows) * sizeof(uint32_t));
+  const uint32_t* FEISU_RESTRICT c = codes.data();
+  uint32_t max_code = 0;
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    max_code = c[i] > max_code ? c[i] : max_code;
+  }
+  if (num_rows > 0 && max_code >= dict_size) {
+    return Status::Corruption("dict code OOB");
+  }
+  std::vector<uint64_t> mwords((static_cast<size_t>(num_rows) + 63) / 64, 0);
+  uint64_t* FEISU_RESTRICT mw = mwords.data();
+  size_t full_words = static_cast<size_t>(num_rows) >> 6;
+  if (match_count == 1 || match_count + 1 == dict_size) {
+    // One (mis)matching entry: the row loop is a pure code == constant
+    // compare — contiguous, branchless, auto-vectorizable.
+    bool invert = match_count != 1;
+    uint8_t want = invert ? 0 : 1;
+    uint32_t target = 0;
+    for (uint32_t e = 0; e < dict_size; ++e) {
+      if (table[e] == want) target = e;
+    }
+    for (size_t w = 0; w < full_words; ++w) {
+      uint64_t bits = 0;
+      for (unsigned k = 0; k < 64; ++k) {
+        bits |= static_cast<uint64_t>((c[w * 64 + k] == target) != invert)
+                << k;
+      }
+      mw[w] = bits;
+    }
+    for (uint32_t i = static_cast<uint32_t>(full_words * 64); i < num_rows;
+         ++i) {
+      mw[i >> 6] |= static_cast<uint64_t>((c[i] == target) != invert)
+                    << (i & 63);
+    }
+  } else {
+    // General case (range ops, IN-style multi-hit): branchless gather
+    // through the per-entry match table.
+    const uint8_t* FEISU_RESTRICT t = table.data();
+    for (size_t w = 0; w < full_words; ++w) {
+      uint64_t bits = 0;
+      for (unsigned k = 0; k < 64; ++k) {
+        bits |= static_cast<uint64_t>(t[c[w * 64 + k]]) << k;
+      }
+      mw[w] = bits;
+    }
+    for (uint32_t i = static_cast<uint32_t>(full_words * 64); i < num_rows;
+         ++i) {
+      mw[i >> 6] |= static_cast<uint64_t>(t[c[i]]) << (i & 63);
+    }
+  }
+  FinishPredicateBits(BitVector::FromWords(std::move(mwords), num_rows),
+                      validity, out);
+  return true;
+}
+
+// RLE kernel: one comparison per run, one word-level SetRange per matching
+// run. The emitted bitmap is run-granular, so its SerializeRle form stays
+// proportional to the run count and feeds the RleAnd/RleOr algebra without
+// inflating.
+Result<bool> EncodedCompareRleInt64(const std::string& in,
+                                    EncodedCompareOp op, const Value& literal,
+                                    EncodedPredicateBits* out) {
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad RLE column header");
+  }
+  DecodeTally tally;
+  if (literal.is_null()) {
+    AllUnknownBits(num_rows, out);
+    tally.skipped_encoded = num_rows;
+    ++tally.predicates_encoded;
+    return true;
+  }
+  if (!literal.is_numeric() || op == EncodedCompareOp::kContains) {
+    return false;
+  }
+  // Same double-domain comparison as the decode path's int64 fast path.
+  double rhs = literal.AsDouble();
+  BitVector match(num_rows, false);
+  uint32_t produced = 0;
+  while (produced < num_rows) {
+    int64_t value = 0;
+    uint32_t run = 0;
+    if (!ReadScalar(in, &pos, &value) || !ReadScalar(in, &pos, &run)) {
+      return Status::Corruption("truncated RLE run");
+    }
+    if (produced + run > num_rows) {
+      return Status::Corruption("RLE overrun");
+    }
+    if (EncodedDoubleMatches(op, static_cast<double>(value), rhs)) {
+      match.SetRange(produced, produced + run, true);
+    }
+    produced += run;
+  }
+  tally.skipped_encoded = num_rows;
+  ++tally.predicates_encoded;
+  FinishPredicateBits(std::move(match), validity, out);
+  return true;
+}
+
+// Bit-pack kernel. value = min + code is monotone in the code, so the set
+// of codes satisfying any single comparison is one contiguous range
+// [range_lo, range_hi] (complemented for !=), found by binary search over
+// the code domain — then the row loop is a word-at-a-time extraction plus
+// two unsigned compares, branchless end to end.
+Result<bool> EncodedCompareBitPack(const std::string& in,
+                                   EncodedCompareOp op, const Value& literal,
+                                   EncodedPredicateBits* out) {
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad bit-pack column header");
+  }
+  DecodeTally tally;
+  if (literal.is_null()) {
+    AllUnknownBits(num_rows, out);
+    tally.skipped_encoded = num_rows;
+    ++tally.predicates_encoded;
+    return true;
+  }
+  if (!literal.is_numeric() || op == EncodedCompareOp::kContains) {
+    return false;
+  }
+  int64_t min = 0;
+  uint8_t width = 0;
+  if (!ReadScalar(in, &pos, &min) || !ReadScalar(in, &pos, &width) ||
+      width == 0 || width > 64) {
+    return Status::Corruption("bad bit-pack parameters");
+  }
+  size_t total_bits = static_cast<size_t>(num_rows) * width;
+  size_t words = (total_bits + 63) / 64;
+  if (pos + words * sizeof(uint64_t) > in.size()) {
+    return Status::Corruption("truncated bit-pack payload");
+  }
+  double rhs = literal.AsDouble();
+  uint64_t domain_max = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  // Clamp the searched domain so min + code cannot overflow int64: every
+  // code produced by the encoder satisfies min + code <= max <= INT64_MAX,
+  // so real codes always fall inside the clamped (still monotone) domain.
+  uint64_t safe_max =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) -
+      static_cast<uint64_t>(min);
+  uint64_t search_max = std::min(domain_max, safe_max);
+  auto value_at = [min](uint64_t code) {
+    return static_cast<double>(
+        static_cast<int64_t>(static_cast<uint64_t>(min) + code));
+  };
+  // Smallest code in [0, search_max] where `pred` is true, given that pred
+  // is monotone false -> true over the clamped domain.
+  struct Bound {
+    bool found;
+    uint64_t code;
+  };
+  auto lower_bound_code = [&](auto pred) -> Bound {
+    if (!pred(search_max)) return {false, 0};
+    uint64_t lo = 0;
+    uint64_t hi = search_max;  // invariant: pred(hi) is true
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (pred(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return {true, lo};
+  };
+  // Satisfying code range; an empty range is (1, 0). `invert` flips the
+  // verdict (kNe = complement of kEq's range).
+  uint64_t range_lo = 1;
+  uint64_t range_hi = 0;
+  bool invert = false;
+  auto eq_range = [&]() {
+    Bound lo_b = lower_bound_code(
+        [&](uint64_t code) { return value_at(code) >= rhs; });
+    if (!lo_b.found) return;
+    Bound hi_b = lower_bound_code(
+        [&](uint64_t code) { return value_at(code) > rhs; });
+    uint64_t hi_code = 0;
+    if (!hi_b.found) {
+      hi_code = search_max;
+    } else if (hi_b.code == 0) {
+      return;
+    } else {
+      hi_code = hi_b.code - 1;
+    }
+    if (lo_b.code > hi_code) return;
+    range_lo = lo_b.code;
+    range_hi = hi_code;
+  };
+  switch (op) {
+    case EncodedCompareOp::kLt:
+    case EncodedCompareOp::kLe: {
+      auto outside = [&](uint64_t code) {
+        return op == EncodedCompareOp::kLt ? !(value_at(code) < rhs)
+                                           : !(value_at(code) <= rhs);
+      };
+      Bound b = lower_bound_code(outside);
+      if (!b.found) {
+        range_lo = 0;
+        range_hi = domain_max;  // every code matches
+      } else if (b.code > 0) {
+        range_lo = 0;
+        range_hi = b.code - 1;
+      }
+      break;
+    }
+    case EncodedCompareOp::kGt:
+    case EncodedCompareOp::kGe: {
+      auto inside = [&](uint64_t code) {
+        return op == EncodedCompareOp::kGt ? value_at(code) > rhs
+                                           : value_at(code) >= rhs;
+      };
+      Bound b = lower_bound_code(inside);
+      if (b.found) {
+        range_lo = b.code;
+        range_hi = domain_max;
+      }
+      break;
+    }
+    case EncodedCompareOp::kEq:
+      eq_range();
+      break;
+    case EncodedCompareOp::kNe:
+      eq_range();
+      invert = true;
+      break;
+    case EncodedCompareOp::kContains:
+      return false;
+  }
+  tally.skipped_encoded = num_rows;
+  ++tally.predicates_encoded;
+  bool range_all = range_lo == 0 && range_hi >= domain_max;
+  bool range_none = range_lo > range_hi;
+  if ((range_all && !invert) || (range_none && invert)) {
+    out->is_true = validity;
+    out->is_false = BitVector(num_rows, false);
+    return true;
+  }
+  if ((range_none && !invert) || (range_all && invert)) {
+    out->is_true = BitVector(num_rows, false);
+    out->is_false = validity;
+    return true;
+  }
+  // One pad word lets every row read two adjacent words unconditionally,
+  // keeping the extraction loop branch-free.
+  std::vector<uint64_t> packed(words + 1, 0);
+  std::memcpy(packed.data(), in.data() + pos, words * sizeof(uint64_t));
+  std::vector<uint64_t> mwords((static_cast<size_t>(num_rows) + 63) / 64, 0);
+  const uint64_t* FEISU_RESTRICT w = packed.data();
+  uint64_t* FEISU_RESTRICT mw = mwords.data();
+  const uint64_t rlo = range_lo;
+  const uint64_t rhi = range_hi;
+  const uint64_t inv = invert ? 1 : 0;
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    size_t bit = static_cast<size_t>(i) * width;
+    size_t idx = bit >> 6;
+    unsigned shift = static_cast<unsigned>(bit & 63);
+    // (x << 1) << (63 - shift) is x << (64 - shift) without the undefined
+    // 64-bit shift at shift == 0 (where the high word contributes nothing).
+    uint64_t v =
+        (w[idx] >> shift) | ((w[idx + 1] << 1) << (63 - shift));
+    v &= domain_max;
+    uint64_t m = (static_cast<uint64_t>(v >= rlo) &
+                  static_cast<uint64_t>(v <= rhi)) ^
+                 inv;
+    mw[i >> 6] |= m << (i & 63);
+  }
+  FinishPredicateBits(BitVector::FromWords(std::move(mwords), num_rows),
+                      validity, out);
+  return true;
+}
+
 // Cheap statistics used to auto-pick an encoding.
 Encoding ChooseEncoding(const ColumnVector& col) {
   if (col.size() < 16) return Encoding::kPlain;
@@ -617,12 +1015,88 @@ Result<ColumnVector> DecodeColumn(DataType type, const EncodedColumn& encoded,
   return Status::Corruption("unknown encoding");
 }
 
+Result<bool> TryEvaluateEncodedCompare(DataType type,
+                                       const EncodedColumn& encoded,
+                                       EncodedCompareOp op,
+                                       const Value& literal,
+                                       EncodedPredicateBits* out) {
+  switch (encoded.encoding) {
+    case Encoding::kDict:
+      if (type != DataType::kString) return false;
+      return EncodedCompareDict(encoded.payload, op, literal, out);
+    case Encoding::kRle:
+      if (type != DataType::kInt64) return false;
+      return EncodedCompareRleInt64(encoded.payload, op, literal, out);
+    case Encoding::kBitPack:
+      if (type != DataType::kInt64) return false;
+      return EncodedCompareBitPack(encoded.payload, op, literal, out);
+    case Encoding::kPlain:
+      break;
+  }
+  return false;
+}
+
+Result<bool> TryExtractDictCodes(const EncodedColumn& encoded,
+                                 const BitVector* selection,
+                                 DictColumnCodes* out) {
+  if (encoded.encoding != Encoding::kDict) return false;
+  const std::string& in = encoded.payload;
+  size_t pos = 0;
+  uint32_t num_rows = 0;
+  BitVector validity;
+  if (!ReadHeader(in, &pos, &num_rows, &validity)) {
+    return Status::Corruption("bad dict column header");
+  }
+  FEISU_RETURN_IF_ERROR(CheckSelection(selection, num_rows));
+  uint32_t dict_size = 0;
+  if (!ReadScalar(in, &pos, &dict_size)) {
+    return Status::Corruption("truncated dict size");
+  }
+  std::vector<std::string> dict(dict_size);
+  for (auto& s : dict) {
+    if (!ReadLengthPrefixed(in, &pos, &s)) {
+      return Status::Corruption("truncated dict entry");
+    }
+  }
+  if (pos + static_cast<size_t>(num_rows) * sizeof(uint32_t) > in.size()) {
+    return Status::Corruption("truncated dict codes");
+  }
+  out->entries = std::move(dict);
+  out->codes.clear();
+  bool bad_code = false;
+  auto append = [&](size_t i) {
+    uint32_t code = 0;
+    std::memcpy(&code, in.data() + pos + i * sizeof(uint32_t), sizeof(code));
+    if (code >= dict_size) {
+      bad_code = true;
+      return;
+    }
+    out->codes.push_back(validity.Get(i) ? code
+                                         : DictColumnCodes::kNullCode);
+  };
+  if (selection != nullptr) {
+    out->codes.reserve(selection->CountOnes());
+    selection->ForEachSetBit(append);
+  } else {
+    out->codes.reserve(num_rows);
+    for (uint32_t i = 0; i < num_rows; ++i) append(i);
+  }
+  if (bad_code) return Status::Corruption("dict code OOB");
+  return true;
+}
+
 DecodeCounters GetDecodeCounters() {
   DecodeCounters out;
   out.values_materialized =
       g_values_materialized.load(std::memory_order_relaxed);
   out.values_skipped = g_values_skipped.load(std::memory_order_relaxed);
   out.runs_skipped = g_runs_skipped.load(std::memory_order_relaxed);
+  out.values_skipped_encoded =
+      g_values_skipped_encoded.load(std::memory_order_relaxed);
+  out.predicates_encoded =
+      g_predicates_encoded.load(std::memory_order_relaxed);
+  out.predicates_fallback =
+      g_predicates_fallback.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -630,6 +1104,13 @@ void ResetDecodeCounters() {
   g_values_materialized.store(0, std::memory_order_relaxed);
   g_values_skipped.store(0, std::memory_order_relaxed);
   g_runs_skipped.store(0, std::memory_order_relaxed);
+  g_values_skipped_encoded.store(0, std::memory_order_relaxed);
+  g_predicates_encoded.store(0, std::memory_order_relaxed);
+  g_predicates_fallback.store(0, std::memory_order_relaxed);
+}
+
+void NoteEncodedPredicateFallback() {
+  g_predicates_fallback.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace feisu

@@ -2,9 +2,11 @@
 #define FEISU_COLUMNAR_ENCODING_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "columnar/column_vector.h"
+#include "columnar/value.h"
 
 namespace feisu {
 
@@ -45,18 +47,98 @@ EncodedColumn EncodeColumnAs(const ColumnVector& column, Encoding encoding);
 Result<ColumnVector> DecodeColumn(DataType type, const EncodedColumn& encoded,
                                   const BitVector* selection = nullptr);
 
+// ---- Compressed-domain predicate kernels. ----
+//
+// These evaluate `column OP literal` directly over the encoded payload and
+// never materialize a ColumnVector: dictionary columns translate the
+// literal into code space once and compare uint32 codes (an equality miss
+// in the dictionary short-circuits to an all-zero match without touching a
+// single row); RLE columns test each run once and fill the bitmap
+// run-granularly (one word-level SetRange per run); bit-packed ints map
+// the comparison onto a contiguous code range via the frame-of-reference
+// monotonicity and run a branchless word-extraction compare. Results are
+// byte-identical to decode-then-evaluate (tests/materialize_test.cc pins
+// the full grid).
+
+/// Comparison operators the kernels understand. Mirrors expr's CompareOp
+/// member-for-member (callers static_cast between them); duplicated here
+/// because columnar sits below expr in the layer DAG and cannot include it.
+enum class EncodedCompareOp : uint8_t {
+  kEq = 0,
+  kNe = 1,
+  kLt = 2,
+  kLe = 3,
+  kGt = 4,
+  kGe = 5,
+  kContains = 6,
+};
+
+/// Kleene predicate bitmaps over one encoded column: bit i of `is_true`
+/// (`is_false`) is set when row i definitely passes (fails); a NULL row
+/// sets neither (UNKNOWN). Same layout as expr's TriStateVector, so the
+/// evaluator copies these through unchanged.
+struct EncodedPredicateBits {
+  BitVector is_true;
+  BitVector is_false;
+};
+
+/// Evaluates `column OP literal` over the encoded payload when a kernel
+/// applies. Returns true and fills `out` on success; returns false (with
+/// `out` untouched) when no kernel covers the combination — the caller
+/// falls back to decode-then-evaluate. Returns an error Status only for
+/// corrupt payloads. Supported combinations:
+///   - kDict  + string column + string literal, every op incl. kContains;
+///   - kRle   + int64 column + numeric literal, every op but kContains;
+///   - kBitPack + int64 column + numeric literal, every op but kContains;
+///   - a NULL literal over any of the above (all rows UNKNOWN).
+Result<bool> TryEvaluateEncodedCompare(DataType type,
+                                       const EncodedColumn& encoded,
+                                       EncodedCompareOp op,
+                                       const Value& literal,
+                                       EncodedPredicateBits* out);
+
+/// A dictionary column cracked open for code-domain group-by: the
+/// dictionary entries plus one code per emitted row (rows follow
+/// `selection` order, exactly like DecodeColumn with the same selection).
+/// NULL rows carry kNullCode. Codes are an internal representation — they
+/// feed the leaf-local Aggregator and never cross the wire (partial
+/// batches always carry materialized strings; DESIGN.md §ownership).
+struct DictColumnCodes {
+  static constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+  std::vector<std::string> entries;
+  std::vector<uint32_t> codes;
+};
+
+/// Extracts dictionary entries and per-row codes from a kDict column.
+/// Returns false when the column is not dictionary-encoded; an error
+/// Status on corrupt payloads.
+Result<bool> TryExtractDictCodes(const EncodedColumn& encoded,
+                                 const BitVector* selection,
+                                 DictColumnCodes* out);
+
 /// Process-wide decode instrumentation (relaxed atomics, cheap enough to
 /// stay on in production builds). `values_materialized` counts appended
 /// output values; `values_skipped` counts encoded slots passed over by a
 /// selection; `runs_skipped` counts whole RLE runs skipped without reading
-/// their row range.
+/// their row range. The compressed-domain path adds per-path counters:
+/// `values_skipped_encoded` counts rows whose predicate was answered
+/// without materializing the value, `predicates_encoded` counts kernel
+/// hits, and `predicates_fallback` counts comparisons that had to decode
+/// (bumped by the evaluator via NoteEncodedPredicateFallback).
 struct DecodeCounters {
   uint64_t values_materialized = 0;
   uint64_t values_skipped = 0;
   uint64_t runs_skipped = 0;
+  uint64_t values_skipped_encoded = 0;
+  uint64_t predicates_encoded = 0;
+  uint64_t predicates_fallback = 0;
 };
 DecodeCounters GetDecodeCounters();
 void ResetDecodeCounters();
+
+/// Records one predicate that fell back from the encoded path to
+/// decode-then-evaluate (see DecodeCounters::predicates_fallback).
+void NoteEncodedPredicateFallback();
 
 }  // namespace feisu
 

@@ -183,6 +183,15 @@ BitVector::BitVector(size_t size, bool value) : size_(size) {
   ClearTrailingBits();
 }
 
+BitVector BitVector::FromWords(std::vector<uint64_t> words, size_t size) {
+  BitVector out;
+  out.size_ = size;
+  out.words_ = std::move(words);
+  out.words_.resize((size + 63) / 64, 0);
+  out.ClearTrailingBits();
+  return out;
+}
+
 bool BitVector::Get(size_t i) const {
   assert(i < size_);
   return (words_[i >> 6] >> (i & 63)) & 1;
@@ -195,6 +204,34 @@ void BitVector::Set(size_t i, bool value) {
     words_[i >> 6] |= mask;
   } else {
     words_[i >> 6] &= ~mask;
+  }
+}
+
+void BitVector::SetRange(size_t begin, size_t end, bool value) {
+  if (end > size_) end = size_;
+  if (begin >= end) return;
+  size_t first_word = begin >> 6;
+  size_t last_word = (end - 1) >> 6;
+  uint64_t first_mask = ~0ULL << (begin & 63);
+  uint64_t last_mask =
+      (end & 63) == 0 ? ~0ULL : (1ULL << (end & 63)) - 1;
+  if (first_word == last_word) {
+    uint64_t mask = first_mask & last_mask;
+    if (value) {
+      words_[first_word] |= mask;
+    } else {
+      words_[first_word] &= ~mask;
+    }
+    return;
+  }
+  if (value) {
+    words_[first_word] |= first_mask;
+    for (size_t w = first_word + 1; w < last_word; ++w) words_[w] = ~0ULL;
+    words_[last_word] |= last_mask;
+  } else {
+    words_[first_word] &= ~first_mask;
+    for (size_t w = first_word + 1; w < last_word; ++w) words_[w] = 0;
+    words_[last_word] &= ~last_mask;
   }
 }
 

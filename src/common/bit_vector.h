@@ -20,11 +20,22 @@ class BitVector {
   /// Creates a vector of `size` bits, all set to `value`.
   explicit BitVector(size_t size, bool value = false);
 
+  /// Adopts raw 64-bit words (bit i of the vector is bit i%64 of word
+  /// i/64). Bits beyond `size` in the last word are cleared. This is how
+  /// the compressed-domain predicate kernels hand over match bitmaps they
+  /// assembled word-at-a-time in a branchless loop.
+  static BitVector FromWords(std::vector<uint64_t> words, size_t size);
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
   bool Get(size_t i) const;
   void Set(size_t i, bool value);
+
+  /// Sets every bit in [begin, end) to `value`. Word-level: a run of 64
+  /// rows costs one store, which is what makes run-granular predicate
+  /// bitmaps over RLE columns cheap (one SetRange per run, not per row).
+  void SetRange(size_t begin, size_t end, bool value);
 
   /// Appends one bit.
   void PushBack(bool value);

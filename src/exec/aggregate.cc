@@ -201,6 +201,8 @@ void Aggregator::AppendGroupKeys(const BatchKeys& keys, size_t row) {
     stored.strings.emplace_back(
         !row_null && col.type() == DataType::kString ? col.strings()[row]
                                                      : std::string());
+    // Runs once per *group* insert, not per row, and serialization needs
+    // the boxed value anyway. feisu-lint: allow(per-row-getvalue)
     SerializeValue(&serialized, col.GetValue(row));
   }
   serialized_keys_.push_back(std::move(serialized));
@@ -466,6 +468,119 @@ Status Aggregator::Consume(const RecordBatch& batch) {
   BatchKeys keys = MakeBatchKeys(std::move(key_ptrs), n);
   std::vector<uint32_t> gids(n);
   for (size_t i = 0; i < n; ++i) gids[i] = FindOrInsert(keys, i);
+
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    AccumulateSpec(s, has_arg[s] ? &arg_cols[s] : nullptr, gids);
+  }
+  return Status::OK();
+}
+
+uint32_t Aggregator::FindOrInsertDictKey(const std::string* key) {
+  if (slots_.empty()) Grow(kInitialSlots);
+  uint64_t word = 0;
+  uint64_t h = kKeyHashSeed;
+  if (key == nullptr) {
+    h = HashCombine(h, 0);
+  } else {
+    word = HashString(*key);
+    h = HashCombine(h, static_cast<uint64_t>(DataType::kString) + 1);
+    h = HashCombine(h, word);
+  }
+  size_t idx = h & slot_mask_;
+  while (true) {
+    ++stats_.hash_probes;
+    uint32_t slot = slots_[idx];
+    if (slot == 0) break;
+    if (slot_hashes_[idx] == h) {
+      uint32_t g = slot - 1;
+      const KeyColumn& stored = key_cols_[0];
+      bool stored_null = stored.nulls[g] != 0;
+      if (key == nullptr) {
+        if (stored_null) return g;
+      } else if (!stored_null && stored.types[g] == DataType::kString &&
+                 stored.words[g] == word && stored.strings[g] == *key) {
+        return g;
+      }
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  uint32_t group = static_cast<uint32_t>(num_groups_++);
+  ++stats_.groups_created;
+  ++stats_.code_domain_groups;
+  slots_[idx] = group + 1;
+  slot_hashes_[idx] = h;
+  group_hashes_.push_back(h);
+  KeyColumn& stored = key_cols_[0];
+  stored.nulls.push_back(key == nullptr ? 1 : 0);
+  stored.types.push_back(DataType::kString);
+  stored.words.push_back(word);
+  stored.strings.emplace_back(key == nullptr ? std::string() : *key);
+  std::string serialized;
+  SerializeValue(&serialized,
+                 key == nullptr ? Value::Null() : Value::String(*key));
+  serialized_keys_.push_back(std::move(serialized));
+  AppendStateSlots();
+  // Keep the load factor under 0.7 so probe chains stay short.
+  if ((num_groups_ + 1) * 10 > slots_.size() * 7) Grow(slots_.size() * 2);
+  return group;
+}
+
+Status Aggregator::ConsumeDictKeyed(const RecordBatch& batch,
+                                    const DictColumnCodes& codes) {
+  if (group_by_.size() != 1) {
+    return Status::InvalidArgument(
+        "ConsumeDictKeyed requires exactly one group key");
+  }
+  size_t n = batch.num_rows();
+  if (codes.codes.size() != n) {
+    return Status::InvalidArgument("dict code count != batch rows");
+  }
+  if (n == 0) return Status::OK();
+
+  std::vector<ColumnVector> arg_cols;
+  arg_cols.reserve(specs_.size());
+  std::vector<bool> has_arg(specs_.size(), false);
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (specs_[s].arg != nullptr) {
+      FEISU_ASSIGN_OR_RETURN(ColumnVector col,
+                             EvaluateExpr(*specs_[s].arg, batch));
+      arg_cols.push_back(std::move(col));
+      has_arg[s] = true;
+    } else {
+      arg_cols.emplace_back(DataType::kInt64);
+    }
+  }
+
+  bool batch_null_free = true;
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (has_arg[s] && arg_cols[s].NullCount() != 0) batch_null_free = false;
+  }
+
+  // Row -> group through the code domain: each distinct code resolves the
+  // hash table once per batch, every repeat is a memo hit that never reads
+  // the key string.
+  std::vector<int64_t> memo(codes.entries.size(), -1);
+  int64_t null_gid = -1;
+  std::vector<uint32_t> gids(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t code = codes.codes[i];
+    if (code == DictColumnCodes::kNullCode) {
+      batch_null_free = false;
+      if (null_gid < 0) null_gid = FindOrInsertDictKey(nullptr);
+      gids[i] = static_cast<uint32_t>(null_gid);
+      continue;
+    }
+    if (code >= codes.entries.size()) {
+      return Status::Corruption("dict code out of range");
+    }
+    int64_t g = memo[code];
+    if (g < 0) {
+      g = FindOrInsertDictKey(&codes.entries[code]);
+      memo[code] = g;
+    }
+    gids[i] = static_cast<uint32_t>(g);
+  }
+  if (batch_null_free) ++stats_.null_fast_path_batches;
 
   for (size_t s = 0; s < specs_.size(); ++s) {
     AccumulateSpec(s, has_arg[s] ? &arg_cols[s] : nullptr, gids);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "columnar/encoding.h"
 #include "columnar/record_batch.h"
 #include "plan/logical_plan.h"
 
@@ -24,6 +25,10 @@ struct AggStats {
   /// Batches whose key and argument columns were all null-free, so every
   /// kernel ran without per-row validity checks.
   uint64_t null_fast_path_batches = 0;
+  /// Groups created through the dictionary-code path (ConsumeDictKeyed):
+  /// their key string was touched once, at insertion, instead of once per
+  /// input row.
+  uint64_t code_domain_groups = 0;
 };
 
 /// Distributed-friendly hash aggregation. Leaf servers Consume() raw rows
@@ -58,6 +63,17 @@ class Aggregator {
 
   /// Accumulates raw input rows.
   Status Consume(const RecordBatch& batch);
+
+  /// Compressed-domain variant of Consume for a single dictionary-encoded
+  /// string group key: `codes` carries the row's dict code per row of
+  /// `batch` (kNullCode for NULL rows) plus the dictionary itself, as
+  /// extracted by TryExtractDictCodes. Each distinct code hashes its key
+  /// string into the group table once per batch; every repeat resolves
+  /// through a code -> group memo without touching string bytes. Aggregate
+  /// arguments are still evaluated from `batch`. Groups, emission order and
+  /// result bytes are identical to Consume over the decoded key column.
+  Status ConsumeDictKeyed(const RecordBatch& batch,
+                          const DictColumnCodes& codes);
 
   /// Accumulates `rows` matched rows without materializing any column —
   /// only valid for an ungrouped aggregation whose specs are all COUNT(*).
@@ -125,6 +141,12 @@ class Aggregator {
   /// Probes the flat table for the row's key; inserts a new group (typed
   /// key data, serialized key bytes, zeroed state slots) on miss.
   uint32_t FindOrInsert(const BatchKeys& keys, size_t row);
+
+  /// Single-string-key find-or-insert for the dictionary-code path
+  /// (`key == nullptr` is the NULL key). Hash chain, stored key cells and
+  /// serialized key bytes replicate FindOrInsert over a string column
+  /// exactly, so groups are shared freely between the two paths.
+  uint32_t FindOrInsertDictKey(const std::string* key);
 
   bool GroupEquals(uint32_t group, const BatchKeys& keys, size_t row) const;
 

@@ -143,7 +143,97 @@ bool TryFastCompare(const Expr& expr, const RecordBatch& batch,
   return false;
 }
 
+// EncodedCompareOp mirrors CompareOp member-for-member so comparisons can
+// be handed to the columnar kernels with a cast; pin the mirror here.
+static_assert(static_cast<int>(EncodedCompareOp::kEq) ==
+              static_cast<int>(CompareOp::kEq));
+static_assert(static_cast<int>(EncodedCompareOp::kNe) ==
+              static_cast<int>(CompareOp::kNe));
+static_assert(static_cast<int>(EncodedCompareOp::kLt) ==
+              static_cast<int>(CompareOp::kLt));
+static_assert(static_cast<int>(EncodedCompareOp::kLe) ==
+              static_cast<int>(CompareOp::kLe));
+static_assert(static_cast<int>(EncodedCompareOp::kGt) ==
+              static_cast<int>(CompareOp::kGt));
+static_assert(static_cast<int>(EncodedCompareOp::kGe) ==
+              static_cast<int>(CompareOp::kGe));
+static_assert(static_cast<int>(EncodedCompareOp::kContains) ==
+              static_cast<int>(CompareOp::kContains));
+
+// Recursive compressed-domain walk: true = every leaf answered by an
+// encoded kernel, false = some leaf needs the decode path. Kleene
+// combination is identical to EvaluatePredicate3VL's.
+Result<bool> EncodedPredicateRec(const Expr& expr, const ColumnarBlock& block,
+                                 TriStateVector* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLogical: {
+      if (expr.logical_op() == LogicalOp::kNot) {
+        TriStateVector child;
+        FEISU_ASSIGN_OR_RETURN(
+            bool ok, EncodedPredicateRec(*expr.child(0), block, &child));
+        if (!ok) return false;
+        std::swap(child.is_true, child.is_false);
+        *out = std::move(child);
+        return true;
+      }
+      TriStateVector lhs;
+      TriStateVector rhs;
+      FEISU_ASSIGN_OR_RETURN(
+          bool lok, EncodedPredicateRec(*expr.child(0), block, &lhs));
+      if (!lok) return false;
+      FEISU_ASSIGN_OR_RETURN(
+          bool rok, EncodedPredicateRec(*expr.child(1), block, &rhs));
+      if (!rok) return false;
+      if (expr.logical_op() == LogicalOp::kAnd) {
+        out->is_true = BitVector::And(lhs.is_true, rhs.is_true);
+        out->is_false = BitVector::Or(lhs.is_false, rhs.is_false);
+      } else {
+        out->is_true = BitVector::Or(lhs.is_true, rhs.is_true);
+        out->is_false = BitVector::And(lhs.is_false, rhs.is_false);
+      }
+      return true;
+    }
+    case ExprKind::kComparison: {
+      const ExprPtr& l = expr.child(0);
+      const ExprPtr& r = expr.child(1);
+      if (l->kind() != ExprKind::kColumnRef ||
+          r->kind() != ExprKind::kLiteral) {
+        return false;
+      }
+      int idx = -1;
+      if (!l->table().empty()) {
+        idx = block.schema().FieldIndex(l->QualifiedName());
+      }
+      if (idx < 0) idx = block.schema().FieldIndex(l->column());
+      if (idx < 0) return false;
+      EncodedPredicateBits bits;
+      FEISU_ASSIGN_OR_RETURN(
+          bool handled,
+          TryEvaluateEncodedCompare(
+              block.schema().field(idx).type,
+              block.encoded_column(static_cast<size_t>(idx)),
+              static_cast<EncodedCompareOp>(expr.compare_op()), r->value(),
+              &bits));
+      if (!handled) return false;
+      out->is_true = std::move(bits.is_true);
+      out->is_false = std::move(bits.is_false);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 }  // namespace
+
+Result<bool> TryEvaluatePredicateEncoded(const Expr& expr,
+                                         const ColumnarBlock& block,
+                                         TriStateVector* out) {
+  FEISU_ASSIGN_OR_RETURN(bool handled,
+                         EncodedPredicateRec(expr, block, out));
+  if (!handled) NoteEncodedPredicateFallback();
+  return handled;
+}
 
 Result<DataType> InferType(const Expr& expr, const Schema& schema) {
   switch (expr.kind()) {

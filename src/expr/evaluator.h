@@ -25,6 +25,19 @@ struct TriStateVector {
 Result<TriStateVector> EvaluatePredicate3VL(const Expr& expr,
                                             const RecordBatch& batch);
 
+/// Compressed-domain predicate evaluation: walks a normalized predicate
+/// (comparisons, AND/OR/NOT) against a block's *encoded* columns and
+/// answers it without decoding a single value, via the columnar kernels
+/// (TryEvaluateEncodedCompare). Returns true with `out` filled — then
+/// `out` is byte-identical to EvaluatePredicate3VL over the decoded batch
+/// — or false when any leaf of the expression has no kernel (unsupported
+/// op/type/encoding combination, non-literal comparand, unknown column):
+/// the caller falls back to decode-then-evaluate, and the miss is counted
+/// in DecodeCounters::predicates_fallback.
+Result<bool> TryEvaluatePredicateEncoded(const Expr& expr,
+                                         const ColumnarBlock& block,
+                                         TriStateVector* out);
+
 /// Evaluates a boolean predicate; row i is selected iff the predicate is
 /// TRUE (SQL three-valued logic: UNKNOWN rows are not selected).
 Result<BitVector> EvaluatePredicate(const Expr& expr,

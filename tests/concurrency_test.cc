@@ -183,12 +183,14 @@ TEST(IndexCacheConcurrencyTest, HandleOutlivesConcurrentEviction) {
 // ---------- Parallel leaf path: determinism ----------
 
 std::unique_ptr<FeisuEngine> MakeEngine(uint64_t seed, size_t parallelism,
-                                        bool selection_pushdown = true) {
+                                        bool selection_pushdown = true,
+                                        bool compressed_eval = true) {
   EngineConfig config;
   config.num_leaf_nodes = 8;
   config.rows_per_block = 512;
   config.master.leaf_parallelism = parallelism;
   config.leaf.enable_selection_pushdown = selection_pushdown;
+  config.leaf.enable_compressed_eval = compressed_eval;
   auto engine = std::make_unique<FeisuEngine>(config);
   engine->AddStorage("/hdfs", MakeHdfs(), /*is_default=*/true);
   engine->GrantAllDomains("ana");
@@ -215,6 +217,14 @@ const char* const kDeterminismQueries[] = {
     "SELECT c1, COUNT(*), SUM(c0), MIN(c2), MAX(c2), AVG(c3) "
     "FROM t1 GROUP BY c1",
     "SELECT c0 % 5 AS b, SUM(c3), MIN(c1), MAX(c1) FROM t1 GROUP BY c0 % 5",
+    // String predicates over the dictionary-friendly columns (c1 keywords,
+    // c8 categories): equality hit, inequality, range, CONTAINS, and a
+    // dictionary miss — the shapes the compressed-domain kernels serve.
+    "SELECT COUNT(*) FROM t1 WHERE c1 = 'kw_1'",
+    "SELECT c8, COUNT(*) FROM t1 WHERE c8 <> 'cat_2' GROUP BY c8",
+    "SELECT c0, c1 FROM t1 WHERE c1 CONTAINS 'kw_1' ORDER BY c0 LIMIT 20",
+    "SELECT COUNT(*) FROM t1 WHERE c1 = 'zz_no_such_keyword'",
+    "SELECT c8, SUM(c0) FROM t1 WHERE c8 >= 'cat_3' GROUP BY c8",
 };
 
 // Serializes a batch through the columnar codec: a byte-exact fingerprint
@@ -287,6 +297,36 @@ TEST_P(ParallelDeterminism, SelectionPushdownIsByteIdentical) {
     for (size_t i = 0; i < push_prints.size(); ++i) {
       EXPECT_EQ(push_prints[i], ref_prints[i])
           << "query diverged under pushdown: " << kDeterminismQueries[i];
+    }
+  }
+}
+
+// Compressed-domain execution is an optimization, not a semantics change:
+// with enable_compressed_eval on, every query must produce byte-identical
+// batches to the decode-then-evaluate path — across selection pushdown
+// on/off and sequential/parallel leaves — and identical simulated response
+// times, because the encoded kernels charge exactly the costs the decode
+// path would have (the chaos schedules depend on that sim-time invariance).
+TEST_P(ParallelDeterminism, CompressedEvalIsByteIdentical) {
+  uint64_t seed = GetParam();
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    for (bool pushdown : {false, true}) {
+      auto compressed = MakeEngine(seed, parallelism, pushdown,
+                                   /*compressed_eval=*/true);
+      auto decode = MakeEngine(seed, parallelism, pushdown,
+                               /*compressed_eval=*/false);
+      SimTime at = kSimMinute;
+      for (const char* sql : kDeterminismQueries) {
+        auto a = compressed->QueryAt("ana", sql, at);
+        auto b = decode->QueryAt("ana", sql, at);
+        ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+        ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+        EXPECT_EQ(Fingerprint(a->batch), Fingerprint(b->batch))
+            << "result diverged under compressed eval: " << sql;
+        EXPECT_EQ(a->stats.response_time, b->stats.response_time)
+            << "sim cost diverged under compressed eval: " << sql;
+        at += kSimMinute;
+      }
     }
   }
 }

@@ -10,8 +10,12 @@
 
 #include "columnar/column_vector.h"
 #include "columnar/encoding.h"
+#include "columnar/record_batch.h"
+#include "columnar/schema.h"
 #include "common/bit_vector.h"
 #include "common/rng.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
 
 namespace feisu {
 namespace {
@@ -316,6 +320,162 @@ TEST(RleAlgebraTest, CombineCostScalesWithRunsNotRows) {
                         &tokens));
   EXPECT_LE(tokens, 8u);  // vs. kBits/64 = 16384 words in the flat domain
   EXPECT_EQ(BitVector::RleCountOnes(out), 0u);
+}
+
+// ---------- Compressed-domain predicates: differential grid ----------
+
+// The support matrix TryEvaluateEncodedCompare documents, spelled out so
+// the grid below asserts handledness exactly — a silently shrinking kernel
+// (everything falls back) or a silently growing one (untested combination
+// claims to be handled) both fail here.
+bool KernelShouldHandle(Encoding encoding, DataType type, EncodedCompareOp op,
+                        const Value& literal) {
+  switch (encoding) {
+    case Encoding::kDict:
+      if (type != DataType::kString) return false;
+      return literal.is_null() || literal.type() == DataType::kString;
+    case Encoding::kRle:
+    case Encoding::kBitPack:
+      if (type != DataType::kInt64) return false;
+      if (literal.is_null()) return true;
+      return literal.is_numeric() && op != EncodedCompareOp::kContains;
+    case Encoding::kPlain:
+      return false;
+  }
+  return false;
+}
+
+// Runs one (encoded column, op, literal) cell of the grid: handledness must
+// match the support matrix, and a handled kernel's bitmaps must be
+// byte-identical (via their canonical RLE serialization) to the 3VL
+// evaluator over the decoded batch.
+void CheckEncodedCell(DataType type, const EncodedColumn& encoded,
+                      const RecordBatch& batch, EncodedCompareOp op,
+                      const Value& literal, size_t* handled_count) {
+  EncodedPredicateBits bits;
+  auto handled = TryEvaluateEncodedCompare(type, encoded, op, literal, &bits);
+  ASSERT_TRUE(handled.ok()) << handled.status().ToString();
+  ASSERT_EQ(*handled, KernelShouldHandle(encoded.encoding, type, op, literal))
+      << EncodingName(encoded.encoding) << " op=" << static_cast<int>(op);
+  if (!*handled) return;
+  ++*handled_count;
+  ExprPtr expr = Expr::Compare(static_cast<CompareOp>(op),
+                               Expr::ColumnRef("c"), Expr::Literal(literal));
+  auto ref = EvaluatePredicate3VL(*expr, batch);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(bits.is_true.SerializeRle(), ref->is_true.SerializeRle())
+      << EncodingName(encoded.encoding) << " op=" << static_cast<int>(op)
+      << " rows=" << batch.num_rows();
+  EXPECT_EQ(bits.is_false.SerializeRle(), ref->is_false.SerializeRle())
+      << EncodingName(encoded.encoding) << " op=" << static_cast<int>(op)
+      << " rows=" << batch.num_rows();
+}
+
+TEST(CompressedPredicateTest, MatchesDecodeThenEvaluateEverywhere) {
+  const DataType kTypes[] = {DataType::kInt64, DataType::kString};
+  const Encoding kEncodings[] = {Encoding::kRle, Encoding::kDict,
+                                 Encoding::kBitPack};
+  const EncodedCompareOp kOps[] = {
+      EncodedCompareOp::kEq, EncodedCompareOp::kNe, EncodedCompareOp::kLt,
+      EncodedCompareOp::kLe, EncodedCompareOp::kGt, EncodedCompareOp::kGe,
+      EncodedCompareOp::kContains};
+  const size_t kSizes[] = {0, 1, 64, 777};
+  size_t handled_count = 0;
+  for (DataType type : kTypes) {
+    for (Encoding encoding : kEncodings) {
+      for (size_t rows : kSizes) {
+        for (bool with_nulls : {false, true}) {
+          ColumnVector col = MakeColumn(type, rows, with_nulls, rows + 29);
+          // EncodeColumnAs falls back to plain for inapplicable encodings;
+          // the support-matrix assertion keys off the *actual* encoding.
+          EncodedColumn encoded = EncodeColumnAs(col, encoding);
+          auto decoded = DecodeColumn(type, encoded);
+          ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+          RecordBatch batch(Schema({{"c", type, true}}), {*decoded});
+          std::vector<Value> literals;
+          if (type == DataType::kInt64) {
+            // In-domain (MakeColumn draws 0..40), fractional (no int64 is
+            // ever equal), and NULL.
+            literals = {Value::Int64(20), Value::Double(20.5), Value::Null(),
+                        Value::String("v5")};
+          } else {
+            // Present entry, dictionary miss, multi-entry CONTAINS
+            // substring ("v1" hits v1/v10/v11), and NULL.
+            literals = {Value::String("v5"), Value::String("zz_missing"),
+                        Value::String("v1"), Value::Null(), Value::Int64(3)};
+          }
+          for (EncodedCompareOp op : kOps) {
+            for (const Value& literal : literals) {
+              CheckEncodedCell(type, encoded, batch, op, literal,
+                               &handled_count);
+            }
+          }
+        }
+      }
+    }
+  }
+  // The grid must actually exercise the kernels, not fall back everywhere.
+  EXPECT_GT(handled_count, 300u);
+}
+
+TEST(CompressedPredicateTest, DictMissShortCircuitsWithoutRowWork) {
+  ColumnVector col = MakeColumn(DataType::kString, 777, true, 5);
+  EncodedColumn encoded = EncodeColumnAs(col, Encoding::kDict);
+  ASSERT_EQ(encoded.encoding, Encoding::kDict);
+  ResetDecodeCounters();
+  EncodedPredicateBits bits;
+  auto handled =
+      TryEvaluateEncodedCompare(DataType::kString, encoded,
+                                EncodedCompareOp::kEq,
+                                Value::String("zz_missing"), &bits);
+  ASSERT_TRUE(handled.ok()) << handled.status().ToString();
+  ASSERT_TRUE(*handled);
+  DecodeCounters counters = GetDecodeCounters();
+  // The miss is answered from the dictionary alone: every row is charged
+  // as skipped-encoded, nothing is materialized, one kernel hit.
+  EXPECT_EQ(counters.values_skipped_encoded, col.size());
+  EXPECT_EQ(counters.values_materialized, 0u);
+  EXPECT_EQ(counters.predicates_encoded, 1u);
+  EXPECT_EQ(counters.predicates_fallback, 0u);
+  // TRUE set is all-zero; FALSE set is exactly the validity bitmap (every
+  // non-null row definitely fails, NULL rows stay UNKNOWN).
+  EXPECT_TRUE(bits.is_true.AllZeros());
+  auto decoded = DecodeColumn(DataType::kString, encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(bits.is_false.size(), decoded->size());
+  for (size_t i = 0; i < decoded->size(); ++i) {
+    EXPECT_EQ(bits.is_false.Get(i), !decoded->IsNull(i)) << i;
+  }
+}
+
+TEST(CompressedPredicateTest, RleRunBoundariesCrossWordEdges) {
+  // Hand-built runs of 1/63/64/65 rows with alternating values, so match
+  // ranges start and end exactly at (and one off) 64-bit word boundaries —
+  // the shapes where a run-granular SetRange fill would clip or bleed.
+  const size_t kRuns[] = {1, 63, 64, 65, 1, 64, 63, 65};
+  ColumnVector col(DataType::kInt64);
+  int64_t value = 0;
+  for (size_t run : kRuns) {
+    for (size_t k = 0; k < run; ++k) col.AppendInt64(value);
+    value = value == 0 ? 50 : 0;  // alternate below / above the literals
+  }
+  EncodedColumn encoded = EncodeColumnAs(col, Encoding::kRle);
+  ASSERT_EQ(encoded.encoding, Encoding::kRle);
+  auto decoded = DecodeColumn(DataType::kInt64, encoded);
+  ASSERT_TRUE(decoded.ok());
+  RecordBatch batch(Schema({{"c", DataType::kInt64, true}}), {*decoded});
+  size_t handled_count = 0;
+  for (EncodedCompareOp op :
+       {EncodedCompareOp::kEq, EncodedCompareOp::kNe, EncodedCompareOp::kLt,
+        EncodedCompareOp::kLe, EncodedCompareOp::kGt,
+        EncodedCompareOp::kGe}) {
+    for (const Value& literal :
+         {Value::Int64(0), Value::Int64(50), Value::Double(25.0)}) {
+      CheckEncodedCell(DataType::kInt64, encoded, batch, op, literal,
+                       &handled_count);
+    }
+  }
+  EXPECT_EQ(handled_count, 18u);  // every cell must hit the RLE kernel
 }
 
 }  // namespace

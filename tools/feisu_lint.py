@@ -49,6 +49,14 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                    A bare `NOLINT`, a wildcard check set, or a named check
                    with no justification turns off analysis silently and
                    keeps doing so after the original cause is gone.
+  per-row-getvalue No `GetValue()` calls inside a loop in src/exec/: boxing
+                   every cell through a Value variant is the per-row slow
+                   path the typed batch kernels (and the compressed-domain
+                   kernels) exist to avoid. Hot operators must use the
+                   typed column accessors. Genuine single-row sites (e.g.
+                   one-row residual evaluation, group-key serialization at
+                   insert time) carry an inline waiver:
+                   `// feisu-lint: allow(per-row-getvalue): <reason>`.
 
 Exit status: 0 when no violations, 1 when violations were reported,
 2 on usage errors. `--self-test` checks the seeded fixture files under
@@ -118,6 +126,9 @@ NO_ANALYSIS_RE = re.compile(r"\bFEISU_NO_THREAD_SAFETY_ANALYSIS\b")
 # clang-tidy suppression tokens. NOLINTEND is exempt (it closes a BEGIN
 # whose check list and justification are validated at the BEGIN site).
 NOLINT_TOKEN_RE = re.compile(r"\bNOLINT(NEXTLINE|BEGIN|END)?\b")
+
+PER_ROW_GETVALUE_RE = re.compile(r"(?:\.|->)\s*GetValue\s*\(")
+LOOP_HEADER_RE = re.compile(r"(?<![\w])(?:for|while)\s*\(")
 
 SIM_CLOCK_RES = [
     re.compile(r"\bstd::chrono::steady_clock\b"),
@@ -238,6 +249,46 @@ def is_concurrency_exempt_path(path):
     return rel.startswith("src/common/") or rel.startswith("tests/")
 
 
+def is_per_row_getvalue_scoped_path(path):
+    """Paths where the per-row-getvalue rule applies: the hot operator
+    layer plus its seeded lint fixtures."""
+    rel = os.path.relpath(os.path.abspath(path), REPO_ROOT)
+    rel = rel.replace(os.sep, "/")
+    return (rel.startswith("src/exec/") or
+            rel.startswith("tools/lint_fixtures/exec/"))
+
+
+def find_getvalue_in_loops(code_lines):
+    """Line numbers of GetValue() calls inside a for/while body. Brace
+    depths of loop bodies are tracked line by line; a loop header whose
+    body turns out to be brace-less stops matching at its first
+    statement-terminating line (the repo style always braces loops, so
+    this only has to fail conservatively)."""
+    hits = []
+    depth = 0
+    loop_depths = []
+    pending_loop = False
+    for lineno, line in enumerate(code_lines, start=1):
+        if LOOP_HEADER_RE.search(line):
+            pending_loop = True
+        if PER_ROW_GETVALUE_RE.search(line) and (loop_depths or pending_loop):
+            hits.append(lineno)
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending_loop:
+                    loop_depths.append(depth)
+                    pending_loop = False
+            elif ch == "}":
+                if loop_depths and loop_depths[-1] == depth:
+                    loop_depths.pop()
+                depth -= 1
+        if (pending_loop and "{" not in line and ";" in line and
+                not LOOP_HEADER_RE.search(line)):
+            pending_loop = False  # brace-less body ended
+    return hits
+
+
 def nolint_problem(raw_line, match):
     """Returns a complaint string when a NOLINT token is bare, wildcarded,
     or unjustified; None when it is well-formed (or a NOLINTEND)."""
@@ -352,6 +403,15 @@ def lint_file(path):
                         "justification comment on this line or the line "
                         "above; say why the analysis is wrong here"))
 
+    if is_per_row_getvalue_scoped_path(path):
+        for lineno in find_getvalue_in_loops(code_lines):
+            if not waived(lineno, "per-row-getvalue"):
+                violations.append(Violation(
+                    path, lineno, "per-row-getvalue",
+                    "GetValue() inside a loop boxes every cell through a "
+                    "Value variant; use the typed column accessors "
+                    "(ints()/doubles()/strings()) or a batch kernel"))
+
     # NOLINT lives inside comments, so this rule reads the raw lines.
     for lineno, raw_line in enumerate(raw_lines, start=1):
         for m in NOLINT_TOKEN_RE.finditer(raw_line):
@@ -438,12 +498,14 @@ def run_self_test():
         "detached_thread.cc": "detached-thread",
         os.path.join("cluster", "chrono_scheduler.cc"): "sim-clock",
         "bare_nolint.cc": "bare-nolint",
+        os.path.join("exec", "per_row_getvalue.cc"): "per-row-getvalue",
     }
     # Fixtures that must lint CLEAN: they contain would-be violations that
     # are properly waived, proving the waiver machinery works per rule.
     expected_clean = ["raw_mutex_waived.cc",
                       "nolint_justified.cc",
-                      os.path.join("cluster", "sim_clock_waived.cc")]
+                      os.path.join("cluster", "sim_clock_waived.cc"),
+                      os.path.join("exec", "per_row_getvalue_waived.cc")]
     failures = []
     for name, rule in sorted(expected.items()):
         path = os.path.join(FIXTURE_DIR, name)

@@ -1,0 +1,20 @@
+// Seeded fixture for the per-row-getvalue rule: boxing every cell through
+// GetValue inside a row loop is the per-row slow path; in src/exec/ it must
+// be flagged so hot operators stay on the typed batch kernels.
+#include <cstddef>
+
+namespace feisu_lint_fixture {
+
+struct Col {
+  long GetValue(size_t row) const { return static_cast<long>(row); }
+};
+
+long SumBoxed(const Col& col, size_t n) {
+  long total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += col.GetValue(i);
+  }
+  return total;
+}
+
+}  // namespace feisu_lint_fixture

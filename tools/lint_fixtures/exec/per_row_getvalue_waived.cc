@@ -1,0 +1,21 @@
+// Seeded fixture proving the per-row-getvalue waiver works: the same
+// boxed call as per_row_getvalue.cc, justified inline, must lint clean.
+// GetValue outside any loop (the single-row tail call) is also clean.
+#include <cstddef>
+
+namespace feisu_lint_fixture {
+
+struct Col {
+  long GetValue(size_t row) const { return static_cast<long>(row); }
+};
+
+long SumBoxedWaived(const Col& col, size_t n) {
+  long total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // feisu-lint: allow(per-row-getvalue): fixture for the waiver path
+    total += col.GetValue(i);
+  }
+  return total + col.GetValue(0);
+}
+
+}  // namespace feisu_lint_fixture

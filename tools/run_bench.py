@@ -13,14 +13,25 @@ existing build tree, then writes one JSON artifact combining:
 CI uploads the artifact on every run so perf regressions are diffable
 across commits. Stdlib only; no third-party dependencies.
 
+The artifact's `context` block carries the git SHA (plus a -dirty suffix
+for uncommitted trees) and the CMake build type, so recorded numbers are
+attributable to an exact source state and optimization level.
+
+With --compare BASELINE.json the run additionally diffs the
+`agg_consume_speedup` and `compressed_eval_speedup` blocks against a
+previously recorded artifact and exits 1 when any speedup regressed by
+more than 25% — CI runs this as an advisory (continue-on-error) step.
+
 Usage:
   python3 tools/run_bench.py [--build-dir build] [--out BENCH_micro_ops.json]
                              [--filter REGEX] [--skip-fig9a]
+                             [--compare BASELINE.json]
 """
 
 import argparse
 import json
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -57,6 +68,34 @@ def run_micro_ops(build_dir: pathlib.Path, bench_filter: str) -> dict:
     return {"context": report.get("context", {}), "benchmarks": benchmarks}
 
 
+def git_sha() -> str:
+    """HEAD's SHA, with a -dirty suffix when the tree has local changes;
+    "unknown" outside a git checkout."""
+    try:
+        rev = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, check=False)
+        if rev.returncode != 0:
+            return "unknown"
+        sha = rev.stdout.strip()
+        status = subprocess.run(["git", "status", "--porcelain"],
+                                capture_output=True, text=True, check=False)
+        if status.returncode == 0 and status.stdout.strip():
+            sha += "-dirty"
+        return sha
+    except OSError:
+        return "unknown"
+
+
+def cmake_build_type(build_dir: pathlib.Path) -> str:
+    cache = build_dir / "CMakeCache.txt"
+    if cache.is_file():
+        m = re.search(r"^CMAKE_BUILD_TYPE:\w+=(.*)$", cache.read_text(),
+                      re.MULTILINE)
+        if m:
+            return m.group(1).strip() or "unspecified"
+    return "unknown"
+
+
 def agg_speedups(micro_ops: dict) -> dict:
     """Vectorized-vs-map-baseline aggregation speedups, per cardinality.
 
@@ -78,6 +117,66 @@ def agg_speedups(micro_ops: dict) -> dict:
                 "speedup": baseline / t,
             }
     return speedups
+
+
+# (encoded bench, decode-then-evaluate baseline, artifact label): the
+# compressed-domain pairs BENCH_micro_ops.json tracks. Benches with args
+# pair per arg (label gets an _x<arg> suffix).
+COMPRESSED_EVAL_PAIRS = [
+    ("BM_DictPredicateEncoded", "BM_DictPredicateDecode", "dict_predicate"),
+    ("BM_RlePredicateEncoded", "BM_RlePredicateDecode", "rle_predicate"),
+    ("BM_AggConsumeDictCodes", "BM_AggConsumeStringKeys", "dict_group_by"),
+]
+
+
+def compressed_eval_speedups(micro_ops: dict) -> dict:
+    """Encoded-kernel vs decode-baseline speedups for the compressed-domain
+    execution paths (dict/RLE predicates, group-by on dict codes)."""
+    times = {row["name"]: row.get("real_time_ns")
+             for row in micro_ops.get("benchmarks", [])}
+    speedups = {}
+    for encoded_name, baseline_name, label in COMPRESSED_EVAL_PAIRS:
+        for name, t in times.items():
+            if name != encoded_name and \
+                    not name.startswith(encoded_name + "/"):
+                continue
+            if not t:
+                continue
+            suffix = name[len(encoded_name):]
+            baseline = times.get(baseline_name + suffix)
+            if not baseline:
+                continue
+            key = label + suffix.replace("/", "_x")
+            speedups[key] = {
+                "decode_ns": baseline,
+                "encoded_ns": t,
+                "speedup": baseline / t,
+            }
+    return speedups
+
+
+# A speedup may drop to this fraction of its recorded baseline before
+# --compare calls it a regression (>25% loss fails).
+REGRESSION_TOLERANCE = 0.75
+
+
+def compare_speedups(baseline: dict, current: dict) -> list:
+    """Failure strings for every tracked speedup that regressed by more
+    than 25% (or disappeared) relative to the baseline artifact."""
+    failures = []
+    for block in ("agg_consume_speedup", "compressed_eval_speedup"):
+        for key, row in sorted(baseline.get(block, {}).items()):
+            old = row.get("speedup")
+            if not old:
+                continue
+            new = current.get(block, {}).get(key, {}).get("speedup")
+            if new is None:
+                failures.append(f"{block}/{key}: missing from current run "
+                                f"(baseline {old:.2f}x)")
+            elif new < old * REGRESSION_TOLERANCE:
+                failures.append(f"{block}/{key}: {old:.2f}x -> {new:.2f}x "
+                                f"(more than 25% regression)")
+    return failures
 
 
 def run_fig9a(build_dir: pathlib.Path) -> dict:
@@ -102,13 +201,23 @@ def main() -> int:
                         help="optional --benchmark_filter regex")
     parser.add_argument("--skip-fig9a", action="store_true",
                         help="skip the ~20s fig9a reproduction run")
+    parser.add_argument("--compare", metavar="BASELINE_JSON",
+                        help="diff the speedup blocks against a previous "
+                             "artifact; exit 1 on a >25%% regression")
     args = parser.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
     artifact = {"micro_ops": run_micro_ops(build_dir, args.filter)}
+    artifact["micro_ops"].setdefault("context", {})
+    artifact["micro_ops"]["context"]["git_sha"] = git_sha()
+    artifact["micro_ops"]["context"]["cmake_build_type"] = \
+        cmake_build_type(build_dir)
     speedups = agg_speedups(artifact["micro_ops"])
     if speedups:
         artifact["agg_consume_speedup"] = speedups
+    compressed = compressed_eval_speedups(artifact["micro_ops"])
+    if compressed:
+        artifact["compressed_eval_speedup"] = compressed
     if not args.skip_fig9a:
         artifact["fig9a_smartindex"] = run_fig9a(build_dir)
 
@@ -125,12 +234,30 @@ def main() -> int:
         print(f"agg Consume x{card} groups: {row['vectorized_ns']:.0f} ns "
               f"vectorized vs {row['map_baseline_ns']:.0f} ns map baseline "
               f"-> {row['speedup']:.2f}x")
+    for key, row in sorted(compressed.items()):
+        print(f"compressed eval {key}: {row['encoded_ns']:.0f} ns encoded "
+              f"vs {row['decode_ns']:.0f} ns decode "
+              f"-> {row['speedup']:.2f}x")
     if not args.skip_fig9a:
         verdict = ("REPRODUCED"
                    if artifact["fig9a_smartindex"]["reproduced"]
                    else "NOT reproduced")
         print(f"fig9a SmartIndex speedup: {verdict}")
     print(f"wrote {out_path}")
+
+    if args.compare:
+        baseline_path = pathlib.Path(args.compare)
+        if not baseline_path.is_file():
+            sys.exit(f"error: --compare baseline {baseline_path} not found")
+        baseline = json.loads(baseline_path.read_text())
+        failures = compare_speedups(baseline, artifact)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            print(f"--compare: {len(failures)} tracked speedup(s) regressed "
+                  f"vs {baseline_path}", file=sys.stderr)
+            return 1
+        print(f"--compare: no tracked speedup regressed vs {baseline_path}")
     return 0
 
 
