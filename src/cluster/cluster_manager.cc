@@ -6,12 +6,11 @@ ClusterManager::ClusterManager(SimTime heartbeat_interval, SimTime dead_after)
     : heartbeat_interval_(heartbeat_interval), dead_after_(dead_after) {}
 
 uint32_t ClusterManager::AddNode(bool is_stem, int cores, int task_slots) {
-  NodeInfo node;
-  node.node_id = static_cast<uint32_t>(nodes_.size());
+  NodeInfo& node = nodes_.emplace_back();
+  node.node_id = static_cast<uint32_t>(nodes_.size() - 1);
   node.is_stem = is_stem;
   node.cores = cores;
   node.task_slots = task_slots;
-  nodes_.push_back(node);
   return node.node_id;
 }
 

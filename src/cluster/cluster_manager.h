@@ -1,7 +1,9 @@
 #ifndef FEISU_CLUSTER_CLUSTER_MANAGER_H_
 #define FEISU_CLUSTER_CLUSTER_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -10,10 +12,20 @@
 namespace feisu {
 
 /// Per-node runtime information tracked by the cluster manager.
+///
+/// Field discipline under the multi-query master: `alive` is atomic —
+/// crash detection flips it from any job coordinator and placement reads
+/// it from all of them. The remaining mutable fields (`last_heartbeat`,
+/// `slowdown_factor`, `tasks_executed`) are written only by the
+/// single-threaded control plane (engine maintenance, test setup, and the
+/// master's admission path, which serializes fault-event application
+/// under its admission mutex) and read by coordinators; `node_id`,
+/// `is_stem`, `cores` and `task_slots` are set at AddNode and immutable
+/// afterwards.
 struct NodeInfo {
   uint32_t node_id = 0;
   bool is_stem = false;
-  bool alive = true;
+  std::atomic<bool> alive{true};
   int cores = 4;
   int task_slots = 4;             ///< concurrent Feisu tasks allowed
   double slowdown_factor = 1.0;   ///< >1 models a degraded/contended node
@@ -26,6 +38,9 @@ struct NodeInfo {
 /// geo-distributed — so liveness comes from periodic heartbeats over the
 /// control traffic class and nodes missing `dead_after` are treated as
 /// crashed until they report again.
+///
+/// Nodes live in a deque so NodeInfo pointers stay stable across AddNode;
+/// AddNode itself is a setup-time operation (before queries run).
 class ClusterManager {
  public:
   explicit ClusterManager(SimTime heartbeat_interval = 5 * kSimSecond,
@@ -62,7 +77,7 @@ class ClusterManager {
  private:
   SimTime heartbeat_interval_;
   SimTime dead_after_;
-  std::vector<NodeInfo> nodes_;
+  std::deque<NodeInfo> nodes_;
 };
 
 }  // namespace feisu

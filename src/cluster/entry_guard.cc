@@ -9,6 +9,7 @@ EntryGuard::EntryGuard(SsoAuthenticator* sso, const Catalog* catalog,
 Result<JobCredential> EntryGuard::Admit(const std::string& user,
                                         const std::string& table,
                                         SimTime now) {
+  MutexLock lock(mutex_);
   // Quota: count queries per simulated day.
   int64_t day = now / (24 * kSimHour);
   auto& [last_day, count] = usage_[user];
@@ -44,7 +45,113 @@ Result<JobCredential> EntryGuard::Admit(const std::string& user,
 
 bool EntryGuard::AuthorizeDomain(const JobCredential& credential,
                                  const std::string& domain) const {
+  // The SSO authenticator is unsynchronized; serialize reads against the
+  // credential mints Admit performs on other threads.
+  MutexLock lock(mutex_);
   return sso_->Authorize(credential, domain);
+}
+
+void EntryGuard::set_default_tenant_quota(const TenantQuota& quota) {
+  MutexLock lock(mutex_);
+  default_tenant_quota_ = quota;
+}
+
+void EntryGuard::SetTenantQuota(const std::string& user,
+                                const TenantQuota& quota) {
+  MutexLock lock(mutex_);
+  tenant_quotas_[user] = quota;
+}
+
+const TenantQuota& EntryGuard::QuotaFor(const std::string& user) const {
+  auto it = tenant_quotas_.find(user);
+  return it == tenant_quotas_.end() ? default_tenant_quota_ : it->second;
+}
+
+Status EntryGuard::EnqueueJob(const std::string& user,
+                              size_t queue_capacity) {
+  MutexLock lock(mutex_);
+  if (queue_capacity > 0 && jobs_queued_ >= queue_capacity) {
+    ++jobs_rejected_;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_capacity) +
+        " jobs waiting); retry later");
+  }
+  const TenantQuota& quota = QuotaFor(user);
+  if (quota.max_queued_jobs > 0 &&
+      tenant_queued_[user] >= quota.max_queued_jobs) {
+    ++jobs_rejected_;
+    ++tenant_quota_hits_[user];
+    return Status::ResourceExhausted(
+        "tenant " + user + " exceeded queued-job quota (" +
+        std::to_string(quota.max_queued_jobs) + ")");
+  }
+  ++tenant_queued_[user];
+  ++jobs_queued_;
+  ++jobs_admitted_;
+  return Status::OK();
+}
+
+bool EntryGuard::MayStartJob(const std::string& user,
+                             const std::string& domain,
+                             int domain_job_limit) {
+  MutexLock lock(mutex_);
+  const TenantQuota& quota = QuotaFor(user);
+  if (quota.max_concurrent_jobs > 0 &&
+      tenant_running_[user] >= quota.max_concurrent_jobs) {
+    ++tenant_quota_hits_[user];
+    return false;
+  }
+  if (domain_job_limit > 0 && !domain.empty() &&
+      domain_running_[domain] >= static_cast<uint64_t>(domain_job_limit)) {
+    return false;
+  }
+  return true;
+}
+
+void EntryGuard::StartJob(const std::string& user,
+                          const std::string& domain) {
+  MutexLock lock(mutex_);
+  if (tenant_queued_[user] > 0) --tenant_queued_[user];
+  if (jobs_queued_ > 0) --jobs_queued_;
+  ++tenant_running_[user];
+  ++jobs_running_;
+  if (!domain.empty()) ++domain_running_[domain];
+}
+
+void EntryGuard::FinishJob(const std::string& user,
+                           const std::string& domain) {
+  MutexLock lock(mutex_);
+  if (tenant_running_[user] > 0) --tenant_running_[user];
+  if (jobs_running_ > 0) --jobs_running_;
+  if (!domain.empty() && domain_running_[domain] > 0) {
+    --domain_running_[domain];
+  }
+}
+
+void EntryGuard::CountImmediateJob() {
+  MutexLock lock(mutex_);
+  ++jobs_admitted_;
+}
+
+AdmissionSnapshot EntryGuard::admission_snapshot() const {
+  MutexLock lock(mutex_);
+  AdmissionSnapshot snapshot;
+  snapshot.jobs_admitted = jobs_admitted_;
+  snapshot.jobs_rejected = jobs_rejected_;
+  snapshot.jobs_queued = jobs_queued_;
+  snapshot.jobs_running = jobs_running_;
+  snapshot.tenant_quota_hits = tenant_quota_hits_;
+  return snapshot;
+}
+
+uint64_t EntryGuard::rejected_count() const {
+  MutexLock lock(mutex_);
+  return rejected_;
+}
+
+uint64_t EntryGuard::admitted_count() const {
+  MutexLock lock(mutex_);
+  return admitted_;
 }
 
 }  // namespace feisu

@@ -36,7 +36,7 @@ bool IsRetryableTaskFailure(const Status& status) {
 }  // namespace
 
 /// One block's leaf task plus the outcome slot the parallel path fills:
-/// pool workers write only their own slot; the single-threaded commit
+/// pool workers write only their own slot; the job coordinator's commit
 /// phase folds the slots into scheduler/stats state in block order.
 struct MasterServer::PendingLeafTask {
   LeafTask task;
@@ -53,6 +53,21 @@ struct MasterServer::PendingLeafTask {
   SimTime backoff_total = 0;   ///< accumulated retry backoff
   uint64_t corrupt_reads = 0;
   uint64_t io_errors = 0;
+};
+
+/// One admitted submission parked in the admission queue until a
+/// coordinator pops it. Owned by pending_jobs_ (guarded by
+/// admission_mutex_) until popped, then exclusively by the popping
+/// coordinator.
+struct MasterServer::PendingJob {
+  SelectStatement stmt;
+  std::string user;
+  std::string domain;
+  int domain_job_limit = 0;
+  SimTime now = 0;
+  uint64_t enqueue_ns = 0;     ///< host clock at submission (0 = no clock)
+  double queue_wait_ms = 0;    ///< filled when popped
+  std::promise<Result<QueryResult>> promise;
 };
 
 std::string FormatQueryStats(const QueryStats& stats) {
@@ -97,6 +112,10 @@ std::string FormatQueryStats(const QueryStats& stats) {
      << " merges reassigned); processed "
      << stats.processed_ratio * 100.0 << "%"
      << (stats.partial ? " (PARTIAL result)" : "") << "\n";
+  os << "admission: " << stats.queue_wait_ms << " ms queue wait; "
+     << stats.jobs_admitted << " jobs admitted, " << stats.jobs_rejected
+     << " rejected, " << stats.jobs_queued << " queued; "
+     << stats.tenant_quota_hits << " tenant quota hits\n";
   os << "plan:\n" << stats.plan_text;
   return os.str();
 }
@@ -114,14 +133,34 @@ MasterServer::MasterServer(Catalog* catalog, PathRouter* router,
       entry_guard_(sso, catalog, config.daily_query_quota),
       scheduler_(cluster, router, config.network, config.schedule,
                  config.seed) {
-  if (config_.leaf_parallelism > 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.leaf_parallelism);
+  if (config_.leaf_parallelism > 1 || config_.max_concurrent_jobs > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::max<size_t>(config_.leaf_parallelism, 1));
+  }
+  entry_guard_.set_default_tenant_quota(config_.default_tenant_quota);
+  for (const auto& [user, quota] : config_.tenant_quotas) {
+    entry_guard_.SetTenantQuota(user, quota);
+  }
+  job_manager_.set_starvation_boost_interval(
+      config_.starvation_boost_interval);
+  if (config_.max_concurrent_jobs > 1) {
+    scheduler_.SetLeafPoolWidth(pool_->num_threads());
+    job_pool_ = std::make_unique<ThreadPool>(config_.max_concurrent_jobs);
   }
 }
 
-Result<QueryResult> MasterServer::ExecuteQuery(const std::string& user,
-                                               const std::string& sql,
-                                               SimTime now) {
+MasterServer::~MasterServer() {
+  // Coordinators must finish before the leaf pool they submit into dies;
+  // member order (job_pool_ declared last) already guarantees it, the
+  // explicit destructor only anchors PendingJob's completeness.
+  job_pool_.reset();
+}
+
+Result<SelectStatement> MasterServer::AdmitStatement(const std::string& user,
+                                                     const std::string& sql,
+                                                     SimTime now,
+                                                     std::string* domain,
+                                                     int* domain_job_limit) {
   FEISU_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
 
   // Admission: authenticate once, verify ACL on every referenced table.
@@ -136,38 +175,194 @@ Result<QueryResult> MasterServer::ExecuteQuery(const std::string& user,
     if (i == 0) credential = c;
   }
   // Cross-domain authorization: the job credential must cover the storage
-  // domain of every block it will read.
+  // domain of every block it will read. The first table's storage system
+  // also sets the job-level resource agreement the admission queue
+  // enforces.
+  bool first_table = true;
   for (const auto& table : tables) {
     FEISU_ASSIGN_OR_RETURN(const TableMeta* meta, catalog_->Get(table));
     for (const auto& block : meta->blocks()) {
       auto storage = router_->Resolve(block.path);
-      if (storage.ok() &&
-          !entry_guard_.AuthorizeDomain(credential, (*storage)->domain())) {
-        return Status::PermissionDenied("user " + user + " lacks domain " +
-                                        (*storage)->domain());
+      if (storage.ok()) {
+        if (!entry_guard_.AuthorizeDomain(credential, (*storage)->domain())) {
+          return Status::PermissionDenied("user " + user + " lacks domain " +
+                                          (*storage)->domain());
+        }
+        if (first_table) {
+          *domain = (*storage)->domain();
+          *domain_job_limit = (*storage)->agreement().max_concurrent_jobs;
+        }
       }
       break;  // all blocks of a table share one storage system
     }
+    first_table = false;
   }
+  return stmt;
+}
 
-  int64_t job_id = job_manager_.CreateJob(user, sql, now);
-  return RunPlannedQuery(stmt, job_id, now);
+Result<QueryResult> MasterServer::ExecuteQuery(const std::string& user,
+                                               const std::string& sql,
+                                               SimTime now) {
+  if (job_pool_ == nullptr) {
+    // Serial master: everything inline on the caller's thread, exactly the
+    // classic single-query path.
+    std::string domain;
+    int domain_job_limit = 0;
+    FEISU_ASSIGN_OR_RETURN(
+        SelectStatement stmt,
+        AdmitStatement(user, sql, now, &domain, &domain_job_limit));
+    entry_guard_.CountImmediateJob();
+    int64_t job_id =
+        job_manager_.CreateJob(user, sql, now, config_.default_priority);
+    JobContext ctx;
+    ctx.job_id = job_id;
+    ctx.tenant = user;
+    return RunPlannedQuery(stmt, ctx, now);
+  }
+  FEISU_ASSIGN_OR_RETURN(int64_t job_id, SubmitQuery(user, sql, now));
+  return WaitQuery(job_id);
+}
+
+Result<int64_t> MasterServer::SubmitQuery(const std::string& user,
+                                          const std::string& sql, SimTime now,
+                                          const SubmitOptions& options) {
+  if (job_pool_ == nullptr) {
+    return Status::InvalidArgument(
+        "async submission requires max_concurrent_jobs > 1");
+  }
+  std::string domain;
+  int domain_job_limit = 0;
+  FEISU_ASSIGN_OR_RETURN(
+      SelectStatement stmt,
+      AdmitStatement(user, sql, now, &domain, &domain_job_limit));
+  int priority =
+      options.priority >= 0 ? options.priority : config_.default_priority;
+  int64_t job_id = 0;
+  {
+    MutexLock lock(admission_mutex_);
+    // Apply chaos node events admission-serialized so every coordinator
+    // sees a consistent cluster view; coordinators themselves skip this
+    // (NodeInfo's non-atomic control fields are single-writer).
+    if (FaultInjector* faults = router_->fault_injector()) {
+      for (const NodeFaultEvent& event : faults->TakeDueNodeEvents(now)) {
+        if (event.crash) {
+          cluster_->MarkDead(event.node_id);
+        } else {
+          cluster_->MarkAlive(event.node_id, now);
+        }
+      }
+    }
+    // Backpressure + tenant backlog quotas; a bounce never creates a job.
+    FEISU_RETURN_IF_ERROR(
+        entry_guard_.EnqueueJob(user, config_.admission_queue_capacity));
+    job_id = job_manager_.CreateJob(user, sql, now, priority);
+    job_manager_.SetAdmissionInfo(job_id, domain, domain_job_limit);
+    PendingJob pending;
+    pending.stmt = std::move(stmt);
+    pending.user = user;
+    pending.domain = domain;
+    pending.domain_job_limit = domain_job_limit;
+    pending.now = now;
+    pending.enqueue_ns = config_.host_clock_ns ? config_.host_clock_ns() : 0;
+    job_futures_[job_id] = pending.promise.get_future();
+    pending_jobs_.emplace(job_id, std::move(pending));
+    job_manager_.EnqueueJob(job_id);
+  }
+  // One drain pass per submission guarantees a coordinator looks at the
+  // queue; completing coordinators re-loop, so quota-deferred jobs are
+  // picked up when capacity frees without any further wakeup.
+  job_pool_->Submit([this]() { DrainJobs(); });
+  return job_id;
+}
+
+Result<QueryResult> MasterServer::WaitQuery(int64_t job_id) {
+  std::future<Result<QueryResult>> future;
+  {
+    MutexLock lock(admission_mutex_);
+    auto it = job_futures_.find(job_id);
+    if (it == job_futures_.end()) {
+      return Status::NotFound("no waitable job " + std::to_string(job_id));
+    }
+    future = std::move(it->second);
+    job_futures_.erase(it);
+  }
+  return future.get();
+}
+
+void MasterServer::DrainJobs() {
+  for (;;) {
+    int64_t job_id = 0;
+    PendingJob pending;
+    {
+      MutexLock lock(admission_mutex_);
+      // Highest band first, FIFO within, aged every Nth pop; eligibility
+      // = tenant concurrency quota + per-storage job agreement. The
+      // predicate only consults the entry guard (admission -> job-manager
+      // -> entry-guard lock order).
+      std::optional<int64_t> popped =
+          job_manager_.PopRunnable([this](const JobInfo& job) {
+            return entry_guard_.MayStartJob(job.user, job.domain,
+                                            job.domain_job_limit);
+          });
+      if (!popped.has_value()) return;
+      job_id = *popped;
+      auto it = pending_jobs_.find(job_id);
+      if (it == pending_jobs_.end()) continue;
+      pending = std::move(it->second);
+      pending_jobs_.erase(it);
+      entry_guard_.StartJob(pending.user, pending.domain);
+      if (config_.host_clock_ns && pending.enqueue_ns > 0) {
+        uint64_t now_ns = config_.host_clock_ns();
+        pending.queue_wait_ms =
+            static_cast<double>(now_ns - pending.enqueue_ns) / 1e6;
+      }
+      job_manager_.SetQueueWait(job_id, pending.queue_wait_ms);
+    }
+    RunAdmittedJob(job_id, std::move(pending));
+    // Finishing this job may have freed tenant/storage quota: loop and
+    // pop the next runnable job instead of relying on a fresh submission.
+  }
+}
+
+void MasterServer::RunAdmittedJob(int64_t job_id, PendingJob&& pending) {
+  std::optional<JobInfo> info = job_manager_.Find(job_id);
+  int priority =
+      info.has_value() ? info->priority : config_.default_priority;
+  // Fair leaf sharing: weight = priority + 1, so a band-2 job may keep
+  // 3x the outstanding leaf tasks of a band-0 one.
+  scheduler_.RegisterJobShare(job_id, priority + 1);
+  SlotLedger ledger = scheduler_.MakeJobLedger(job_id);
+  JobContext ctx;
+  ctx.job_id = job_id;
+  ctx.ledger = &ledger;
+  ctx.concurrent = true;
+  ctx.tenant = pending.user;
+  ctx.queue_wait_ms = pending.queue_wait_ms;
+  Result<QueryResult> result = RunPlannedQuery(pending.stmt, ctx, pending.now);
+  scheduler_.UnregisterJobShare(job_id);
+  entry_guard_.FinishJob(pending.user, pending.domain);
+  pending.promise.set_value(std::move(result));
 }
 
 Result<QueryResult> MasterServer::RunPlannedQuery(const SelectStatement& stmt,
-                                                  int64_t job_id,
+                                                  const JobContext& ctx,
                                                   SimTime now) {
+  const int64_t job_id = ctx.job_id;
   job_manager_.SetState(job_id, JobState::kRunning, now);
 
   // Apply any chaos-schedule node events already due: a node that crashed
   // before this query must not receive placements even if the maintenance
-  // loop has not run since.
-  if (FaultInjector* faults = router_->fault_injector()) {
-    for (const NodeFaultEvent& event : faults->TakeDueNodeEvents(now)) {
-      if (event.crash) {
-        cluster_->MarkDead(event.node_id);
-      } else {
-        cluster_->MarkAlive(event.node_id, now);
+  // loop has not run since. Concurrent coordinators skip this — SubmitQuery
+  // already applied due events under the admission mutex (NodeInfo's
+  // non-atomic control fields are single-writer).
+  if (!ctx.concurrent) {
+    if (FaultInjector* faults = router_->fault_injector()) {
+      for (const NodeFaultEvent& event : faults->TakeDueNodeEvents(now)) {
+        if (event.crash) {
+          cluster_->MarkDead(event.node_id);
+        } else {
+          cluster_->MarkAlive(event.node_id, now);
+        }
       }
     }
   }
@@ -187,7 +382,7 @@ Result<QueryResult> MasterServer::RunPlannedQuery(const SelectStatement& stmt,
   QueryStats stats;
   stats.plan_text = plan->ToString();
 
-  Result<Staged> staged = ExecutePlanNode(plan, job_id, now, &stats);
+  Result<Staged> staged = ExecutePlanNode(plan, ctx, now, &stats);
   if (!staged.ok()) {
     job_manager_.SetState(job_id, JobState::kFailed, now,
                           staged.status().ToString());
@@ -219,6 +414,17 @@ Result<QueryResult> MasterServer::RunPlannedQuery(const SelectStatement& stmt,
   stats.response_time = staged->finish_time - now;
   job_manager_.SetState(job_id, JobState::kFinished, staged->finish_time);
 
+  // Admission observability: the master-lifetime counters plus this job's
+  // own queue wait and its tenant's quota hits.
+  stats.queue_wait_ms = ctx.queue_wait_ms;
+  AdmissionSnapshot admission = entry_guard_.admission_snapshot();
+  stats.jobs_admitted = admission.jobs_admitted;
+  stats.jobs_rejected = admission.jobs_rejected;
+  stats.jobs_queued = admission.jobs_queued;
+  auto hits = admission.tenant_quota_hits.find(ctx.tenant);
+  stats.tenant_quota_hits =
+      hits != admission.tenant_quota_hits.end() ? hits->second : 0;
+
   QueryResult result;
   result.batch = std::move(staged->batch);
   result.stats = std::move(stats);
@@ -226,19 +432,20 @@ Result<QueryResult> MasterServer::RunPlannedQuery(const SelectStatement& stmt,
 }
 
 Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
-    const PlanPtr& node, int64_t job_id, SimTime now, QueryStats* stats) {
+    const PlanPtr& node, const JobContext& ctx, SimTime now,
+    QueryStats* stats) {
   switch (node->kind) {
     case PlanKind::kScan:
-      return RunDistributedScan(*node, nullptr, job_id, now, stats);
+      return RunDistributedScan(*node, nullptr, ctx, now, stats);
 
     case PlanKind::kAggregate:
       if (node->children[0]->kind == PlanKind::kScan) {
-        return RunDistributedScan(*node->children[0], node.get(), job_id,
+        return RunDistributedScan(*node->children[0], node.get(), ctx,
                                   now, stats);
       } else {
         FEISU_ASSIGN_OR_RETURN(
             Staged input,
-            ExecutePlanNode(node->children[0], job_id, now, stats));
+            ExecutePlanNode(node->children[0], ctx, now, stats));
         FEISU_ASSIGN_OR_RETURN(
             Aggregator agg,
             Aggregator::Make(node->group_by, node->aggregates,
@@ -251,7 +458,7 @@ Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
 
     case PlanKind::kFilter: {
       FEISU_ASSIGN_OR_RETURN(
-          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+          Staged input, ExecutePlanNode(node->children[0], ctx, now,
                                         stats));
       FEISU_ASSIGN_OR_RETURN(RecordBatch out,
                              FilterBatch(input.batch, node->predicate));
@@ -261,7 +468,7 @@ Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
 
     case PlanKind::kProject: {
       FEISU_ASSIGN_OR_RETURN(
-          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+          Staged input, ExecutePlanNode(node->children[0], ctx, now,
                                         stats));
       FEISU_ASSIGN_OR_RETURN(RecordBatch out,
                              ProjectBatch(input.batch, node->projections));
@@ -271,7 +478,7 @@ Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
 
     case PlanKind::kSort: {
       FEISU_ASSIGN_OR_RETURN(
-          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+          Staged input, ExecutePlanNode(node->children[0], ctx, now,
                                         stats));
       FEISU_ASSIGN_OR_RETURN(RecordBatch out,
                              SortBatch(input.batch, node->order_by));
@@ -286,7 +493,7 @@ Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
         const PlanPtr& sort = node->children[0];
         FEISU_ASSIGN_OR_RETURN(
             Staged input,
-            ExecutePlanNode(sort->children[0], job_id, now, stats));
+            ExecutePlanNode(sort->children[0], ctx, now, stats));
         FEISU_ASSIGN_OR_RETURN(
             RecordBatch out,
             TopNBatch(input.batch, sort->order_by, node->limit));
@@ -294,7 +501,7 @@ Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
         return Staged{std::move(out), input.finish_time};
       }
       FEISU_ASSIGN_OR_RETURN(
-          Staged input, ExecutePlanNode(node->children[0], job_id, now,
+          Staged input, ExecutePlanNode(node->children[0], ctx, now,
                                         stats));
       RecordBatch out = LimitBatch(input.batch, node->limit);
       return Staged{std::move(out), input.finish_time};
@@ -302,10 +509,10 @@ Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
 
     case PlanKind::kJoin: {
       FEISU_ASSIGN_OR_RETURN(
-          Staged left, ExecutePlanNode(node->children[0], job_id, now,
+          Staged left, ExecutePlanNode(node->children[0], ctx, now,
                                        stats));
       FEISU_ASSIGN_OR_RETURN(
-          Staged right, ExecutePlanNode(node->children[1], job_id, now,
+          Staged right, ExecutePlanNode(node->children[1], ctx, now,
                                         stats));
       HashJoinOptions options;
       options.type = node->join_type;
@@ -325,8 +532,8 @@ Result<MasterServer::Staged> MasterServer::ExecutePlanNode(
 }
 
 Result<MasterServer::Staged> MasterServer::RunDistributedScan(
-    const PlanNode& scan, const PlanNode* agg, int64_t job_id, SimTime now,
-    QueryStats* stats) {
+    const PlanNode& scan, const PlanNode* agg, const JobContext& ctx,
+    SimTime now, QueryStats* stats) {
   FEISU_ASSIGN_OR_RETURN(const TableMeta* meta, catalog_->Get(scan.table));
   const std::vector<TableBlockMeta>& blocks = meta->blocks();
 
@@ -370,7 +577,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
   int64_t task_id = 0;
   for (const auto& block : blocks) {
     PendingLeafTask p;
-    p.task.job_id = job_id;
+    p.task.job_id = ctx.job_id;
     p.task.task_id = task_id++;
     p.task.table = scan.table;
     p.task.block = block;
@@ -400,13 +607,30 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
   // Parallel leaf path: fan the non-reused sub-plans across the pool.
   // Host-level concurrency only — every worker computes its slot's result
   // and outcome flags; all scheduler bookings, SimTime accounting and
-  // stats updates happen afterwards, single-threaded and in block order,
-  // so the commit sequence matches what the sequential path produces.
-  const bool parallel = pool_ != nullptr;
+  // stats updates happen afterwards, on this job's coordinator thread and
+  // in block order, so the commit sequence matches what the sequential
+  // path produces. Concurrent jobs go through the fair-share gate: each
+  // task holds one of the job's leaf slots, capping any job's outstanding
+  // leaf tasks at its weighted share of the pool.
+  const bool gated = ctx.concurrent && pool_ != nullptr;
+  const bool parallel = !gated && pool_ != nullptr;
   if (parallel) {
     pool_->ParallelFor(slots.size(), [&](size_t i) {
       if (!slots[i].reused) ExecuteLeafTaskParallel(&slots[i], now);
     });
+  } else if (gated) {
+    std::vector<std::future<void>> outstanding;
+    outstanding.reserve(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].reused) continue;
+      scheduler_.AcquireLeafSlot(ctx.job_id);
+      PendingLeafTask* slot = &slots[i];
+      outstanding.push_back(pool_->Submit([this, slot, now, &ctx]() {
+        ExecuteLeafTaskParallel(slot, now);
+        scheduler_.ReleaseLeafSlot(ctx.job_id);
+      }));
+    }
+    for (std::future<void>& f : outstanding) f.get();
   }
 
   std::vector<PendingLeafTask> pending;
@@ -417,7 +641,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       pending.push_back(std::move(p));
       continue;
     }
-    if (!parallel) {
+    if (!parallel && !gated) {
       // --- Failure-driven recovery: place, execute, and on a retryable
       // failure (checksum corruption, transient I/O error, mid-task crash)
       // re-place on a different replica with capped exponential backoff.
@@ -425,7 +649,8 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       // degrades to a partial result instead of failing outright. ---
       FEISU_ASSIGN_OR_RETURN(
           bool completed,
-          ExecuteTaskWithRecovery(max_tasks_per_node, now, {}, stats, &p));
+          ExecuteTaskWithRecovery(max_tasks_per_node, now, {}, ctx, stats,
+                                  &p));
       if (!completed) {
         ++stats->lost_blocks;
         continue;
@@ -450,7 +675,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
     }
     SimTime attempt_time = now + p.backoff_total;
     p.placement = scheduler_.PlaceTask(p.replicas, max_tasks_per_node,
-                                       attempt_time, nullptr);
+                                       attempt_time, nullptr, ctx.ledger);
     const NodeInfo* node = cluster_->Node(p.placement.node_id);
     if (p.placement.node_id >= leaves_->size() || node == nullptr ||
         !node->alive) {
@@ -467,7 +692,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
           bool recovered,
           ExecuteTaskWithRecovery(max_tasks_per_node,
                                   attempt_time + cluster_->heartbeat_interval(),
-                                  {}, stats, &p));
+                                  {}, ctx, stats, &p));
       if (!recovered) {
         ++stats->lost_blocks;
         continue;
@@ -483,7 +708,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
       ++stats->remote_tasks;
     }
     scheduler_.CommitTask(&p.placement, p.duration, max_tasks_per_node,
-                          attempt_time);
+                          attempt_time, ctx.ledger);
     if (faults != nullptr) {
       // Orphaned-task detection: the booked host crashed while the task
       // ran, so its result never comes back. The master notices about one
@@ -503,7 +728,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
         FEISU_ASSIGN_OR_RETURN(
             bool recovered,
             ExecuteTaskWithRecovery(max_tasks_per_node, resume, excluded,
-                                    stats, &p));
+                                    ctx, stats, &p));
         if (!recovered) {
           ++stats->lost_blocks;
           continue;
@@ -525,7 +750,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
         FEISU_ASSIGN_OR_RETURN(
             bool recovered,
             ExecuteTaskWithRecovery(max_tasks_per_node, resume, excluded,
-                                    stats, &p));
+                                    ctx, stats, &p));
         if (!recovered) {
           ++stats->lost_blocks;
           continue;
@@ -544,7 +769,7 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
   }
 
   // --- Speculative backup tasks for stragglers (first-commit-wins). ---
-  LaunchSpeculativeBackups(&pending, max_tasks_per_node, now, stats);
+  LaunchSpeculativeBackups(&pending, max_tasks_per_node, ctx, now, stats);
 
   // --- Early termination: processed-ratio / deadline knobs. ---
   // Deadline bookkeeping goes through the TimeoutManager (deterministic,
@@ -735,8 +960,8 @@ Result<MasterServer::Staged> MasterServer::RunDistributedScan(
 
 Result<bool> MasterServer::ExecuteTaskWithRecovery(
     int max_tasks_per_node, SimTime start_time,
-    const std::set<uint32_t>& pre_excluded, QueryStats* stats,
-    PendingLeafTask* p) {
+    const std::set<uint32_t>& pre_excluded, const JobContext& ctx,
+    QueryStats* stats, PendingLeafTask* p) {
   FaultInjector* faults = router_->fault_injector();
   std::set<uint32_t> excluded = pre_excluded;
   SimTime attempt_time = start_time;
@@ -746,7 +971,7 @@ Result<bool> MasterServer::ExecuteTaskWithRecovery(
     }
     p->placement = scheduler_.PlaceTask(
         p->replicas, max_tasks_per_node, attempt_time,
-        excluded.empty() ? nullptr : &excluded);
+        excluded.empty() ? nullptr : &excluded, ctx.ledger);
     const NodeInfo* node = cluster_->Node(p->placement.node_id);
     if (p->placement.node_id >= leaves_->size() || node == nullptr ||
         !node->alive || excluded.contains(p->placement.node_id)) {
@@ -776,7 +1001,7 @@ Result<bool> MasterServer::ExecuteTaskWithRecovery(
         ++stats->remote_tasks;
       }
       scheduler_.CommitTask(&p->placement, p->duration, max_tasks_per_node,
-                            attempt_time);
+                            attempt_time, ctx.ledger);
       if (faults != nullptr) {
         // Orphaned-task detection: the host crashed while the task ran,
         // so its result never comes back. The master notices about one
@@ -895,7 +1120,7 @@ void MasterServer::ExecuteLeafTaskParallel(PendingLeafTask* p, SimTime now) {
 
 void MasterServer::LaunchSpeculativeBackups(
     std::vector<PendingLeafTask>* pending, int max_tasks_per_node,
-    SimTime now, QueryStats* stats) {
+    const JobContext& ctx, SimTime now, QueryStats* stats) {
   (void)now;
   if (!scheduler_.config().enable_backup_tasks) return;
   // Detect over the non-reused placements only: reused tasks cost one
@@ -930,7 +1155,7 @@ void MasterServer::LaunchSpeculativeBackups(
                                            TrafficClass::kRead);
     }
     scheduler_.CommitTask(&backup, duration, max_tasks_per_node,
-                          v.detect_time);
+                          v.detect_time, ctx.ledger);
     if (faults != nullptr) {
       // A backup whose host dies or partitions away mid-run never reports
       // back; the original copy simply stands.
@@ -1028,8 +1253,8 @@ Status MasterServer::Restore(const MasterCheckpoint& checkpoint) {
 }
 
 Result<QueryResult> MasterServer::ResumeJob(int64_t job_id, SimTime now) {
-  const JobInfo* job = job_manager_.Find(job_id);
-  if (job == nullptr) {
+  std::optional<JobInfo> job = job_manager_.Find(job_id);
+  if (!job.has_value()) {
     return Status::NotFound("no such job: " + std::to_string(job_id));
   }
   if (job->state == JobState::kFinished) {
@@ -1037,9 +1262,13 @@ Result<QueryResult> MasterServer::ResumeJob(int64_t job_id, SimTime now) {
                                    std::to_string(job_id));
   }
   // Admission already happened on the failed primary; re-run from the
-  // recorded SQL under the same job id.
+  // recorded SQL under the same job id on the serial path (a promoted
+  // backup resumes jobs one at a time).
   FEISU_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(job->sql));
-  return RunPlannedQuery(stmt, job_id, now);
+  JobContext ctx;
+  ctx.job_id = job_id;
+  ctx.tenant = job->user;
+  return RunPlannedQuery(stmt, ctx, now);
 }
 
 }  // namespace feisu

@@ -1,6 +1,9 @@
 #ifndef FEISU_CLUSTER_MASTER_H_
 #define FEISU_CLUSTER_MASTER_H_
 
+#include <functional>
+#include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -67,6 +70,30 @@ struct MasterConfig {
   /// byte-identical to the sequential path's; timing statistics may differ
   /// between the two modes (each mode is deterministic run-to-run).
   size_t leaf_parallelism = 1;
+  /// --- Multi-query pipeline. ---
+  /// > 1 turns ExecuteQuery into thin submit-and-wait over an async job
+  /// pipeline: that many coordinator threads drain the priority admission
+  /// queue concurrently, fair-sharing the leaf pool. 1 = the classic
+  /// serial master (everything inline, zero behavior change).
+  size_t max_concurrent_jobs = 1;
+  /// Bound of the admission queue. A submission arriving with this many
+  /// jobs already waiting is rejected (ResourceExhausted) instead of
+  /// queued — backpressure, not unbounded latency. 0 = unbounded.
+  size_t admission_queue_capacity = 64;
+  /// Priority band for submissions that don't specify one (0 = lowest).
+  int default_priority = 1;
+  /// Every Nth queue pop serves the globally oldest waiting job whatever
+  /// its band (anti-starvation aging). 0 disables the boost.
+  size_t starvation_boost_interval = 8;
+  /// Tenant admission quotas (see entry_guard.h); the per-user entries
+  /// override the default.
+  TenantQuota default_tenant_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Host wall clock (ns) for queue-wait observability. SimTime cannot
+  /// measure host queueing and raw clocks are banned in src/cluster, so
+  /// the embedder injects one (FeisuEngine installs a steady_clock by
+  /// default). Null = queue_wait_ms reported as 0.
+  std::function<uint64_t()> host_clock_ns;
 };
 
 /// End-to-end accounting for one query.
@@ -103,6 +130,13 @@ struct QueryStats {
   /// early termination abandoned tasks or replicas were lost.
   double processed_ratio = 1.0;
   bool partial = false;  ///< result is knowingly incomplete
+  // Admission observability (multi-query master; zeros on the serial
+  // path, which never queues).
+  double queue_wait_ms = 0;        ///< host wall-clock wait in the queue
+  uint64_t jobs_admitted = 0;      ///< master-lifetime jobs accepted
+  uint64_t jobs_rejected = 0;      ///< master-lifetime jobs bounced
+  uint64_t jobs_queued = 0;        ///< queue depth when this job finished
+  uint64_t tenant_quota_hits = 0;  ///< this tenant's quota deferrals+rejections
   TaskStats leaf;  ///< accumulated leaf-side stats
   std::string plan_text;
 
@@ -119,6 +153,11 @@ struct QueryResult {
 /// Renders QueryStats as a human-readable EXPLAIN ANALYZE-style report
 /// (used by the client tooling and examples).
 std::string FormatQueryStats(const QueryStats& stats);
+
+/// Per-submission knobs of MasterServer::SubmitQuery.
+struct SubmitOptions {
+  int priority = -1;  ///< band (higher first); -1 = config default
+};
 
 /// Snapshot shipped to the backup master (checkpoint + operations log in
 /// the paper's primary/backup design); enough to resume service, including
@@ -144,10 +183,26 @@ class MasterServer {
   MasterServer(const MasterServer&) = delete;
   MasterServer& operator=(const MasterServer&) = delete;
 
+  /// Joins the coordinator pool (draining in-flight jobs) before the leaf
+  /// pool. Out of line: PendingJob is complete only in master.cc.
+  ~MasterServer();
+
   /// Parses, admits, plans, optimizes, schedules and executes one query at
-  /// simulated time `now`.
+  /// simulated time `now`. With max_concurrent_jobs > 1 this is a thin
+  /// submit-and-wait over the async pipeline (safe to call from many
+  /// client threads); otherwise the classic inline serial path.
   Result<QueryResult> ExecuteQuery(const std::string& user,
                                    const std::string& sql, SimTime now);
+
+  /// Asynchronous submission (requires max_concurrent_jobs > 1): parses,
+  /// admits against quotas and the bounded queue, enqueues, and returns
+  /// the job id immediately. Rejections (backpressure, tenant backlog)
+  /// surface here as ResourceExhausted.
+  Result<int64_t> SubmitQuery(const std::string& user, const std::string& sql,
+                              SimTime now, const SubmitOptions& options = {});
+  /// Blocks until the submitted job finishes and returns its result.
+  /// Each job id may be waited on exactly once.
+  Result<QueryResult> WaitQuery(int64_t job_id);
 
   JobManager& job_manager() { return job_manager_; }
   EntryGuard& entry_guard() { return entry_guard_; }
@@ -182,23 +237,62 @@ class MasterServer {
   /// in master.cc.
   struct PendingLeafTask;
 
-  /// Plans, optimizes and executes an admitted statement under `job_id`
-  /// (shared tail of ExecuteQuery and ResumeJob); finalizes job state and
-  /// recovery accounting.
+  /// Everything a job's execution chain needs to know about which job it
+  /// is serving: the id, the per-job scheduling ledger (null on the serial
+  /// path — the scheduler then books on its internal state, preserving the
+  /// classic behavior bit-for-bit), whether leaf fan-out must go through
+  /// the fair-share gate, and admission observability carried into the
+  /// job's QueryStats.
+  struct JobContext {
+    int64_t job_id = 0;
+    SlotLedger* ledger = nullptr;
+    bool concurrent = false;  ///< run by a coordinator on job_pool_
+    std::string tenant;
+    double queue_wait_ms = 0;
+  };
+
+  /// One parsed submission waiting in the admission queue; defined in
+  /// master.cc.
+  struct PendingJob;
+
+  /// Coordinator body: repeatedly pops runnable jobs from the priority
+  /// queue (quota-eligible only) and executes each to completion,
+  /// fulfilling its promise. Runs on job_pool_; loops until no queued job
+  /// is eligible so no submission is stranded without a wakeup.
+  void DrainJobs();
+
+  /// Runs one admitted pending job end to end on the calling coordinator
+  /// thread (fair-share registration, ledger setup, RunPlannedQuery,
+  /// admission bookkeeping) and fulfills its promise.
+  void RunAdmittedJob(int64_t job_id, PendingJob&& pending);
+
+  /// Shared admission front of both master modes: parse, authenticate,
+  /// per-table ACLs and cross-domain authorization. Also reports the
+  /// first table's storage domain and that system's concurrent-job
+  /// agreement (0 = unlimited) for the admission queue.
+  Result<SelectStatement> AdmitStatement(const std::string& user,
+                                         const std::string& sql, SimTime now,
+                                         std::string* domain,
+                                         int* domain_job_limit);
+
+  /// Plans, optimizes and executes an admitted statement under `ctx`
+  /// (shared tail of ExecuteQuery, the job coordinators and ResumeJob);
+  /// finalizes job state and recovery accounting.
   Result<QueryResult> RunPlannedQuery(const SelectStatement& stmt,
-                                      int64_t job_id, SimTime now);
+                                      const JobContext& ctx, SimTime now);
 
   /// Recursively executes a plan subtree, distributing scan/aggregate
   /// frontiers across leaf and stem servers and applying the remaining
   /// operators at the master.
-  Result<Staged> ExecutePlanNode(const PlanPtr& node, int64_t job_id,
+  Result<Staged> ExecutePlanNode(const PlanPtr& node, const JobContext& ctx,
                                  SimTime now, QueryStats* stats);
 
   /// Distributed scan (optionally with partial-aggregation pushdown).
   /// `agg` == nullptr => plain filtered scan returning concatenated rows.
   Result<Staged> RunDistributedScan(const PlanNode& scan,
-                                    const PlanNode* agg, int64_t job_id,
-                                    SimTime now, QueryStats* stats);
+                                    const PlanNode* agg,
+                                    const JobContext& ctx, SimTime now,
+                                    QueryStats* stats);
 
   /// Sequential failure-driven recovery for one task: place, execute, and
   /// on a retryable failure re-place on a different replica with capped
@@ -209,13 +303,14 @@ class MasterServer {
   Result<bool> ExecuteTaskWithRecovery(int max_tasks_per_node,
                                        SimTime start_time,
                                        const std::set<uint32_t>& pre_excluded,
+                                       const JobContext& ctx,
                                        QueryStats* stats, PendingLeafTask* p);
 
   /// Pool-worker body of the parallel leaf path: executes one task on a
   /// deterministically chosen leaf (first alive replica, then any alive
   /// leaf), retrying on retryable failures, and records the outcome in the
   /// task's slot. Touches no scheduler or stats state — those are applied
-  /// by the single-threaded commit phase, in block order.
+  /// by the job's coordinator thread in its commit phase, in block order.
   void ExecuteLeafTaskParallel(PendingLeafTask* p, SimTime now);
 
   /// Speculative execution (paper §1 item 3): detects stragglers among the
@@ -223,9 +318,11 @@ class MasterServer {
   /// backup copy of each on a different replica, and resolves
   /// first-commit-wins through the ordered slots — the earlier finisher's
   /// result stays in the slot, so result bytes are independent of the
-  /// winner. Runs in the single-threaded commit phase.
+  /// winner. Runs in the job coordinator's commit phase (one thread per
+  /// job; concurrent jobs book on their own ledgers).
   void LaunchSpeculativeBackups(std::vector<PendingLeafTask>* pending,
-                                int max_tasks_per_node, SimTime now,
+                                int max_tasks_per_node,
+                                const JobContext& ctx, SimTime now,
                                 QueryStats* stats);
 
   /// Stem-level merge with death recovery: when the stem-death schedule
@@ -253,13 +350,31 @@ class MasterServer {
   JobManager job_manager_;
   EntryGuard entry_guard_;
   JobScheduler scheduler_;
-  /// Workers for the parallel leaf path; null when leaf_parallelism <= 1.
-  /// Shared-state discipline: pool workers may touch only (a) their own
-  /// PendingLeafTask slot, (b) the internally synchronized leaf-server
-  /// caches, and (c) read-only master state (cluster_, leaves_, config_).
-  /// job_manager_, scheduler_ and QueryStats stay single-threaded — the
-  /// commit phase applies the workers' outcomes in block order.
+  /// Workers for the parallel leaf path; null when both leaf_parallelism
+  /// and max_concurrent_jobs are <= 1. Shared-state discipline: pool
+  /// workers may touch only (a) their own PendingLeafTask slot, (b) the
+  /// internally synchronized leaf-server caches, and (c) read-only master
+  /// state (cluster_, leaves_, config_). job_manager_, scheduler_ booking
+  /// and QueryStats are per-job: each job's coordinator commits its
+  /// workers' outcomes in block order against its own SlotLedger, so jobs
+  /// never contend on scheduling state (annotated Mutexes guard the few
+  /// genuinely shared pieces: the admission queue, the entry guard and
+  /// the fair-share gate).
   std::unique_ptr<ThreadPool> pool_;
+
+  /// --- Async multi-query pipeline (null / empty in serial mode). ---
+  /// Lock order: admission_mutex_ -> JobManager::mutex_ ->
+  /// EntryGuard::mutex_. JobScheduler::share_mutex_ is a leaf acquired on
+  /// its own. Coordinators hold admission_mutex_ only for queue pops and
+  /// bookkeeping, never across query execution.
+  Mutex admission_mutex_;
+  std::map<int64_t, PendingJob> pending_jobs_
+      FEISU_GUARDED_BY(admission_mutex_);
+  std::map<int64_t, std::future<Result<QueryResult>>> job_futures_
+      FEISU_GUARDED_BY(admission_mutex_);
+  /// Coordinator threads draining the admission queue; declared after
+  /// pool_ so coordinators (which submit into pool_) are joined first.
+  std::unique_ptr<ThreadPool> job_pool_;
 };
 
 }  // namespace feisu

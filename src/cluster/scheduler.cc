@@ -14,12 +14,23 @@ JobScheduler::JobScheduler(ClusterManager* cluster, PathRouter* router,
       router_(router),
       network_(network),
       config_(config),
+      seed_(seed),
       rng_(seed) {}
 
-SimTime JobScheduler::EarliestSlot(uint32_t node_id, int slots,
-                                   SimTime now) const {
-  auto it = node_slots_.find(node_id);
-  if (it == node_slots_.end()) return now;
+SlotLedger JobScheduler::MakeJobLedger(int64_t job_id) const {
+  // Same splitmix-style derivation the fault injector uses for per-entity
+  // streams: the job's straggler draws are independent of sibling jobs
+  // and stable run-to-run.
+  uint64_t mixed = seed_ ^ (0x9E3779B97F4A7C15ULL *
+                            static_cast<uint64_t>(job_id + 1));
+  return SlotLedger(mixed);
+}
+
+SimTime JobScheduler::EarliestSlot(
+    const std::map<uint32_t, std::vector<SimTime>>& node_slots,
+    uint32_t node_id, int slots, SimTime now) {
+  auto it = node_slots.find(node_id);
+  if (it == node_slots.end()) return now;
   const std::vector<SimTime>& booked = it->second;
   if (booked.size() < static_cast<size_t>(slots)) return now;
   // With all slots busy, the earliest start is the smallest of the `slots`
@@ -32,11 +43,10 @@ SimTime JobScheduler::EarliestSlot(uint32_t node_id, int slots,
   return std::max(now, copy[idx]);
 }
 
-void JobScheduler::BookSlot(uint32_t node_id, int slots, SimTime start,
-                            SimTime finish) {
-  (void)slots;
-  (void)start;
-  std::vector<SimTime>& booked = node_slots_[node_id];
+void JobScheduler::BookSlot(
+    std::map<uint32_t, std::vector<SimTime>>* node_slots, uint32_t node_id,
+    SimTime finish) {
+  std::vector<SimTime>& booked = (*node_slots)[node_id];
   booked.push_back(finish);
   // Bound growth: drop bookings that can no longer constrain anything
   // (older than the 64 most recent).
@@ -48,7 +58,10 @@ void JobScheduler::BookSlot(uint32_t node_id, int slots, SimTime start,
 
 Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
                                   int max_tasks_per_node, SimTime now,
-                                  const std::set<uint32_t>* excluded) {
+                                  const std::set<uint32_t>* excluded,
+                                  SlotLedger* ledger) {
+  const std::map<uint32_t, std::vector<SimTime>>& node_slots =
+      ledger != nullptr ? ledger->node_slots : node_slots_;
   // A partitioned node is alive but cannot receive a dispatch right now,
   // so placement treats it exactly like an excluded one.
   Reachability reach(router_->fault_injector());
@@ -67,7 +80,7 @@ Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
       const NodeInfo* node = cluster_->Node(node_id);
       if (node == nullptr || !node->alive) continue;
       int slots = std::min(node->task_slots, max_tasks_per_node);
-      SimTime start = EarliestSlot(node_id, slots, now);
+      SimTime start = EarliestSlot(node_slots, node_id, slots, now);
       if (!found || start < best_start) {
         found = true;
         best_node = node_id;
@@ -89,7 +102,7 @@ Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
     if (is_excluded(node_id)) continue;
     const NodeInfo* node = cluster_->Node(node_id);
     int slots = std::min(node->task_slots, max_tasks_per_node);
-    SimTime start = EarliestSlot(node_id, slots, now);
+    SimTime start = EarliestSlot(node_slots, node_id, slots, now);
     if (!found || start < best_start) {
       found = true;
       best_node = node_id;
@@ -103,11 +116,13 @@ Placement JobScheduler::PlaceTask(const std::vector<uint32_t>& replicas,
 }
 
 void JobScheduler::CommitTask(Placement* placement, SimTime duration,
-                              int max_tasks_per_node, SimTime now) {
+                              int max_tasks_per_node, SimTime now,
+                              SlotLedger* ledger) {
   const NodeInfo* node = cluster_->Node(placement->node_id);
   double factor = node != nullptr ? node->slowdown_factor : 1.0;
+  Rng& rng = ledger != nullptr ? ledger->rng : rng_;
   if (config_.straggler_probability > 0 &&
-      rng_.NextBool(config_.straggler_probability)) {
+      rng.NextBool(config_.straggler_probability)) {
     factor *= config_.straggler_slowdown;
     placement->straggled = true;
   }
@@ -130,10 +145,9 @@ void JobScheduler::CommitTask(Placement* placement, SimTime duration,
       std::max(placement->start_time, now + network_.ControlRoundTrip());
   placement->start_time = start;
   placement->finish_time = start + effective;
-  int slots = node != nullptr
-                  ? std::min(node->task_slots, max_tasks_per_node)
-                  : max_tasks_per_node;
-  BookSlot(placement->node_id, slots, start, placement->finish_time);
+  BookSlot(ledger != nullptr ? &ledger->node_slots : &node_slots_,
+           placement->node_id, placement->finish_time);
+  (void)max_tasks_per_node;
 }
 
 std::vector<StragglerVerdict> JobScheduler::DetectStragglers(
@@ -181,6 +195,83 @@ std::optional<uint32_t> JobScheduler::PickBackupNode(
     if (usable(node_id)) return node_id;
   }
   return std::nullopt;
+}
+
+void JobScheduler::ResetLoad() {
+  node_slots_.clear();
+  MutexLock lock(share_mutex_);
+  peak_in_flight_.clear();
+  leaf_slot_waits_ = 0;
+}
+
+size_t JobScheduler::CapFor(const JobShare& share) const {
+  if (leaf_pool_width_ == 0 || total_weight_ <= 0) return SIZE_MAX;
+  size_t cap = leaf_pool_width_ * static_cast<size_t>(share.weight) /
+               static_cast<size_t>(total_weight_);
+  return std::max<size_t>(1, cap);
+}
+
+void JobScheduler::SetLeafPoolWidth(size_t width) {
+  MutexLock lock(share_mutex_);
+  leaf_pool_width_ = width;
+}
+
+void JobScheduler::RegisterJobShare(int64_t job_id, int weight) {
+  MutexLock lock(share_mutex_);
+  JobShare share;
+  share.weight = std::max(1, weight);
+  total_weight_ += share.weight;
+  shares_[job_id] = share;
+  // Existing waiters' caps just shrank — they re-check and keep waiting;
+  // no wakeup needed for shrink, but one is harmless and keeps the gate
+  // simple.
+  share_cv_.NotifyAll();
+}
+
+void JobScheduler::UnregisterJobShare(int64_t job_id) {
+  MutexLock lock(share_mutex_);
+  auto it = shares_.find(job_id);
+  if (it == shares_.end()) return;
+  total_weight_ -= it->second.weight;
+  shares_.erase(it);
+  // Remaining jobs' caps grew: wake every waiter to re-check.
+  share_cv_.NotifyAll();
+}
+
+void JobScheduler::AcquireLeafSlot(int64_t job_id) {
+  MutexLock lock(share_mutex_);
+  auto it = shares_.find(job_id);
+  if (it == shares_.end()) return;  // unregistered job: no gating
+  bool waited = false;
+  while (it->second.in_flight >= CapFor(it->second)) {
+    waited = true;
+    share_cv_.Wait(lock);
+    it = shares_.find(job_id);
+    if (it == shares_.end()) return;
+  }
+  if (waited) ++leaf_slot_waits_;
+  ++it->second.in_flight;
+  size_t& peak = peak_in_flight_[job_id];
+  peak = std::max(peak, it->second.in_flight);
+}
+
+void JobScheduler::ReleaseLeafSlot(int64_t job_id) {
+  MutexLock lock(share_mutex_);
+  auto it = shares_.find(job_id);
+  if (it == shares_.end()) return;
+  if (it->second.in_flight > 0) --it->second.in_flight;
+  share_cv_.NotifyAll();
+}
+
+size_t JobScheduler::PeakLeafTasks(int64_t job_id) const {
+  MutexLock lock(share_mutex_);
+  auto it = peak_in_flight_.find(job_id);
+  return it == peak_in_flight_.end() ? 0 : it->second;
+}
+
+uint64_t JobScheduler::leaf_slot_waits() const {
+  MutexLock lock(share_mutex_);
+  return leaf_slot_waits_;
 }
 
 }  // namespace feisu

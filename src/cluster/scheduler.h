@@ -9,6 +9,7 @@
 
 #include "cluster/cluster_manager.h"
 #include "cluster/network.h"
+#include "common/annotations.h"
 #include "common/rng.h"
 #include "storage/path_router.h"
 
@@ -48,17 +49,35 @@ struct StragglerVerdict {
   SimTime detect_time = 0;
 };
 
+/// Per-job scheduling state: the slot-booking table and the straggler-
+/// injection RNG for one job's placements. Each concurrent job books on
+/// its own ledger, so a query's simulated placements — and therefore its
+/// result bytes under early termination and stem grouping — are identical
+/// to a solo run no matter what else is in flight. Owned by the job's
+/// coordinator; never shared across threads.
+struct SlotLedger {
+  explicit SlotLedger(uint64_t seed) : rng(seed) {}
+  // node -> finish times of booked tasks (bounded multiset per node).
+  std::map<uint32_t, std::vector<SimTime>> node_slots;
+  Rng rng;
+};
+
 /// Creates scheduling plans for candidate jobs (paper §III-C "Job
 /// Scheduler"): always prefer a leaf holding the data; otherwise a replica
 /// holder; otherwise the least-loaded alive server (paying a network
 /// transfer). Tracks per-node slot availability so concurrent tasks queue,
 /// honoring each storage system's resource agreement.
 ///
-/// Concurrency: deliberately unsynchronized, like JobManager. Placement and
-/// slot bookkeeping run only in the master's single-threaded commit phase;
-/// pool workers must never call into the scheduler (compile-time locking
-/// cannot see this phase discipline, so it is enforced by code review and
-/// the comment on MasterServer::ExecuteLeafTaskParallel).
+/// Concurrency: placement and booking are per-job. PlaceTask/CommitTask
+/// take an optional SlotLedger — concurrent job coordinators each pass
+/// their own (obtained from MakeJobLedger) and may call in from any
+/// thread; with no ledger the calls fall back to the internal serial-path
+/// ledger, which retains the single-caller contract of the serial master.
+/// The fair-share leaf gate (RegisterJobShare/AcquireLeafSlot/...) is the
+/// one genuinely shared piece of state and is guarded by the annotated
+/// `share_mutex_`; it is a leaf of the master's lock order (nothing is
+/// acquired while it is held) so coordinators may block on its CondVar
+/// without deadlock risk.
 class JobScheduler {
  public:
   JobScheduler(ClusterManager* cluster, PathRouter* router,
@@ -67,21 +86,29 @@ class JobScheduler {
   const ScheduleConfig& config() const { return config_; }
   void set_config(const ScheduleConfig& config) { config_ = config; }
 
+  /// A fresh per-job ledger whose straggler RNG is derived from the
+  /// scheduler seed and the job id (deterministic per job).
+  SlotLedger MakeJobLedger(int64_t job_id) const;
+
   /// Picks the execution node for a block's task. `replicas` are the nodes
   /// holding the block. Returns the chosen node and whether it is local.
   /// `excluded` (optional) lists nodes that must not be chosen — the
   /// master's failure-driven recovery passes the nodes where this task
-  /// already failed so a retry lands on a different replica.
+  /// already failed so a retry lands on a different replica. `ledger`
+  /// (optional) books against a per-job ledger instead of the internal
+  /// serial-path one.
   Placement PlaceTask(const std::vector<uint32_t>& replicas,
                       int max_tasks_per_node, SimTime now,
-                      const std::set<uint32_t>* excluded = nullptr);
+                      const std::set<uint32_t>* excluded = nullptr,
+                      SlotLedger* ledger = nullptr);
 
   /// Books `duration` of work on `placement`'s node starting no earlier
   /// than `placement.start_time`; fills start/finish, applying the node's
   /// slowdown factor, the injector's slow-node profile (latency multiplier
   /// plus fixed stall) and probabilistic straggler injection.
   void CommitTask(Placement* placement, SimTime duration,
-                  int max_tasks_per_node, SimTime now);
+                  int max_tasks_per_node, SimTime now,
+                  SlotLedger* ledger = nullptr);
 
   /// Quantile-based straggler detection over one job's committed
   /// placements: a task whose elapsed runtime exceeds backup_threshold x
@@ -99,21 +126,62 @@ class JobScheduler {
       const std::vector<uint32_t>& replicas, uint32_t original,
       SimTime now) const;
 
-  /// Clears per-node booking state between benchmark phases.
-  void ResetLoad() { node_slots_.clear(); }
+  /// Clears per-node booking state and fair-share peaks between benchmark
+  /// phases.
+  void ResetLoad() FEISU_EXCLUDES(share_mutex_);
+
+  /// --- Fair leaf sharing across in-flight jobs. ---
+  /// Each registered job gets a cap of outstanding leaf tasks
+  /// proportional to its weight (priority + 1): cap = max(1, width *
+  /// weight / total_weight). A huge scan therefore cannot monopolize the
+  /// leaf pool while a point query waits. Total pool width is set once by
+  /// the master (its leaf pool's thread count).
+  void SetLeafPoolWidth(size_t width) FEISU_EXCLUDES(share_mutex_);
+  void RegisterJobShare(int64_t job_id, int weight)
+      FEISU_EXCLUDES(share_mutex_);
+  void UnregisterJobShare(int64_t job_id) FEISU_EXCLUDES(share_mutex_);
+  /// Blocks until the job is under its outstanding-task cap, then takes a
+  /// slot. Caps shrink and grow as jobs register/unregister; every
+  /// release/unregister wakes all waiters so nobody sleeps through a cap
+  /// increase.
+  void AcquireLeafSlot(int64_t job_id) FEISU_EXCLUDES(share_mutex_);
+  void ReleaseLeafSlot(int64_t job_id) FEISU_EXCLUDES(share_mutex_);
+  /// Highest number of leaf tasks the job had in flight at once (retained
+  /// after UnregisterJobShare; fairness tests assert against the cap).
+  size_t PeakLeafTasks(int64_t job_id) const FEISU_EXCLUDES(share_mutex_);
+  /// Times AcquireLeafSlot had to wait because a job sat at its cap.
+  uint64_t leaf_slot_waits() const FEISU_EXCLUDES(share_mutex_);
 
  private:
   /// Earliest available slot time on a node with `slots` parallel slots.
-  SimTime EarliestSlot(uint32_t node_id, int slots, SimTime now) const;
-  void BookSlot(uint32_t node_id, int slots, SimTime start, SimTime finish);
+  static SimTime EarliestSlot(
+      const std::map<uint32_t, std::vector<SimTime>>& node_slots,
+      uint32_t node_id, int slots, SimTime now);
+  static void BookSlot(std::map<uint32_t, std::vector<SimTime>>* node_slots,
+                       uint32_t node_id, SimTime finish);
+
+  struct JobShare {
+    int weight = 1;
+    size_t in_flight = 0;
+  };
+  size_t CapFor(const JobShare& share) const FEISU_REQUIRES(share_mutex_);
 
   ClusterManager* cluster_;
   PathRouter* router_;
   NetworkModel network_;
   ScheduleConfig config_;
+  uint64_t seed_;
+  /// Serial-path booking state (used when no per-job ledger is passed).
   Rng rng_;
-  // node -> finish times of booked tasks (bounded multiset per node).
   std::map<uint32_t, std::vector<SimTime>> node_slots_;
+
+  mutable Mutex share_mutex_;
+  CondVar share_cv_;
+  size_t leaf_pool_width_ FEISU_GUARDED_BY(share_mutex_) = 0;
+  int total_weight_ FEISU_GUARDED_BY(share_mutex_) = 0;
+  std::map<int64_t, JobShare> shares_ FEISU_GUARDED_BY(share_mutex_);
+  std::map<int64_t, size_t> peak_in_flight_ FEISU_GUARDED_BY(share_mutex_);
+  uint64_t leaf_slot_waits_ FEISU_GUARDED_BY(share_mutex_) = 0;
 };
 
 }  // namespace feisu

@@ -19,9 +19,10 @@ namespace feisu {
 /// so a replay with the same schedule pops the same tokens in the same
 /// order, which the chaos determinism property depends on.
 ///
-/// Not thread-safe by design: it belongs to the single-threaded commit /
-/// control phase of the master, the same place the ordered-slot commit
-/// lives. Pool workers never touch it.
+/// Not thread-safe by design: each job's coordinator creates its own
+/// instance inside its commit phase, the same place the ordered-slot
+/// commit lives. Pool workers never touch it, and concurrent jobs never
+/// share one.
 class TimeoutManager {
  public:
   /// Arms (or re-arms) `token` to fire at `deadline`. Re-arming does not

@@ -21,8 +21,9 @@ namespace feisu {
 /// ordered slots regardless of which worker ran them).
 ///
 /// Host-level concurrency only: pool workers burn wall-clock CPU, never
-/// simulated time. SimTime accounting stays with the (single-threaded)
-/// scheduler that consumes the workers' outputs.
+/// simulated time. SimTime accounting stays with the job coordinator
+/// that consumes the workers' outputs (one coordinator thread per job,
+/// each booking on its own scheduling ledger).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "columnar/json_flatten.h"
@@ -7,6 +8,17 @@
 namespace feisu {
 
 FeisuEngine::FeisuEngine(EngineConfig config) : config_(config) {
+  // Queue-wait observability needs a host wall clock (SimTime cannot see
+  // host queueing); install a monotonic default unless the embedder
+  // supplied one.
+  if (!config_.master.host_clock_ns) {
+    config_.master.host_clock_ns = []() {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    };
+  }
   fault_injector_.Configure(config_.fault);
   router_.set_fault_injector(&fault_injector_);
   for (size_t i = 0; i < config_.num_leaf_nodes; ++i) {
@@ -198,6 +210,19 @@ Result<QueryResult> FeisuEngine::QueryAt(const std::string& user,
                                          SimTime now) {
   clock_.AdvanceTo(now);
   return master_->ExecuteQuery(user, sql, now);
+}
+
+Result<int64_t> FeisuEngine::SubmitQueryAt(
+    const std::string& user, const std::string& sql, SimTime now,
+    const SubmitOptions& options) {
+  // No clock advance: concurrent submissions share one simulated instant;
+  // each job's simulated response time is measured from `now` on its own
+  // ledger.
+  return master_->SubmitQuery(user, sql, now, options);
+}
+
+Result<QueryResult> FeisuEngine::WaitQuery(int64_t job_id) {
+  return master_->WaitQuery(job_id);
 }
 
 IndexCacheStats FeisuEngine::AggregateIndexStats() const {

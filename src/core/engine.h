@@ -91,6 +91,16 @@ class FeisuEngine {
   Result<QueryResult> QueryAt(const std::string& user, const std::string& sql,
                               SimTime now);
 
+  /// Async pair of QueryAt for the multi-query master
+  /// (master.max_concurrent_jobs > 1): submit returns the job id once the
+  /// job is admitted and queued; wait blocks for its result. Safe to call
+  /// from many client threads; the engine clock does not advance (each
+  /// job's simulated response time is measured from its own `now`).
+  Result<int64_t> SubmitQueryAt(const std::string& user,
+                                const std::string& sql, SimTime now,
+                                const SubmitOptions& options = {});
+  Result<QueryResult> WaitQuery(int64_t job_id);
+
   SimClock& clock() { return clock_; }
   Catalog& catalog() { return catalog_; }
   PathRouter& router() { return router_; }

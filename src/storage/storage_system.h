@@ -35,10 +35,14 @@ struct StorageCostModel {
 /// §V-A: "resource consumption agreement"). The scheduler must not assign
 /// more than `max_concurrent_tasks` Feisu tasks to any node of this system,
 /// and leaves `reserved_bandwidth_fraction` of I/O to the business workload
-/// (which scales the effective read bandwidth Feisu sees).
+/// (which scales the effective read bandwidth Feisu sees). The multi-query
+/// master additionally caps how many in-flight *jobs* may read this system
+/// at once (`max_concurrent_jobs`, 0 = unlimited): excess jobs wait in the
+/// admission queue rather than dispatching tasks against it.
 struct ResourceAgreement {
   int max_concurrent_tasks = 4;
   double reserved_bandwidth_fraction = 0.0;
+  int max_concurrent_jobs = 0;
 };
 
 /// Per-file placement record.

@@ -82,13 +82,13 @@ TEST(ClusterManagerTest, HeartbeatLoadGrowsWithNodes) {
 TEST(JobManagerTest, JobLifecycle) {
   JobManager jobs;
   int64_t id = jobs.CreateJob("ana", "SELECT 1", 100);
-  const JobInfo* job = jobs.Find(id);
-  ASSERT_NE(job, nullptr);
+  std::optional<JobInfo> job = jobs.Find(id);
+  ASSERT_TRUE(job.has_value());
   EXPECT_EQ(job->state, JobState::kQueued);
   jobs.SetState(id, JobState::kRunning, 200);
   jobs.SetState(id, JobState::kFinished, 300);
   EXPECT_EQ(jobs.Find(id)->finish_time, 300);
-  EXPECT_EQ(jobs.Find(999), nullptr);
+  EXPECT_FALSE(jobs.Find(999).has_value());
 }
 
 TEST(JobManagerTest, TaskResultReuse) {

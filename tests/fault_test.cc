@@ -362,8 +362,8 @@ TEST(FaultSuite, AllReplicasLostYieldsHonestPartialResult) {
   EXPECT_TRUE(filtered->stats.partial);
 
   // The job record carries the fault history for monitoring/checkpoints.
-  const JobInfo* job = engine->master().job_manager().Find(1);
-  ASSERT_NE(job, nullptr);
+  std::optional<JobInfo> job = engine->master().job_manager().Find(1);
+  ASSERT_TRUE(job.has_value());
   EXPECT_EQ(job->recovery.lost_blocks, 1u);
   EXPECT_LT(job->recovery.processed_ratio, 1.0);
 }
@@ -649,8 +649,8 @@ TEST(FaultSuite, MasterFailoverResumesInterruptedJob) {
   auto resumed = backup.ResumeJob(job_id, 0);
   ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
   EXPECT_EQ(CanonicalRows(resumed->batch), expected);
-  const JobInfo* job = backup.job_manager().Find(job_id);
-  ASSERT_NE(job, nullptr);
+  std::optional<JobInfo> job = backup.job_manager().Find(job_id);
+  ASSERT_TRUE(job.has_value());
   EXPECT_EQ(job->state, JobState::kFinished);
 
   // Guard rails: unknown and already-finished jobs cannot be resumed.

@@ -336,8 +336,8 @@ TEST(StragglerSuite, SlowNodeBackupRescuesStragglers) {
   std::string report = FormatQueryStats(rescued->stats);
   EXPECT_NE(report.find("speculation:"), std::string::npos);
   EXPECT_NE(report.find("backups launched"), std::string::npos);
-  const JobInfo* job = with->master().job_manager().Find(1);
-  ASSERT_NE(job, nullptr);
+  std::optional<JobInfo> job = with->master().job_manager().Find(1);
+  ASSERT_TRUE(job.has_value());
   EXPECT_EQ(job->recovery.backup_tasks_launched,
             rescued->stats.backup_tasks_launched);
   EXPECT_EQ(job->recovery.backup_tasks_won, rescued->stats.backup_tasks_won);
@@ -392,8 +392,8 @@ TEST(StragglerSuite, DeadlineTerminationReportsHonestRatio) {
 
   std::string report = FormatQueryStats(result->stats);
   EXPECT_NE(report.find("by deadline"), std::string::npos);
-  const JobInfo* job = engine->master().job_manager().Find(1);
-  ASSERT_NE(job, nullptr);
+  std::optional<JobInfo> job = engine->master().job_manager().Find(1);
+  ASSERT_TRUE(job.has_value());
   EXPECT_EQ(job->recovery.tasks_terminated_early,
             result->stats.tasks_terminated_early);
   EXPECT_DOUBLE_EQ(job->recovery.processed_ratio,
@@ -520,8 +520,8 @@ TEST(PartitionSuite, MidTaskPartitionRetriesOnAnotherReplica) {
   EXPECT_TRUE(node->alive);
   std::string report = FormatQueryStats(result->stats);
   EXPECT_NE(report.find("partition-hit"), std::string::npos);
-  const JobInfo* job = engine->master().job_manager().Find(1);
-  ASSERT_NE(job, nullptr);
+  std::optional<JobInfo> job = engine->master().job_manager().Find(1);
+  ASSERT_TRUE(job.has_value());
   EXPECT_EQ(job->recovery.partitioned_tasks,
             result->stats.partitioned_tasks);
 
@@ -601,8 +601,8 @@ TEST(StemDeathSuite, StemDeathRetriesOnReplacementStem) {
   EXPECT_EQ(CanonicalRows(result->batch), ReferenceRows(reference, sql));
   std::string report = FormatQueryStats(result->stats);
   EXPECT_NE(report.find("stem deaths"), std::string::npos);
-  const JobInfo* job = engine->master().job_manager().Find(1);
-  ASSERT_NE(job, nullptr);
+  std::optional<JobInfo> job = engine->master().job_manager().Find(1);
+  ASSERT_TRUE(job.has_value());
   EXPECT_EQ(job->recovery.stem_retries, result->stats.stem_retries);
 }
 

@@ -1,0 +1,34 @@
+// Fixture: the admission-pipeline deadlock shape the multi-query master
+// must avoid. A submitting client holds the admission mutex while
+// enqueueing (admission -> queue); a drain-loop coordinator holds the
+// queue mutex while consulting admission quotas (queue -> admission).
+// Each function is consistent on its own — only the whole-program
+// acquisition graph sees the AB/BA cycle across the two call paths.
+#include <cstdint>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class AdmissionQueue {
+ public:
+  void Submit() {
+    MutexLock a(admission_mutex_);
+    MutexLock q(queue_mutex_);  // admission -> queue
+    ++queued_;
+  }
+  void Drain() {
+    MutexLock q(queue_mutex_);
+    MutexLock a(admission_mutex_);  // queue -> admission: cycle
+    --queued_;
+    ++running_;
+  }
+
+ private:
+  Mutex admission_mutex_;
+  Mutex queue_mutex_;
+  uint64_t queued_ = 0;
+  uint64_t running_ = 0;
+};

@@ -1107,6 +1107,9 @@ def run_self_test():
     expect("lock_cycle_interproc",
            file_fixture("lock_cycle_interproc", ("lock-order",)),
            "lock-order")
+    expect("lock_cycle_admission",
+           file_fixture("lock_cycle_admission", ("lock-order",)),
+           "lock-order")
     expect("unordered_iter",
            file_fixture("unordered_iter", ("determinism",)), "determinism")
     expect("unordered_fold",
@@ -1120,7 +1123,7 @@ def run_self_test():
         for f in failures:
             print("feisu-analyze self-test FAILED: " + f, file=sys.stderr)
         return 1
-    print("feisu-analyze self-test: 5 tripping fixtures, 3 clean fixtures, "
+    print("feisu-analyze self-test: 6 tripping fixtures, 3 clean fixtures, "
           "all behaved")
     return 0
 

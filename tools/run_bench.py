@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Runs the performance-tracking benches and emits BENCH_micro_ops.json.
+"""Runs the performance-tracking benches and emits BENCH_micro_ops.json
+plus BENCH_qps.json (multi-query sustained throughput).
 
 Invokes `bench_micro_ops` (google-benchmark, JSON format) and
 `bench_fig9a_smartindex` (paper-figure reproduction, text output) from an
@@ -18,13 +19,14 @@ for uncommitted trees) and the CMake build type, so recorded numbers are
 attributable to an exact source state and optimization level.
 
 With --compare BASELINE.json the run additionally diffs the
-`agg_consume_speedup` and `compressed_eval_speedup` blocks against a
-previously recorded artifact and exits 1 when any speedup regressed by
-more than 25% — CI runs this as an advisory (continue-on-error) step.
+`agg_consume_speedup`, `compressed_eval_speedup` and `qps_speedup`
+blocks against a previously recorded artifact and exits 1 when any
+speedup regressed by more than 25% — CI runs this as a blocking step.
 
 Usage:
   python3 tools/run_bench.py [--build-dir build] [--out BENCH_micro_ops.json]
-                             [--filter REGEX] [--skip-fig9a]
+                             [--qps-out BENCH_qps.json] [--filter REGEX]
+                             [--skip-fig9a] [--skip-qps]
                              [--compare BASELINE.json]
 """
 
@@ -164,7 +166,8 @@ def compare_speedups(baseline: dict, current: dict) -> list:
     """Failure strings for every tracked speedup that regressed by more
     than 25% (or disappeared) relative to the baseline artifact."""
     failures = []
-    for block in ("agg_consume_speedup", "compressed_eval_speedup"):
+    for block in ("agg_consume_speedup", "compressed_eval_speedup",
+                  "qps_speedup"):
         for key, row in sorted(baseline.get(block, {}).items()):
             old = row.get("speedup")
             if not old:
@@ -177,6 +180,18 @@ def compare_speedups(baseline: dict, current: dict) -> list:
                 failures.append(f"{block}/{key}: {old:.2f}x -> {new:.2f}x "
                                 f"(more than 25% regression)")
     return failures
+
+
+def run_qps(build_dir: pathlib.Path) -> dict:
+    """Runs bench_qps (multi-query sustained-throughput sweep); its stdout
+    is already a JSON artifact."""
+    binary = build_dir / "bench" / "bench_qps"
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found — build the repo first "
+                 f"(cmake --build {build_dir} --target bench_qps)")
+    proc = subprocess.run([str(binary)], capture_output=True, text=True,
+                          check=True)
+    return json.loads(proc.stdout)
 
 
 def run_fig9a(build_dir: pathlib.Path) -> dict:
@@ -201,6 +216,10 @@ def main() -> int:
                         help="optional --benchmark_filter regex")
     parser.add_argument("--skip-fig9a", action="store_true",
                         help="skip the ~20s fig9a reproduction run")
+    parser.add_argument("--skip-qps", action="store_true",
+                        help="skip the multi-query QPS sweep")
+    parser.add_argument("--qps-out", default="BENCH_qps.json",
+                        help="QPS artifact path")
     parser.add_argument("--compare", metavar="BASELINE_JSON",
                         help="diff the speedup blocks against a previous "
                              "artifact; exit 1 on a >25%% regression")
@@ -220,6 +239,16 @@ def main() -> int:
         artifact["compressed_eval_speedup"] = compressed
     if not args.skip_fig9a:
         artifact["fig9a_smartindex"] = run_fig9a(build_dir)
+    qps = None
+    if not args.skip_qps:
+        qps = run_qps(build_dir)
+        qps.setdefault("context", {})["git_sha"] = \
+            artifact["micro_ops"]["context"]["git_sha"]
+        # The speedup block rides along in the main artifact too, so one
+        # --compare pass gates every tracked *_speedup metric.
+        artifact["qps_speedup"] = qps.get("qps_speedup", {})
+        qps_path = pathlib.Path(args.qps_out)
+        qps_path.write_text(json.dumps(qps, indent=2) + "\n")
 
     out_path = pathlib.Path(args.out)
     out_path.write_text(json.dumps(artifact, indent=2) + "\n")
@@ -243,6 +272,14 @@ def main() -> int:
                    if artifact["fig9a_smartindex"]["reproduced"]
                    else "NOT reproduced")
         print(f"fig9a SmartIndex speedup: {verdict}")
+    if qps is not None:
+        for key, row in sorted(qps.get("qps_speedup", {}).items()):
+            print(f"multi-query QPS {key}: {row['serial_qps']:.1f} serial "
+                  f"vs {row['concurrent_qps']:.1f} concurrent "
+                  f"-> {row['speedup']:.2f}x "
+                  f"({'meets' if qps.get('reproduced') else 'BELOW'} "
+                  f"{qps.get('target_speedup', 3.0):.0f}x target)")
+        print(f"wrote {args.qps_out}")
     print(f"wrote {out_path}")
 
     if args.compare:
