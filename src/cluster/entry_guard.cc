@@ -9,45 +9,59 @@ EntryGuard::EntryGuard(SsoAuthenticator* sso, const Catalog* catalog,
 Result<JobCredential> EntryGuard::Admit(const std::string& user,
                                         const std::string& table,
                                         SimTime now) {
-  MutexLock lock(mutex_);
-  // Quota: count queries per simulated day.
-  int64_t day = now / (24 * kSimHour);
-  auto& [last_day, count] = usage_[user];
-  if (last_day != day) {
-    last_day = day;
-    count = 0;
-  }
-  if (count >= daily_query_quota_) {
-    ++rejected_;
-    return Status::ResourceExhausted("user " + user +
-                                     " exceeded daily query quota");
+  // Phase 1, under mutex_: quota and ACL checks. The quota slot is
+  // reserved here so racing admits for the same user cannot overshoot the
+  // daily limit while an authentication round trip is in flight.
+  {
+    MutexLock lock(mutex_);
+    // Quota: count queries per simulated day.
+    int64_t day = now / (24 * kSimHour);
+    auto& [last_day, count] = usage_[user];
+    if (last_day != day) {
+      last_day = day;
+      count = 0;
+    }
+    if (count >= daily_query_quota_) {
+      ++rejected_;
+      return Status::ResourceExhausted("user " + user +
+                                       " exceeded daily query quota");
+    }
+
+    const TableMeta* meta = catalog_->Find(table);
+    if (meta == nullptr) {
+      ++rejected_;
+      return Status::NotFound("table " + table + " not found");
+    }
+    if (!meta->UserMayRead(user)) {
+      ++rejected_;
+      return Status::PermissionDenied("user " + user +
+                                      " may not read table " + table);
+    }
+    ++count;
   }
 
-  const TableMeta* meta = catalog_->Find(table);
-  if (meta == nullptr) {
-    ++rejected_;
-    return Status::NotFound("table " + table + " not found");
-  }
-  if (!meta->UserMayRead(user)) {
-    ++rejected_;
-    return Status::PermissionDenied("user " + user +
-                                    " may not read table " + table);
-  }
+  // Phase 2, no lock held: the certification-system round trip. Holding
+  // mutex_ across it would stall every admission and job-accounting path
+  // behind the authenticator.
   Result<JobCredential> credential = sso_->Authenticate(user);
+
+  // Phase 3, under mutex_: commit, or roll the reservation back so a
+  // failed authentication does not consume quota.
+  MutexLock lock(mutex_);
   if (!credential.ok()) {
+    auto it = usage_.find(user);
+    if (it != usage_.end() && it->second.second > 0) --it->second.second;
     ++rejected_;
     return credential.status();
   }
-  ++count;
   ++admitted_;
   return credential;
 }
 
 bool EntryGuard::AuthorizeDomain(const JobCredential& credential,
                                  const std::string& domain) const {
-  // The SSO authenticator is unsynchronized; serialize reads against the
-  // credential mints Admit performs on other threads.
-  MutexLock lock(mutex_);
+  // The authenticator synchronizes itself; per-task authorization must
+  // not contend with admission accounting under mutex_.
   return sso_->Authorize(credential, domain);
 }
 

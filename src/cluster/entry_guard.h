@@ -41,11 +41,13 @@ struct AdmissionSnapshot {
 /// per-tenant concurrency/backlog quotas and per-storage
 /// resource-consumption agreements on concurrent jobs.
 ///
-/// Concurrency: all state — including the SsoAuthenticator behind it,
-/// which is unsynchronized — is serialized under `mutex_`; every public
-/// entry point locks it, so concurrent job coordinators and submitting
-/// clients may call in freely. Never calls out into JobManager or
-/// MasterServer (leaf of the admission lock order).
+/// Concurrency: quota and accounting state is serialized under `mutex_`;
+/// the SsoAuthenticator synchronizes itself, and Admit never holds
+/// `mutex_` across the authentication round trip (the daily-quota slot is
+/// reserved first and rolled back if authentication fails). Concurrent
+/// job coordinators and submitting clients may call in freely. Never
+/// calls out into JobManager or MasterServer (leaf of the admission lock
+/// order).
 class EntryGuard {
  public:
   EntryGuard(SsoAuthenticator* sso, const Catalog* catalog,
@@ -102,7 +104,7 @@ class EntryGuard {
   const TenantQuota& QuotaFor(const std::string& user) const
       FEISU_REQUIRES(mutex_);
 
-  SsoAuthenticator* sso_ FEISU_PT_GUARDED_BY(mutex_);
+  SsoAuthenticator* sso_;  // internally synchronized
   const Catalog* catalog_;
   uint64_t daily_query_quota_;
 

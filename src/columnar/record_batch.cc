@@ -115,7 +115,6 @@ size_t RecordBatch::ByteSize() const {
 }
 
 std::string RecordBatch::ToString(size_t max_rows) const {
-  std::vector<std::vector<std::string>> cells;
   std::vector<size_t> widths(num_columns(), 0);
   std::vector<std::string> header(num_columns());
   for (size_t c = 0; c < num_columns(); ++c) {
@@ -123,13 +122,14 @@ std::string RecordBatch::ToString(size_t max_rows) const {
     widths[c] = header[c].size();
   }
   size_t rows = std::min(num_rows(), max_rows);
+  std::vector<std::vector<std::string>> cells(
+      rows, std::vector<std::string>(num_columns()));
   for (size_t r = 0; r < rows; ++r) {
-    std::vector<std::string> row(num_columns());
+    auto& row = cells[r];
     for (size_t c = 0; c < num_columns(); ++c) {
       row[c] = columns_[c].GetValue(r).ToString();
       widths[c] = std::max(widths[c], row[c].size());
     }
-    cells.push_back(std::move(row));
   }
   std::ostringstream os;
   auto emit_row = [&](const std::vector<std::string>& row) {

@@ -9,25 +9,30 @@ bool JobCredential::HasDomain(const std::string& domain) const {
 }
 
 void SsoAuthenticator::RegisterUser(const std::string& user) {
+  MutexLock lock(mutex_);
   user_domains_.emplace(user, std::set<std::string>{});
 }
 
 bool SsoAuthenticator::IsRegistered(const std::string& user) const {
+  MutexLock lock(mutex_);
   return user_domains_.contains(user);
 }
 
 void SsoAuthenticator::GrantDomain(const std::string& user,
                                    const std::string& domain) {
+  MutexLock lock(mutex_);
   user_domains_[user].insert(domain);
 }
 
 void SsoAuthenticator::RevokeDomain(const std::string& user,
                                     const std::string& domain) {
+  MutexLock lock(mutex_);
   auto it = user_domains_.find(user);
   if (it != user_domains_.end()) it->second.erase(domain);
 }
 
 Result<JobCredential> SsoAuthenticator::Authenticate(const std::string& user) {
+  MutexLock lock(mutex_);
   auto it = user_domains_.find(user);
   if (it == user_domains_.end()) {
     return Status::PermissionDenied("unknown user " + user);
@@ -42,11 +47,13 @@ Result<JobCredential> SsoAuthenticator::Authenticate(const std::string& user) {
 
 bool SsoAuthenticator::Authorize(const JobCredential& credential,
                                  const std::string& domain) const {
+  MutexLock lock(mutex_);
   if (!live_tokens_.contains(credential.token)) return false;
   return credential.HasDomain(domain);
 }
 
 void SsoAuthenticator::Revoke(const JobCredential& credential) {
+  MutexLock lock(mutex_);
   live_tokens_.erase(credential.token);
 }
 

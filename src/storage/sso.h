@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 
 namespace feisu {
@@ -26,6 +27,11 @@ struct JobCredential {
 /// the X.509/PAM flow: users are enrolled once, granted per-domain access
 /// offline, and at job submission their authentication information is
 /// mapped into a JobCredential covering all granted domains.
+///
+/// Internally synchronized: Authenticate models a certification-system
+/// round trip, so callers must be able to reach it without holding their
+/// own locks (blocking-under-lock gate); per-task Authorize calls from
+/// workers race freely against credential mints.
 class SsoAuthenticator {
  public:
   SsoAuthenticator() = default;
@@ -50,9 +56,11 @@ class SsoAuthenticator {
   void Revoke(const JobCredential& credential);
 
  private:
-  std::map<std::string, std::set<std::string>> user_domains_;
-  std::set<uint64_t> live_tokens_;
-  uint64_t next_token_ = 1;
+  mutable Mutex mutex_;
+  std::map<std::string, std::set<std::string>> user_domains_
+      FEISU_GUARDED_BY(mutex_);
+  std::set<uint64_t> live_tokens_ FEISU_GUARDED_BY(mutex_);
+  uint64_t next_token_ FEISU_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace feisu

@@ -139,6 +139,76 @@ TEST(EntryGuardAdmissionTest, ConcurrencyQuotaDefersAndDomainLimitGates) {
   EXPECT_TRUE(guard.MayStartJob("dana", "hdfs", 1));
 }
 
+// Regression (blocking-under-lock gate): Admit reserves the daily-quota
+// slot, releases mutex_ across the authentication round trip, and rolls
+// the reservation back on failure — a failed authentication must never
+// consume quota.
+TEST(EntryGuardAdmissionTest, AdmitAuthFailureRollsBackQuotaSlot) {
+  SsoAuthenticator sso;
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterTable(
+                      TableMeta("open", Schema({{"a", DataType::kInt64, true}})))
+                  .ok());
+  EntryGuard guard(&sso, &catalog, /*daily_query_quota=*/2);
+
+  // "eve" passes the ACL (open table) but is unknown to the SSO: every
+  // attempt fails authentication, and none may burn a quota slot.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(guard.Admit("eve", "open", 0).status().IsPermissionDenied());
+  }
+  // Once enrolled, the full quota is still available...
+  sso.GrantDomain("eve", "d");
+  EXPECT_TRUE(guard.Admit("eve", "open", 0).ok());
+  EXPECT_TRUE(guard.Admit("eve", "open", 0).ok());
+  // ...and only now is it exhausted.
+  EXPECT_TRUE(guard.Admit("eve", "open", 0).status().IsResourceExhausted());
+}
+
+// Regression: racing admits cannot overshoot the daily quota even though
+// mutex_ is dropped across authentication (the slot is reserved first).
+// Runs under the TSan lane, so the lock-free path into the internally
+// synchronized SsoAuthenticator is race-probed too.
+TEST(EntryGuardAdmissionTest, ConcurrentAdmitsRespectDailyQuota) {
+  SsoAuthenticator sso;
+  sso.GrantDomain("ana", "hdfs-domain");
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterTable(
+                      TableMeta("open", Schema({{"a", DataType::kInt64, true}})))
+                  .ok());
+  EntryGuard guard(&sso, &catalog, /*daily_query_quota=*/4);
+
+  auto seed_credential = guard.Admit("ana", "open", 0);
+  ASSERT_TRUE(seed_credential.ok());
+
+  std::atomic<int> admitted{0};
+  std::atomic<int> quota_bounced{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) {
+        auto r = guard.Admit("ana", "open", 0);
+        if (r.ok()) {
+          ++admitted;
+        } else if (r.status().IsResourceExhausted()) {
+          ++quota_bounced;
+        }
+        // Race credential checks and auth failures against the mints.
+        guard.AuthorizeDomain(*seed_credential, "hdfs-domain");
+        guard.Admit("ghost", "open", 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // One slot went to the seed admit; exactly three more may succeed.
+  EXPECT_EQ(admitted.load(), 3);
+  EXPECT_EQ(quota_bounced.load(), 13);
+  EXPECT_EQ(guard.admitted_count(), 4u);
+  EXPECT_TRUE(guard.AuthorizeDomain(*seed_credential, "hdfs-domain"));
+}
+
 // ---------- JobScheduler: fair leaf sharing ----------
 
 TEST(FairShareGateTest, WeightedCapsBlockAtLimitAndGrowOnExit) {

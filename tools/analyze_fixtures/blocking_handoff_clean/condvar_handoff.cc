@@ -1,0 +1,36 @@
+// Fixture: the one sanctioned blocking shape — CondVar::Wait(lock)
+// releasing the only mutex held. Recognized structurally; no waiver
+// needed and none present.
+#include <cstdint>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+class CondVar {
+ public:
+  void Wait(MutexLock& lock);
+  void NotifyOne();
+};
+
+class Gate {
+ public:
+  void Acquire() {
+    MutexLock lock(mutex_);
+    while (in_use_ != 0) {
+      cv_.Wait(lock);
+    }
+    ++in_use_;
+  }
+  void Release() {
+    MutexLock lock(mutex_);
+    --in_use_;
+    cv_.NotifyOne();
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar cv_;
+  uint64_t in_use_ = 0;
+};

@@ -1,0 +1,41 @@
+// Fixture: the blocking effect is two calls away — Serve holds
+// table_mutex_ and calls Refill, which calls WaitForSpace, which parks
+// on a CondVar. Only an interprocedural summary can see the chain.
+#include <cstdint>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+class CondVar {
+ public:
+  void Wait(MutexLock& lock);
+};
+
+class Buffer {
+ public:
+  void Serve() {
+    MutexLock lock(table_mutex_);
+    ++serves_;
+    Refill();
+  }
+  void Refill() {
+    ++refills_;
+    WaitForSpace();
+  }
+  void WaitForSpace() {
+    MutexLock lock(space_mutex_);
+    while (pending_ != 0) {
+      space_cv_.Wait(lock);
+    }
+  }
+
+ private:
+  Mutex table_mutex_;
+  Mutex space_mutex_;
+  CondVar space_cv_;
+  uint64_t pending_ = 0;
+  uint64_t serves_ = 0;
+  uint64_t refills_ = 0;
+};

@@ -1,0 +1,28 @@
+// Fixture: dispatching to the thread pool while holding state_mutex_ —
+// the pool's queue lock and worker wakeup now serialize behind an
+// unrelated lock. blocking-under-lock must trip on the Submit site.
+#include <cstdint>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+class ThreadPool {
+ public:
+  void Submit(int task);
+};
+
+class Dispatcher {
+ public:
+  void Kick() {
+    MutexLock lock(state_mutex_);
+    ++kicks_;
+    pool_.Submit(1);
+  }
+
+ private:
+  Mutex state_mutex_;
+  ThreadPool pool_;
+  uint64_t kicks_ = 0;
+};

@@ -1,0 +1,29 @@
+// Fixture: a genuine blocking-under-lock site carrying a justified
+// waiver — the pass must stay quiet and the waiver must count as used
+// (so the stale-waiver sweep stays quiet too).
+#include <cstdint>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+class ThreadPool {
+ public:
+  void Submit(int task);
+};
+
+class Bootstrapper {
+ public:
+  void Start() {
+    MutexLock lock(state_mutex_);
+    ++starts_;
+    // feisu-analyze: allow(blocking-under-lock): fixture; startup path, pool is empty and cannot park
+    pool_.Submit(1);
+  }
+
+ private:
+  Mutex state_mutex_;
+  ThreadPool pool_;
+  uint64_t starts_ = 0;
+};

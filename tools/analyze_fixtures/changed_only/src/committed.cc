@@ -1,0 +1,21 @@
+// Fixture: a committed status-discard defect. The changed-only
+// scenario commits this file, then adds an uncommitted copy with the
+// class renamed — the analyzer must flag only the uncommitted copy.
+#include <cstdint>
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+class Committed {
+ public:
+  Status Sync();
+  void Shutdown() {
+    Status synced = Sync();
+    ++shutdowns_;
+  }
+
+ private:
+  uint64_t shutdowns_ = 0;
+};

@@ -1,0 +1,21 @@
+// Fixture: the hoisted shape — the output buffer is allocated and
+// reserved once before the per-row loop, and the loop only appends
+// (amortized, no fresh allocation per row). Must stay clean.
+#include <cstdint>
+#include <vector>
+
+struct Row {
+  int64_t key;
+};
+
+class Gatherer {
+ public:
+  std::vector<int64_t> Gather(const std::vector<Row>& rows) {
+    std::vector<int64_t> keys;
+    keys.reserve(rows.size());
+    for (const Row& row : rows) {
+      keys.push_back(row.key);
+    }
+    return keys;
+  }
+};

@@ -1,0 +1,24 @@
+// Fixture: per-row loop allocating every iteration — a make_unique per
+// row plus a fresh std::string temporary declared in the loop body.
+// Both must trip hot-alloc.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Row {
+  int64_t key;
+};
+
+class Scanner {
+ public:
+  uint64_t Scan(const std::vector<Row>& rows) {
+    uint64_t sum = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      auto boxed = std::make_unique<Row>(rows[i]);
+      std::string label = "row";
+      sum += static_cast<uint64_t>(boxed->key) + label.size();
+    }
+    return sum;
+  }
+};

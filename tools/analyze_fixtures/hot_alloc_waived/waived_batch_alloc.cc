@@ -1,0 +1,23 @@
+// Fixture: a per-batch allocation carrying a justified waiver — one
+// shared state block per batch is the documented contract here. The
+// pass must stay quiet and the waiver must count as used.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+struct Batch {
+  uint64_t rows;
+};
+
+class Spiller {
+ public:
+  uint64_t Spill(const std::vector<Batch>& batches) {
+    uint64_t total = 0;
+    for (const Batch& batch : batches) {
+      // feisu-analyze: allow(hot-alloc): fixture; one shared block per batch is the spill contract
+      auto block = std::make_shared<Batch>(batch);
+      total += block->rows;
+    }
+    return total;
+  }
+};

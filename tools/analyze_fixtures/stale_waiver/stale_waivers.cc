@@ -1,0 +1,33 @@
+// Fixture: waivers that no longer suppress anything. The loop below is
+// an order-insensitive fold and Bump has no blocking site, so both
+// waivers must be reported stale by the --stale-waivers sweep.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class Counter {
+ public:
+  uint64_t Total(const std::unordered_map<std::string, uint64_t>& table) {
+    uint64_t sum = 0;
+    // feisu-analyze: allow(unordered-iter): stale; the loop became a pure fold
+    for (const auto& [key, value] : table) {
+      sum += value;
+    }
+    return sum;
+  }
+  void Bump() {
+    MutexLock lock(mutex_);
+    // feisu-analyze: allow(blocking-under-lock): stale; the dispatch moved out long ago
+    ++bumps_;
+  }
+
+ private:
+  Mutex mutex_;
+  uint64_t bumps_ = 0;
+};

@@ -1,0 +1,47 @@
+// Fixture: properly inspected statuses — immediate unconditional ok()
+// check, an accumulator seeded with Status::OK() (not a producing
+// call), a reassignment whose value flows into the return, and a
+// Result local checked before dereference. All clean.
+#include <cstdint>
+#include <utility>
+
+class Status {
+ public:
+  static Status OK();
+  bool ok() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  T operator*() const;
+};
+
+class Writer {
+ public:
+  Status Write(int row);
+  Result<int> Parse();
+
+  Status WriteAll(int rows) {
+    Status first = Status::OK();
+    for (int i = 0; i < rows; ++i) {
+      Status wrote = Write(i);
+      if (!wrote.ok()) {
+        return wrote;
+      }
+      if (first.ok()) {
+        first = std::move(wrote);
+      }
+    }
+    return first;
+  }
+
+  int CountOrZero() {
+    Result<int> parsed = Parse();
+    if (!parsed.ok()) {
+      return 0;
+    }
+    return *parsed;
+  }
+};

@@ -1,0 +1,21 @@
+// Fixture: the Status from Flush is assigned and then dropped — no
+// ok() inspection before the function ends. [[nodiscard]] cannot see
+// this: the value *was* used (assigned).
+#include <cstdint>
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+class Sink {
+ public:
+  Status Flush();
+  void Close() {
+    Status flushed = Flush();
+    ++closes_;
+  }
+
+ private:
+  uint64_t closes_ = 0;
+};

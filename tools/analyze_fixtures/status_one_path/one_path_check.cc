@@ -1,0 +1,27 @@
+// Fixture: the status is only inspected when verbose logging is on —
+// the quiet path falls through and drops the error. Every read of
+// `compacted` sits under a branch whose condition never mentions it.
+#include <cstdint>
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+class Compactor {
+ public:
+  Status Compact();
+  void Run(bool verbose) {
+    Status compacted = Compact();
+    if (verbose) {
+      if (!compacted.ok()) {
+        ++errors_;
+      }
+    }
+    ++runs_;
+  }
+
+ private:
+  uint64_t errors_ = 0;
+  uint64_t runs_ = 0;
+};

@@ -2,15 +2,21 @@
 # Run every static gate locally, in the same order as the CI `static` job:
 #
 #   1. feisu-lint   self-test, then src/          (blocking)
-#   2. feisu-analyze self-test, then src/         (blocking)
+#   2. feisu-analyze self-test, then src/         (blocking; emits the
+#                   JSON + SARIF artifacts CI uploads)
 #   3. clang-tidy   over src/ via compile_commands (blocking; skipped with
 #                   a warning when clang-tidy is not installed)
 #   4. clang-format --dry-run                     (advisory, like CI)
 #
-# Usage: tools/check.sh [--changed-only]
+# Usage: tools/check.sh [--changed-only] [--artifact-dir DIR]
 #   --changed-only  restrict feisu-lint and feisu-analyze's file-scoped
 #                   findings to files changed vs. git HEAD (fast pre-commit
 #                   mode; whole-program cycle checks still see everything)
+#   --artifact-dir  where feisu_analyze.json / feisu_analyze.sarif are
+#                   written (default: build/static)
+#
+# The whole script asserts a wall-clock budget: the static gates must
+# finish in under 120 s, so they stay cheap enough to run on every commit.
 #
 # Exit status: 0 when every available blocking gate passed, 1 otherwise.
 
@@ -19,16 +25,26 @@ set -u
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
+BUDGET_SECONDS=120
+SECONDS=0
+
 CHANGED_ONLY=""
-for arg in "$@"; do
-  case "$arg" in
+ARTIFACT_DIR="build/static"
+while [ "$#" -gt 0 ]; do
+  case "$1" in
     --changed-only) CHANGED_ONLY="--changed-only" ;;
+    --artifact-dir)
+      shift
+      ARTIFACT_DIR="${1:?--artifact-dir needs a path}"
+      ;;
     *)
-      echo "usage: tools/check.sh [--changed-only]" >&2
+      echo "usage: tools/check.sh [--changed-only] [--artifact-dir DIR]" >&2
       exit 2
       ;;
   esac
+  shift
 done
+mkdir -p "$ARTIFACT_DIR"
 
 FAILED=0
 
@@ -45,7 +61,10 @@ run_gate() {
 run_gate "feisu-lint self-test" python3 tools/feisu_lint.py --self-test
 run_gate "feisu-lint src/" python3 tools/feisu_lint.py $CHANGED_ONLY
 run_gate "feisu-analyze self-test" python3 tools/feisu_analyze.py --self-test
-run_gate "feisu-analyze src/" python3 tools/feisu_analyze.py $CHANGED_ONLY
+run_gate "feisu-analyze src/" python3 tools/feisu_analyze.py $CHANGED_ONLY \
+  --json "$ARTIFACT_DIR/feisu_analyze.json" \
+  --sarif "$ARTIFACT_DIR/feisu_analyze.sarif" \
+  --effects-json "$ARTIFACT_DIR/feisu_effects.json"
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
   TIDY_BUILD=""
@@ -76,8 +95,17 @@ else
   echo "warning: clang-format not installed; skipping format check" >&2
 fi
 
+ELAPSED="$SECONDS"
+if [ "$ELAPSED" -ge "$BUDGET_SECONDS" ]; then
+  echo "tools/check.sh: static gates took ${ELAPSED}s, over the" \
+       "${BUDGET_SECONDS}s budget — profile the analyzer before it stops" \
+       "being an every-commit tool" >&2
+  FAILED=1
+fi
+
 if [ "$FAILED" -ne 0 ]; then
   echo "tools/check.sh: one or more static gates FAILED" >&2
   exit 1
 fi
-echo "tools/check.sh: all available static gates passed"
+echo "tools/check.sh: all available static gates passed in ${ELAPSED}s" \
+     "(budget ${BUDGET_SECONDS}s)"

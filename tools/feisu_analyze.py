@@ -33,20 +33,61 @@ only exist across files (CI Gate 5; see docs/STATIC_ANALYSIS.md):
                   commutatively: ++/--, +=/-=/|=/&=/^=, min/max
                   self-assign, erase, continue) or carry a waiver.
 
-Waivers: `// feisu-analyze: allow(<pass>): <reason>` on the offending
-line or the line directly above, with pass one of `layering`,
-`lock-order`, `unordered-iter`. A waiver without a reason is a violation.
+Gate 6 builds a whole-program *effect-summary engine* on the same
+function model: every function gets a bottom-up interprocedural summary
+of locks held (FEISU_REQUIRES/ACQUIRE + nested MutexLock/WriterLock/
+ReaderLock scopes), may-block effects (CondVar Wait, ThreadPool
+dispatch/future get, storage reads, simulated-time stalls) and
+may-allocate effects (new / make_unique / make_shared). Three passes
+consume the summaries:
+
+  blocking-under-lock
+                  No may-block effect may be reachable while a Mutex is
+                  held; the finding prints the lock site and the full
+                  interprocedural call chain down to the blocking site.
+                  The one sanctioned shape is the CondVar handoff
+                  `cv.Wait(lock)` where `lock` is the only lock held:
+                  it is recognized structurally, never waived.
+
+  status-discard  Per-function def-use over `Status`/`Result<T>` locals.
+                  A Status produced by a call and assigned to a local
+                  that is never inspected afterwards (before being
+                  overwritten or falling out of the function) is a
+                  dropped error [[nodiscard]] cannot see — the value
+                  *was* used: assigned. Reads that only happen inside a
+                  conditional branch whose condition does not mention
+                  the local (checked on one path, fallen through on the
+                  other) count as conditional-only and still fail.
+
+  hot-alloc       Allocation effects (direct or via calls, plus fresh
+                  container locals) inside per-row/per-batch loops in
+                  src/exec/ and src/columnar/ fail unless hoisted or
+                  carrying `feisu-analyze: allow(hot-alloc): <reason>`.
+
+Waivers: `// feisu-analyze: allow(<id>) : <reason>` on the offending line
+or the line directly above, with id one of `layering`, `lock-order`,
+`unordered-iter`, `blocking-under-lock`, `status-discard`, `hot-alloc`.
+A waiver without a reason is a violation. A waiver that no longer
+suppresses any finding of an executed pass is itself reported
+(stale-waiver, on by default; disable with --no-stale-waivers).
+
+Machine-readable output: --json writes a report with the analyzed tree's
+git SHA (consumed by run_bench.py --static-json), --sarif writes SARIF
+2.1.0 for code-scanning upload, --effects-json dumps the per-function
+effect summaries.
 
 Exit status: 0 clean, 1 violations, 2 usage error. `--self-test` runs the
 seeded fixtures under tools/analyze_fixtures/ (each must trip exactly its
-intended pass; waived/fold fixtures must stay clean). `--changed-only`
-restricts file-scoped reporting (layering include sites, determinism) to
-files changed vs. git HEAD; graph-level results (include cycles,
-lock-order cycles) always consider the whole program, since a local edit
-can close a cycle through unchanged files.
+intended pass; waived/fold fixtures must stay clean), including a
+synthetic-git `--changed-only` scenario. `--changed-only` restricts
+file-scoped reporting (layering include sites, determinism, blocking,
+status-discard, hot-alloc) to files changed vs. git HEAD; graph-level
+results (include cycles, lock-order cycles) always consider the whole
+program, since a local edit can close a cycle through unchanged files.
 """
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -58,9 +99,24 @@ from feisu_lint import strip_comments_and_strings  # noqa: E402
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "analyze_fixtures")
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
-PASSES = ("layering", "lock-order", "determinism")
+PASSES = ("layering", "lock-order", "determinism", "blocking-under-lock",
+          "status-discard", "hot-alloc")
+# Waiver ids accepted in allow(...) comments -> the pass that consumes them.
+WAIVER_PASS_OF = {
+    "layering": "layering",
+    "lock-order": "lock-order",
+    "unordered-iter": "determinism",
+    "blocking-under-lock": "blocking-under-lock",
+    "status-discard": "status-discard",
+    "hot-alloc": "hot-alloc",
+}
 
 WAIVER_RE = re.compile(r"feisu-analyze:\s*allow\(([a-z-]+)\)\s*(:\s*\S.*)?")
+
+# (abspath, lineno) of waiver comments that actually suppressed a finding
+# during the current run; everything else naming an executed pass is
+# stale. Cleared at the start of every analysis entry point.
+USED_WAIVERS = set()
 
 
 class Violation:
@@ -76,19 +132,54 @@ class Violation:
                                    self.message)
 
 
-def make_waiver_lookup(raw_lines):
+def make_waiver_lookup(path, raw_lines):
     """Returns waived(lineno, pass_name): a waiver comment applies to its
     own line or the line directly below it. A waiver with no reason text
-    is treated as absent (and separately reported)."""
+    is treated as absent (and separately reported). Matches are recorded
+    in USED_WAIVERS so unconsumed waivers can be flagged as stale."""
+    abspath = os.path.abspath(path)
+
     def waived(lineno, pass_name):
         for idx in (lineno - 1, lineno - 2):
             if idx < 0 or idx >= len(raw_lines):
                 continue
             m = WAIVER_RE.search(raw_lines[idx])
             if m is not None and m.group(1) == pass_name and m.group(2):
+                USED_WAIVERS.add((abspath, idx + 1))
                 return True
         return False
     return waived
+
+
+def collect_stale_waivers(files, executed_passes, report_paths):
+    """Waivers whose pass ran but which suppressed nothing this run."""
+    out = []
+    for path in files:
+        if report_paths is not None and os.path.abspath(path) \
+                not in report_paths:
+            continue
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().split("\n")
+        for lineno, line in enumerate(raw_lines, start=1):
+            m = WAIVER_RE.search(line)
+            if m is None or not m.group(2):
+                continue  # reasonless waivers are reported separately
+            pass_name = WAIVER_PASS_OF.get(m.group(1))
+            if pass_name is None:
+                out.append(Violation(
+                    path, lineno, "stale-waiver",
+                    "waiver names unknown id `%s`; known ids: %s"
+                    % (m.group(1), ", ".join(sorted(WAIVER_PASS_OF)))))
+                continue
+            if pass_name not in executed_passes:
+                continue  # pass did not run; can't judge staleness
+            if (os.path.abspath(path), lineno) not in USED_WAIVERS:
+                out.append(Violation(
+                    path, lineno, "stale-waiver",
+                    "waiver `allow(%s)` no longer suppresses any finding "
+                    "of the %s pass; delete it so the check is live again"
+                    % (m.group(1), pass_name)))
+    return out
 
 
 def collect_reasonless_waivers(path, raw_lines):
@@ -115,7 +206,7 @@ class SourceFile:
         self.raw_lines = self.raw.split("\n")
         self.code = strip_comments_and_strings(self.raw)
         self.code_lines = self.code.split("\n")
-        self.waived = make_waiver_lookup(self.raw_lines)
+        self.waived = make_waiver_lookup(path, self.raw_lines)
         # Map text offset -> line number (1-based).
         self._line_starts = [0]
         for i, c in enumerate(self.code):
@@ -423,7 +514,7 @@ def write_include_dot(result, out_path):
 # ---------------------------------------------------------------------------
 
 LOCK_DECL_RE = re.compile(
-    r"\b(MutexLock|WriterLock|ReaderLock)\s+[A-Za-z_]\w*\s*\(([^()]*)\)")
+    r"\b(MutexLock|WriterLock|ReaderLock)\s+([A-Za-z_]\w*)\s*\(([^()]*)\)")
 CLASS_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
                       r"(?::[^;{]*)?\{")
 FUNC_RE = re.compile(
@@ -476,7 +567,11 @@ class Function:
         self.requires = set()       # mutex ids held on entry
         self.acquires = set()       # direct acquisitions (decl + ACQUIRE)
         self.lock_sites = []        # (mutex_id, pos, scope_end, line, waived)
-        self.calls = []             # (callee_name, pos)
+        self.calls = []             # lock-order resolution: (targets, pos)
+        self.lock_vars = []         # (varname, mutex_id, pos, scope_end)
+        self.effect_calls = []      # typed resolution: (targets, pos, name)
+        self.blocking_sites = []    # (kind, pos, line, detail, released)
+        self.alloc_sites = []       # (kind, pos, line, detail)
 
 
 def class_spans(sf):
@@ -626,39 +721,99 @@ def index_declared_annotations(sf, module_stem):
     return out
 
 
-class LockOrderResult:
-    def __init__(self):
-        self.violations = []
-        self.edges = {}  # (held, acquired) -> (path, line)
+# ---------------------------------------------------------------------------
+# Effect-summary engine (Gate 6): shared whole-program model
+# ---------------------------------------------------------------------------
+
+CONDVAR_WAIT_RE = re.compile(r"(?:\.|->)\s*Wait\s*\(\s*([A-Za-z_]\w*)\s*\)")
+POOL_DISPATCH_RE = re.compile(
+    r"(?:\.|->)\s*(Submit|ParallelFor|WaitIdle)\s*\(")
+FUTURE_DECL_RE = re.compile(
+    r"\bstd::(?:shared_)?future\s*<[^;{}]*>\s*&?\s*([A-Za-z_]\w*)")
+FUTURE_GET_RE = re.compile(r"([A-Za-z_][\w.>\[\]-]*)\s*\.\s*get\s*\(\s*\)")
+ALLOC_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
+ALLOC_MAKE_RE = re.compile(r"\bstd::make_(unique|shared)\s*<")
+CONTAINER_LOCAL_RE = re.compile(
+    r"\bstd::(vector|string|deque|map|set|unordered_map|unordered_set|list)"
+    r"\s*(?:<[^;{}()]*>)?\s+[A-Za-z_]\w*\s*[;({=]")
+LOOP_RE = re.compile(r"(?<![\w])(?:for|while)\s*\(")
+HOT_LOOP_HINT_RE = re.compile(r"[Rr]ows?\b|[Bb]atch|num_rows|RowCount")
+MEMBER_PTR_DECL_RE = re.compile(
+    r"\bstd::(?:unique_ptr|shared_ptr)\s*<\s*(?:const\s+)?([A-Za-z_]\w*)"
+    r"[^;{}>]*>\s+([a-z_]\w*)\s*[;={]")
+MEMBER_OBJ_DECL_RE = re.compile(
+    r"\b([A-Z]\w*)\s*(?:<[^;{}()]*>)?\s*[*&]?\s+([a-z_]\w*)\s*[;={]")
+
+# Blocking roots by contract: simulated storage/RPC reads. Their cost is
+# SimTime in this repo, but architecturally they are I/O — holding a
+# master/scheduler lock across them is the bug class Gate 6 exists for.
+INTRINSIC_BLOCKING = {
+    "StorageSystem::Get": "storage read",
+    "PathRouter::Get": "storage-path read",
+    "SsoAuthenticator::Authenticate": "auth RPC",
+}
 
 
-def run_lock_order(files):
-    result = LockOrderResult()
-    functions = []
-    decl_annotations = {}
-    for path in files:
-        sf = SourceFile(path)
-        stem = os.path.splitext(os.path.basename(path))[0]
-        functions.extend(extract_functions(sf, stem))
-        for k, v in index_declared_annotations(sf, stem).items():
-            prev = decl_annotations.get(k, (set(), set()))
-            decl_annotations[k] = (prev[0] | v[0], prev[1] | v[1])
+def index_member_types(sf):
+    """(OwnerClass, member_name) -> TypeName for member declarations, so
+    dotted calls through `router_->Get(...)` resolve to the right class
+    instead of every class with a `Get`. Over-captures harmlessly: a
+    member mapped to a type with no in-program methods binds nothing."""
+    out = {}
+    for cls, open_pos, close_pos in class_spans(sf):
+        body = sf.code[open_pos:close_pos]
+        for m in MEMBER_PTR_DECL_RE.finditer(body):
+            out[(cls, m.group(2))] = m.group(1)
+        for m in MEMBER_OBJ_DECL_RE.finditer(body):
+            out.setdefault((cls, m.group(2)), m.group(1))
+    return out
 
-    by_name = {}
-    for fn in functions:
-        req, acq = decl_annotations.get(fn.qname, (set(), set()))
-        fn.requires |= req
-        fn.acquires |= acq
-        by_name.setdefault(fn.name, []).append(fn)
 
-    def resolve_call(caller, name, dotted):
-        """Call-target resolution. Undotted calls bind to the caller's own
-        class when it defines the name (else any candidate: free functions
-        and unqualified calls). Dotted calls (`obj.f()`) bind only when
-        exactly one class in the program defines `f` and `f` is not an STL
-        container method name — otherwise `x.size()` would alias every
-        repo class with a `size()` and invent lock edges."""
-        candidates = by_name.get(name, ())
+class Program:
+    """Whole-program function model shared by lock-order and the Gate 6
+    effect passes: functions with resolved calls, lock scopes, blocking
+    and allocation effect sites, and bottom-up may-block / may-alloc
+    summaries carrying a witness chain for reporting."""
+
+    def __init__(self, files):
+        self.files = files
+        self.functions = []
+        self.source_files = {}
+        decl_annotations = {}
+        member_types = {}
+        for path in files:
+            sf = SourceFile(path)
+            self.source_files[path] = sf
+            stem = os.path.splitext(os.path.basename(path))[0]
+            self.functions.extend(extract_functions(sf, stem))
+            for k, v in index_declared_annotations(sf, stem).items():
+                prev = decl_annotations.get(k, (set(), set()))
+                decl_annotations[k] = (prev[0] | v[0], prev[1] | v[1])
+            for key, tname in index_member_types(sf).items():
+                member_types.setdefault(key, tname)
+        self.member_types = member_types
+        self.by_name = {}
+        for fn in self.functions:
+            req, acq = decl_annotations.get(fn.qname, (set(), set()))
+            fn.requires |= req
+            fn.acquires |= acq
+            self.by_name.setdefault(fn.name, []).append(fn)
+        # member name -> type when the name maps to one type program-wide
+        by_member = {}
+        for (_scope, member), tname in member_types.items():
+            by_member.setdefault(member, set()).add(tname)
+        self.member_type_global = {m: next(iter(ts))
+                                   for m, ts in by_member.items()
+                                   if len(ts) == 1}
+        self._scan_bodies()
+        self._summarize()
+
+    def resolve_call(self, caller, name, dotted):
+        """Lock-order call resolution (unchanged from Gate 5). Undotted
+        calls bind to the caller's own class when it defines the name
+        (else any candidate). Dotted calls bind only when exactly one
+        class defines `name` and it is not an STL method name."""
+        candidates = self.by_name.get(name, ())
         if not candidates:
             return ()
         if not dotted:
@@ -669,29 +824,187 @@ def run_lock_order(files):
         scopes = {c.scope for c in candidates}
         return candidates if len(scopes) == 1 else ()
 
-    # Per-function lock sites and call sites.
-    for fn in functions:
-        sf = fn.sf
-        body = sf.code[fn.body_span[0]:fn.body_span[1]]
-        base = fn.body_span[0]
-        for m in LOCK_DECL_RE.finditer(body):
-            pos = base + m.start()
-            mutex = "%s::%s" % (fn.scope, normalize_mutex(m.group(2)))
-            line = sf.line_of(pos)
-            scope_end = sf.enclosing_block_end(pos, fn.body_span[1])
-            waived = sf.waived(line, "lock-order")
-            fn.lock_sites.append((mutex, pos, scope_end, line, waived))
-            if not waived:
-                fn.acquires.add(mutex)
-        for m in CALL_RE.finditer(body):
-            name = m.group(1)
-            if name in CPP_KEYWORDS or name not in by_name:
-                continue
-            before = body[:m.start()].rstrip()
-            dotted = before.endswith(".") or before.endswith("->")
-            targets = resolve_call(fn, name, dotted)
-            if targets:
-                fn.calls.append((targets, base + m.start()))
+    def resolve_effect_call(self, fn, body, start, name, dotted):
+        """Effect-summary call resolution: like resolve_call, but dotted
+        receivers are first resolved through declared member types, so
+        `router_->Get()` binds PathRouter::Get even though several
+        classes define Get."""
+        candidates = self.by_name.get(name, ())
+        if not candidates:
+            return ()
+        if not dotted:
+            own = [c for c in candidates if c.scope == fn.scope]
+            return own if own else candidates
+        if name in STL_METHOD_NAMES:
+            return ()
+        rm = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*$", body[:start])
+        if rm:
+            recv = rm.group(1)
+            rtype = self.member_types.get((fn.scope, recv))
+            if rtype is None:
+                rtype = self.member_type_global.get(recv)
+            if rtype is not None:
+                return [c for c in candidates if c.scope == rtype]
+        scopes = {c.scope for c in candidates}
+        return candidates if len(scopes) == 1 else ()
+
+    def _scan_bodies(self):
+        for fn in self.functions:
+            sf = fn.sf
+            body = sf.code[fn.body_span[0]:fn.body_span[1]]
+            base = fn.body_span[0]
+            for m in LOCK_DECL_RE.finditer(body):
+                pos = base + m.start()
+                mutex = "%s::%s" % (fn.scope, normalize_mutex(m.group(3)))
+                line = sf.line_of(pos)
+                scope_end = sf.enclosing_block_end(pos, fn.body_span[1])
+                waived = sf.waived(line, "lock-order")
+                fn.lock_sites.append((mutex, pos, scope_end, line, waived))
+                fn.lock_vars.append((m.group(2), mutex, pos, scope_end))
+                if not waived:
+                    fn.acquires.add(mutex)
+            future_names = set(FUTURE_DECL_RE.findall(body))
+            for m in CALL_RE.finditer(body):
+                name = m.group(1)
+                if name in CPP_KEYWORDS or name not in self.by_name:
+                    continue
+                before = body[:m.start()].rstrip()
+                dotted = before.endswith(".") or before.endswith("->")
+                targets = self.resolve_call(fn, name, dotted)
+                if targets:
+                    fn.calls.append((targets, base + m.start()))
+                etargets = self.resolve_effect_call(fn, body, m.start(),
+                                                    name, dotted)
+                if etargets:
+                    fn.effect_calls.append(
+                        (etargets, base + m.start(), name))
+            for m in CONDVAR_WAIT_RE.finditer(body):
+                pos = base + m.start()
+                released = None
+                for var, mutex, lpos, lend in fn.lock_vars:
+                    if var == m.group(1) and lpos < pos < lend:
+                        released = mutex
+                if released is None:
+                    # Wait(lock) on a MutexLock& parameter: the handoff
+                    # releases the caller-supplied lock.
+                    sig = sf.code[fn.sig_span[0]:fn.body_span[0]]
+                    if re.search(r"\bMutexLock\s*&\s*%s\b" % m.group(1),
+                                 sig):
+                        released = "<param>"
+                fn.blocking_sites.append(
+                    ("cond-wait", pos, sf.line_of(pos),
+                     "CondVar Wait(%s)" % m.group(1), released))
+            for m in POOL_DISPATCH_RE.finditer(body):
+                pos = base + m.start()
+                fn.blocking_sites.append(
+                    ("pool-dispatch", pos, sf.line_of(pos),
+                     "ThreadPool %s" % m.group(1), None))
+            for m in FUTURE_GET_RE.finditer(body):
+                recv = m.group(1)
+                leaf = [t for t in re.split(r"[^\w]+", recv) if t]
+                leaf_name = leaf[-1] if leaf else recv
+                if leaf_name in future_names or "future" in recv.lower():
+                    pos = base + m.start()
+                    fn.blocking_sites.append(
+                        ("future-get", pos, sf.line_of(pos),
+                         "%s.get()" % recv, None))
+            for m in ALLOC_NEW_RE.finditer(body):
+                pos = base + m.start()
+                fn.alloc_sites.append(("new", pos, sf.line_of(pos), "new"))
+            for m in ALLOC_MAKE_RE.finditer(body):
+                pos = base + m.start()
+                fn.alloc_sites.append(
+                    ("make_" + m.group(1), pos, sf.line_of(pos),
+                     "std::make_%s" % m.group(1)))
+
+    def _summarize(self):
+        """Bottom-up fixpoint over name-resolved calls. Every entry in
+        block_info/alloc_info is a witness: a direct site, an intrinsic
+        root, or the first (deterministically ordered) call edge into a
+        function already known to have the effect."""
+        order = sorted(self.functions,
+                       key=lambda f: (f.path, f.body_span[0]))
+        self.block_info = {}
+        self.alloc_info = {}
+        for fn in order:
+            if fn.qname in INTRINSIC_BLOCKING:
+                self.block_info[id(fn)] = {
+                    "kind": "intrinsic", "path": fn.path,
+                    "line": fn.sf.line_of(fn.sig_span[0]),
+                    "detail": INTRINSIC_BLOCKING[fn.qname], "via": None}
+            elif fn.blocking_sites:
+                kind, _pos, line, detail, _rel = min(
+                    fn.blocking_sites, key=lambda s: s[1])
+                self.block_info[id(fn)] = {
+                    "kind": kind, "path": fn.path, "line": line,
+                    "detail": detail, "via": None}
+            if fn.alloc_sites:
+                kind, _pos, line, detail = min(
+                    fn.alloc_sites, key=lambda s: s[1])
+                self.alloc_info[id(fn)] = {
+                    "kind": kind, "path": fn.path, "line": line,
+                    "detail": detail, "via": None}
+        for _ in range(50):
+            changed = False
+            for fn in order:
+                for targets, pos, _name in sorted(fn.effect_calls,
+                                                  key=lambda c: c[1]):
+                    line = fn.sf.line_of(pos)
+                    for callee in sorted(targets, key=lambda c: c.qname):
+                        if callee is fn:
+                            continue
+                        if id(fn) not in self.block_info and \
+                                id(callee) in self.block_info:
+                            self.block_info[id(fn)] = {
+                                "kind": "call", "path": fn.path,
+                                "line": line, "detail": callee.qname,
+                                "via": callee}
+                            changed = True
+                        if id(fn) not in self.alloc_info and \
+                                id(callee) in self.alloc_info:
+                            self.alloc_info[id(fn)] = {
+                                "kind": "call", "path": fn.path,
+                                "line": line, "detail": callee.qname,
+                                "via": callee}
+                            changed = True
+            if not changed:
+                break
+
+    def _chain(self, info_map, fn):
+        parts = []
+        seen = set()
+        cur = fn
+        while cur is not None and id(cur) not in seen:
+            seen.add(id(cur))
+            info = info_map.get(id(cur))
+            if info is None:
+                break
+            rel = os.path.relpath(info["path"], REPO_ROOT)
+            if info["via"] is None:
+                parts.append("%s [%s: %s] (%s:%d)"
+                             % (cur.qname, info["kind"], info["detail"],
+                                rel, info["line"]))
+                break
+            parts.append("%s (%s:%d)" % (cur.qname, rel, info["line"]))
+            cur = info["via"]
+        return " -> ".join(parts)
+
+    def block_chain(self, fn):
+        return self._chain(self.block_info, fn)
+
+    def alloc_chain(self, fn):
+        return self._chain(self.alloc_info, fn)
+
+
+class LockOrderResult:
+    def __init__(self):
+        self.violations = []
+        self.edges = {}  # (held, acquired) -> (path, line)
+
+
+def run_lock_order(program):
+    result = LockOrderResult()
+    functions = program.functions
 
     # Transitive acquisition summaries (fixpoint over name-resolved calls).
     summary = {id(fn): set(fn.acquires) for fn in functions}
@@ -995,14 +1308,14 @@ def run_determinism(files, unordered, report_paths):
                 loop_positions.append((m.start(), target))
         for pos, target in loop_positions:
             line = sf.line_of(pos)
-            if sf.waived(line, "unordered-iter"):
-                continue
             span = loop_body_span(sf, pos)
             if span is None:
                 continue
             ok, offending = body_is_order_insensitive_fold(
                 sf.code[span[0]:span[1]])
             if ok:
+                continue  # fold is clean; a waiver here would be stale
+            if sf.waived(line, "unordered-iter"):
                 continue
             violations.append(Violation(
                 path, line, "determinism",
@@ -1016,11 +1329,494 @@ def run_determinism(files, unordered, report_paths):
 
 
 # ---------------------------------------------------------------------------
+# Pass 4: blocking-under-lock
+# ---------------------------------------------------------------------------
+
+def held_locks_at(fn, pos):
+    """Mutexes held at `pos`: the function's FEISU_REQUIRES contract plus
+    every lock-declaration scope enclosing the position."""
+    held = set(fn.requires)
+    for mutex, lpos, lend, _line, _waived in fn.lock_sites:
+        if lpos < pos < lend:
+            held.add(mutex)
+    return held
+
+
+def held_labels(fn, pos, held):
+    """`mutex (locked at file:line)` labels for a held set."""
+    labels = []
+    rel = os.path.relpath(fn.path, REPO_ROOT)
+    for h in sorted(held):
+        site = None
+        for mutex, lpos, lend, line, _w in fn.lock_sites:
+            if mutex == h and lpos < pos < lend:
+                site = line
+                break
+        if site is not None:
+            labels.append("%s (locked at %s:%d)" % (h, rel, site))
+        else:
+            labels.append("%s (held on entry via FEISU_REQUIRES)" % h)
+    return ", ".join(labels)
+
+
+def run_blocking_under_lock(program, report_paths):
+    violations = []
+    seen = set()
+    for fn in sorted(program.functions,
+                     key=lambda f: (f.path, f.body_span[0])):
+        if report_paths is not None and os.path.abspath(fn.path) \
+                not in report_paths:
+            continue
+        sf = fn.sf
+        for kind, pos, line, detail, released in fn.blocking_sites:
+            held = held_locks_at(fn, pos)
+            if kind == "cond-wait" and released is not None:
+                if released == "<param>":
+                    # Wait on a caller-supplied MutexLock&: the handoff
+                    # releases a lock we cannot name. Sanctioned when at
+                    # most that one (annotated) lock is in play.
+                    if len(held) <= 1:
+                        continue
+                else:
+                    held.discard(released)
+            if not held:
+                continue  # sanctioned handoff, or nothing held
+            key = (fn.path, line, kind)
+            if key in seen:
+                continue
+            if sf.waived(line, "blocking-under-lock"):
+                continue
+            seen.add(key)
+            violations.append(Violation(
+                fn.path, line, "blocking-under-lock",
+                "%s in %s blocks while holding %s; narrow the critical "
+                "section so no lock is held across waits, pool dispatch, "
+                "or reads (the only sanctioned shape is the CondVar "
+                "handoff cv.Wait(lock) with no other lock held)"
+                % (detail, fn.qname, held_labels(fn, pos, held))))
+        for targets, pos, name in sorted(fn.effect_calls,
+                                         key=lambda c: c[1]):
+            held = held_locks_at(fn, pos)
+            if not held:
+                continue
+            blockers = [c for c in sorted(targets, key=lambda c: c.qname)
+                        if c is not fn and id(c) in program.block_info]
+            if not blockers:
+                continue
+            line = sf.line_of(pos)
+            key = (fn.path, line, "call")
+            if key in seen:
+                continue
+            if sf.waived(line, "blocking-under-lock"):
+                continue
+            seen.add(key)
+            violations.append(Violation(
+                fn.path, line, "blocking-under-lock",
+                "call to may-block `%s` while holding %s; chain: %s (%s:%d)"
+                " -> %s"
+                % (name, held_labels(fn, pos, held), fn.qname,
+                   os.path.relpath(fn.path, REPO_ROOT), line,
+                   program.block_chain(blockers[0]))))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Pass 5: status-discard dataflow
+# ---------------------------------------------------------------------------
+
+STATUS_DEF_RE = re.compile(r"\bStatus\s+([A-Za-z_]\w*)\s*=(?!=)")
+RESULT_DEF_RE = re.compile(r"\bResult\s*<")
+OK_INIT_RE = re.compile(r"^\s*(?:Status::OK|OkStatus)\s*\(\s*\)\s*$")
+
+
+def block_header(sf, open_pos):
+    """(construct, header_text) for the brace block opening at open_pos:
+    ('if', 'cond') for if/else-if, ('else', ''), ('for'/'while'/'switch',
+    header), or (None/other, '') for plain scopes and initializers."""
+    code = sf.code
+    i = open_pos - 1
+    while i >= 0 and code[i] in " \t\n":
+        i -= 1
+    if i < 0:
+        return (None, "")
+    if code[i] == ")":
+        depth = 0
+        j = i
+        while j >= 0:
+            if code[j] == ")":
+                depth += 1
+            elif code[j] == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            j -= 1
+        if j < 0:
+            return (None, "")
+        header = code[j + 1:i]
+        k = j - 1
+        while k >= 0 and code[k] in " \t\n":
+            k -= 1
+        wm = re.search(r"([A-Za-z_]\w*)$", code[max(0, k - 30):k + 1])
+        return (wm.group(1) if wm else None, header)
+    wm = re.search(r"([A-Za-z_]\w*)$", code[max(0, i - 30):i + 1])
+    return (wm.group(1) if wm else None, "")
+
+
+def read_is_conditional(sf, fn, name, def_pos, read_pos):
+    """True when the read at read_pos sits inside an if/else (or switch)
+    block opened after the def whose condition never mentions `name`:
+    the branch can be skipped, silently dropping the status."""
+    name_re = re.compile(r"(?<![\w.])%s\b" % re.escape(name))
+    for open_pos, close_pos in sf.brace_match.items():
+        if not (def_pos < open_pos < read_pos < close_pos
+                <= fn.body_span[1]):
+            continue
+        construct, header = block_header(sf, open_pos)
+        if construct in ("if", "switch") and not name_re.search(header):
+            return True
+        if construct == "else":
+            return True
+    return False
+
+
+def run_status_discard(program, report_paths):
+    violations = []
+    for fn in sorted(program.functions,
+                     key=lambda f: (f.path, f.body_span[0])):
+        if report_paths is not None and os.path.abspath(fn.path) \
+                not in report_paths:
+            continue
+        sf = fn.sf
+        body = sf.code[fn.body_span[0]:fn.body_span[1]]
+        base = fn.body_span[0]
+        defs = []  # (name, name_pos, def_stmt_end, init_text) rel offsets
+        for m in STATUS_DEF_RE.finditer(body):
+            semi = body.find(";", m.end())
+            if semi < 0:
+                continue
+            defs.append((m.group(1), m.start(1), semi,
+                         body[m.end():semi]))
+        for m in RESULT_DEF_RE.finditer(body):
+            close = matched_angle_span(body, m.end() - 1)
+            if close < 0:
+                continue
+            nm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*=(?!=)",
+                          body[close + 1:close + 120])
+            if not nm:
+                continue
+            name_pos = close + 1 + nm.start(1)
+            eq_end = close + 1 + nm.end()
+            semi = body.find(";", eq_end)
+            if semi < 0:
+                continue
+            defs.append((nm.group(1), name_pos, semi, body[eq_end:semi]))
+        if not defs:
+            continue
+        tracked = {d[0] for d in defs}
+        tokens = {}   # name -> sorted token positions (rel)
+        writes = {}   # name -> set of write token positions (rel)
+        for name in tracked:
+            token_re = re.compile(r"(?<![\w.>])%s\b" % re.escape(name))
+            tokens[name] = [t.start() for t in token_re.finditer(body)]
+            wset = {d[1] for d in defs if d[0] == name}
+            for t in token_re.finditer(body):
+                if re.match(r"%s\s*=(?!=)" % re.escape(name),
+                            body[t.start():t.start() + len(name) + 40]):
+                    wset.add(t.start())
+            writes[name] = wset
+        for name, name_pos, stmt_end, init in sorted(defs,
+                                                     key=lambda d: d[1]):
+            if "(" not in init:
+                continue  # copy/ref of another local, not a call result
+            if OK_INIT_RE.match(init):
+                continue  # neutral initializer for an accumulator
+            later_writes = sorted(w for w in writes[name] if w > name_pos)
+            if later_writes:
+                next_semi = body.find(";", later_writes[0])
+                segment_end = next_semi if next_semi >= 0 else len(body)
+                overwritten = True
+            else:
+                segment_end = len(body)
+                overwritten = False
+            reads = [t for t in tokens[name]
+                     if stmt_end < t <= segment_end
+                     and t not in writes[name]]
+            line = sf.line_of(base + name_pos)
+            if not reads:
+                if sf.waived(line, "status-discard"):
+                    continue
+                violations.append(Violation(
+                    fn.path, line, "status-discard",
+                    "`%s` in %s stores a Status/Result produced by a call "
+                    "but is never inspected before %s; check .ok(), "
+                    "propagate it, or waive with `feisu-analyze: "
+                    "allow(status-discard): <reason>`"
+                    % (name, fn.qname,
+                       "being overwritten" if overwritten
+                       else "the function returns")))
+                continue
+            if all(read_is_conditional(sf, fn, name, base + name_pos,
+                                       base + r)
+                   for r in reads):
+                if sf.waived(line, "status-discard"):
+                    continue
+                violations.append(Violation(
+                    fn.path, line, "status-discard",
+                    "`%s` in %s is only inspected inside a branch whose "
+                    "condition does not test it (first read at line %d); "
+                    "the fall-through path drops the error"
+                    % (name, fn.qname, sf.line_of(base + reads[0]))))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Pass 6: hot-loop allocation
+# ---------------------------------------------------------------------------
+
+def hot_loop_spans(fn):
+    """(body_start, body_end, header_line) for every per-row/per-batch
+    loop in fn: a for/while whose header mentions rows or batches."""
+    sf = fn.sf
+    spans = []
+    for m in LOOP_RE.finditer(sf.code, fn.body_span[0], fn.body_span[1]):
+        open_paren = sf.code.find("(", m.start())
+        close_paren = param_list_end(sf.code, open_paren)
+        if close_paren < 0 or close_paren > fn.body_span[1]:
+            continue
+        header = sf.code[open_paren + 1:close_paren]
+        if not HOT_LOOP_HINT_RE.search(header):
+            continue
+        span = loop_body_span(sf, m.start())
+        if span is not None:
+            spans.append((span[0], span[1], sf.line_of(m.start())))
+    return spans
+
+
+def run_hot_alloc(program, hot_prefixes, report_paths):
+    """Allocation effects inside per-row/per-batch loops in the hot
+    directories. Amortized growth of containers declared *outside* the
+    loop is the hoisted shape and intentionally not flagged."""
+    hot_prefixes = [os.path.abspath(p) + os.sep for p in hot_prefixes]
+    violations = []
+    seen = set()
+    for fn in sorted(program.functions,
+                     key=lambda f: (f.path, f.body_span[0])):
+        abspath = os.path.abspath(fn.path)
+        if not any(abspath.startswith(p) for p in hot_prefixes):
+            continue
+        if report_paths is not None and abspath not in report_paths:
+            continue
+        loops = hot_loop_spans(fn)
+        if not loops:
+            continue
+        sf = fn.sf
+
+        def loop_at(pos):
+            for s, e, hline in loops:
+                if s <= pos < e:
+                    return hline
+            return None
+
+        for kind, pos, line, detail in fn.alloc_sites:
+            hline = loop_at(pos)
+            if hline is None:
+                continue
+            key = (fn.path, line, kind)
+            if key in seen:
+                continue
+            if sf.waived(line, "hot-alloc"):
+                continue
+            seen.add(key)
+            violations.append(Violation(
+                fn.path, line, "hot-alloc",
+                "allocation (%s) inside the per-row/batch loop at line %d "
+                "in %s; hoist it out of the loop or waive with "
+                "`feisu-analyze: allow(hot-alloc): <reason>`"
+                % (detail, hline, fn.qname)))
+        for s, e, hline in loops:
+            for m in CONTAINER_LOCAL_RE.finditer(sf.code, s, e):
+                line = sf.line_of(m.start())
+                key = (fn.path, line, "container-local")
+                if key in seen:
+                    continue
+                if sf.waived(line, "hot-alloc"):
+                    continue
+                seen.add(key)
+                violations.append(Violation(
+                    fn.path, line, "hot-alloc",
+                    "fresh std::%s local inside the per-row/batch loop at "
+                    "line %d in %s allocates every iteration; declare it "
+                    "before the loop and clear() per iteration, or waive "
+                    "with `feisu-analyze: allow(hot-alloc): <reason>`"
+                    % (m.group(1), hline, fn.qname)))
+        for targets, pos, name in sorted(fn.effect_calls,
+                                         key=lambda c: c[1]):
+            hline = loop_at(pos)
+            if hline is None:
+                continue
+            allocs = [c for c in sorted(targets, key=lambda c: c.qname)
+                      if c is not fn and id(c) in program.alloc_info]
+            if not allocs:
+                continue
+            line = sf.line_of(pos)
+            key = (fn.path, line, "call")
+            if key in seen:
+                continue
+            if sf.waived(line, "hot-alloc"):
+                continue
+            seen.add(key)
+            violations.append(Violation(
+                fn.path, line, "hot-alloc",
+                "call to may-allocate `%s` inside the per-row/batch loop "
+                "at line %d; chain: %s (%s:%d) -> %s; hoist the "
+                "allocation or waive with `feisu-analyze: "
+                "allow(hot-alloc): <reason>`"
+                % (name, hline, fn.qname,
+                   os.path.relpath(fn.path, REPO_ROOT), line,
+                   program.alloc_chain(allocs[0]))))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable output: JSON report, SARIF 2.1.0, effect summaries
+# ---------------------------------------------------------------------------
+
+def tree_git_sha(root):
+    """HEAD's SHA with a -dirty suffix when the tree has local changes;
+    'unknown' outside a git checkout. Mirrors run_bench.py's context
+    stamp so --static-json can cross-check BENCH artifacts."""
+    try:
+        rev = subprocess.run(["git", "rev-parse", "HEAD"], cwd=root,
+                             capture_output=True, text=True, check=False)
+        if rev.returncode != 0:
+            return "unknown"
+        sha = rev.stdout.strip()
+        status = subprocess.run(["git", "status", "--porcelain"], cwd=root,
+                                capture_output=True, text=True, check=False)
+        if status.returncode == 0 and status.stdout.strip():
+            sha += "-dirty"
+        return sha
+    except OSError:
+        return "unknown"
+
+
+def violations_as_dicts(violations, root):
+    out = []
+    for v in violations:
+        rel = os.path.relpath(v.path, root) if v.path else "<global>"
+        out.append({"file": rel.replace(os.sep, "/"), "line": v.line,
+                    "pass": v.pass_name, "message": v.message})
+    return out
+
+
+def write_json_report(violations, passes, root, out_path):
+    report = {
+        "tool": "feisu-analyze",
+        "schema_version": 1,
+        "passes": list(passes),
+        "context": {"git_sha": tree_git_sha(root)},
+        "violations": violations_as_dicts(violations, root),
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+SARIF_RULE_HELP = {
+    "layering": "Include edge violates the declared layer DAG.",
+    "lock-order": "Lock acquisition-order cycle (potential deadlock).",
+    "determinism": "Unordered-container iteration order leaks into "
+                   "observable state.",
+    "blocking-under-lock": "A may-block effect (CondVar wait, pool "
+                           "dispatch, future get, storage read) is "
+                           "reachable while a Mutex is held.",
+    "status-discard": "A Status/Result local is assigned from a call "
+                      "and never inspected (or only on a conditional "
+                      "path).",
+    "hot-alloc": "Allocation effect inside a per-row/per-batch loop in "
+                 "the hot execution directories.",
+    "stale-waiver": "A waiver comment no longer suppresses any finding.",
+}
+
+
+def write_sarif_report(violations, root, out_path):
+    rule_ids = sorted(set(list(SARIF_RULE_HELP) +
+                          [v.pass_name for v in violations]))
+    rules = [{"id": rid,
+              "shortDescription": {
+                  "text": SARIF_RULE_HELP.get(rid, rid)}}
+             for rid in rule_ids]
+    results = []
+    for v in violations:
+        rel = os.path.relpath(v.path, root) if v.path else "<global>"
+        results.append({
+            "ruleId": v.pass_name,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": rel.replace(os.sep, "/")},
+                    "region": {"startLine": max(1, v.line)},
+                },
+            }],
+        })
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "feisu-analyze",
+                "informationUri":
+                    "docs/STATIC_ANALYSIS.md",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(sarif, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def write_effects_json(program, root, out_path):
+    """Per-function effect summaries (the engine's raw output)."""
+    entries = []
+    for fn in sorted(program.functions,
+                     key=lambda f: (f.path, f.body_span[0])):
+        info = program.block_info.get(id(fn))
+        ainfo = program.alloc_info.get(id(fn))
+        entries.append({
+            "function": fn.qname,
+            "file": os.path.relpath(fn.path, root).replace(os.sep, "/"),
+            "line": fn.sf.line_of(fn.sig_span[0]),
+            "requires": sorted(fn.requires),
+            "acquires": sorted(fn.acquires),
+            "may_block": info is not None,
+            "block_witness": program.block_chain(fn) if info else None,
+            "may_alloc": ainfo is not None,
+            "alloc_witness": program.alloc_chain(fn) if ainfo else None,
+        })
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"tool": "feisu-analyze", "schema_version": 1,
+                   "context": {"git_sha": tree_git_sha(root)},
+                   "functions": entries}, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
+PROGRAM_PASSES = ("lock-order", "blocking-under-lock", "status-discard",
+                  "hot-alloc")
+
+
 def run_passes(root, src_dir, layers_path, passes, dot_dir=None,
-               changed_only=False):
+               changed_only=False, stale_waivers=True, hot_dirs=None,
+               json_out=None, sarif_out=None, effects_out=None):
+    USED_WAIVERS.clear()
     files = collect_source_files(src_dir)
     report_paths = None
     if changed_only:
@@ -1036,6 +1832,9 @@ def run_passes(root, src_dir, layers_path, passes, dot_dir=None,
             raw_lines = f.read().split("\n")
         violations.extend(collect_reasonless_waivers(path, raw_lines))
 
+    program = None
+    if any(p in passes for p in PROGRAM_PASSES):
+        program = Program(files)
     if "layering" in passes:
         layering = run_layering(files, src_dir, layers_path, report_paths)
         violations.extend(layering.violations)
@@ -1043,13 +1842,33 @@ def run_passes(root, src_dir, layers_path, passes, dot_dir=None,
             write_include_dot(layering,
                               os.path.join(dot_dir, "include_graph.dot"))
     if "lock-order" in passes:
-        lock = run_lock_order(files)
+        lock = run_lock_order(program)
         violations.extend(lock.violations)
         if dot_dir:
             write_lock_dot(lock, os.path.join(dot_dir, "lock_order.dot"))
     if "determinism" in passes:
         violations.extend(run_determinism(files, UnorderedIndex(files),
                                           report_paths))
+    if "blocking-under-lock" in passes:
+        violations.extend(run_blocking_under_lock(program, report_paths))
+    if "status-discard" in passes:
+        violations.extend(run_status_discard(program, report_paths))
+    if "hot-alloc" in passes:
+        prefixes = hot_dirs if hot_dirs is not None else [
+            os.path.join(src_dir, "exec"),
+            os.path.join(src_dir, "columnar")]
+        violations.extend(run_hot_alloc(program, prefixes, report_paths))
+    # Stale waivers last: every executed pass has recorded which waiver
+    # comments actually suppressed a finding.
+    if stale_waivers:
+        violations.extend(
+            collect_stale_waivers(files, set(passes), report_paths))
+    if json_out:
+        write_json_report(violations, passes, root, json_out)
+    if sarif_out:
+        write_sarif_report(violations, root, sarif_out)
+    if effects_out and program is not None:
+        write_effects_json(program, root, effects_out)
     return violations
 
 
@@ -1085,21 +1904,34 @@ def run_self_test():
     d = os.path.join(FIXTURE_DIR, "layer_clean")
     expect("layer_clean", fixture_passes(d, ("layering",)), None, clean=True)
 
-    # File fixtures: lock-order and determinism run over single dirs.
+    # File fixtures: the non-layering passes run over single dirs. Each
+    # invocation clears USED_WAIVERS and finishes with a stale-waiver
+    # sweep, so waived fixtures also prove their waivers are live.
     def file_fixture(subdir, passes):
         d = os.path.join(FIXTURE_DIR, subdir)
         files = collect_source_files(d)
+        USED_WAIVERS.clear()
         violations = []
         for path in files:
             with open(path, "r", encoding="utf-8",
                       errors="replace") as f:
                 violations.extend(
                     collect_reasonless_waivers(path, f.read().split("\n")))
+        program = None
+        if any(p in passes for p in PROGRAM_PASSES):
+            program = Program(files)
         if "lock-order" in passes:
-            violations.extend(run_lock_order(files).violations)
+            violations.extend(run_lock_order(program).violations)
         if "determinism" in passes:
             violations.extend(
                 run_determinism(files, UnorderedIndex(files), None))
+        if "blocking-under-lock" in passes:
+            violations.extend(run_blocking_under_lock(program, None))
+        if "status-discard" in passes:
+            violations.extend(run_status_discard(program, None))
+        if "hot-alloc" in passes:
+            violations.extend(run_hot_alloc(program, [d], None))
+        violations.extend(collect_stale_waivers(files, set(passes), None))
         return violations
 
     expect("lock_cycle_nested",
@@ -1119,13 +1951,112 @@ def run_self_test():
            file_fixture("waived_clean", ("lock-order", "determinism")),
            None, clean=True)
 
+    # Gate 6 fixtures: blocking-under-lock.
+    expect("blocking_under_lock",
+           file_fixture("blocking_under_lock", ("blocking-under-lock",)),
+           "blocking-under-lock")
+    expect("blocking_two_hop",
+           file_fixture("blocking_two_hop", ("blocking-under-lock",)),
+           "blocking-under-lock")
+    expect("blocking_handoff_clean",
+           file_fixture("blocking_handoff_clean",
+                        ("blocking-under-lock",)), None, clean=True)
+    expect("blocking_waived",
+           file_fixture("blocking_waived", ("blocking-under-lock",)),
+           None, clean=True)
+
+    # Gate 6 fixtures: status-discard.
+    expect("status_discard",
+           file_fixture("status_discard", ("status-discard",)),
+           "status-discard")
+    expect("status_one_path",
+           file_fixture("status_one_path", ("status-discard",)),
+           "status-discard")
+    expect("status_clean",
+           file_fixture("status_clean", ("status-discard",)), None,
+           clean=True)
+
+    # Gate 6 fixtures: hot-alloc.
+    expect("hot_alloc_loop",
+           file_fixture("hot_alloc_loop", ("hot-alloc",)), "hot-alloc")
+    expect("hot_alloc_hoisted",
+           file_fixture("hot_alloc_hoisted", ("hot-alloc",)), None,
+           clean=True)
+    expect("hot_alloc_waived",
+           file_fixture("hot_alloc_waived", ("hot-alloc",)), None,
+           clean=True)
+
+    # Stale-waiver pair: a waiver suppressing nothing trips; the used
+    # waivers in waived_clean above already prove the other direction.
+    expect("stale_waiver",
+           file_fixture("stale_waiver",
+                        ("determinism", "blocking-under-lock")),
+           "stale-waiver")
+
+    # --changed-only: in a synthetic git repo, a defect in a committed
+    # (unchanged) file is not reported while the same defect in a new
+    # uncommitted file is.
+    changed_result = run_changed_only_fixture()
+    if changed_result is not None:
+        hit_files = {os.path.basename(v.path)
+                     for v in changed_result if v.path}
+        if "changed_new.cc" not in hit_files:
+            failures.append("changed-only fixture did not report the "
+                            "uncommitted file (hit: %s)"
+                            % sorted(hit_files))
+        if "committed.cc" in hit_files:
+            failures.append("changed-only fixture reported an unchanged "
+                            "committed file")
+
     if failures:
         for f in failures:
             print("feisu-analyze self-test FAILED: " + f, file=sys.stderr)
         return 1
-    print("feisu-analyze self-test: 6 tripping fixtures, 3 clean fixtures, "
-          "all behaved")
+    print("feisu-analyze self-test: 13 tripping fixtures, 8 clean "
+          "fixtures, changed-only scenario, all behaved")
     return 0
+
+
+def run_changed_only_fixture():
+    """Copies the changed_only fixture into a temp git repo, commits it,
+    adds an uncommitted file with the same status-discard defect, and
+    runs with changed_only=True. Returns the violations, or None when
+    git is unavailable (scenario skipped)."""
+    import shutil
+    import tempfile
+    src_fixture = os.path.join(FIXTURE_DIR, "changed_only")
+    with tempfile.TemporaryDirectory() as tmp:
+        repo = os.path.join(tmp, "repo")
+        shutil.copytree(src_fixture, repo)
+
+        def git(*args):
+            try:
+                return subprocess.run(
+                    ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                     *args],
+                    cwd=repo, capture_output=True, text=True, check=False)
+            except OSError:
+                return None
+        init = git("init", "-q")
+        if init is None or init.returncode != 0:
+            print("feisu-analyze self-test: git unavailable, skipping "
+                  "changed-only scenario", file=sys.stderr)
+            return None
+        git("add", "-A")
+        commit = git("commit", "-qm", "seed")
+        if commit is None or commit.returncode != 0:
+            print("feisu-analyze self-test: git commit failed, skipping "
+                  "changed-only scenario", file=sys.stderr)
+            return None
+        with open(os.path.join(repo, "src", "committed.cc"),
+                  encoding="utf-8") as f:
+            text = f.read()
+        with open(os.path.join(repo, "src", "changed_new.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write(text.replace("Committed", "ChangedNew"))
+        return run_passes(repo, os.path.join(repo, "src"),
+                          os.path.join(repo, "feisu_layers.toml"),
+                          ("status-discard",), changed_only=True)
 
 
 def main():
@@ -1147,6 +2078,21 @@ def main():
                         help="report file-scoped findings only for files "
                              "changed vs. git HEAD (graph cycles are "
                              "always whole-program)")
+    parser.add_argument("--stale-waivers", dest="stale_waivers",
+                        action="store_true", default=True,
+                        help="report waivers that no longer suppress a "
+                             "finding (default: on)")
+    parser.add_argument("--no-stale-waivers", dest="stale_waivers",
+                        action="store_false",
+                        help="disable the stale-waiver check")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a machine-readable report (includes "
+                             "the analyzed tree's git SHA)")
+    parser.add_argument("--sarif", default=None, metavar="PATH",
+                        help="write a SARIF 2.1.0 report")
+    parser.add_argument("--effects-json", default=None, metavar="PATH",
+                        help="dump per-function effect summaries "
+                             "(requires/acquires/may-block/may-alloc)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the seeded fixtures under "
                              "tools/analyze_fixtures/")
@@ -1172,7 +2118,11 @@ def main():
 
     violations = run_passes(root, src_dir, layers, passes,
                             dot_dir=args.dot_dir,
-                            changed_only=args.changed_only)
+                            changed_only=args.changed_only,
+                            stale_waivers=args.stale_waivers,
+                            json_out=args.json,
+                            sarif_out=args.sarif,
+                            effects_out=args.effects_json)
     for v in violations:
         print(v.render(root))
     if violations:

@@ -57,6 +57,11 @@ Rules (see docs/STATIC_ANALYSIS.md for rationale):
                    one-row residual evaluation, group-key serialization at
                    insert time) carry an inline waiver:
                    `// feisu-lint: allow(per-row-getvalue): <reason>`.
+  stale-waiver     A `feisu-lint: allow(...)` comment that no longer
+                   suppresses any finding (or names an unknown rule) is
+                   itself a violation: dead waivers keep silencing the
+                   rule after the original cause is gone. On by default;
+                   `--no-stale-waivers` disables the sweep.
 
 Exit status: 0 when no violations, 1 when violations were reported,
 2 on usage errors. `--self-test` checks the seeded fixture files under
@@ -77,6 +82,11 @@ FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 
 WAIVER_RE = re.compile(r"feisu-lint:\s*allow\(([a-z-]+)\)")
+
+KNOWN_RULES = frozenset((
+    "void-cast-call", "naked-new", "wall-clock", "direct-output",
+    "include-guard", "raw-mutex", "no-analysis", "detached-thread",
+    "sim-clock", "bare-nolint", "per-row-getvalue"))
 
 # A call expression cast to void: `(void)Foo(...)`, `(void)obj.Method(...)`,
 # `(void)ns::Fn(...)`. `(void)identifier;` does not match (no call parens).
@@ -308,12 +318,13 @@ def nolint_problem(raw_line, match):
     return None
 
 
-def lint_file(path):
+def lint_file(path, stale_waivers=True):
     with open(path, "r", encoding="utf-8", errors="replace") as f:
         raw = f.read()
     raw_lines = raw.split("\n")
     code_lines = strip_comments_and_strings(raw).split("\n")
     violations = []
+    used_waivers = set()  # raw-line indices whose waiver suppressed a hit
 
     def waived(lineno, rule):
         # A waiver comment applies to its own line or to the line directly
@@ -323,6 +334,7 @@ def lint_file(path):
                 continue
             m = WAIVER_RE.search(raw_lines[idx])
             if m is not None and m.group(1) == rule:
+                used_waivers.add(idx)
                 return True
         return False
 
@@ -440,6 +452,23 @@ def lint_file(path):
             violations.append(Violation(
                 path, guard_line, "include-guard",
                 "guard %s does not match path; expected %s" % (guard, want)))
+
+    # Stale-waiver sweep, last: every rule above has consulted waived() by
+    # now, so any waiver comment that suppressed nothing is dead weight.
+    if stale_waivers:
+        for idx, raw_line in enumerate(raw_lines):
+            m = WAIVER_RE.search(raw_line)
+            if m is None:
+                continue
+            if m.group(1) not in KNOWN_RULES:
+                violations.append(Violation(
+                    path, idx + 1, "stale-waiver",
+                    "waiver names unknown rule `%s`" % m.group(1)))
+            elif idx not in used_waivers:
+                violations.append(Violation(
+                    path, idx + 1, "stale-waiver",
+                    "waiver for `%s` no longer suppresses any finding; "
+                    "delete it" % m.group(1)))
     return violations
 
 
@@ -499,6 +528,7 @@ def run_self_test():
         os.path.join("cluster", "chrono_scheduler.cc"): "sim-clock",
         "bare_nolint.cc": "bare-nolint",
         os.path.join("exec", "per_row_getvalue.cc"): "per-row-getvalue",
+        "stale_waiver.cc": "stale-waiver",
     }
     # Fixtures that must lint CLEAN: they contain would-be violations that
     # are properly waived, proving the waiver machinery works per rule.
@@ -545,6 +575,9 @@ def main():
     parser.add_argument("--changed-only", action="store_true",
                         help="lint only files changed vs. HEAD (staged, "
                              "unstaged, and untracked)")
+    parser.add_argument("--no-stale-waivers", action="store_true",
+                        help="skip reporting waiver comments that no "
+                             "longer suppress any finding")
     args = parser.parse_args()
 
     if args.self_test:
@@ -561,7 +594,8 @@ def main():
             files = [f for f in files if os.path.abspath(f) in changed]
     violations = []
     for path in files:
-        violations.extend(lint_file(path))
+        violations.extend(
+            lint_file(path, stale_waivers=not args.no_stale_waivers))
     for v in violations:
         print(str(v))
     if violations:

@@ -1,0 +1,12 @@
+// Fixture: a waiver whose violation is long gone — the line below
+// allocates through make_unique now, so the naked-new waiver no longer
+// suppresses anything and must be reported stale. The waived fixtures
+// (raw_mutex_waived.cc and friends) prove the other direction: a waiver
+// that still suppresses a finding is never reported.
+#include <memory>
+
+void MakeWidget() {
+  // feisu-lint: allow(naked-new): fixture; was a raw new, refactored away
+  auto widget = std::make_unique<int>(7);
+  *widget = 8;
+}

@@ -22,12 +22,17 @@ With --compare BASELINE.json the run additionally diffs the
 `agg_consume_speedup`, `compressed_eval_speedup` and `qps_speedup`
 blocks against a previously recorded artifact and exits 1 when any
 speedup regressed by more than 25% — CI runs this as a blocking step.
+Adding --static-json ANALYZE.json cross-checks that the git SHA in a
+feisu_analyze --json artifact matches this bench run's tree, so a
+recorded baseline can never pair clean-static claims with numbers from a
+different checkout.
 
 Usage:
   python3 tools/run_bench.py [--build-dir build] [--out BENCH_micro_ops.json]
                              [--qps-out BENCH_qps.json] [--filter REGEX]
                              [--skip-fig9a] [--skip-qps]
                              [--compare BASELINE.json]
+                             [--static-json ANALYZE.json]
 """
 
 import argparse
@@ -223,6 +228,11 @@ def main() -> int:
     parser.add_argument("--compare", metavar="BASELINE_JSON",
                         help="diff the speedup blocks against a previous "
                              "artifact; exit 1 on a >25%% regression")
+    parser.add_argument("--static-json", metavar="ANALYZE_JSON",
+                        help="with --compare: a feisu_analyze --json "
+                             "artifact; fails when its context git SHA "
+                             "does not match this bench run's tree "
+                             "(guards stale-artifact re-records)")
     args = parser.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
@@ -295,6 +305,21 @@ def main() -> int:
                   f"vs {baseline_path}", file=sys.stderr)
             return 1
         print(f"--compare: no tracked speedup regressed vs {baseline_path}")
+        if args.static_json:
+            static_path = pathlib.Path(args.static_json)
+            if not static_path.is_file():
+                sys.exit(f"error: --static-json {static_path} not found")
+            static = json.loads(static_path.read_text())
+            static_sha = static.get("context", {}).get("git_sha", "missing")
+            bench_sha = artifact["micro_ops"]["context"]["git_sha"]
+            if static_sha != bench_sha:
+                print(f"--static-json: analyzed tree {static_sha} does not "
+                      f"match benched tree {bench_sha}; re-run "
+                      f"feisu_analyze.py --json on this checkout",
+                      file=sys.stderr)
+                return 1
+            print(f"--static-json: analyzed and benched trees agree "
+                  f"({bench_sha})")
     return 0
 
 
